@@ -1,0 +1,54 @@
+"""Ablation A1 — work stealing on/off (§V, lessons learned).
+
+"Work stealing is a runtime decision that may negatively impact overall
+performance because of expensive data movements or unforeseen effects
+in future task dispatching."  This ablation runs the same workflow with
+the balancer enabled and disabled and reports wall time, transfer
+volume, and steal counts — quantifying the trade the paper describes.
+"""
+
+import numpy as np
+
+from repro.core import comm_view, format_records, steal_view, task_view
+from repro.dasklike import DaskConfig
+from repro.workflows import ImageProcessingWorkflow, run_workflow
+
+from conftest import emit
+
+
+def run_with(stealing: bool, scale: float, seed: int):
+    config = DaskConfig(work_stealing=stealing)
+    workflow = ImageProcessingWorkflow(scale=scale)
+    return run_workflow(workflow, seed=seed, config=config)
+
+
+def test_ablation_work_stealing(bench_env, benchmark):
+    scale = min(bench_env.scale, 0.25)
+
+    on = benchmark.pedantic(run_with, args=(True, scale, 11),
+                            rounds=1, iterations=1)
+    off = run_with(False, scale, 11)
+
+    rows = []
+    for label, result in (("stealing ON", on), ("stealing OFF", off)):
+        comms = comm_view(result.data)
+        steals = steal_view(result.data)
+        rows.append({
+            "config": label,
+            "wall_s": round(result.wall_time, 2),
+            "n_comms": len(comms),
+            "bytes_moved_mib": round(
+                float(np.sum(comms["nbytes"])) / 2**20, 1)
+            if len(comms) else 0.0,
+            "n_steals": len(steals),
+            "n_tasks": len(task_view(result.data)),
+        })
+    text = format_records(rows, title="Work-stealing ablation "
+                                      f"(ImageProcessing, scale={scale})")
+    emit("ablation_stealing", text)
+
+    by = {r["config"]: r for r in rows}
+    assert by["stealing ON"]["n_steals"] >= 0
+    assert by["stealing OFF"]["n_steals"] == 0
+    # Both configurations complete the same work.
+    assert by["stealing ON"]["n_tasks"] == by["stealing OFF"]["n_tasks"]

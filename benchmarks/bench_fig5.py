@@ -1,0 +1,70 @@
+"""Figure 5 — Time spent in interworker communication vs message size
+for ResNet152, split by intra- vs inter-node.
+
+Expected shape (§IV-D2): durations spread widely at fixed sizes; a
+cluster of long-duration small messages near the beginning of the
+workflow, split between intra- and inter-node endpoints.
+"""
+
+import numpy as np
+
+from repro.core import (
+    comm_scatter,
+    fig5_svg,
+    write_svg,
+    comm_summary,
+    comm_view,
+    format_records,
+    slow_small_messages,
+)
+
+from conftest import OUT_DIR, emit
+
+
+def test_fig5_communication_scatter(bench_env, benchmark):
+    result = bench_env.one_run("ResNet152")
+    comms = comm_view(result.data)
+    scatter = benchmark.pedantic(comm_scatter, args=(comms,),
+                                 rounds=1, iterations=1)
+
+    summary = comm_summary(comms)
+    slow = slow_small_messages(comms, size_threshold=2 * 2**20,
+                               duration_factor=4.0)
+
+    sample = scatter.head(20).to_records()
+    for row in sample:
+        row["duration"] = round(row["duration"], 6)
+        row["start"] = round(row["start"], 3)
+    slow_rows = slow.head(15).to_records()
+    for row in slow_rows:
+        row["duration"] = round(row["duration"], 5)
+        row["start"] = round(row["start"], 3)
+
+    text = (
+        format_records(
+            [{"locality": k, **v} for k, v in summary.items()
+             if isinstance(v, dict)],
+            title=f"Communication summary ({summary['n_total']} transfers)")
+        + "\n\n"
+        + format_records(sample, title=f"Scatter series (first 20 of "
+                                       f"{len(scatter)})")
+        + "\n\n"
+        + format_records(
+            slow_rows,
+            columns=["nbytes", "duration", "same_node", "start"],
+            title=f"Anomalously slow small messages ({len(slow)} found)")
+    )
+    emit("fig5_comm_scatter", text)
+    write_svg(fig5_svg(scatter), f"{OUT_DIR}/fig5_comm_scatter.svg")
+
+    # Shape assertions:
+    assert summary["n_total"] > 0
+    assert summary["intranode"]["count"] > 0
+    assert summary["internode"]["count"] > 0
+    # Same-size messages show wide duration spread (the figure's point):
+    sizes = comms["nbytes"].astype(np.int64)
+    modal = np.bincount(sizes % 2**31).argmax()
+    same = comms.filter(sizes % 2**31 == modal)
+    if len(same) >= 10:
+        durations = same["duration"].astype(float)
+        assert durations.max() > 2 * np.median(durations)

@@ -1,0 +1,63 @@
+"""Figure 6 — Parallel-coordinate chart of tasks in XGBOOST.
+
+Five coordinates per task: elapsed time, category, thread, output size
+(MB), duration (s).  Expected shape (§IV-D3): the longest tasks (the
+red lines) belong to ``read_parquet-fused-assign``, and their output
+sizes are significantly larger than the 128 MB recommended by the Dask
+developers.
+"""
+
+import numpy as np
+
+from repro.core import (
+    RECOMMENDED_CHUNK_BYTES,
+    fig6_svg,
+    write_svg,
+    format_records,
+    longest_categories,
+    oversized_tasks,
+    parallel_coordinates,
+    task_view,
+)
+
+from conftest import OUT_DIR, emit
+
+
+def test_fig6_parallel_coordinates(bench_env, benchmark):
+    result = bench_env.one_run("XGBOOST")
+    tasks = task_view(result.data)
+    coords = benchmark.pedantic(parallel_coordinates, args=(tasks,),
+                                rounds=1, iterations=1)
+
+    top = longest_categories(tasks, top=8)
+    big = oversized_tasks(tasks)
+
+    longest = coords.sort_by("duration", descending=True).head(12)
+    sample = longest.to_records()
+    for row in sample:
+        row["elapsed"] = round(row["elapsed"], 2)
+        row["size_mb"] = round(row["size_mb"], 1)
+        row["duration"] = round(row["duration"], 3)
+
+    text = (
+        format_records(top.to_records(),
+                       title="Categories by max duration")
+        + "\n\n"
+        + format_records(sample,
+                         columns=["elapsed", "category", "thread_rank",
+                                  "size_mb", "duration"],
+                         title="Longest tasks (the red lines)")
+        + f"\n\noversized tasks (> {RECOMMENDED_CHUNK_BYTES // 2**20} MB): "
+        + f"{len(big)} — categories {sorted(set(big['category'])) if len(big) else []}"
+    )
+    emit("fig6_parallel_coordinates", text)
+    write_svg(fig6_svg(coords),
+              f"{OUT_DIR}/fig6_parallel_coordinates.svg")
+
+    # Shape assertions from the paper's reading of the chart:
+    assert top["category"][0] == "read_parquet-fused-assign"
+    assert len(big) > 0
+    assert big["category"][0] == "read_parquet-fused-assign"
+    fused = coords.filter(np.array(
+        [c == "read_parquet-fused-assign" for c in coords["category"]]))
+    assert float(np.mean(fused["size_mb"])) > 128

@@ -1,0 +1,64 @@
+"""Extension E1 — scaling study (§VI: "we will run larger-scale studies").
+
+Runs the ImageProcessing workflow on growing allocations (1, 2, 4
+worker nodes at 4 workers × 8 threads each) and reports wall time,
+communication, and coordination share — the first cut of the larger-
+scale study the paper defers.  Expected shape: more workers shorten the
+compute/I-O phases but inflate communication and leave the coordination
+floor untouched, so efficiency decays for this short workflow.
+"""
+
+from repro.core import comm_view, phase_breakdown, format_records, task_view
+from repro.jobs import JobSpec
+from repro.workflows import ImageProcessingWorkflow, run_workflow
+
+from conftest import emit
+
+
+def run_with_nodes(worker_nodes: int, scale: float):
+    spec = JobSpec(worker_nodes=worker_nodes, workers_per_node=4,
+                   threads_per_worker=8)
+    return run_workflow(ImageProcessingWorkflow(scale=scale), seed=31,
+                        job_spec=spec)
+
+
+def test_scaling_worker_nodes(bench_env, benchmark):
+    scale = min(bench_env.scale, 0.25)
+    node_counts = [1, 2, 4]
+
+    results = {}
+    for nodes in node_counts[:-1]:
+        results[nodes] = run_with_nodes(nodes, scale)
+    results[node_counts[-1]] = benchmark.pedantic(
+        run_with_nodes, args=(node_counts[-1], scale),
+        rounds=1, iterations=1)
+
+    rows = []
+    base_wall = None
+    for nodes in node_counts:
+        result = results[nodes]
+        breakdown = phase_breakdown(result.data)
+        if base_wall is None:
+            base_wall = result.wall_time
+        rows.append({
+            "worker_nodes": nodes,
+            "threads": nodes * 4 * 8,
+            "wall_s": round(result.wall_time, 2),
+            "speedup": round(base_wall / result.wall_time, 2),
+            "efficiency": round(
+                base_wall / result.wall_time / nodes, 2),
+            "n_comms": len(comm_view(result.data)),
+            "io_s": round(breakdown.io, 2),
+            "compute_s": round(breakdown.computation, 2),
+        })
+    text = format_records(rows, title="Scaling study "
+                                      f"(ImageProcessing, scale={scale})")
+    emit("scaling_worker_nodes", text)
+
+    # Same work at every size.
+    tasks = {len(task_view(results[n].data)) for n in node_counts}
+    assert len(tasks) == 1
+    # More nodes never slow the workflow down dramatically...
+    assert results[4].wall_time < 1.5 * results[1].wall_time
+    # ...but parallel efficiency decays (the coordination floor).
+    assert rows[-1]["efficiency"] < rows[0]["efficiency"]

@@ -1,0 +1,85 @@
+"""Table I — Workflow Characteristics.
+
+Regenerates, for each of the three workflows: number of task graphs,
+distinct tasks, distinct files, the I/O-operation range over runs, and
+the communication range over runs.  Paper values are printed alongside
+for direct comparison (EXPERIMENTS.md records the deltas).
+"""
+
+from repro.core import comm_view, format_records, io_view, task_view
+
+from conftest import emit
+
+PAPER = {
+    "ImageProcessing": dict(graphs=3, tasks=5440, files=151,
+                            io="5274-5287", comms="3141-3247"),
+    "ResNet152": dict(graphs=1, tasks=8645, files=3929,
+                      io="2057-2302 (truncated)", comms="3751-3976"),
+    "XGBOOST": dict(graphs=74, tasks=10348, files=61,
+                    io="867-1670", comms="1464-2027"),
+}
+
+
+def characterize(results):
+    """Table-I row from a list of RunResults (ranges over runs)."""
+    graphs, tasks, files = set(), set(), set()
+    io_counts, comm_counts = [], []
+    for result in results:
+        tv = task_view(result.data)
+        graphs.add(len(set(tv.unique("graph_index"))))
+        tasks.add(len(tv))
+        files.add(len(result.data.darshan.distinct_files()))
+        io_counts.append(len(io_view(result.data)))
+        comm_counts.append(len(comm_view(result.data)))
+    def span(values):
+        lo, hi = min(values), max(values)
+        return str(lo) if lo == hi else f"{lo}-{hi}"
+    truncated = any(r.data.darshan.any_truncated for r in results)
+    return {
+        "task_graphs": max(graphs),
+        "distinct_tasks": max(tasks),
+        "distinct_files": max(files),
+        "io_ops": span(io_counts) + (" (truncated)" if truncated else ""),
+        "comms": span(comm_counts),
+    }
+
+
+def test_table1_workflow_characteristics(bench_env, benchmark):
+    rows = []
+    for name in ("ImageProcessing", "ResNet152", "XGBOOST"):
+        results = bench_env.runs_of(name)
+        measured = benchmark.pedantic(
+            characterize, args=(results,), rounds=1, iterations=1,
+        ) if name == "XGBOOST" else characterize(results)
+        paper = PAPER[name]
+        rows.append({"workflow": name, "quantity": "task graphs",
+                     "measured": measured["task_graphs"],
+                     "paper": paper["graphs"]})
+        rows.append({"workflow": name, "quantity": "distinct tasks",
+                     "measured": measured["distinct_tasks"],
+                     "paper": paper["tasks"]})
+        rows.append({"workflow": name, "quantity": "distinct files",
+                     "measured": measured["distinct_files"],
+                     "paper": paper["files"]})
+        rows.append({"workflow": name, "quantity": "I/O operations",
+                     "measured": measured["io_ops"],
+                     "paper": paper["io"]})
+        rows.append({"workflow": name, "quantity": "communications",
+                     "measured": measured["comms"],
+                     "paper": paper["comms"]})
+
+    text = format_records(
+        rows, columns=["workflow", "quantity", "measured", "paper"],
+        title=f"Table I: workflow characteristics "
+              f"(scale={bench_env.scale}, runs={bench_env.runs}; paper "
+              f"columns are full-scale)",
+    )
+    emit("table1_workflow_characteristics", text)
+    # Structural invariants that must hold at any scale:
+    by = {(r["workflow"], r["quantity"]): r["measured"] for r in rows}
+    assert by[("ImageProcessing", "task graphs")] == 3
+    assert by[("ResNet152", "task graphs")] == 1
+    assert by[("XGBOOST", "task graphs")] > 3
+    assert by[("XGBOOST", "distinct files")] < \
+        by[("ImageProcessing", "distinct files")] < \
+        by[("ResNet152", "distinct files")]

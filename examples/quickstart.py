@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: run one instrumented workflow and look at its data.
+
+This is the 5-minute tour of the reproduction:
+
+1. run the ImageProcessing workflow (scaled down) with the full
+   instrumentation stack — Dask-Mofka plugins, Darshan/DXT with
+   pthread IDs, layered provenance capture;
+2. load the observations into PERFRECUP views;
+3. print the phase breakdown, the busiest task categories, and one
+   task's full lineage.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    format_records,
+    longest_categories,
+    phase_breakdown,
+    render_provenance,
+    task_provenance,
+    task_view,
+)
+from repro.workflows import ImageProcessingWorkflow, run_workflow
+
+
+def main() -> None:
+    # One run, ~1/10 of the paper's dataset so it finishes in seconds.
+    result = run_workflow(ImageProcessingWorkflow(scale=0.1), seed=42)
+    data = result.data
+
+    print(f"workflow wall time: {result.wall_time:.1f} simulated seconds\n")
+
+    # Fig.-3-style phase decomposition of this single run.
+    breakdown = phase_breakdown(data)
+    print(format_records([breakdown.as_dict()], title="Phase breakdown"))
+    print()
+
+    # Which task categories dominate?
+    tasks = task_view(data)
+    print(format_records(
+        longest_categories(tasks, top=5).to_records(),
+        title="Longest task categories"))
+    print()
+
+    # Full provenance of the single longest task (Fig.-8 style).
+    longest = tasks.sort_by("duration", descending=True)["key"][0]
+    print(render_provenance(task_provenance(data, longest)))
+
+
+if __name__ == "__main__":
+    main()

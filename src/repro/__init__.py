@@ -1,0 +1,37 @@
+"""repro — reproduction of "Performance Characterization and Provenance
+of Distributed Task-based Workflows on HPC Platforms" (SC 2024).
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation kernel (clock, processes, resources,
+    seeded randomness).
+``repro.platform``
+    Polaris-like hardware: nodes, interconnect, Lustre-like PFS, noise.
+``repro.jobs``
+    PBS-like batch layer: specs, allocation, job scripts and logs.
+``repro.dasklike``
+    The Dask.distributed-style WMS substrate: client/scheduler/workers,
+    dynamic scheduling, work stealing, collections, spilling, failure
+    recovery.
+``repro.mofka``
+    Mofka-like event streaming built from Mochi-like microservices.
+``repro.darshan``
+    Darshan-like I/O characterization: POSIX counters, DXT with pthread
+    IDs, HEATMAP, adaptive capture, logs and reports.
+``repro.instrument``
+    The paper's contribution glue: Dask-Mofka plugins, provenance
+    capture, run persistence, online monitoring.
+``repro.core``
+    PERFRECUP: the multisource tabular analysis and visualization
+    engine.
+``repro.workflows``
+    The three evaluation workflows and the multi-run experiment runner.
+
+Entry points: the ``perfrecup`` CLI (``repro.cli``) and the experiment
+registry (``repro.experiments``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,313 @@
+"""Command-line interface: run workflows, analyze persisted runs.
+
+Usage::
+
+    perfrecup run imageprocessing --runs 3 --scale 0.1 --out ./results
+    perfrecup analyze ./results/imageprocessing/run0000
+    perfrecup provenance ./results/xgboost/run0000 --key <task-key>
+    perfrecup list-workflows
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import (
+    RunData,
+    comm_scatter,
+    comm_summary,
+    comm_view,
+    fig4_svg,
+    fig5_svg,
+    fig6_svg,
+    fig7_svg,
+    format_records,
+    io_timeline,
+    io_view,
+    longest_categories,
+    parallel_coordinates,
+    phase_breakdown,
+    render_provenance,
+    task_provenance,
+    task_view,
+    warning_histogram,
+    warning_view,
+    write_svg,
+)
+
+WORKFLOWS = {
+    "imageprocessing": "ImageProcessingWorkflow",
+    "resnet152": "ResNet152Workflow",
+    "xgboost": "XGBoostWorkflow",
+}
+
+
+def _workflow_factory(name: str, scale: float):
+    from . import workflows as wf_module
+    try:
+        cls = getattr(wf_module, WORKFLOWS[name.lower()])
+    except KeyError:
+        raise SystemExit(
+            f"unknown workflow {name!r}; choose from {sorted(WORKFLOWS)}"
+        )
+    return lambda: cls(scale=scale)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .workflows import run_many
+    factory = _workflow_factory(args.workflow, args.scale)
+    results = run_many(factory, n_runs=args.runs, seed=args.seed,
+                       persist_dir=args.out)
+    rows = []
+    for result in results:
+        breakdown = phase_breakdown(result.data)
+        rows.append({
+            "run": result.run_index,
+            "wall_s": round(result.wall_time, 2),
+            "io_s": round(breakdown.io, 2),
+            "comm_s": round(breakdown.communication, 2),
+            "compute_s": round(breakdown.computation, 2),
+            "dir": result.run_dir or "(in-memory)",
+        })
+    print(format_records(rows, title=f"{args.workflow}: {args.runs} runs "
+                                     f"at scale {args.scale}"))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    data = RunData.from_directory(args.run_dir)
+    breakdown = phase_breakdown(data)
+    print(format_records([breakdown.as_dict()], title="Phase breakdown"))
+    print()
+    tasks = task_view(data)
+    print(format_records(
+        longest_categories(tasks, top=args.top).to_records(),
+        title=f"Longest task categories (top {args.top})"))
+    print()
+    summary = comm_summary(comm_view(data))
+    print(format_records(
+        [{"locality": k, **v} for k, v in summary.items()
+         if isinstance(v, dict)],
+        title="Communication summary"))
+    print()
+    hist = warning_histogram(warning_view(data), bucket=args.bucket)
+    print(format_records(hist.to_records(),
+                         title=f"Warnings per {args.bucket:.0f}s bucket"))
+    print()
+    darshan = data.darshan.summary()
+    print(format_records([darshan], title="Darshan summary"))
+    print()
+    from .core import format_gap_report, metadata_gaps
+    print(format_gap_report(metadata_gaps(data)))
+    return 0
+
+
+def cmd_provenance(args: argparse.Namespace) -> int:
+    data = RunData.from_directory(args.run_dir)
+    if args.key is None:
+        tasks = task_view(data).sort_by("duration", descending=True)
+        key = tasks["key"][0]
+        print(f"(no --key given; showing the longest task)\n")
+    else:
+        key = args.key
+    print(render_provenance(task_provenance(data, key),
+                            max_items=args.max_items))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Cross-run variability report over several persisted runs."""
+    import glob
+    import os
+
+    from .core import (
+        compare_runs,
+        phase_variability,
+        prefix_duration_variability,
+    )
+
+    run_dirs = sorted(
+        d for d in glob.glob(os.path.join(args.runs_dir, "run*"))
+        if os.path.isdir(d)
+    )
+    if len(run_dirs) < 2:
+        raise SystemExit(
+            f"need at least two run directories under {args.runs_dir}")
+    datasets = [RunData.from_directory(d) for d in run_dirs]
+    breakdowns = [phase_breakdown(d) for d in datasets]
+    stats = phase_variability(breakdowns)
+    print(format_records(
+        [stats[p].as_dict()
+         for p in ("io", "communication", "computation", "total")],
+        title=f"Phase variability over {len(datasets)} runs"))
+    print()
+    views = [task_view(d) for d in datasets]
+    print(format_records(
+        prefix_duration_variability(views).head(args.top).to_records(),
+        title="Task categories by cross-run variability"))
+    print()
+    print(format_records(
+        compare_runs(views).to_records(),
+        title="Pairwise scheduling comparison "
+              "(agreement=same placement, distance=order drift)"))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Render the paper-style SVG figures for one persisted run."""
+    import os
+
+    data = RunData.from_directory(args.run_dir)
+    out = args.out or os.path.join(args.run_dir, "figures")
+    tasks = task_view(data)
+    written = []
+    written.append(write_svg(
+        fig4_svg(io_timeline(io_view(data))),
+        os.path.join(out, "per_thread_io.svg")))
+    written.append(write_svg(
+        fig5_svg(comm_scatter(comm_view(data))),
+        os.path.join(out, "comm_scatter.svg")))
+    written.append(write_svg(
+        fig6_svg(parallel_coordinates(tasks)),
+        os.path.join(out, "parallel_coordinates.svg")))
+    written.append(write_svg(
+        fig7_svg(warning_histogram(warning_view(data),
+                                   bucket=args.bucket)),
+        os.path.join(out, "warning_distribution.svg")))
+    for path in written:
+        print(path)
+    return 0
+
+
+def cmd_zoom(args: argparse.Namespace) -> int:
+    """Summarize everything inside one time window of a run."""
+    from .core import zoom
+
+    data = RunData.from_directory(args.run_dir)
+    end = args.end if args.end is not None else data.wall_time
+    window = zoom(data, args.start, end)
+    print(format_records([{
+        k: v for k, v in window.stats.items()
+        if k not in ("window", "prefixes_active")
+    }], title=f"Window [{args.start:.1f}s, {end:.1f}s)"))
+    print(f"\nactive categories: "
+          f"{', '.join(window.stats['prefixes_active']) or '(none)'}")
+    if len(window.warnings):
+        print(f"warnings in window: {len(window.warnings)}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Write a standalone HTML report for one persisted run."""
+    import os
+
+    from .core import write_html_report
+
+    data = RunData.from_directory(args.run_dir)
+    out = args.out or os.path.join(args.run_dir, "report.html")
+    path = write_html_report(data, out,
+                             title=f"PERFRECUP report: {args.run_dir}")
+    print(path)
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for name in sorted(WORKFLOWS):
+        print(name)
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS
+    rows = [{
+        "id": e.id, "artifact": e.artifact, "bench": e.bench,
+        "workflows": "+".join(e.workflows),
+    } for e in EXPERIMENTS]
+    print(format_records(rows, title="Experiment registry "
+                               "(paper artifact -> bench)"))
+    if args.id:
+        from .experiments import get_experiment
+        experiment = get_experiment(args.id)
+        print(f"\n{experiment.id}: {experiment.artifact}")
+        for claim in experiment.claims:
+            print(f"  - {claim}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="perfrecup",
+        description="Performance characterization and provenance of "
+                    "simulated Dask-like workflows (SC24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run an instrumented workflow")
+    p_run.add_argument("workflow", help="imageprocessing|resnet152|xgboost")
+    p_run.add_argument("--runs", type=int, default=1)
+    p_run.add_argument("--scale", type=float, default=0.1)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--out", default=None,
+                       help="persist run directories under this path")
+    p_run.set_defaults(func=cmd_run)
+
+    p_an = sub.add_parser("analyze", help="analyze a persisted run")
+    p_an.add_argument("run_dir")
+    p_an.add_argument("--top", type=int, default=5)
+    p_an.add_argument("--bucket", type=float, default=100.0)
+    p_an.set_defaults(func=cmd_analyze)
+
+    p_prov = sub.add_parser("provenance",
+                            help="print one task's full lineage")
+    p_prov.add_argument("run_dir")
+    p_prov.add_argument("--key", default=None)
+    p_prov.add_argument("--max-items", type=int, default=8)
+    p_prov.set_defaults(func=cmd_provenance)
+
+    p_cmp = sub.add_parser("compare",
+                           help="variability report across persisted runs")
+    p_cmp.add_argument("runs_dir",
+                       help="directory containing run0000, run0001, ...")
+    p_cmp.add_argument("--top", type=int, default=8)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_fig = sub.add_parser("figures",
+                           help="render SVG figures for a persisted run")
+    p_fig.add_argument("run_dir")
+    p_fig.add_argument("--out", default=None,
+                       help="output directory (default <run_dir>/figures)")
+    p_fig.add_argument("--bucket", type=float, default=100.0)
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_zoom = sub.add_parser("zoom",
+                            help="stats for one time window of a run")
+    p_zoom.add_argument("run_dir")
+    p_zoom.add_argument("--start", type=float, default=0.0)
+    p_zoom.add_argument("--end", type=float, default=None)
+    p_zoom.set_defaults(func=cmd_zoom)
+
+    p_rep = sub.add_parser("report",
+                           help="single-file HTML report for a run")
+    p_rep.add_argument("run_dir")
+    p_rep.add_argument("--out", default=None)
+    p_rep.set_defaults(func=cmd_report)
+
+    p_list = sub.add_parser("list-workflows", help="list workflow names")
+    p_list.set_defaults(func=cmd_list)
+
+    p_exp = sub.add_parser("experiments",
+                           help="list the paper-artifact registry")
+    p_exp.add_argument("--id", default=None,
+                       help="show one experiment's claims")
+    p_exp.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""PERFRECUP: the multisource data aggregation, analysis, and
+visualization engine — the paper's core contribution (§III-D).
+
+Pipeline: :class:`RunData` ingests one run's artifacts (Mofka streams,
+Darshan logs, text logs, provenance document); the view builders turn
+them into uniform :class:`Table`s sharing identifier columns; the
+correlation layer fuses I/O onto tasks via hostname + pthread ID +
+timestamps; and the analysis modules reproduce every figure-level
+result of the paper's evaluation (phases/variability, I/O timelines,
+communication scatter, parallel coordinates, warning distributions,
+per-task lineage, cross-run scheduling comparison, FAIR checks).
+"""
+
+from .categories import (
+    category_across_runs,
+    category_io_profile,
+    category_profile,
+)
+from .commstats import comm_scatter, comm_summary, slow_small_messages
+from .correlate import fuse_io_with_tasks, per_task_io, unattributed_io
+from .critical_path import CriticalHop, critical_path, critical_path_summary
+from .fair import (
+    IDENTIFIER_REGISTRY,
+    check_interoperability,
+    identifier_coverage,
+    shared_identifiers,
+)
+from .gaps import format_gap_report, metadata_gaps
+from .hotspots import heatmap_similarity, io_hotspots
+from .html_report import html_report, write_html_report
+from .ingest import RunData
+from .parallel_coords import (
+    RECOMMENDED_CHUNK_BYTES,
+    longest_categories,
+    oversized_tasks,
+    parallel_coordinates,
+)
+from .phases import PhaseBreakdown, phase_breakdown
+from .provenance import render_provenance, task_provenance
+from .report import format_bar, format_records, format_table
+from .scheduling import compare_runs, order_distance, placement_agreement
+from .table import Table
+from .timeline import IOPhase, detect_phases, io_timeline
+from .utilization import (
+    overall_utilization,
+    utilization_timeline,
+    worker_utilization,
+)
+from .variability import (
+    MetricStats,
+    phase_variability,
+    prefix_duration_variability,
+    summarize_metric,
+)
+from .views import (
+    comm_view,
+    spill_view,
+    dependency_view,
+    io_view,
+    log_view,
+    steal_view,
+    task_view,
+    transition_view,
+    warning_view,
+)
+from .warnings_analysis import (
+    correlate_warnings_with_tasks,
+    warning_histogram,
+    warnings_in_window,
+)
+from .viz import (
+    SVGCanvas,
+    fig3_svg,
+    fig4_svg,
+    fig5_svg,
+    fig6_svg,
+    fig7_svg,
+    heatmap_svg,
+    write_svg,
+)
+from .zoom import WindowSummary, zoom
+
+__all__ = [
+    "IDENTIFIER_REGISTRY",
+    "WindowSummary",
+    "category_across_runs",
+    "category_io_profile",
+    "category_profile",
+    "zoom",
+    "CriticalHop",
+    "critical_path",
+    "critical_path_summary",
+    "overall_utilization",
+    "utilization_timeline",
+    "worker_utilization",
+    "SVGCanvas",
+    "fig3_svg",
+    "fig4_svg",
+    "fig5_svg",
+    "fig6_svg",
+    "fig7_svg",
+    "heatmap_svg",
+    "write_svg",
+    "html_report",
+    "format_gap_report",
+    "metadata_gaps",
+    "heatmap_similarity",
+    "io_hotspots",
+    "write_html_report",
+    "IOPhase",
+    "MetricStats",
+    "PhaseBreakdown",
+    "RECOMMENDED_CHUNK_BYTES",
+    "RunData",
+    "Table",
+    "check_interoperability",
+    "comm_scatter",
+    "comm_summary",
+    "comm_view",
+    "compare_runs",
+    "correlate_warnings_with_tasks",
+    "dependency_view",
+    "detect_phases",
+    "format_bar",
+    "format_records",
+    "format_table",
+    "fuse_io_with_tasks",
+    "identifier_coverage",
+    "io_timeline",
+    "io_view",
+    "log_view",
+    "longest_categories",
+    "order_distance",
+    "oversized_tasks",
+    "parallel_coordinates",
+    "per_task_io",
+    "phase_breakdown",
+    "phase_variability",
+    "placement_agreement",
+    "prefix_duration_variability",
+    "render_provenance",
+    "shared_identifiers",
+    "slow_small_messages",
+    "spill_view",
+    "steal_view",
+    "summarize_metric",
+    "task_provenance",
+    "task_view",
+    "transition_view",
+    "unattributed_io",
+    "warning_histogram",
+    "warning_view",
+    "warnings_in_window",
+]

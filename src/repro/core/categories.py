@@ -1,0 +1,126 @@
+"""Per-category (task-type) analysis, within one run and across runs.
+
+The paper lists "task category (type) analysis within one or multiple
+runs (performance, variability, distribution, I/O per task, and so
+[on])" among the analyses its framework supports (§IV-D).  This module
+provides them: duration distributions per prefix, I/O attribution per
+prefix (via the thread+timestamp fusion), and cross-run per-category
+variability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .correlate import fuse_io_with_tasks, per_task_io
+from .table import Table
+
+__all__ = ["category_profile", "category_io_profile",
+           "category_across_runs"]
+
+
+def _percentile(values: np.ndarray, q: float) -> float:
+    return float(np.percentile(values, q)) if len(values) else 0.0
+
+
+def category_profile(tasks: Table) -> Table:
+    """Duration/size distribution per task prefix within one run.
+
+    Columns: category, n, total_duration, mean, p50, p95, max,
+    mean_output_mb, n_workers, n_threads.
+    """
+    rows = []
+    for prefix, sub in tasks.groupby("prefix").items():
+        durations = sub["duration"].astype(float)
+        rows.append({
+            "category": prefix,
+            "n": len(sub),
+            "total_duration": float(durations.sum()),
+            "mean": float(durations.mean()),
+            "p50": _percentile(durations, 50),
+            "p95": _percentile(durations, 95),
+            "max": float(durations.max()),
+            "mean_output_mb": float(
+                sub["output_nbytes"].astype(float).mean()) / 2**20,
+            "n_workers": len(set(sub["worker"])),
+            "n_threads": len({
+                (sub["hostname"][i], sub["thread_id"][i])
+                for i in range(len(sub))
+            }),
+        })
+    table = Table.from_records(rows, columns=[
+        "category", "n", "total_duration", "mean", "p50", "p95", "max",
+        "mean_output_mb", "n_workers", "n_threads",
+    ])
+    return table.sort_by("total_duration", descending=True)
+
+
+def category_io_profile(tasks: Table, io: Table) -> Table:
+    """I/O behaviour per task category (fused via thread + timestamps).
+
+    Columns: category, n_tasks_with_io, io_ops, bytes_read,
+    bytes_written, io_time, ops_per_task.
+    """
+    fused = fuse_io_with_tasks(tasks, io)
+    per_task = per_task_io(fused)
+    if len(per_task) == 0:
+        return Table({c: [] for c in (
+            "category", "n_tasks_with_io", "io_ops", "bytes_read",
+            "bytes_written", "io_time", "ops_per_task",
+        )})
+    joined = per_task.join(tasks.select(["key", "prefix"]), on=["key"])
+    rows = []
+    for prefix, sub in joined.groupby("prefix").items():
+        n_tasks = len(sub)
+        ops = int(np.sum(sub["n_ops"]))
+        rows.append({
+            "category": prefix,
+            "n_tasks_with_io": n_tasks,
+            "io_ops": ops,
+            "bytes_read": int(np.sum(sub["bytes_read"])),
+            "bytes_written": int(np.sum(sub["bytes_written"])),
+            "io_time": float(np.sum(sub["io_time"].astype(float))),
+            "ops_per_task": ops / n_tasks if n_tasks else 0.0,
+        })
+    table = Table.from_records(rows, columns=[
+        "category", "n_tasks_with_io", "io_ops", "bytes_read",
+        "bytes_written", "io_time", "ops_per_task",
+    ])
+    return table.sort_by("io_time", descending=True)
+
+
+def category_across_runs(task_views: list[Table]) -> Table:
+    """Cross-run per-category statistics.
+
+    Columns: category, n_runs, mean_count, mean_total_duration,
+    duration_cv (of per-run totals), placement_spread (mean number of
+    distinct workers used per run).
+    """
+    per_category: dict[str, dict] = {}
+    for view in task_views:
+        for prefix, sub in view.groupby("prefix").items():
+            record = per_category.setdefault(prefix, {
+                "counts": [], "totals": [], "workers": [],
+            })
+            record["counts"].append(len(sub))
+            record["totals"].append(
+                float(np.sum(sub["duration"].astype(float))))
+            record["workers"].append(len(set(sub["worker"])))
+    rows = []
+    for prefix, record in per_category.items():
+        totals = np.asarray(record["totals"])
+        mean_total = float(totals.mean())
+        std_total = float(totals.std(ddof=1)) if len(totals) > 1 else 0.0
+        rows.append({
+            "category": prefix,
+            "n_runs": len(totals),
+            "mean_count": float(np.mean(record["counts"])),
+            "mean_total_duration": mean_total,
+            "duration_cv": std_total / mean_total if mean_total else 0.0,
+            "placement_spread": float(np.mean(record["workers"])),
+        })
+    table = Table.from_records(rows, columns=[
+        "category", "n_runs", "mean_count", "mean_total_duration",
+        "duration_cv", "placement_spread",
+    ])
+    return table.sort_by("duration_cv", descending=True)

@@ -1,0 +1,77 @@
+"""Communication analysis (the Fig.-5 analysis).
+
+"Figure 5 illustrates the variability in communication duration as the
+size of messages varies.  The x-axis shows the sizes of messages
+transferred ..., the y-axis shows the time spent in a communication
+(seconds), and the color indicates whether a communication is performed
+across nodes or within a single node" (§IV-D2).  :func:`comm_scatter`
+emits that series; :func:`comm_summary` and
+:func:`slow_small_messages` quantify the "performance abnormality" the
+paper points at — long-duration small messages near workflow start.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["comm_scatter", "comm_summary", "slow_small_messages"]
+
+
+def comm_scatter(comms: Table) -> Table:
+    """The plottable Fig.-5 series.
+
+    Columns: nbytes, duration, same_node, same_switch, start.
+    """
+    return comms.select(
+        ["nbytes", "duration", "same_node", "same_switch", "start"]
+    ).sort_by("start")
+
+
+def comm_summary(comms: Table) -> dict:
+    """Headline statistics split by locality."""
+    out = {}
+    for label, flag in (("intranode", True), ("internode", False)):
+        sub = comms.filter(np.asarray(comms["same_node"]) == flag) \
+            if len(comms) else comms
+        if len(sub) == 0:
+            out[label] = {"count": 0}
+            continue
+        durations = sub["duration"].astype(float)
+        sizes = sub["nbytes"].astype(float)
+        out[label] = {
+            "count": int(len(sub)),
+            "total_time": float(durations.sum()),
+            "median_duration": float(np.median(durations)),
+            "p95_duration": float(np.percentile(durations, 95)),
+            "total_bytes": int(sizes.sum()),
+            "effective_bandwidth": float(sizes.sum() / durations.sum())
+            if durations.sum() > 0 else 0.0,
+        }
+    out["n_total"] = int(len(comms))
+    return out
+
+
+def slow_small_messages(comms: Table, size_threshold: int = 1 * 2**20,
+                        duration_factor: float = 5.0) -> Table:
+    """Small messages that took anomalously long.
+
+    A message under ``size_threshold`` bytes whose duration exceeds
+    ``duration_factor`` times the median duration of its size class is
+    flagged.  Returns the flagged rows with locality and start time, so
+    the analyst can check the paper's observation that they cluster
+    "near the beginning of the workflow" and are "almost evenly split
+    between inter- and intranode".
+    """
+    if len(comms) == 0:
+        return comms
+    small_mask = comms["nbytes"].astype(float) < size_threshold
+    small = comms.filter(small_mask)
+    if len(small) == 0:
+        return small
+    median = float(np.median(small["duration"].astype(float)))
+    flagged = small.filter(
+        small["duration"].astype(float) > duration_factor * median
+    )
+    return flagged.sort_by("start")

@@ -1,0 +1,113 @@
+"""Critical-path analysis: where does the latency come from?
+
+Research question 3 of the paper asks what correlations "help us
+investigate performance variability and understand the sources of
+latency".  The sharpest latency question for a DAG workload is its
+*critical path*: the dependency chain whose end-to-end span bounds the
+wall time.  This module reconstructs it from the captured records —
+submission dependencies (``task_added``), execution windows
+(``task_run``) — and attributes each hop's *gap* (time between a
+dependency finishing and its dependent starting) to scheduling,
+transfer, and queueing delay using the communication records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ingest import RunData
+from .views import comm_view, dependency_view, task_view
+
+__all__ = ["CriticalHop", "critical_path", "critical_path_summary"]
+
+
+@dataclass(frozen=True)
+class CriticalHop:
+    """One task on the critical path, with its inbound gap."""
+
+    key: str
+    prefix: str
+    worker: str
+    start: float
+    stop: float
+    duration: float
+    #: Time between the critical dependency's completion and this
+    #: task's execution start (scheduling + fetch + queueing).
+    gap: float
+    #: Portion of the gap spent in a recorded transfer of that dep.
+    transfer_time: float
+
+
+def critical_path(run: RunData) -> list[CriticalHop]:
+    """Longest finishing-time chain over the executed DAG."""
+    tasks = task_view(run)
+    deps = dependency_view(run)
+    comms = comm_view(run)
+    if len(tasks) == 0:
+        return []
+
+    info = {tasks["key"][i]: {
+        "prefix": tasks["prefix"][i], "worker": tasks["worker"][i],
+        "start": float(tasks["start"][i]), "stop": float(tasks["stop"][i]),
+    } for i in range(len(tasks))}
+    dep_map = {deps["key"][i]: list(deps["deps"][i])
+               for i in range(len(deps))}
+    # Transfer durations per (key, dst_worker).
+    transfer = {}
+    for i in range(len(comms)):
+        transfer[(comms["key"][i], comms["dst_worker"][i])] = \
+            float(comms["duration"][i])
+
+    # The chain ends at the task that finished last; walk backwards
+    # choosing, at each step, the dependency that finished latest (the
+    # binding one).
+    end_key = max(info, key=lambda k: info[k]["stop"])
+    chain = []
+    current = end_key
+    while current is not None:
+        record = info[current]
+        executed_deps = [d for d in dep_map.get(current, [])
+                         if d in info]
+        if executed_deps:
+            binding = max(executed_deps, key=lambda d: info[d]["stop"])
+            gap = record["start"] - info[binding]["stop"]
+        else:
+            binding = None
+            gap = record["start"]
+        chain.append(CriticalHop(
+            key=current, prefix=record["prefix"],
+            worker=record["worker"], start=record["start"],
+            stop=record["stop"],
+            duration=record["stop"] - record["start"],
+            gap=max(0.0, gap),
+            transfer_time=transfer.get((binding, record["worker"]), 0.0)
+            if binding else 0.0,
+        ))
+        current = binding
+    chain.reverse()
+    return chain
+
+
+def critical_path_summary(run: RunData) -> dict:
+    """Aggregate the chain: execution vs gap time, by task category."""
+    chain = critical_path(run)
+    if not chain:
+        return {"length": 0, "span": 0.0, "execution": 0.0, "gap": 0.0,
+                "transfer": 0.0, "by_prefix": {}, "chain": []}
+    execution = sum(h.duration for h in chain)
+    gap = sum(h.gap for h in chain)
+    transfer = sum(h.transfer_time for h in chain)
+    by_prefix: dict[str, float] = {}
+    for hop in chain:
+        by_prefix[hop.prefix] = by_prefix.get(hop.prefix, 0.0) \
+            + hop.duration
+    return {
+        "length": len(chain),
+        "span": chain[-1].stop - (chain[0].start - chain[0].gap),
+        "execution": execution,
+        "gap": gap,
+        "transfer": transfer,
+        "by_prefix": dict(sorted(by_prefix.items(),
+                                 key=lambda kv: -kv[1])),
+        "chain": chain,
+    }

@@ -1,0 +1,91 @@
+"""FAIR interoperability checks over the collected views.
+
+The paper's lessons-learned section (§V) stresses that aggregated
+multisource data is only interoperable if every pair of sources shares
+"at least one common identifier".  This module makes that requirement
+executable: a registry declares which identifier columns each view
+carries, and :func:`check_interoperability` verifies that every pair
+of views is joinable through some shared identifier — exactly the
+property the paper had to engineer by adding pthread IDs and
+timestamps to both Darshan and Dask records.
+"""
+
+from __future__ import annotations
+
+from .table import Table
+
+__all__ = ["IDENTIFIER_REGISTRY", "shared_identifiers",
+           "check_interoperability", "identifier_coverage"]
+
+#: Identifier columns by view name.  ``thread_id`` and ``pthread_id``
+#: are aliases of the same physical identifier (Dask-side vs
+#: Darshan-side naming), as are worker/src_worker/dst_worker.
+IDENTIFIER_REGISTRY: dict[str, set[str]] = {
+    "task": {"key", "worker", "hostname", "thread", "timestamp"},
+    "transition": {"key", "worker", "timestamp"},
+    "io": {"hostname", "thread", "timestamp"},
+    "comm": {"key", "worker", "hostname", "timestamp"},
+    "warning": {"worker", "hostname", "timestamp"},
+    "dependency": {"key", "timestamp"},
+    "log": {"worker", "timestamp"},
+}
+
+#: Physical column names that realise each abstract identifier.
+IDENTIFIER_COLUMNS: dict[str, set[str]] = {
+    "key": {"key"},
+    "worker": {"worker", "src_worker", "dst_worker", "source", "victim",
+               "thief"},
+    "hostname": {"hostname", "src_host", "dst_host"},
+    "thread": {"thread_id", "pthread_id"},
+    "timestamp": {"timestamp", "time", "start", "stop", "end",
+                  "submitted_at", "bucket_start"},
+}
+
+
+def shared_identifiers(view_a: str, view_b: str) -> set[str]:
+    """Abstract identifiers common to two registered views."""
+    try:
+        ids_a = IDENTIFIER_REGISTRY[view_a]
+        ids_b = IDENTIFIER_REGISTRY[view_b]
+    except KeyError as exc:
+        raise KeyError(f"unregistered view {exc.args[0]!r}") from None
+    return ids_a & ids_b
+
+
+def check_interoperability(views: list[str] | None = None) -> list[dict]:
+    """Verify every view pair shares a non-timestamp identifier or, at
+    minimum, timestamps.
+
+    Returns one row per pair: {pair, shared, joinable, strong} where
+    ``strong`` means the pair shares an entity identifier (not just
+    time alignment).
+    """
+    names = sorted(views or IDENTIFIER_REGISTRY)
+    rows = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            shared = shared_identifiers(names[i], names[j])
+            rows.append({
+                "pair": (names[i], names[j]),
+                "shared": sorted(shared),
+                "joinable": bool(shared),
+                "strong": bool(shared - {"timestamp"}),
+            })
+    return rows
+
+
+def identifier_coverage(view: Table, view_name: str) -> dict:
+    """Which declared identifiers does a concrete table actually carry?
+
+    Returns {identifier: bool}; a False value flags a metadata-collection
+    gap of the kind research question 4 asks about.
+    """
+    declared = IDENTIFIER_REGISTRY.get(view_name)
+    if declared is None:
+        raise KeyError(f"unregistered view {view_name!r}")
+    columns = set(view.column_names)
+    out = {}
+    for identifier in sorted(declared):
+        physical = IDENTIFIER_COLUMNS[identifier]
+        out[identifier] = bool(physical & columns)
+    return out

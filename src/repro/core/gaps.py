@@ -1,0 +1,133 @@
+"""Metadata-gap detection (research question 4).
+
+"Can we identify gaps in the metadata collection?" (§I).  The paper's
+lessons-learned section shows how gaps surface: records that cannot be
+joined to anything (I/O with no owning task), quantities one source
+reports that another cannot explain (DXT truncation), and events whose
+cause lies in a layer that was not instrumented.  :func:`metadata_gaps`
+audits one run for every such gap the framework can self-detect and
+returns a structured report; an empty report means the identifier
+chains of §V are complete for this run.
+"""
+
+from __future__ import annotations
+
+from .correlate import fuse_io_with_tasks, unattributed_io
+from .ingest import RunData
+from .views import (
+    comm_view,
+    dependency_view,
+    io_view,
+    task_view,
+    transition_view,
+    warning_view,
+)
+
+__all__ = ["metadata_gaps", "format_gap_report"]
+
+
+def metadata_gaps(run: RunData) -> dict:
+    """Audit one run for self-detectable metadata-collection gaps."""
+    tasks = task_view(run)
+    io = io_view(run)
+    transitions = transition_view(run)
+    deps = dependency_view(run)
+    comms = comm_view(run)
+
+    gaps: dict = {}
+
+    # 1. I/O that no task window claims (thread/time join failed).
+    fused = fuse_io_with_tasks(tasks, io)
+    orphans = unattributed_io(fused)
+    gaps["unattributed_io_ops"] = {
+        "count": len(orphans),
+        "of_total": len(io),
+        "examples": [orphans.row(i)["file"]
+                     for i in range(min(3, len(orphans)))],
+    }
+
+    # 2. DXT truncation: the I/O record stream is known-incomplete.
+    truncated = run.darshan.any_truncated if run.darshan else False
+    gaps["dxt_truncation"] = {
+        "truncated": truncated,
+        "dropped_segments": run.darshan.dropped_segments
+        if run.darshan else 0,
+    }
+
+    # 3. Executed tasks with no submission record (or vice versa).
+    executed = set(tasks["key"]) if len(tasks) else set()
+    submitted = set(deps["key"]) if len(deps) else set()
+    gaps["executed_without_submission"] = sorted(
+        executed - submitted)[:10]
+    # Submitted-but-never-run keys are normal mid-run, but after a
+    # completed workflow they flag lost work (failures, leaks).
+    never_ran = submitted - executed
+    erred = {
+        transitions["key"][i] for i in range(len(transitions))
+        if transitions["finish_state"][i] == "erred"
+    } if len(transitions) else set()
+    gaps["submitted_never_ran"] = {
+        "count": len(never_ran),
+        "explained_by_errors": len(never_ran & erred),
+        "unexplained": sorted(never_ran - erred)[:10],
+    }
+
+    # 4. Transfers of keys no task produced (ghost data movements).
+    produced = executed
+    moved = set(comms["key"]) if len(comms) else set()
+    gaps["transfers_of_unknown_keys"] = sorted(moved - produced)[:10]
+
+    # 5. Tasks whose execution has no memory transition recorded.
+    memory_keys = {
+        transitions["key"][i] for i in range(len(transitions))
+        if transitions["finish_state"][i] == "memory"
+    } if len(transitions) else set()
+    gaps["runs_without_memory_transition"] = sorted(
+        executed - memory_keys)[:10]
+
+    # 6. Warning sources that are not registered workers.
+    warnings = warning_view(run)
+    known_workers = set(tasks["worker"]) if len(tasks) else set()
+    unknown_sources = {
+        warnings["source"][i] for i in range(len(warnings))
+        if warnings["source"][i] not in known_workers
+        and warnings["source"][i] != "scheduler"
+    } if len(warnings) else set()
+    gaps["warnings_from_unknown_sources"] = sorted(unknown_sources)[:10]
+
+    gaps["clean"] = (
+        gaps["unattributed_io_ops"]["count"] == 0
+        and not truncated
+        and not gaps["executed_without_submission"]
+        and gaps["submitted_never_ran"]["count"]
+        == gaps["submitted_never_ran"]["explained_by_errors"]
+        and not gaps["transfers_of_unknown_keys"]
+        and not gaps["runs_without_memory_transition"]
+        and not gaps["warnings_from_unknown_sources"]
+    )
+    return gaps
+
+
+def format_gap_report(gaps: dict) -> str:
+    """Human-readable rendering of the gap audit."""
+    lines = ["metadata-gap audit:"]
+    status = "CLEAN" if gaps["clean"] else "GAPS FOUND"
+    lines.append(f"  status: {status}")
+    ua = gaps["unattributed_io_ops"]
+    lines.append(f"  unattributed I/O ops: {ua['count']} / "
+                 f"{ua['of_total']}")
+    dxt = gaps["dxt_truncation"]
+    lines.append(f"  DXT truncated: {dxt['truncated']} "
+                 f"(dropped {dxt['dropped_segments']})")
+    lines.append(f"  executed w/o submission record: "
+                 f"{len(gaps['executed_without_submission'])}")
+    snr = gaps["submitted_never_ran"]
+    lines.append(f"  submitted but never ran: {snr['count']} "
+                 f"({snr['explained_by_errors']} explained by errors)")
+    lines.append(f"  transfers of unknown keys: "
+                 f"{len(gaps['transfers_of_unknown_keys'])}")
+    lines.append(f"  runs without memory transition: "
+                 f"{len(gaps['runs_without_memory_transition'])}")
+    lines.append(f"  warnings from unknown sources: "
+                 f"{len(gaps['warnings_from_unknown_sources'])}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""I/O hotspot and I/O-reproducibility analysis across runs.
+
+The paper singles out I/O as "a prominent source of performance
+variability at scale" (§III-C) and asks for reproducibility to be
+measured "at a low level ... instead of aggregate statistics" (§II).
+Two instruments for that:
+
+* :func:`io_hotspots` — per-file I/O time statistics across repeated
+  runs: which *files* carry the most time and which vary the most
+  (the storage-side analogue of the per-category duration tables).
+* :func:`heatmap_similarity` — pairwise cosine similarity of the runs'
+  job-level HEATMAP profiles: a single score for "did the I/O unfold
+  the same way over time?", robust to small timing shifts via optional
+  bin coarsening.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["io_hotspots", "heatmap_similarity"]
+
+
+def io_hotspots(io_views: list[Table], top: int = 20) -> Table:
+    """Per-file I/O time across runs, ranked by cross-run variability.
+
+    Input: one I/O view per run.  Output columns: file, n_runs,
+    mean_ops, mean_io_time, std_io_time, cv, mean_bytes — sorted by
+    descending cv, then mean_io_time.
+    """
+    per_file: dict[str, dict] = {}
+    for view in io_views:
+        totals: dict[str, list] = {}
+        for i in range(len(view)):
+            path = view["file"][i]
+            record = totals.setdefault(path, [0, 0.0, 0])
+            record[0] += 1
+            record[1] += float(view["duration"][i])
+            record[2] += int(view["length"][i])
+        for path, (ops, io_time, nbytes) in totals.items():
+            slot = per_file.setdefault(path, {
+                "ops": [], "times": [], "bytes": [],
+            })
+            slot["ops"].append(ops)
+            slot["times"].append(io_time)
+            slot["bytes"].append(nbytes)
+    rows = []
+    for path, slot in per_file.items():
+        times = np.asarray(slot["times"], dtype=float)
+        mean_time = float(times.mean())
+        std_time = float(times.std(ddof=1)) if len(times) > 1 else 0.0
+        rows.append({
+            "file": path,
+            "n_runs": len(times),
+            "mean_ops": float(np.mean(slot["ops"])),
+            "mean_io_time": mean_time,
+            "std_io_time": std_time,
+            "cv": std_time / mean_time if mean_time else 0.0,
+            "mean_bytes": float(np.mean(slot["bytes"])),
+        })
+    table = Table.from_records(rows, columns=[
+        "file", "n_runs", "mean_ops", "mean_io_time", "std_io_time",
+        "cv", "mean_bytes",
+    ])
+    order = np.lexsort((
+        -table["mean_io_time"].astype(float),
+        -table["cv"].astype(float),
+    )) if len(table) else np.array([], dtype=int)
+    return table.take(order).head(top)
+
+
+def _profile(heatmap, coarsen: int) -> np.ndarray:
+    values = np.asarray(heatmap.read_bytes, dtype=float) \
+        + np.asarray(heatmap.write_bytes, dtype=float)
+    if coarsen > 1:
+        usable = (len(values) // coarsen) * coarsen
+        values = values[:usable].reshape(-1, coarsen).sum(axis=1)
+    return values
+
+
+def heatmap_similarity(heatmaps: list, coarsen: int = 1) -> Table:
+    """Pairwise cosine similarity of job I/O-intensity profiles.
+
+    1.0 means two runs distributed their I/O over time identically;
+    values drop as bursts shift or resize between runs.  ``coarsen``
+    merges that many adjacent bins first, forgiving sub-bin jitter.
+    Heatmaps must share ``nbins``; differing bin widths are tolerated
+    (profiles are compared positionally, as fractions of each run).
+    """
+    if len(heatmaps) < 2:
+        raise ValueError("need at least two heatmaps")
+    if coarsen < 1:
+        raise ValueError("coarsen must be >= 1")
+    profiles = [_profile(h, coarsen) for h in heatmaps]
+    size = min(len(p) for p in profiles)
+    rows = []
+    for i in range(len(profiles)):
+        for j in range(i + 1, len(profiles)):
+            a, b = profiles[i][:size], profiles[j][:size]
+            denom = float(np.linalg.norm(a) * np.linalg.norm(b))
+            similarity = float(a @ b) / denom if denom > 0 else 0.0
+            rows.append({
+                "run_a": i, "run_b": j,
+                "similarity": similarity,
+            })
+    return Table.from_records(rows,
+                              columns=["run_a", "run_b", "similarity"])

@@ -1,0 +1,143 @@
+"""Single-file HTML report for one run.
+
+``perfrecup report <run_dir>`` (and :func:`html_report` directly)
+compose the figure SVGs and the headline tables into one standalone
+HTML document — the closest thing to the Dask dashboard the paper
+says its analyses go beyond, but built from the *fused multisource*
+record set rather than live scheduler state.
+"""
+
+from __future__ import annotations
+
+import html
+import os
+
+from .categories import category_profile
+from .commstats import comm_scatter, comm_summary
+from .critical_path import critical_path_summary
+from .ingest import RunData
+from .parallel_coords import longest_categories, parallel_coordinates
+from .phases import phase_breakdown
+from .timeline import io_timeline
+from .utilization import overall_utilization
+from .views import comm_view, io_view, task_view, warning_view
+from .viz import fig4_svg, fig5_svg, fig6_svg, fig7_svg, heatmap_svg
+from .warnings_analysis import warning_histogram
+
+__all__ = ["html_report", "write_html_report"]
+
+_STYLE = """
+body { font-family: sans-serif; margin: 24px auto; max-width: 980px;
+       color: #222; }
+h1 { font-size: 22px; } h2 { font-size: 17px; margin-top: 28px;
+     border-bottom: 1px solid #ddd; padding-bottom: 4px; }
+table { border-collapse: collapse; font-size: 13px; margin: 8px 0; }
+th, td { border: 1px solid #ccc; padding: 4px 8px; text-align: left; }
+th { background: #f2f2f2; }
+.kpi { display: inline-block; margin: 6px 18px 6px 0; }
+.kpi b { font-size: 19px; display: block; }
+svg { max-width: 100%; height: auto; border: 1px solid #eee;
+      margin: 8px 0; }
+"""
+
+
+def _table_html(records: list[dict], limit: int = 12) -> str:
+    records = records[:limit]
+    if not records:
+        return "<p><i>(empty)</i></p>"
+    names = list(records[0])
+    head = "".join(f"<th>{html.escape(str(n))}</th>" for n in names)
+    rows = []
+    for record in records:
+        cells = "".join(
+            f"<td>{html.escape(_fmt(record.get(n)))}</td>" for n in names
+        )
+        rows.append(f"<tr>{cells}</tr>")
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(rows)}</tbody></table>")
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def html_report(data: RunData, title: str = "PERFRECUP run report") -> str:
+    """Build the standalone HTML document for one run."""
+    tasks = task_view(data)
+    io = io_view(data)
+    comms = comm_view(data)
+    warnings = warning_view(data)
+    breakdown = phase_breakdown(data)
+    wall = data.wall_time
+
+    workers = data.provenance.get("layers", {}).get(
+        "application", {}).get("wms", {}).get("workers", [])
+    n_threads = sum(len(w.get("thread_ids", [])) for w in workers) or 1
+    utilization = overall_utilization(tasks, n_threads, wall) \
+        if len(tasks) else 0.0
+    cp = critical_path_summary(data)
+
+    workflow = data.provenance.get("layers", {}).get(
+        "application", {}).get("workflow", {})
+
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>workflow: <b>{html.escape(str(workflow.get('name', '?')))}"
+        f"</b> &nbsp; run_index: {data.run_index}</p>",
+        "<div>",
+        f"<span class='kpi'><b>{wall:.1f}s</b>wall time</span>",
+        f"<span class='kpi'><b>{len(tasks)}</b>tasks</span>",
+        f"<span class='kpi'><b>{len(io)}</b>I/O ops</span>",
+        f"<span class='kpi'><b>{len(comms)}</b>transfers</span>",
+        f"<span class='kpi'><b>{len(warnings)}</b>warnings</span>",
+        f"<span class='kpi'><b>{utilization:.1%}</b>thread utilization"
+        "</span>",
+        "</div>",
+        "<h2>Phase breakdown</h2>",
+        _table_html([breakdown.as_dict()]),
+        "<h2>Longest task categories</h2>",
+        _table_html(longest_categories(tasks, top=8).to_records()),
+        "<h2>Category profile</h2>",
+        _table_html(category_profile(tasks).to_records(), limit=10),
+        "<h2>Critical path</h2>",
+        _table_html([{
+            "length": cp["length"],
+            "span_s": round(cp["span"], 3),
+            "execution_s": round(cp["execution"], 3),
+            "gap_s": round(cp["gap"], 3),
+            "dominant_categories": ", ".join(list(cp["by_prefix"])[:3]),
+        }]),
+        "<h2>Job I/O intensity (HEATMAP)</h2>",
+        heatmap_svg(data.darshan.job_heatmap()
+                    if data.darshan is not None else None),
+        "<h2>Per-thread I/O timeline</h2>",
+        fig4_svg(io_timeline(io)),
+        "<h2>Communication scatter</h2>",
+        fig5_svg(comm_scatter(comms)),
+        "<h2>Parallel coordinates</h2>",
+        fig6_svg(parallel_coordinates(tasks)),
+        "<h2>Warning distribution</h2>",
+        fig7_svg(warning_histogram(warnings,
+                                   bucket=max(1.0, wall / 20))),
+        "<h2>Communication summary</h2>",
+        _table_html([
+            {"locality": k, **v}
+            for k, v in comm_summary(comms).items() if isinstance(v, dict)
+        ]),
+        "</body></html>",
+    ]
+    return "\n".join(parts)
+
+
+def write_html_report(data: RunData, path: str,
+                      title: str = "PERFRECUP run report") -> str:
+    """Persist the HTML report for ``data``; returns the path written."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(html_report(data, title=title))
+    return path

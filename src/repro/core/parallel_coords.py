@@ -1,0 +1,99 @@
+"""Parallel-coordinates task analysis (the Fig.-6 analysis).
+
+"The first column displays the workflow's elapsed time, the second
+shows the task category, the third indicates which thread performs the
+task, the fourth presents the task output size in megabytes, and the
+fifth column shows the overall task duration in seconds" (§IV-D3).
+:func:`parallel_coordinates` emits those five coordinates per task;
+:func:`longest_categories` and :func:`oversized_tasks` encode the two
+findings the paper reads off the chart: the longest tasks belong to
+``read_parquet-fused-assign``, and their outputs exceed Dask's
+recommended 128 MB chunk size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import Table
+
+__all__ = [
+    "RECOMMENDED_CHUNK_BYTES",
+    "parallel_coordinates",
+    "longest_categories",
+    "oversized_tasks",
+]
+
+#: Dask's guidance: keep chunk/partition outputs near or below 128 MB.
+RECOMMENDED_CHUNK_BYTES = 128 * 2**20
+
+
+def parallel_coordinates(tasks: Table) -> Table:
+    """The five Fig.-6 coordinates, one row per task.
+
+    Columns: elapsed (task start), category (prefix), thread_rank,
+    size_mb (output), duration; plus key and oversized flag.
+    """
+    if len(tasks) == 0:
+        return Table({c: [] for c in (
+            "key", "elapsed", "category", "thread_rank", "size_mb",
+            "duration", "oversized",
+        )})
+    thread_keys = sorted({
+        (tasks["hostname"][i], tasks["thread_id"][i])
+        for i in range(len(tasks))
+    })
+    rank_of = {key: rank for rank, key in enumerate(thread_keys)}
+    rows = []
+    for i in range(len(tasks)):
+        size_mb = float(tasks["output_nbytes"][i]) / 2**20
+        rows.append({
+            "key": tasks["key"][i],
+            "elapsed": float(tasks["start"][i]),
+            "category": tasks["prefix"][i],
+            "thread_rank": rank_of[
+                (tasks["hostname"][i], tasks["thread_id"][i])
+            ],
+            "size_mb": size_mb,
+            "duration": float(tasks["duration"][i]),
+            "oversized": bool(
+                tasks["output_nbytes"][i] > RECOMMENDED_CHUNK_BYTES
+            ),
+        })
+    return Table.from_records(rows, columns=[
+        "key", "elapsed", "category", "thread_rank", "size_mb",
+        "duration", "oversized",
+    ])
+
+
+def longest_categories(tasks: Table, top: int = 5) -> Table:
+    """Categories ranked by maximum task duration (who are the red lines?).
+
+    Columns: category, n_tasks, max_duration, mean_duration,
+    mean_size_mb.
+    """
+    agg = parallel_coordinates(tasks).aggregate("category", {
+        "n_tasks": ("duration", len),
+        "max_duration": ("duration", lambda v: float(np.max(v))),
+        "mean_duration": ("duration", lambda v: float(np.mean(v))),
+        "mean_size_mb": ("size_mb", lambda v: float(np.mean(v))),
+    })
+    agg = agg.sort_by("max_duration", descending=True)
+    # Rename the group column for the documented schema.
+    out = Table({
+        "category": agg["category"], "n_tasks": agg["n_tasks"],
+        "max_duration": agg["max_duration"],
+        "mean_duration": agg["mean_duration"],
+        "mean_size_mb": agg["mean_size_mb"],
+    })
+    return out.head(top)
+
+
+def oversized_tasks(tasks: Table) -> Table:
+    """Tasks whose outputs exceed the recommended 128 MB."""
+    coords = parallel_coordinates(tasks)
+    if len(coords) == 0:
+        return coords
+    return coords.filter(
+        np.asarray(coords["oversized"], dtype=bool)
+    ).sort_by("size_mb", descending=True)

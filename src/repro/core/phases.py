@@ -1,0 +1,75 @@
+"""Phase decomposition of a run: I/O, communication, computation, total.
+
+Reproduces the quantities behind Fig. 3: "The I/O bar represents the
+sum of the I/O operations collected from Darshan reports, the
+communication bar is the sum of all incoming communications to the
+workers, and the computation bar is the sum of the computation time
+within tasks.  The total bar represents the wall time for the workflow
+as a whole, including workflow coordination time" (§IV-C).  As the
+paper notes, the three phase sums are non-exclusive (they overlap
+across threads and with each other) and are *not* expected to add up
+to the wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ingest import RunData
+from .views import comm_view, task_view
+
+__all__ = ["PhaseBreakdown", "phase_breakdown"]
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Summed phase durations (seconds) for one run."""
+
+    io: float
+    communication: float
+    computation: float
+    total: float
+    n_io_ops: int
+    n_comms: int
+    n_tasks: int
+
+    def normalized(self) -> dict:
+        """Each phase as a fraction of this run's wall time."""
+        denom = self.total if self.total > 0 else 1.0
+        return {
+            "io": self.io / denom,
+            "communication": self.communication / denom,
+            "computation": self.computation / denom,
+            "total": 1.0,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "io": self.io, "communication": self.communication,
+            "computation": self.computation, "total": self.total,
+            "n_io_ops": self.n_io_ops, "n_comms": self.n_comms,
+            "n_tasks": self.n_tasks,
+        }
+
+
+def phase_breakdown(run: RunData) -> PhaseBreakdown:
+    """Compute the Fig.-3 quantities for one run."""
+    tasks = task_view(run)
+    comms = comm_view(run)
+    io_time = run.darshan.total_io_time if run.darshan is not None else 0.0
+    n_io_ops = run.darshan.total_io_ops if run.darshan is not None else 0
+    comm_time = float(np.sum(comms["duration"])) if len(comms) else 0.0
+    compute_time = (
+        float(np.sum(tasks["compute_time"])) if len(tasks) else 0.0
+    )
+    return PhaseBreakdown(
+        io=io_time,
+        communication=comm_time,
+        computation=compute_time,
+        total=run.wall_time,
+        n_io_ops=n_io_ops,
+        n_comms=len(comms),
+        n_tasks=len(tasks),
+    )

@@ -1,0 +1,71 @@
+"""Plain-text rendering of tables and series for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and
+figures report; this module provides the fixed-width renderer they
+share.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .table import Table
+
+__all__ = ["format_table", "format_records", "format_bar"]
+
+
+def _fmt(value, ndigits: int = 4) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.{ndigits}g}"
+    return str(value)
+
+
+def format_records(records: Sequence[dict],
+                   columns: Optional[Sequence[str]] = None,
+                   title: Optional[str] = None) -> str:
+    """Render a list of dicts as an aligned text table."""
+    records = list(records)
+    if not records:
+        return (title + "\n" if title else "") + "(empty)"
+    names = list(columns) if columns else list(records[0])
+    cells = [[_fmt(r.get(n)) for n in names] for r in records]
+    widths = [
+        max(len(n), max(len(row[k]) for row in cells))
+        for k, n in enumerate(names)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(n.ljust(w) for n, w in zip(names, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_table(table: Table, columns: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None, max_rows: int = 50) -> str:
+    """Render a Table (truncated to ``max_rows``)."""
+    records = table.head(max_rows).to_records()
+    text = format_records(records, columns=columns or table.column_names,
+                          title=title)
+    if len(table) > max_rows:
+        text += f"\n... ({len(table) - max_rows} more rows)"
+    return text
+
+
+def format_bar(label: str, value: float, scale: float,
+               width: int = 40, err: Optional[float] = None) -> str:
+    """One ASCII bar of a normalized bar chart (Fig.-3 style)."""
+    filled = int(round(width * value / scale)) if scale > 0 else 0
+    filled = max(0, min(width, filled))
+    bar = "#" * filled + "." * (width - filled)
+    err_text = f" ±{err:.3f}" if err is not None else ""
+    return f"{label:>14} |{bar}| {value:.3f}{err_text}"

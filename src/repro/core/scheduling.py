@@ -1,0 +1,93 @@
+"""Cross-run scheduling comparison.
+
+Among the analyses the paper lists but cannot fully show: "comparison
+of scheduling strategies over runs such as whether tasks were scheduled
+in the same order or not" (§IV-D).  Given the task views of two runs,
+these functions quantify how differently the dynamic scheduler behaved:
+what fraction of shared tasks landed on the same worker, and how far
+the execution order drifted (normalised Kendall-tau distance over the
+shared keys).
+"""
+
+from __future__ import annotations
+
+from .table import Table
+
+__all__ = ["placement_agreement", "order_distance", "compare_runs"]
+
+
+def _key_order(view: Table) -> list[str]:
+    """Task keys in execution-start order."""
+    ordered = view.sort_by("start")
+    return list(ordered["key"])
+
+
+def _key_worker(view: Table) -> dict[str, str]:
+    return {view["key"][i]: view["worker"][i] for i in range(len(view))}
+
+
+def placement_agreement(a: Table, b: Table) -> float:
+    """Fraction of shared keys that ran on the same worker address."""
+    wa, wb = _key_worker(a), _key_worker(b)
+    shared = set(wa) & set(wb)
+    if not shared:
+        return 0.0
+    same = sum(1 for k in shared if wa[k] == wb[k])
+    return same / len(shared)
+
+
+def order_distance(a: Table, b: Table) -> float:
+    """Normalised Kendall-tau distance between execution orders.
+
+    0.0 = identical order of the shared keys, 1.0 = exactly reversed.
+    Uses a merge-sort inversion count, O(n log n).
+    """
+    order_a = [k for k in _key_order(a)]
+    pos_b = {k: i for i, k in enumerate(_key_order(b))}
+    seq = [pos_b[k] for k in order_a if k in pos_b]
+    n = len(seq)
+    if n < 2:
+        return 0.0
+    inversions = _count_inversions(seq)
+    return inversions / (n * (n - 1) / 2)
+
+
+def _count_inversions(seq: list[int]) -> int:
+    if len(seq) < 2:
+        return 0
+    mid = len(seq) // 2
+    left, right = seq[:mid], seq[mid:]
+    count = _count_inversions(left) + _count_inversions(right)
+    merged = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+            count += len(left) - i
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    seq[:] = merged
+    return count
+
+
+def compare_runs(views: list[Table]) -> Table:
+    """Pairwise scheduling comparison over repetitions.
+
+    Columns: run_a, run_b, placement_agreement, order_distance.
+    """
+    rows = []
+    for i in range(len(views)):
+        for j in range(i + 1, len(views)):
+            rows.append({
+                "run_a": i, "run_b": j,
+                "placement_agreement": placement_agreement(
+                    views[i], views[j]),
+                "order_distance": order_distance(views[i], views[j]),
+            })
+    return Table.from_records(rows, columns=[
+        "run_a", "run_b", "placement_agreement", "order_distance",
+    ])

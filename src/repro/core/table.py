@@ -1,0 +1,242 @@
+"""The common tabular format of PERFRECUP.
+
+The paper stores "the data and metadata in a unique tabular format,
+with at least one common identifier between every two different data
+sources" (§V).  The original implementation builds on pandas; pandas is
+not available in this environment, so :class:`Table` provides the
+NumPy-backed columnar subset PERFRECUP needs: construction from record
+dicts, boolean filtering, sorting, column math, group-by aggregation,
+and equi-joins.  Columns are NumPy arrays (object dtype for strings),
+so filtering and arithmetic stay vectorised.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Table"]
+
+
+def _as_column(values) -> np.ndarray:
+    if isinstance(values, np.ndarray):
+        arr = values
+    else:
+        values = list(values)
+        # Container-valued cells (e.g. dependency lists) must become an
+        # object column; np.asarray would reject ragged shapes.
+        if any(isinstance(v, (list, tuple, dict, set)) for v in values):
+            arr = np.empty(len(values), dtype=object)
+            for i, v in enumerate(values):
+                arr[i] = v
+        else:
+            arr = np.asarray(values)
+    if arr.dtype.kind in ("U", "S"):
+        arr = arr.astype(object)
+    return arr
+
+
+class Table:
+    """An immutable-ish columnar table."""
+
+    def __init__(self, columns: Optional[dict] = None):
+        self._columns: dict[str, np.ndarray] = {}
+        length = None
+        for name, values in (columns or {}).items():
+            arr = _as_column(values)
+            if arr.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D")
+            if length is None:
+                length = len(arr)
+            elif len(arr) != length:
+                raise ValueError(
+                    f"column {name!r} has length {len(arr)}, expected {length}"
+                )
+            self._columns[name] = arr
+        self._length = length or 0
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Iterable[dict],
+                     columns: Optional[Sequence[str]] = None) -> "Table":
+        records = list(records)
+        if not records:
+            return cls({name: [] for name in (columns or [])})
+        names = list(columns) if columns is not None else list(records[0])
+        return cls({
+            name: [record.get(name) for record in records] for name in names
+        })
+
+    # -- basics ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; have {self.column_names}"
+            ) from None
+
+    def to_records(self) -> list[dict]:
+        names = self.column_names
+        return [
+            {name: self._columns[name][i] for name in names}
+            for i in range(self._length)
+        ]
+
+    def row(self, index: int) -> dict:
+        return {name: col[index] for name, col in self._columns.items()}
+
+    # -- transformation --------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "Table":
+        return Table({name: self._columns[name] for name in names})
+
+    def with_column(self, name: str, values) -> "Table":
+        arr = _as_column(values)
+        if len(arr) != self._length:
+            raise ValueError("column length mismatch")
+        columns = dict(self._columns)
+        columns[name] = arr
+        return Table(columns)
+
+    def filter(self, mask) -> "Table":
+        """Rows where ``mask`` (boolean array or row predicate) holds."""
+        if callable(mask):
+            mask = np.fromiter(
+                (bool(mask(self.row(i))) for i in range(self._length)),
+                dtype=bool, count=self._length,
+            )
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._length:
+            raise ValueError("mask length mismatch")
+        return Table({n: c[mask] for n, c in self._columns.items()})
+
+    def take(self, indices) -> "Table":
+        indices = np.asarray(indices, dtype=np.intp)
+        return Table({n: c[indices] for n, c in self._columns.items()})
+
+    def head(self, n: int = 5) -> "Table":
+        return self.take(np.arange(min(n, self._length)))
+
+    def sort_by(self, name: str, descending: bool = False) -> "Table":
+        order = np.argsort(self._columns[name], kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def concat(self, other: "Table") -> "Table":
+        if set(self.column_names) != set(other.column_names):
+            raise ValueError("column sets differ")
+        return Table({
+            name: np.concatenate([self._columns[name], other[name]])
+            for name in self.column_names
+        })
+
+    # -- aggregation ----------------------------------------------------------
+    def unique(self, name: str) -> np.ndarray:
+        return np.unique(self._columns[name].astype(object))
+
+    def groupby(self, by: str) -> dict:
+        """Mapping of group value → sub-Table (stable row order)."""
+        groups: dict = {}
+        col = self._columns[by]
+        index_lists: dict = {}
+        for i in range(self._length):
+            index_lists.setdefault(col[i], []).append(i)
+        for value, indices in index_lists.items():
+            groups[value] = self.take(indices)
+        return groups
+
+    def aggregate(self, by: str, agg: dict[str, Callable]) -> "Table":
+        """Group by ``by`` and reduce named columns.
+
+        ``agg`` maps output column → (source column, reducer) or a
+        reducer applied to the same-named column.
+        """
+        groups = self.groupby(by)
+        out: dict[str, list] = {by: []}
+        for name in agg:
+            out[name] = []
+        for value, sub in groups.items():
+            out[by].append(value)
+            for name, spec in agg.items():
+                if isinstance(spec, tuple):
+                    source, func = spec
+                else:
+                    source, func = name, spec
+                out[name].append(func(sub[source]))
+        return Table(out)
+
+    # -- joins -------------------------------------------------------------------
+    def join(self, other: "Table", on: Sequence[str],
+             how: str = "inner", suffix: str = "_r") -> "Table":
+        """Hash equi-join on the ``on`` columns.
+
+        ``how`` is ``inner`` or ``left``; right-side name collisions get
+        ``suffix``.  A left row joining no right row yields ``None`` in
+        the right columns (left join only).
+        """
+        if how not in ("inner", "left"):
+            raise ValueError("how must be 'inner' or 'left'")
+        on = list(on)
+        right_index: dict = {}
+        for j in range(len(other)):
+            key = tuple(other[c][j] for c in on)
+            right_index.setdefault(key, []).append(j)
+
+        right_cols = [c for c in other.column_names if c not in on]
+        out_names = self.column_names + [
+            c + suffix if c in self._columns else c for c in right_cols
+        ]
+        out: dict[str, list] = {name: [] for name in out_names}
+        for i in range(self._length):
+            key = tuple(self._columns[c][i] for c in on)
+            matches = right_index.get(key, [])
+            if not matches and how == "left":
+                for name in self.column_names:
+                    out[name].append(self._columns[name][i])
+                for c in right_cols:
+                    out[c + suffix if c in self._columns else c].append(None)
+                continue
+            for j in matches:
+                for name in self.column_names:
+                    out[name].append(self._columns[name][i])
+                for c in right_cols:
+                    out[c + suffix if c in self._columns else c].append(
+                        other[c][j]
+                    )
+        return Table(out)
+
+    # -- description -----------------------------------------------------------
+    def describe_column(self, name: str) -> dict:
+        col = self._columns[name]
+        if col.dtype.kind in ("i", "u", "f"):
+            values = col.astype(float)
+            return {
+                "count": int(len(values)),
+                "mean": float(values.mean()) if len(values) else float("nan"),
+                "std": float(values.std()) if len(values) else float("nan"),
+                "min": float(values.min()) if len(values) else float("nan"),
+                "max": float(values.max()) if len(values) else float("nan"),
+            }
+        uniques, counts = np.unique(col.astype(str), return_counts=True)
+        top = int(np.argmax(counts)) if len(counts) else -1
+        return {
+            "count": int(len(col)),
+            "unique": int(len(uniques)),
+            "top": uniques[top] if top >= 0 else None,
+            "top_count": int(counts[top]) if top >= 0 else 0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Table {self._length} rows x {len(self._columns)} cols>"

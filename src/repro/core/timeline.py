@@ -1,0 +1,112 @@
+"""Per-thread I/O timelines (the Fig.-4 analysis).
+
+"Figure 4 presents the I/O characteristics of the ImageProcessing
+workflow across threads, as the workflow progresses.  The x-axis shows
+the application's elapsed time, the y-axis shows the thread ID,
+horizontal lines indicate I/O duration, the color represents the type
+of the I/O ... and the opacity of the lines represents relative I/O
+size" (§IV-D1).  :func:`io_timeline` emits exactly those series;
+:func:`detect_phases` recovers the read/write burst structure the
+paper reads off the chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["io_timeline", "detect_phases", "IOPhase"]
+
+
+def io_timeline(io: Table) -> Table:
+    """The plottable Fig.-4 series.
+
+    Columns: thread_rank (dense y position), pthread_id, hostname, op,
+    start, duration, length, rel_size (0–1 opacity).
+    """
+    if len(io) == 0:
+        return Table({c: [] for c in (
+            "thread_rank", "pthread_id", "hostname", "op", "start",
+            "duration", "length", "rel_size",
+        )})
+    thread_keys = sorted(
+        {(io["hostname"][i], io["pthread_id"][i]) for i in range(len(io))}
+    )
+    rank_of = {key: rank for rank, key in enumerate(thread_keys)}
+    max_len = max(1, int(np.max(io["length"])))
+    rows = []
+    for i in range(len(io)):
+        key = (io["hostname"][i], io["pthread_id"][i])
+        rows.append({
+            "thread_rank": rank_of[key],
+            "pthread_id": io["pthread_id"][i],
+            "hostname": io["hostname"][i],
+            "op": io["op"][i],
+            "start": float(io["start"][i]),
+            "duration": float(io["duration"][i]),
+            "length": int(io["length"][i]),
+            "rel_size": int(io["length"][i]) / max_len,
+        })
+    table = Table.from_records(rows, columns=[
+        "thread_rank", "pthread_id", "hostname", "op", "start",
+        "duration", "length", "rel_size",
+    ])
+    return table.sort_by("start")
+
+
+@dataclass(frozen=True)
+class IOPhase:
+    """One burst of same-direction I/O activity."""
+
+    op: str
+    start: float
+    end: float
+    n_ops: int
+    bytes: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def detect_phases(io: Table, gap: float = 2.0,
+                  min_ops: int = 3) -> list[IOPhase]:
+    """Segment the run into read/write bursts.
+
+    Ops of the same direction separated by less than ``gap`` seconds
+    belong to one phase; phases with fewer than ``min_ops`` operations
+    are dropped as noise.  The ImageProcessing workflow should produce
+    alternating read/write phases, one pair per submitted task graph.
+    """
+    if len(io) == 0:
+        return []
+    order = np.argsort(io["start"], kind="stable")
+    phases: list[IOPhase] = []
+    current = None
+    for i in order:
+        op = io["op"][i]
+        start = float(io["start"][i])
+        end = float(io["end"][i])
+        length = int(io["length"][i])
+        if (current is None or op != current["op"]
+                or start - current["end"] > gap):
+            if current is not None and current["n"] >= min_ops:
+                phases.append(IOPhase(
+                    op=current["op"], start=current["start"],
+                    end=current["end"], n_ops=current["n"],
+                    bytes=current["bytes"],
+                ))
+            current = {"op": op, "start": start, "end": end, "n": 0,
+                       "bytes": 0}
+        current["end"] = max(current["end"], end)
+        current["n"] += 1
+        current["bytes"] += length
+    if current is not None and current["n"] >= min_ops:
+        phases.append(IOPhase(
+            op=current["op"], start=current["start"], end=current["end"],
+            n_ops=current["n"], bytes=current["bytes"],
+        ))
+    return phases

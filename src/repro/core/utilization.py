@@ -1,0 +1,80 @@
+"""Worker/thread utilization timelines.
+
+A companion to the Fig.-4 thread view: how busy the allocation actually
+was, over time and per worker.  Low utilization with a long wall time
+is the signature of the coordination overhead the paper blames for the
+"disproportionately long total time" of its short workflows (§IV-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["utilization_timeline", "worker_utilization",
+           "overall_utilization"]
+
+
+def utilization_timeline(tasks: Table, n_threads_total: int,
+                         bucket: float = 1.0) -> Table:
+    """Fraction of executor threads busy per time bucket.
+
+    Columns: bucket_start, busy_thread_seconds, utilization.
+    """
+    if len(tasks) == 0:
+        return Table({"bucket_start": [], "busy_thread_seconds": [],
+                      "utilization": []})
+    starts = tasks["start"].astype(float)
+    stops = tasks["stop"].astype(float)
+    horizon = float(stops.max())
+    n_buckets = int(np.ceil(horizon / bucket)) or 1
+    busy = np.zeros(n_buckets)
+    for s, e in zip(starts, stops):
+        first = int(s // bucket)
+        last = int(min(e, horizon - 1e-12) // bucket)
+        for b in range(first, last + 1):
+            lo = max(s, b * bucket)
+            hi = min(e, (b + 1) * bucket)
+            if hi > lo:
+                busy[b] += hi - lo
+    capacity = n_threads_total * bucket
+    return Table({
+        "bucket_start": np.arange(n_buckets) * bucket,
+        "busy_thread_seconds": busy,
+        "utilization": busy / capacity,
+    })
+
+
+def worker_utilization(tasks: Table, threads_per_worker: int) -> Table:
+    """Busy fraction per worker over its active span.
+
+    Columns: worker, n_tasks, busy_seconds, span, utilization.
+    """
+    rows = []
+    for worker, sub in tasks.groupby("worker").items():
+        starts = sub["start"].astype(float)
+        stops = sub["stop"].astype(float)
+        busy = float(np.sum(stops - starts))
+        span = float(stops.max() - starts.min()) or 1e-12
+        rows.append({
+            "worker": worker,
+            "n_tasks": len(sub),
+            "busy_seconds": busy,
+            "span": span,
+            "utilization": busy / (span * threads_per_worker),
+        })
+    table = Table.from_records(rows, columns=[
+        "worker", "n_tasks", "busy_seconds", "span", "utilization",
+    ])
+    return table.sort_by("utilization", descending=True)
+
+
+def overall_utilization(tasks: Table, n_threads_total: int,
+                        wall_time: float) -> float:
+    """Busy thread-seconds over available thread-seconds."""
+    if len(tasks) == 0 or wall_time <= 0:
+        return 0.0
+    busy = float(np.sum(tasks["stop"].astype(float)
+                        - tasks["start"].astype(float)))
+    return busy / (n_threads_total * wall_time)

@@ -1,0 +1,180 @@
+"""View builders: record sets → uniform :class:`~repro.core.table.Table`s.
+
+"PERFRECUP combines information from Darshan logs and from Dask
+scheduler and worker logs, including task keys, dependencies, state
+transitions, location in the distributed memory (worker, thread),
+worker communication, and other events ... to create pandas DataFrames
+as 'views'" (§III-D).  Each function below produces one such view with
+a documented column set; the shared identifier columns (``hostname``,
+``thread_id``/``pthread_id``, timestamps, worker addresses) are what
+make the views joinable (§V).
+"""
+
+from __future__ import annotations
+
+from .ingest import RunData
+from .table import Table
+
+__all__ = [
+    "task_view",
+    "transition_view",
+    "io_view",
+    "comm_view",
+    "warning_view",
+    "spill_view",
+    "steal_view",
+    "dependency_view",
+    "log_view",
+]
+
+
+def task_view(run: RunData) -> Table:
+    """One row per completed task execution.
+
+    Columns: key, group, prefix, worker, hostname, thread_id, start,
+    stop, duration, output_nbytes, graph_index, compute_time, io_time,
+    n_reads, n_writes.
+    """
+    rows = []
+    for e in run.events_of_type("task_run"):
+        rows.append({
+            "key": e["key"], "group": e["group"], "prefix": e["prefix"],
+            "worker": e["worker"], "hostname": e["hostname"],
+            "thread_id": e["thread_id"], "start": e["start"],
+            "stop": e["stop"], "duration": e["stop"] - e["start"],
+            "output_nbytes": e["output_nbytes"],
+            "graph_index": e["graph_index"],
+            "compute_time": e["compute_time"], "io_time": e["io_time"],
+            "n_reads": e["n_reads"], "n_writes": e["n_writes"],
+        })
+    return Table.from_records(rows, columns=[
+        "key", "group", "prefix", "worker", "hostname", "thread_id",
+        "start", "stop", "duration", "output_nbytes", "graph_index",
+        "compute_time", "io_time", "n_reads", "n_writes",
+    ])
+
+
+def transition_view(run: RunData) -> Table:
+    """One row per captured state transition (scheduler and workers)."""
+    rows = []
+    for e in run.events_of_type("transition"):
+        rows.append({
+            "key": e["key"], "group": e["group"], "prefix": e["prefix"],
+            "start_state": e["start_state"],
+            "finish_state": e["finish_state"],
+            "timestamp": e["timestamp"], "stimulus": e["stimulus"],
+            "worker": e["worker"], "source": e["source"],
+        })
+    return Table.from_records(rows, columns=[
+        "key", "group", "prefix", "start_state", "finish_state",
+        "timestamp", "stimulus", "worker", "source",
+    ])
+
+
+def io_view(run: RunData) -> Table:
+    """One row per DXT segment from the Darshan side.
+
+    Columns: hostname, rank, pthread_id, file, op, offset, length,
+    start, end, duration.
+    """
+    if run.darshan is None:
+        return Table({c: [] for c in (
+            "hostname", "rank", "pthread_id", "file", "op", "offset",
+            "length", "start", "end", "duration",
+        )})
+    rows = run.darshan.dxt_rows()
+    for row in rows:
+        row["duration"] = row["end"] - row["start"]
+    return Table.from_records(rows, columns=[
+        "hostname", "rank", "pthread_id", "file", "op", "offset",
+        "length", "start", "end", "duration",
+    ])
+
+
+def comm_view(run: RunData) -> Table:
+    """One row per incoming inter-worker transfer."""
+    rows = []
+    for e in run.events_of_type("communication"):
+        rows.append({
+            "key": e["key"], "src_worker": e["src_worker"],
+            "dst_worker": e["dst_worker"], "src_host": e["src_host"],
+            "dst_host": e["dst_host"], "nbytes": e["nbytes"],
+            "start": e["start"], "stop": e["stop"],
+            "duration": e["stop"] - e["start"],
+            "same_node": e["same_node"], "same_switch": e["same_switch"],
+        })
+    return Table.from_records(rows, columns=[
+        "key", "src_worker", "dst_worker", "src_host", "dst_host",
+        "nbytes", "start", "stop", "duration", "same_node", "same_switch",
+    ])
+
+
+def warning_view(run: RunData) -> Table:
+    """One row per runtime warning (GC, unresponsive event loop)."""
+    rows = []
+    for e in run.events_of_type("warning"):
+        rows.append({
+            "source": e["source"], "hostname": e["hostname"],
+            "kind": e["kind"], "time": e["time"],
+            "duration": e["duration"], "message": e["message"],
+        })
+    return Table.from_records(rows, columns=[
+        "source", "hostname", "kind", "time", "duration", "message",
+    ])
+
+
+def spill_view(run: RunData) -> Table:
+    """One row per spill/unspill movement on any worker."""
+    rows = []
+    for e in run.events_of_type("spill"):
+        rows.append({
+            "worker": e["worker"], "hostname": e["hostname"],
+            "key": e["key"], "nbytes": e["nbytes"], "time": e["time"],
+            "direction": e["direction"],
+        })
+    return Table.from_records(rows, columns=[
+        "worker", "hostname", "key", "nbytes", "time", "direction",
+    ])
+
+
+def steal_view(run: RunData) -> Table:
+    """One row per work-stealing decision."""
+    rows = []
+    for e in run.events_of_type("steal"):
+        rows.append({
+            "key": e["key"], "victim": e["victim"], "thief": e["thief"],
+            "time": e["time"],
+            "victim_occupancy": e["victim_occupancy"],
+            "thief_occupancy": e["thief_occupancy"],
+        })
+    return Table.from_records(rows, columns=[
+        "key", "victim", "thief", "time", "victim_occupancy",
+        "thief_occupancy",
+    ])
+
+
+def dependency_view(run: RunData) -> Table:
+    """One row per task as registered at graph submission.
+
+    Columns: key, group, prefix, deps (list), n_deps, graph_index,
+    submitted_at.
+    """
+    rows = []
+    for e in run.events_of_type("task_added"):
+        rows.append({
+            "key": e["key"], "group": e["group"], "prefix": e["prefix"],
+            "deps": list(e["deps"]), "n_deps": len(e["deps"]),
+            "graph_index": e["graph_index"],
+            "submitted_at": e["timestamp"],
+        })
+    return Table.from_records(rows, columns=[
+        "key", "group", "prefix", "deps", "n_deps", "graph_index",
+        "submitted_at",
+    ])
+
+
+def log_view(run: RunData) -> Table:
+    """One row per free-text log line."""
+    return Table.from_records(run.logs, columns=[
+        "source", "time", "level", "message",
+    ])

@@ -1,0 +1,386 @@
+"""SVG renderers for the paper's figures.
+
+PERFRECUP is described as a "data aggregation, analysis, and
+*visualization* engine" (§III-D).  Plotting libraries are not available
+in this environment, so this module emits standalone SVG documents for
+each figure directly from the analysis series:
+
+* :func:`fig3_svg` — grouped normalized phase bars with error bars;
+* :func:`fig4_svg` — per-thread I/O timeline (red reads / blue writes,
+  opacity ∝ relative size);
+* :func:`fig5_svg` — communication duration vs message size scatter,
+  coloured by node locality;
+* :func:`fig6_svg` — parallel-coordinate chart with a white→red
+  duration colour scale;
+* :func:`fig7_svg` — warning histogram over time, one bar series per
+  warning kind.
+
+Each function takes the same Table/stats objects the text benches
+print and returns an SVG string (``write_svg`` saves it).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["SVGCanvas", "fig3_svg", "fig4_svg", "fig5_svg", "fig6_svg",
+           "fig7_svg", "heatmap_svg", "write_svg"]
+
+READ_COLOR = "#c62828"       # red
+WRITE_COLOR = "#1565c0"      # blue
+INTRA_COLOR = "#2e7d32"      # green
+INTER_COLOR = "#e65100"      # orange
+PHASE_COLORS = {
+    "io": "#c62828", "communication": "#e65100",
+    "computation": "#1565c0", "total": "#424242",
+}
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+class SVGCanvas:
+    """Minimal SVG document builder with plot-area helpers."""
+
+    def __init__(self, width: int = 820, height: int = 460,
+                 margin: tuple[int, int, int, int] = (40, 20, 50, 70),
+                 title: str = ""):
+        self.width = width
+        self.height = height
+        self.top, self.right, self.bottom, self.left = margin
+        self.elements: list[str] = []
+        if title:
+            self.text(width / 2, self.top / 2 + 5, title, size=14,
+                      anchor="middle", weight="bold")
+
+    # plot area geometry ------------------------------------------------
+    @property
+    def plot_w(self) -> float:
+        return self.width - self.left - self.right
+
+    @property
+    def plot_h(self) -> float:
+        return self.height - self.top - self.bottom
+
+    def x(self, frac: float) -> float:
+        return self.left + frac * self.plot_w
+
+    def y(self, frac: float) -> float:
+        """frac=0 bottom, frac=1 top."""
+        return self.top + (1 - frac) * self.plot_h
+
+    # primitives ----------------------------------------------------------
+    def rect(self, x, y, w, h, fill, opacity=1.0, stroke="none") -> None:
+        self.elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+            f'height="{h:.2f}" fill="{fill}" fill-opacity="{opacity:.3f}" '
+            f'stroke="{stroke}"/>'
+        )
+
+    def line(self, x1, y1, x2, y2, stroke="#000", width=1.0,
+             opacity=1.0) -> None:
+        self.elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" '
+            f'y2="{y2:.2f}" stroke="{stroke}" stroke-width="{width:.2f}" '
+            f'stroke-opacity="{opacity:.3f}"/>'
+        )
+
+    def circle(self, cx, cy, r, fill, opacity=1.0) -> None:
+        self.elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" '
+            f'fill="{fill}" fill-opacity="{opacity:.3f}"/>'
+        )
+
+    def polyline(self, points: Sequence[tuple[float, float]], stroke,
+                 width=1.0, opacity=1.0) -> None:
+        path = " ".join(f"{px:.2f},{py:.2f}" for px, py in points)
+        self.elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width:.2f}" stroke-opacity="{opacity:.3f}"/>'
+        )
+
+    def text(self, x, y, content, size=11, anchor="start",
+             weight="normal", color="#222") -> None:
+        self.elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'text-anchor="{anchor}" font-weight="{weight}" '
+            f'fill="{color}" font-family="sans-serif">'
+            f"{_esc(content)}</text>"
+        )
+
+    def axes(self, x_label: str = "", y_label: str = "") -> None:
+        self.line(self.left, self.top, self.left,
+                  self.top + self.plot_h, "#444")
+        self.line(self.left, self.top + self.plot_h,
+                  self.left + self.plot_w, self.top + self.plot_h, "#444")
+        if x_label:
+            self.text(self.left + self.plot_w / 2,
+                      self.height - 10, x_label, anchor="middle")
+        if y_label:
+            cx, cy = 15, self.top + self.plot_h / 2
+            self.elements.append(
+                f'<text x="{cx}" y="{cy}" font-size="11" '
+                f'text-anchor="middle" fill="#222" '
+                f'font-family="sans-serif" '
+                f'transform="rotate(-90 {cx} {cy})">{_esc(y_label)}</text>'
+            )
+
+    def render(self) -> str:
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>\n{body}\n</svg>\n'
+        )
+
+
+def write_svg(svg: str, path: str) -> str:
+    """Persist an SVG document; returns the path written."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)
+    return path
+
+
+# ---------------------------------------------------------------------------
+def fig3_svg(stats_by_workflow: dict) -> str:
+    """Grouped normalized phase bars with error bars (Fig. 3).
+
+    ``stats_by_workflow`` maps workflow name → the dict returned by
+    :func:`~repro.core.variability.phase_variability`.
+    """
+    canvas = SVGCanvas(title="Relative time per workflow "
+                             "(normalized to mean wall time)")
+    canvas.axes(y_label="normalized time")
+    names = list(stats_by_workflow)
+    phases = ("io", "communication", "computation", "total")
+    # Cap display at the max normalized value (compute may exceed 1).
+    peak = max(
+        stats["normalized"][p] + stats["normalized_err"][p]
+        for stats in stats_by_workflow.values() for p in phases
+    ) or 1.0
+    group_w = 1.0 / max(1, len(names))
+    bar_w = group_w / (len(phases) + 1)
+    for g, name in enumerate(names):
+        stats = stats_by_workflow[name]
+        for b, phase in enumerate(phases):
+            value = stats["normalized"][phase] / peak
+            err = stats["normalized_err"][phase] / peak
+            x0 = canvas.x(g * group_w + (b + 0.5) * bar_w)
+            y_top = canvas.y(value)
+            canvas.rect(x0, y_top, canvas.plot_w * bar_w * 0.9,
+                        canvas.y(0) - y_top, PHASE_COLORS[phase],
+                        opacity=0.85)
+            # Error bar.
+            xc = x0 + canvas.plot_w * bar_w * 0.45
+            canvas.line(xc, canvas.y(min(1, value + err)),
+                        xc, canvas.y(max(0, value - err)), "#000", 1.2)
+        canvas.text(canvas.x((g + 0.5) * group_w),
+                    canvas.y(0) + 16, name, anchor="middle")
+    # Legend.
+    for i, phase in enumerate(phases):
+        lx = canvas.left + 10 + i * 130
+        canvas.rect(lx, canvas.top + 4, 12, 12, PHASE_COLORS[phase])
+        canvas.text(lx + 16, canvas.top + 14, phase)
+    return canvas.render()
+
+
+def fig4_svg(timeline: Table, title: str = "Per-thread I/O over time"
+             ) -> str:
+    """Per-thread I/O timeline (Fig. 4)."""
+    canvas = SVGCanvas(title=title)
+    canvas.axes(x_label="elapsed time (s)", y_label="thread")
+    if len(timeline) == 0:
+        return canvas.render()
+    t_max = float(np.max(timeline["start"].astype(float)
+                         + timeline["duration"].astype(float))) or 1.0
+    n_lanes = int(np.max(timeline["thread_rank"])) + 1
+    lane_h = 1.0 / max(1, n_lanes)
+    for i in range(len(timeline)):
+        rank = int(timeline["thread_rank"][i])
+        start = float(timeline["start"][i]) / t_max
+        dur = max(float(timeline["duration"][i]) / t_max, 0.002)
+        color = READ_COLOR if timeline["op"][i] == "read" else WRITE_COLOR
+        opacity = 0.25 + 0.75 * float(timeline["rel_size"][i])
+        y_frac = (rank + 0.25) * lane_h
+        canvas.rect(canvas.x(start), canvas.y(1 - y_frac),
+                    canvas.plot_w * dur, canvas.plot_h * lane_h * 0.5,
+                    color, opacity=opacity)
+    for i, (label, color) in enumerate(
+        (("read", READ_COLOR), ("write", WRITE_COLOR))
+    ):
+        lx = canvas.left + 10 + i * 90
+        canvas.rect(lx, canvas.top + 4, 12, 12, color)
+        canvas.text(lx + 16, canvas.top + 14, label)
+    # X ticks.
+    for frac in (0, 0.25, 0.5, 0.75, 1.0):
+        canvas.text(canvas.x(frac), canvas.y(0) + 14,
+                    f"{frac * t_max:.1f}", anchor="middle", size=9)
+    return canvas.render()
+
+
+def fig5_svg(scatter: Table, title: str = "Communication time vs size"
+             ) -> str:
+    """Communication scatter, log-log, coloured by locality (Fig. 5)."""
+    canvas = SVGCanvas(title=title)
+    canvas.axes(x_label="message size (bytes, log)",
+                y_label="duration (s, log)")
+    if len(scatter) == 0:
+        return canvas.render()
+    sizes = np.maximum(scatter["nbytes"].astype(float), 1.0)
+    durations = np.maximum(scatter["duration"].astype(float), 1e-9)
+    lx, ly = np.log10(sizes), np.log10(durations)
+    x_lo, x_hi = float(lx.min()), float(max(lx.max(), lx.min() + 1e-9))
+    y_lo, y_hi = float(ly.min()), float(max(ly.max(), ly.min() + 1e-9))
+    span_x = (x_hi - x_lo) or 1.0
+    span_y = (y_hi - y_lo) or 1.0
+    for i in range(len(scatter)):
+        fx = (float(lx[i]) - x_lo) / span_x
+        fy = (float(ly[i]) - y_lo) / span_y
+        color = INTRA_COLOR if scatter["same_node"][i] else INTER_COLOR
+        canvas.circle(canvas.x(fx), canvas.y(fy), 2.6, color, opacity=0.6)
+    for i, (label, color) in enumerate(
+        (("intra-node", INTRA_COLOR), ("inter-node", INTER_COLOR))
+    ):
+        lx_px = canvas.left + 10 + i * 110
+        canvas.circle(lx_px, canvas.top + 10, 5, color)
+        canvas.text(lx_px + 10, canvas.top + 14, label)
+    return canvas.render()
+
+
+def _duration_color(frac: float) -> str:
+    """White → red scale, like the paper's Fig. 6."""
+    frac = min(1.0, max(0.0, frac))
+    g = int(235 * (1 - frac) + 30 * frac)
+    b = int(235 * (1 - frac) + 40 * frac)
+    return f"rgb(220,{g},{b})" if frac > 0 else "rgb(225,225,225)"
+
+
+def fig6_svg(coords: Table, title: str = "Parallel coordinates of tasks"
+             ) -> str:
+    """Parallel-coordinate chart (Fig. 6)."""
+    canvas = SVGCanvas(width=900, title=title)
+    if len(coords) == 0:
+        return canvas.render()
+    categories = sorted(set(coords["category"]))
+    cat_index = {c: i for i, c in enumerate(categories)}
+    axes = ("elapsed", "category", "thread_rank", "size_mb", "duration")
+
+    def axis_fraction(name: str, i: int) -> float:
+        if name == "category":
+            value = cat_index[coords["category"][i]]
+            hi = max(1, len(categories) - 1)
+            return value / hi
+        column = coords[name].astype(float)
+        lo, hi = float(np.min(column)), float(np.max(column))
+        span = (hi - lo) or 1.0
+        return (float(column[i]) - lo) / span
+
+    durations = coords["duration"].astype(float)
+    d_hi = float(np.max(durations)) or 1.0
+    x_positions = [k / (len(axes) - 1) for k in range(len(axes))]
+    # Draw lines: short tasks first so the red (long) ones overlay.
+    order = np.argsort(durations)
+    for i in order:
+        points = [
+            (canvas.x(x_positions[k]),
+             canvas.y(axis_fraction(name, int(i))))
+            for k, name in enumerate(axes)
+        ]
+        frac = float(durations[int(i)]) / d_hi
+        canvas.polyline(points, _duration_color(frac),
+                        width=0.8 + 1.8 * frac,
+                        opacity=0.35 + 0.6 * frac)
+    for k, name in enumerate(axes):
+        px = canvas.x(x_positions[k])
+        canvas.line(px, canvas.top, px, canvas.top + canvas.plot_h,
+                    "#555", 1.2)
+        canvas.text(px, canvas.height - 18, name, anchor="middle")
+    return canvas.render()
+
+
+def heatmap_svg(heatmap, title: str = "I/O intensity over time "
+                                      "(Darshan HEATMAP)") -> str:
+    """Job-level read/write intensity bars from a HEATMAP module."""
+    import numpy as _np
+
+    canvas = SVGCanvas(height=320, title=title)
+    canvas.axes(x_label="time (s)", y_label="bytes per bin")
+    if heatmap is None:
+        return canvas.render()
+    reads = _np.asarray(heatmap.read_bytes, dtype=float)
+    writes = _np.asarray(heatmap.write_bytes, dtype=float)
+    # Trim trailing empty bins for a tight x-axis.
+    nonzero = _np.nonzero(reads + writes)[0]
+    last = int(nonzero[-1]) + 1 if len(nonzero) else 1
+    reads, writes = reads[:last], writes[:last]
+    peak = float(max(reads.max() if len(reads) else 0,
+                     writes.max() if len(writes) else 0)) or 1.0
+    width = 1.0 / last
+    for b in range(last):
+        x0 = canvas.x(b * width)
+        half = canvas.plot_w * width * 0.42
+        if reads[b] > 0:
+            y_top = canvas.y(reads[b] / peak)
+            canvas.rect(x0, y_top, half, canvas.y(0) - y_top,
+                        READ_COLOR, opacity=0.85)
+        if writes[b] > 0:
+            y_top = canvas.y(writes[b] / peak)
+            canvas.rect(x0 + half, y_top, half, canvas.y(0) - y_top,
+                        WRITE_COLOR, opacity=0.85)
+    for i, (label, color) in enumerate(
+        (("read", READ_COLOR), ("write", WRITE_COLOR))
+    ):
+        lx = canvas.left + 10 + i * 90
+        canvas.rect(lx, canvas.top + 4, 12, 12, color)
+        canvas.text(lx + 16, canvas.top + 14, label)
+    for frac in (0, 0.5, 1.0):
+        canvas.text(canvas.x(frac), canvas.y(0) + 14,
+                    f"{frac * last * heatmap.bin_width:.1f}",
+                    anchor="middle", size=9)
+    return canvas.render()
+
+
+def fig7_svg(hist: Table, title: str = "Warning distribution over time"
+             ) -> str:
+    """Warning histogram, one bar colour per kind (Fig. 7)."""
+    canvas = SVGCanvas(title=title)
+    canvas.axes(x_label="time bucket (s)", y_label="warnings")
+    if len(hist) == 0:
+        return canvas.render()
+    kinds = sorted(set(hist["kind"]))
+    palette = ["#c62828", "#1565c0", "#2e7d32", "#6a1b9a"]
+    color_of = {kind: palette[i % len(palette)]
+                for i, kind in enumerate(kinds)}
+    buckets = sorted(set(float(b) for b in hist["bucket_start"]))
+    counts = {(float(hist["bucket_start"][i]), hist["kind"][i]):
+              int(hist["count"][i]) for i in range(len(hist))}
+    peak = max(counts.values()) or 1
+    group_w = 1.0 / max(1, len(buckets))
+    bar_w = group_w / (len(kinds) + 1)
+    for g, bucket in enumerate(buckets):
+        for b, kind in enumerate(kinds):
+            count = counts.get((bucket, kind), 0)
+            if count == 0:
+                continue
+            x0 = canvas.x(g * group_w + (b + 0.5) * bar_w)
+            y_top = canvas.y(count / peak)
+            canvas.rect(x0, y_top, canvas.plot_w * bar_w * 0.9,
+                        canvas.y(0) - y_top, color_of[kind], opacity=0.9)
+        if len(buckets) <= 24 or g % max(1, len(buckets) // 12) == 0:
+            canvas.text(canvas.x((g + 0.5) * group_w), canvas.y(0) + 14,
+                        f"{bucket:.0f}", anchor="middle", size=9)
+    for i, kind in enumerate(kinds):
+        lx = canvas.left + 10 + i * 220
+        canvas.rect(lx, canvas.top + 4, 12, 12, color_of[kind])
+        canvas.text(lx + 16, canvas.top + 14, kind)
+    return canvas.render()

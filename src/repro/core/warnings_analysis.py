@@ -1,0 +1,96 @@
+"""Warning-distribution analysis (the Fig.-7 analysis).
+
+"We also collect warnings from the Dask scheduler and worker logs
+regarding the responsiveness of worker's event loop and garbage
+collection events.  We hypothesize that these warnings may be
+correlated with the slowdown of the Dask system and running tasks"
+(§IV-D3).  :func:`warning_histogram` produces the Fig.-7 bars;
+:func:`correlate_warnings_with_tasks` tests the paper's hypothesis by
+counting warnings inside the execution windows of the longest task
+category.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import Table
+
+__all__ = ["warning_histogram", "warnings_in_window",
+           "correlate_warnings_with_tasks"]
+
+
+def warning_histogram(warnings: Table, bucket: float = 100.0) -> Table:
+    """Counts of each warning kind per time bucket.
+
+    Columns: bucket_start, kind, count.
+    """
+    if len(warnings) == 0:
+        return Table({"bucket_start": [], "kind": [], "count": []})
+    times = warnings["time"].astype(float)
+    kinds = warnings["kind"]
+    buckets = np.floor(times / bucket) * bucket
+    rows: dict = {}
+    for b, kind in zip(buckets, kinds):
+        rows[(float(b), kind)] = rows.get((float(b), kind), 0) + 1
+    records = [
+        {"bucket_start": b, "kind": kind, "count": count}
+        for (b, kind), count in sorted(rows.items())
+    ]
+    return Table.from_records(records,
+                              columns=["bucket_start", "kind", "count"])
+
+
+def warnings_in_window(warnings: Table, start: float, end: float,
+                       kind: str | None = None) -> int:
+    """Number of warnings with ``start <= time < end`` (optionally one kind)."""
+    if len(warnings) == 0:
+        return 0
+    times = warnings["time"].astype(float)
+    mask = (times >= start) & (times < end)
+    if kind is not None:
+        mask &= np.asarray(
+            [k == kind for k in warnings["kind"]], dtype=bool
+        )
+    return int(mask.sum())
+
+
+def correlate_warnings_with_tasks(warnings: Table, tasks: Table,
+                                  category: str,
+                                  kind: str = "unresponsive_event_loop"
+                                  ) -> dict:
+    """Warning density inside vs outside a task category's active span.
+
+    Returns the in-span and out-of-span warning rates (warnings per
+    second) and their ratio; a ratio well above 1 supports the paper's
+    observation that unresponsive-loop warnings "correlate perfectly
+    with the long-running read_parquet-fused-assign tasks".
+    """
+    cat_mask = np.asarray(
+        [p == category for p in tasks["prefix"]], dtype=bool
+    )
+    cat = tasks.filter(cat_mask)
+    if len(cat) == 0 or len(warnings) == 0:
+        return {"category": category, "in_rate": 0.0, "out_rate": 0.0,
+                "ratio": 0.0, "n_in": 0, "n_out": 0}
+    span_start = float(np.min(cat["start"]))
+    span_end = float(np.max(cat["stop"]))
+    total_start = float(min(np.min(tasks["start"]),
+                            np.min(warnings["time"].astype(float))))
+    total_end = float(max(np.max(tasks["stop"]),
+                          np.max(warnings["time"].astype(float))))
+    n_in = warnings_in_window(warnings, span_start, span_end, kind)
+    kind_mask = np.asarray([k == kind for k in warnings["kind"]], dtype=bool)
+    n_kind = int(kind_mask.sum())
+    n_out = n_kind - n_in
+    in_span = max(span_end - span_start, 1e-9)
+    out_span = max((total_end - total_start) - in_span, 1e-9)
+    in_rate = n_in / in_span
+    out_rate = n_out / out_span
+    return {
+        "category": category, "kind": kind,
+        "span": (span_start, span_end),
+        "n_in": n_in, "n_out": n_out,
+        "in_rate": in_rate, "out_rate": out_rate,
+        "ratio": in_rate / out_rate if out_rate > 0 else float("inf"),
+    }

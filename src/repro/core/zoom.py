@@ -1,0 +1,110 @@
+"""Time-window "zoom" analysis.
+
+Among the analyses the paper names but does not show: "zooming through
+a specific time period (get all events, compute/communication/I/O
+statistics)" (§IV-D).  :func:`zoom` extracts every record touching a
+``[start, end)`` window from all views of a run and summarises what the
+cluster was doing in that window — the drill-down an analyst performs
+after the high-level charts point at a suspicious period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .ingest import RunData
+from .table import Table
+from .views import (
+    comm_view,
+    io_view,
+    task_view,
+    transition_view,
+    warning_view,
+)
+
+__all__ = ["WindowSummary", "zoom"]
+
+
+def _overlap_mask(table: Table, start: float, end: float,
+                  begin_col: str, end_col: str) -> np.ndarray:
+    """Rows whose [begin, end] span intersects [start, end)."""
+    begins = table[begin_col].astype(float)
+    ends = table[end_col].astype(float)
+    return (begins < end) & (ends >= start)
+
+
+def _point_mask(table: Table, start: float, end: float,
+                col: str) -> np.ndarray:
+    times = table[col].astype(float)
+    return (times >= start) & (times < end)
+
+
+@dataclass
+class WindowSummary:
+    """Everything that happened in one time window."""
+
+    start: float
+    end: float
+    tasks: Table
+    transitions: Table
+    io: Table
+    comms: Table
+    warnings: Table
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def zoom(run: RunData, start: float, end: float) -> WindowSummary:
+    """All records intersecting ``[start, end)`` plus summary stats."""
+    if end <= start:
+        raise ValueError("end must be after start")
+    tasks = task_view(run)
+    transitions = transition_view(run)
+    io = io_view(run)
+    comms = comm_view(run)
+    warnings = warning_view(run)
+
+    w_tasks = tasks.filter(_overlap_mask(tasks, start, end, "start", "stop")) \
+        if len(tasks) else tasks
+    w_transitions = transitions.filter(
+        _point_mask(transitions, start, end, "timestamp")) \
+        if len(transitions) else transitions
+    w_io = io.filter(_overlap_mask(io, start, end, "start", "end")) \
+        if len(io) else io
+    w_comms = comms.filter(_overlap_mask(comms, start, end, "start", "stop")) \
+        if len(comms) else comms
+    w_warnings = warnings.filter(_point_mask(warnings, start, end, "time")) \
+        if len(warnings) else warnings
+
+    window = end - start
+    busy_threads = len({
+        (w_tasks["hostname"][i], w_tasks["thread_id"][i])
+        for i in range(len(w_tasks))
+    })
+    stats = {
+        "window": (start, end),
+        "n_tasks_active": len(w_tasks),
+        "n_transitions": len(w_transitions),
+        "busy_threads": busy_threads,
+        "prefixes_active": sorted(set(w_tasks["prefix"]))
+        if len(w_tasks) else [],
+        "io_ops": len(w_io),
+        "io_bytes": int(np.sum(w_io["length"])) if len(w_io) else 0,
+        "io_time": float(np.sum(w_io["duration"])) if len(w_io) else 0.0,
+        "comm_count": len(w_comms),
+        "comm_bytes": int(np.sum(w_comms["nbytes"])) if len(w_comms) else 0,
+        "comm_time": float(np.sum(w_comms["duration"]))
+        if len(w_comms) else 0.0,
+        "warnings": len(w_warnings),
+        "io_rate": (float(np.sum(w_io["length"])) / window)
+        if len(w_io) else 0.0,
+    }
+    return WindowSummary(
+        start=start, end=end, tasks=w_tasks, transitions=w_transitions,
+        io=w_io, comms=w_comms, warnings=w_warnings, stats=stats,
+    )

@@ -1,0 +1,33 @@
+"""Darshan-like I/O characterization with task-level DXT tracing.
+
+The I/O observation layer of the reproduction (§III-C, §III-E3): a
+per-worker-process runtime that forwards I/O to the PFS model while
+recording POSIX counters and DXT trace segments extended with POSIX
+thread IDs — the join key that lets PERFRECUP attribute each I/O
+operation to the Dask task that issued it.
+"""
+
+from .adaptive import AdaptiveDXTModule, SamplingEpoch
+from .analysis import DarshanReport
+from .dxt import DEFAULT_BUFFER_LIMIT, DXTModule, DXTSegment
+from .heatmap import HeatmapModule, merge_heatmaps
+from .log import DarshanLog, read_log, write_log
+from .posix import PosixCounters, size_bin_label
+from .runtime import DarshanRuntime
+
+__all__ = [
+    "AdaptiveDXTModule",
+    "DEFAULT_BUFFER_LIMIT",
+    "DXTModule",
+    "DXTSegment",
+    "DarshanLog",
+    "DarshanReport",
+    "DarshanRuntime",
+    "HeatmapModule",
+    "merge_heatmaps",
+    "SamplingEpoch",
+    "PosixCounters",
+    "read_log",
+    "size_bin_label",
+    "write_log",
+]

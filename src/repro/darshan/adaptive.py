@@ -1,0 +1,108 @@
+"""Adaptive DXT capture (paper future work, §VI).
+
+"We also will explore options for dynamically adjusting our data
+capture in response to changes in workflow behavior."  This module is
+that exploration: an :class:`AdaptiveDXTModule` that *degrades
+gracefully* instead of truncating.  As the trace buffer fills past
+configurable watermarks, the module switches to 1-in-k systematic
+sampling with increasing k, so late-run I/O keeps statistical coverage
+rather than vanishing entirely (the failure mode behind the paper's
+ResNet152 footnote).
+
+Every stored segment knows the sampling stride in force when it was
+kept, so analyses can re-weight counts (``estimated_total_ops``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dxt import DEFAULT_BUFFER_LIMIT, DXTModule, DXTSegment
+
+__all__ = ["AdaptiveDXTModule", "SamplingEpoch"]
+
+
+@dataclass(frozen=True)
+class SamplingEpoch:
+    """A contiguous span of operations traced at one stride."""
+
+    stride: int
+    first_op_index: int
+    n_ops: int = 0
+    n_stored: int = 0
+
+
+class AdaptiveDXTModule(DXTModule):
+    """DXT buffer that downsamples under pressure instead of dropping.
+
+    Watermarks are fractions of ``buffer_limit``; crossing one doubles
+    the sampling stride (keep 1 of 2, then 1 of 4, ...).  The stride
+    history is kept as :class:`SamplingEpoch` records, which is exactly
+    the metadata an analysis needs to correct op counts.
+    """
+
+    def __init__(self, buffer_limit: int = DEFAULT_BUFFER_LIMIT,
+                 watermarks: tuple[float, ...] = (0.5, 0.75, 0.9)):
+        super().__init__(buffer_limit)
+        if any(not 0 < w < 1 for w in watermarks):
+            raise ValueError("watermarks must be in (0, 1)")
+        self.watermarks = tuple(sorted(watermarks))
+        self.stride = 1
+        self._op_index = 0
+        self._epochs: list[dict] = [
+            {"stride": 1, "first_op_index": 0, "n_ops": 0, "n_stored": 0}
+        ]
+
+    # ------------------------------------------------------------------
+    def record(self, segment: DXTSegment) -> bool:
+        self._maybe_escalate()
+        keep = (self._op_index % self.stride) == 0
+        self._op_index += 1
+        if keep and len(self.segments) >= self.buffer_limit:
+            # Amortized decimation: evict every other stored segment and
+            # double the stride, so the buffer always has headroom and
+            # *late* operations keep being sampled — the property plain
+            # DXT lacks (it goes blind once the buffer fills).
+            evicted = self.segments[1::2]
+            self.segments = self.segments[0::2]
+            self.dropped += len(evicted)
+            self.stride *= 2
+            self._epochs.append({
+                "stride": self.stride, "first_op_index": self._op_index - 1,
+                "n_ops": 0, "n_stored": 0,
+            })
+        epoch = self._epochs[-1]
+        epoch["n_ops"] += 1
+        if not keep:
+            self.dropped += 1
+            return False
+        self.segments.append(segment)
+        epoch["n_stored"] += 1
+        return True
+
+    def _maybe_escalate(self) -> None:
+        fill = len(self.segments) / self.buffer_limit
+        crossed = sum(1 for w in self.watermarks if fill >= w)
+        target_stride = 2 ** crossed
+        if target_stride > self.stride:
+            self.stride = target_stride
+            self._epochs.append({
+                "stride": self.stride, "first_op_index": self._op_index,
+                "n_ops": 0, "n_stored": 0,
+            })
+
+    # ------------------------------------------------------------------
+    @property
+    def epochs(self) -> list[SamplingEpoch]:
+        return [SamplingEpoch(**e) for e in self._epochs]
+
+    @property
+    def estimated_total_ops(self) -> int:
+        """Stride-corrected estimate of how many ops actually happened."""
+        return sum(e["n_ops"] for e in self._epochs)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of operations stored (1.0 until the first watermark)."""
+        total = self.estimated_total_ops
+        return len(self.segments) / total if total else 1.0

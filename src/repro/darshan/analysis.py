@@ -1,0 +1,135 @@
+"""PyDarshan-style report over a set of per-process logs.
+
+The paper leans on "availability of flexible analysis tools" [17]
+(PyDarshan) for working with Darshan data.  :class:`DarshanReport`
+aggregates the logs of all worker processes of one run and answers the
+questions the single-source analyses ask: totals, per-file summaries,
+access-size histograms, and flat segment tables ready for PERFRECUP's
+tabular layer.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import Iterable, Optional
+
+from .log import DarshanLog, read_log
+
+__all__ = ["DarshanReport"]
+
+
+class DarshanReport:
+    """Aggregated view over one run's Darshan logs."""
+
+    def __init__(self, logs: Iterable[DarshanLog]):
+        self.logs = list(logs)
+
+    @classmethod
+    def from_directory(cls, directory: str,
+                       pattern: str = "*.darshan.json.gz") -> "DarshanReport":
+        paths = sorted(glob.glob(os.path.join(directory, pattern)))
+        if not paths:
+            raise FileNotFoundError(
+                f"no darshan logs matching {pattern} in {directory}"
+            )
+        return cls(read_log(p) for p in paths)
+
+    # -- aggregates ------------------------------------------------------
+    @property
+    def total_io_ops(self) -> int:
+        return sum(log.total_io_ops for log in self.logs)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(log.total_bytes for log in self.logs)
+
+    @property
+    def total_io_time(self) -> float:
+        return sum(log.total_io_time for log in self.logs)
+
+    @property
+    def any_truncated(self) -> bool:
+        return any(log.dxt_truncated for log in self.logs)
+
+    @property
+    def dropped_segments(self) -> int:
+        return sum(log.dxt_dropped for log in self.logs)
+
+    def distinct_files(self) -> list[str]:
+        files: set[str] = set()
+        for log in self.logs:
+            files.update(log.files())
+        return sorted(files)
+
+    def per_file_summary(self) -> list[dict]:
+        """One row per file aggregated over processes."""
+        rows: dict[str, dict] = {}
+        for log in self.logs:
+            for record in log.posix_records:
+                row = rows.setdefault(record.path, {
+                    "file": record.path, "reads": 0, "writes": 0,
+                    "bytes_read": 0, "bytes_written": 0,
+                    "read_time": 0.0, "write_time": 0.0, "processes": 0,
+                })
+                row["reads"] += record.reads
+                row["writes"] += record.writes
+                row["bytes_read"] += record.bytes_read
+                row["bytes_written"] += record.bytes_written
+                row["read_time"] += record.read_time
+                row["write_time"] += record.write_time
+                row["processes"] += 1
+        return [rows[path] for path in sorted(rows)]
+
+    def size_histogram(self) -> dict[str, int]:
+        """Merged access-size histogram over all records."""
+        out: dict[str, int] = {}
+        for log in self.logs:
+            for record in log.posix_records:
+                for label, count in record.size_histogram.items():
+                    out[label] = out.get(label, 0) + count
+        return out
+
+    def dxt_rows(self) -> list[dict]:
+        """Flat DXT segment table with process attribution.
+
+        Columns: hostname, rank, pthread_id, file, op, offset, length,
+        start, end — the exact fields PERFRECUP joins against Dask task
+        records (hostname + pthread_id + timestamps).
+        """
+        rows = []
+        for log in self.logs:
+            for segment in log.dxt_segments:
+                rows.append({
+                    "hostname": log.hostname,
+                    "rank": log.rank,
+                    "pthread_id": segment.pthread_id,
+                    "file": segment.path,
+                    "op": segment.op,
+                    "offset": segment.offset,
+                    "length": segment.length,
+                    "start": segment.start,
+                    "end": segment.end,
+                })
+        rows.sort(key=lambda r: (r["start"], r["rank"]))
+        return rows
+
+    def job_heatmap(self):
+        """Merged job-level HEATMAP over all processes (or None)."""
+        from .heatmap import merge_heatmaps
+        heatmaps = [log.heatmap for log in self.logs
+                    if log.heatmap is not None]
+        if not heatmaps:
+            return None
+        return merge_heatmaps(heatmaps)
+
+    def summary(self) -> dict:
+        return {
+            "processes": len(self.logs),
+            "distinct_files": len(self.distinct_files()),
+            "total_io_ops": self.total_io_ops,
+            "total_bytes": self.total_bytes,
+            "total_io_time": self.total_io_time,
+            "dxt_truncated": self.any_truncated,
+            "dxt_dropped": self.dropped_segments,
+        }

@@ -1,0 +1,94 @@
+"""DXT (Darshan eXtended Tracing) with the paper's pthread-ID extension.
+
+Stock DXT records one segment per POSIX operation: op type, offset,
+length, start and end timestamps.  The paper's contribution is one
+field wider: "we extend the DXT module to capture the POSIX thread
+(pthread) IDs.  These can later be correlated with the thread
+identifier returned by ``threading.get_ident()`` at the
+Dask.distributed level" (§III-E3).  :class:`DXTSegment` carries that
+``pthread_id``.
+
+DXT buffers trace segments in a bounded memory region; once the budget
+is exhausted, further segments are silently dropped and the record is
+flagged truncated.  The paper hits exactly this: "The I/O operation
+count for ResNet152 is incomplete due to default Darshan
+instrumentation buffer limits" (footnote 9).  ``buffer_limit`` makes
+the artifact reproducible and the A2 ablation sweeps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DXTSegment", "DXTModule", "DEFAULT_BUFFER_LIMIT"]
+
+#: Default per-process segment budget (mirrors Darshan's modest default
+#: DXT memory; small enough that file-heavy workflows overflow it).
+DEFAULT_BUFFER_LIMIT = 2048
+
+
+@dataclass(frozen=True)
+class DXTSegment:
+    """One traced POSIX operation."""
+
+    path: str
+    op: str              # "read" | "write"
+    offset: int
+    length: int
+    start: float
+    end: float
+    pthread_id: int      # << the paper's extension
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.path, "op": self.op, "offset": self.offset,
+            "length": self.length, "start": self.start, "end": self.end,
+            "pthread_id": self.pthread_id,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "DXTSegment":
+        return cls(
+            path=raw["file"], op=raw["op"], offset=raw["offset"],
+            length=raw["length"], start=raw["start"], end=raw["end"],
+            pthread_id=raw["pthread_id"],
+        )
+
+
+class DXTModule:
+    """Per-process trace buffer with a hard segment budget."""
+
+    def __init__(self, buffer_limit: int = DEFAULT_BUFFER_LIMIT):
+        if buffer_limit < 1:
+            raise ValueError("buffer_limit must be >= 1")
+        self.buffer_limit = buffer_limit
+        self.segments: list[DXTSegment] = []
+        self.dropped = 0
+
+    @property
+    def truncated(self) -> bool:
+        return self.dropped > 0
+
+    def record(self, segment: DXTSegment) -> bool:
+        """Store one segment; returns False if the buffer was full."""
+        if len(self.segments) >= self.buffer_limit:
+            self.dropped += 1
+            return False
+        self.segments.append(segment)
+        return True
+
+    def by_thread(self) -> dict[int, list[DXTSegment]]:
+        out: dict[int, list[DXTSegment]] = {}
+        for segment in self.segments:
+            out.setdefault(segment.pthread_id, []).append(segment)
+        return out
+
+    def by_file(self) -> dict[str, list[DXTSegment]]:
+        out: dict[str, list[DXTSegment]] = {}
+        for segment in self.segments:
+            out.setdefault(segment.path, []).append(segment)
+        return out

@@ -1,0 +1,124 @@
+"""Darshan HEATMAP module.
+
+Real Darshan (3.4+) ships a ``HEATMAP`` module: per-process histograms
+of read/write bytes over fixed-width time bins, cheap enough to stay on
+by default and the backbone of the `darshan job summary` intensity
+plots.  This is the simulated counterpart: the runtime feeds every
+operation into :class:`HeatmapModule`, which maintains one row of time
+bins per direction, widening bins (by doubling) whenever the run
+outgrows the allotted bin count — exactly Darshan's adaptive scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["HeatmapModule", "merge_heatmaps"]
+
+#: Darshan's default heatmap width.
+DEFAULT_NBINS = 100
+
+
+class HeatmapModule:
+    """Per-process read/write intensity over adaptive time bins."""
+
+    def __init__(self, nbins: int = DEFAULT_NBINS,
+                 initial_bin_width: float = 0.1):
+        if nbins < 2:
+            raise ValueError("need at least 2 bins")
+        if initial_bin_width <= 0:
+            raise ValueError("bin width must be positive")
+        self.nbins = nbins
+        self.bin_width = float(initial_bin_width)
+        self.read_bytes = np.zeros(nbins)
+        self.write_bytes = np.zeros(nbins)
+        self.read_ops = np.zeros(nbins, dtype=np.int64)
+        self.write_ops = np.zeros(nbins, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _bin_for(self, time: float) -> int:
+        while time >= self.nbins * self.bin_width:
+            self._widen()
+        return int(time // self.bin_width)
+
+    def _widen(self) -> None:
+        """Double the bin width, folding pairs of bins together."""
+        for array in (self.read_bytes, self.write_bytes,
+                      self.read_ops, self.write_ops):
+            folded = array[0::2] + array[1::2]
+            array[:len(folded)] = folded
+            array[len(folded):] = 0
+        self.bin_width *= 2
+
+    def record(self, op: str, nbytes: int, start: float,
+               end: float) -> None:
+        """Spread one operation's bytes across the bins it spans."""
+        if op not in ("read", "write"):
+            raise ValueError(f"unknown op {op!r}")
+        if end < start:
+            raise ValueError("end before start")
+        bytes_array = self.read_bytes if op == "read" else self.write_bytes
+        ops_array = self.read_ops if op == "read" else self.write_ops
+        # Resolve the *end* bin first: it may widen the bins, and both
+        # indices must be computed against the same (final) bin width.
+        last = self._bin_for(max(start, end - 1e-12))
+        first = self._bin_for(start)
+        ops_array[first] += 1
+        if first == last:
+            bytes_array[first] += nbytes
+            return
+        span = end - start
+        for b in range(first, last + 1):
+            lo = max(start, b * self.bin_width)
+            hi = min(end, (b + 1) * self.bin_width)
+            bytes_array[b] += nbytes * (hi - lo) / span
+
+    # ------------------------------------------------------------------
+    @property
+    def horizon(self) -> float:
+        return self.nbins * self.bin_width
+
+    def to_dict(self) -> dict:
+        return {
+            "nbins": self.nbins,
+            "bin_width": self.bin_width,
+            "read_bytes": self.read_bytes.tolist(),
+            "write_bytes": self.write_bytes.tolist(),
+            "read_ops": self.read_ops.tolist(),
+            "write_ops": self.write_ops.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "HeatmapModule":
+        module = cls(nbins=raw["nbins"], initial_bin_width=raw["bin_width"])
+        module.read_bytes = np.asarray(raw["read_bytes"], dtype=float)
+        module.write_bytes = np.asarray(raw["write_bytes"], dtype=float)
+        module.read_ops = np.asarray(raw["read_ops"], dtype=np.int64)
+        module.write_ops = np.asarray(raw["write_ops"], dtype=np.int64)
+        return module
+
+
+def merge_heatmaps(heatmaps: list[HeatmapModule]) -> HeatmapModule:
+    """Aggregate per-process heatmaps into one job-level heatmap.
+
+    All inputs are first widened to the coarsest bin width present, as
+    `darshan job summary` does when ranks diverge.
+    """
+    if not heatmaps:
+        raise ValueError("no heatmaps to merge")
+    nbins = heatmaps[0].nbins
+    if any(h.nbins != nbins for h in heatmaps):
+        raise ValueError("heatmaps must share nbins")
+    target = max(h.bin_width for h in heatmaps)
+    merged = HeatmapModule(nbins=nbins, initial_bin_width=target)
+    for heatmap in heatmaps:
+        copy = HeatmapModule.from_dict(heatmap.to_dict())
+        while copy.bin_width < target:
+            copy._widen()
+        merged.read_bytes += copy.read_bytes
+        merged.write_bytes += copy.write_bytes
+        merged.read_ops += copy.read_ops
+        merged.write_ops += copy.write_ops
+    return merged

@@ -1,0 +1,127 @@
+"""POSIX-module counters, in the style of Darshan's POSIX module.
+
+Darshan "collects a plethora of information, including I/O operation
+counts, access sizes, and cumulative times" (§III-C) per file record
+per process.  This module reproduces the per-record counter set this
+reproduction's analyses need: operation and byte counts, cumulative and
+extreme operation times, extent watermarks, and the access-size
+histogram buckets familiar from real Darshan logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PosixCounters", "SIZE_BINS", "size_bin_label"]
+
+#: Access-size histogram bin upper bounds (bytes), Darshan's classic bins.
+SIZE_BINS = (
+    100, 1024, 10 * 1024, 100 * 1024, 1024**2, 4 * 1024**2, 10 * 1024**2,
+    100 * 1024**2, 1024**3,
+)
+
+_BIN_LABELS = (
+    "0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M", "1M_4M", "4M_10M",
+    "10M_100M", "100M_1G", "1G_PLUS",
+)
+
+
+def size_bin_label(length: int) -> str:
+    """Histogram bucket name for an access of ``length`` bytes."""
+    for bound, label in zip(SIZE_BINS, _BIN_LABELS):
+        if length <= bound:
+            return label
+    return _BIN_LABELS[-1]
+
+
+@dataclass
+class PosixCounters:
+    """Counters for one (file, process) record."""
+
+    path: str
+    opens: int = 0
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_time: float = 0.0
+    write_time: float = 0.0
+    max_byte_read: int = -1
+    max_byte_written: int = -1
+    fastest_op_time: float = float("inf")
+    slowest_op_time: float = 0.0
+    first_op_start: float = float("inf")
+    last_op_end: float = 0.0
+    size_histogram: dict = field(default_factory=dict)
+
+    def record_open(self) -> None:
+        self.opens += 1
+
+    def record(self, op: str, offset: int, length: int,
+               start: float, end: float) -> None:
+        duration = end - start
+        if op == "read":
+            self.reads += 1
+            self.bytes_read += length
+            self.read_time += duration
+            if length > 0:
+                self.max_byte_read = max(self.max_byte_read,
+                                         offset + length - 1)
+        elif op == "write":
+            self.writes += 1
+            self.bytes_written += length
+            self.write_time += duration
+            if length > 0:
+                self.max_byte_written = max(self.max_byte_written,
+                                            offset + length - 1)
+        else:
+            raise ValueError(f"unknown op {op!r}")
+        self.fastest_op_time = min(self.fastest_op_time, duration)
+        self.slowest_op_time = max(self.slowest_op_time, duration)
+        self.first_op_start = min(self.first_op_start, start)
+        self.last_op_end = max(self.last_op_end, end)
+        label = f"{op.upper()}_{size_bin_label(length)}"
+        self.size_histogram[label] = self.size_histogram.get(label, 0) + 1
+
+    def to_dict(self) -> dict:
+        """Flat counter mapping using Darshan-style counter names."""
+        return {
+            "file": self.path,
+            "POSIX_OPENS": self.opens,
+            "POSIX_READS": self.reads,
+            "POSIX_WRITES": self.writes,
+            "POSIX_BYTES_READ": self.bytes_read,
+            "POSIX_BYTES_WRITTEN": self.bytes_written,
+            "POSIX_F_READ_TIME": self.read_time,
+            "POSIX_F_WRITE_TIME": self.write_time,
+            "POSIX_MAX_BYTE_READ": self.max_byte_read,
+            "POSIX_MAX_BYTE_WRITTEN": self.max_byte_written,
+            "POSIX_F_FASTEST_OP_TIME":
+                0.0 if self.fastest_op_time == float("inf")
+                else self.fastest_op_time,
+            "POSIX_F_SLOWEST_OP_TIME": self.slowest_op_time,
+            "POSIX_F_OPEN_START_TIMESTAMP":
+                0.0 if self.first_op_start == float("inf")
+                else self.first_op_start,
+            "POSIX_F_CLOSE_END_TIMESTAMP": self.last_op_end,
+            "SIZE_HISTOGRAM": dict(self.size_histogram),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "PosixCounters":
+        counters = cls(path=raw["file"])
+        counters.opens = raw["POSIX_OPENS"]
+        counters.reads = raw["POSIX_READS"]
+        counters.writes = raw["POSIX_WRITES"]
+        counters.bytes_read = raw["POSIX_BYTES_READ"]
+        counters.bytes_written = raw["POSIX_BYTES_WRITTEN"]
+        counters.read_time = raw["POSIX_F_READ_TIME"]
+        counters.write_time = raw["POSIX_F_WRITE_TIME"]
+        counters.max_byte_read = raw["POSIX_MAX_BYTE_READ"]
+        counters.max_byte_written = raw["POSIX_MAX_BYTE_WRITTEN"]
+        counters.fastest_op_time = raw["POSIX_F_FASTEST_OP_TIME"]
+        counters.slowest_op_time = raw["POSIX_F_SLOWEST_OP_TIME"]
+        counters.first_op_start = raw["POSIX_F_OPEN_START_TIMESTAMP"]
+        counters.last_op_end = raw["POSIX_F_CLOSE_END_TIMESTAMP"]
+        counters.size_histogram = dict(raw["SIZE_HISTOGRAM"])
+        return counters

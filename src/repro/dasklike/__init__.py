@@ -1,0 +1,75 @@
+"""A Dask.distributed-like task-based WMS on the simulation kernel.
+
+This package is the workflow-management-system substrate of the
+reproduction: client/scheduler/worker state machines, dynamic
+locality-aware scheduling, work stealing, inter-worker data transfers,
+per-task worker threads with stable pthread IDs, a Tornado-like event
+loop with GC-induced unresponsiveness warnings, and task-graph fusion.
+
+It exposes the observation points the paper instruments — scheduler and
+worker plugins receive every state transition, communication, and task
+completion — without the instrumentation itself, which lives in
+:mod:`repro.instrument`.
+"""
+
+from .array import BlockedArray, imread
+from .client import Client
+from .dataframe import PartitionedFrame, read_parquet
+from .delayed import Delayed, collect, delayed
+from .config import DaskConfig
+from .deploy import DaskCluster
+from .records import (
+    CommRecord,
+    LogEntry,
+    SpillRecord,
+    StealEvent,
+    TaskRun,
+    WarningRecord,
+)
+from .scheduler import Scheduler, SchedulerTaskState
+from .states import (
+    SCHEDULER_STATES,
+    WORKER_STATES,
+    TransitionRecord,
+    key_group,
+    key_split,
+    key_str,
+)
+from .stealing import WorkStealing
+from .taskgraph import GraphError, IOOp, TaskGraph, TaskSpec, fuse_linear_chains
+from .worker import PassthroughIO, Worker
+
+__all__ = [
+    "BlockedArray",
+    "Client",
+    "Delayed",
+    "PartitionedFrame",
+    "collect",
+    "delayed",
+    "imread",
+    "read_parquet",
+    "CommRecord",
+    "DaskCluster",
+    "DaskConfig",
+    "GraphError",
+    "IOOp",
+    "LogEntry",
+    "PassthroughIO",
+    "SCHEDULER_STATES",
+    "Scheduler",
+    "SchedulerTaskState",
+    "SpillRecord",
+    "StealEvent",
+    "TaskGraph",
+    "TaskRun",
+    "TaskSpec",
+    "TransitionRecord",
+    "WORKER_STATES",
+    "WarningRecord",
+    "WorkStealing",
+    "Worker",
+    "fuse_linear_chains",
+    "key_group",
+    "key_split",
+    "key_str",
+]

@@ -1,0 +1,106 @@
+"""Runtime configuration (the ``distributed.yaml`` analogue).
+
+The paper's provenance chart explicitly captures "package configuration
+details, such as Dask's timeouts, heartbeat intervals, and communication
+settings from the distributed.yaml file" (§III-E1), because configuration
+drift between runs is itself a reproducibility hazard.  This module
+provides that configuration object; :meth:`DaskConfig.describe` is what
+the metadata layer stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DaskConfig"]
+
+
+@dataclass(frozen=True)
+class DaskConfig:
+    """Tunables of the simulated WMS runtime."""
+
+    # -- scheduling ---------------------------------------------------------
+    #: Weight of the data-transfer term in the worker placement objective.
+    locality_weight: float = 1.0
+    #: Scheduler's bandwidth estimate for placement decisions, bytes/s
+    #: (Dask's ``distributed.scheduler.bandwidth`` defaults to 100 MB/s —
+    #: deliberately far below NIC peak, accounting for serialization).
+    bandwidth_estimate: float = 100e6
+    #: A worker with occupancy below this fraction of the mean counts as
+    #: idle and is considered for tasks whose data lives elsewhere.
+    idle_fraction: float = 0.92
+    #: Co-assign batches of simultaneously ready root tasks in
+    #: contiguous slabs (Dask's root-task co-assignment), keeping
+    #: sibling chunks together and reducing downstream transfers.
+    root_coassignment: bool = True
+    #: Enable the work-stealing balancer.
+    work_stealing: bool = True
+    #: Stealing balancer period, seconds.
+    work_stealing_interval: float = 0.1
+    #: A thief must be this many times less occupied than the victim.
+    steal_ratio: float = 2.0
+
+    # -- worker -------------------------------------------------------------
+    #: Event-loop tick interval (distributed default: 20 ms).
+    tick_interval: float = 0.02
+    #: Log "unresponsive event loop" when a tick is delayed beyond this
+    #: (distributed's ``tick.limit`` style threshold).
+    tick_warn_threshold: float = 0.5
+    #: Heartbeat period from worker to scheduler.
+    heartbeat_interval: float = 0.5
+    #: Worker memory limit, bytes (0 disables accounting).
+    memory_limit: int = 64 * 2**30
+    #: Spill stored results to local scratch when managed memory exceeds
+    #: this fraction of the limit (distributed's ``memory.target``);
+    #: 0 disables spilling.
+    memory_spill_fraction: float = 0.0
+    #: Stop spilling once usage falls below this fraction of the limit.
+    memory_spill_low: float = 0.5
+    #: Bandwidth of the node-local scratch device used for spills, B/s.
+    spill_bandwidth: float = 1.5e9
+
+    # -- garbage collection model --------------------------------------------
+    #: Base rate of full GC pauses per second at zero memory pressure.
+    gc_base_rate: float = 0.004
+    #: Additional pauses per second at 100% memory pressure.
+    gc_pressure_rate: float = 0.9
+    #: Pressure response exponent: collection rate grows as
+    #: ``pressure ** exponent``, so pauses concentrate sharply in the
+    #: phases where oversized data is resident (the Fig.-7 skew).
+    gc_pressure_exponent: float = 3.0
+    #: Median full-collection pause, seconds.
+    gc_pause_median: float = 0.7
+    #: Log-sigma of pause durations (right-skewed: occasional multi-second
+    #: stop-the-world pauses, which trigger unresponsive-loop warnings).
+    gc_pause_sigma: float = 1.1
+
+    # -- communication --------------------------------------------------------
+    #: Fixed control-plane message latency (scheduler <-> worker RPC).
+    control_latency: float = 1.0e-3
+    #: Connection timeout recorded in provenance (not enforced).
+    connect_timeout: float = 30.0
+
+    # -- compute noise ----------------------------------------------------------
+    #: Sigma of log-normal noise on task compute durations.
+    compute_noise_sigma: float = 0.08
+    #: Fixed per-task runtime overhead on the worker (deserialization,
+    #: GIL, executor hand-off).  Counted as coordination, not as
+    #: computation — this is what makes short workflows' total wall time
+    #: "disproportionately long" in Fig. 3.
+    task_overhead: float = 0.1
+    #: Sigma of log-normal noise on the per-task overhead.
+    task_overhead_sigma: float = 0.3
+
+    def describe(self) -> dict:
+        """Flat mapping, stored as application-layer provenance (Fig. 1)."""
+        return {
+            "distributed.scheduler.work-stealing": self.work_stealing,
+            "distributed.scheduler.work-stealing-interval":
+                self.work_stealing_interval,
+            "distributed.scheduler.locality-weight": self.locality_weight,
+            "distributed.worker.tick.interval": self.tick_interval,
+            "distributed.worker.tick.limit": self.tick_warn_threshold,
+            "distributed.worker.heartbeat": self.heartbeat_interval,
+            "distributed.worker.memory.limit": self.memory_limit,
+            "distributed.comm.timeouts.connect": self.connect_timeout,
+        }

@@ -1,0 +1,154 @@
+"""``dask.dataframe``-style partitioned-frame collection.
+
+The XGBoost workflow of the paper is built from "high-level methods
+such as xgboost.dask.train and xgboost.dask.predict ... the underlying
+task graph is created automatically, thanks to the use of Dask
+libraries such as dask.array and dask.dataframe" (§IV-B).  This module
+provides the partitioned-frame graph factory; the boosting-round
+structure itself lives in :mod:`repro.workflows.xgboost_trip`.
+
+Task prefixes deliberately match the paper's Fig. 6 categories:
+``read_parquet`` (which fuses with ``assign`` into
+``read_parquet-fused-assign``), ``getitem``, ``random_split_take``,
+``drop_by_shallow_copy``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .array import BlockedArray
+from .taskgraph import IOOp, TaskSpec
+from .utils import tokenize
+
+__all__ = ["PartitionedFrame", "read_parquet"]
+
+
+class PartitionedFrame(BlockedArray):
+    """A lazy partitioned dataframe (partitions play the block role)."""
+
+    @property
+    def npartitions(self) -> int:
+        return self.nblocks
+
+    # ------------------------------------------------------------------
+    def map_partitions(self, name: str, compute_time_per_partition: float,
+                       output_ratio: float = 1.0) -> "PartitionedFrame":
+        out = self.map_blocks(name, compute_time_per_partition, output_ratio)
+        return PartitionedFrame(out.name, out.block_keys, out.block_nbytes,
+                                out.pending)
+
+    def assign(self, compute_time_per_partition: float = 0.0,
+               output_ratio: float = 1.05) -> "PartitionedFrame":
+        """Add a derived column (slightly grows each partition).
+
+        When this immediately follows ``read_parquet``, graph fusion
+        collapses the pair into ``read_parquet-fused-assign`` tasks —
+        the long-running category of the paper's Fig. 6.
+        """
+        return self.map_partitions("assign", compute_time_per_partition,
+                                   output_ratio)
+
+    def getitem(self, fraction: float,
+                compute_time_per_partition: float = 2e-3) -> "PartitionedFrame":
+        """Column projection: keep ``fraction`` of each partition."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        return self.map_partitions("getitem", compute_time_per_partition,
+                                   fraction)
+
+    def drop_by_shallow_copy(
+        self, compute_time_per_partition: float = 1e-3
+    ) -> "PartitionedFrame":
+        """Drop columns via shallow copy (cheap, near-same size)."""
+        return self.map_partitions("drop_by_shallow_copy",
+                                   compute_time_per_partition, 0.98)
+
+    def random_split(self, frac_train: float,
+                     compute_time_per_partition: float = 3e-3
+                     ) -> tuple["PartitionedFrame", "PartitionedFrame"]:
+        """Split each partition into train/test takes.
+
+        Produces two ``random_split_take`` tasks per partition, exactly
+        the category the paper lists among its Fig. 6 examples.
+        """
+        if not 0 < frac_train < 1:
+            raise ValueError("frac_train must be in (0, 1)")
+        token = tokenize(self.name, "random_split", frac_train)
+        sides = []
+        for side_index, frac in ((0, frac_train), (1, 1 - frac_train)):
+            pending = dict(self.pending)
+            keys, sizes = [], []
+            for i, (dep, nbytes) in enumerate(
+                zip(self.block_keys, self.block_nbytes)
+            ):
+                out = max(1, int(nbytes * frac))
+                spec = TaskSpec(
+                    key=(f"random_split_take-{token}", side_index, i),
+                    deps=(dep,),
+                    compute_time=compute_time_per_partition,
+                    output_nbytes=out,
+                )
+                pending[spec.name] = spec
+                keys.append(spec.key)
+                sizes.append(out)
+            sides.append(PartitionedFrame(
+                f"{self.name}-split{side_index}", keys, sizes, pending))
+        train, test = sides
+        # Both sides share the upstream pending tasks; when either side's
+        # graph is submitted, mark BOTH computed (their union was built).
+        return train, test
+
+
+def read_parquet(paths: Sequence[str], file_nbytes: Sequence[int],
+                 partitions_per_file: int = 2,
+                 read_ops_per_partition: int = 3,
+                 decode_time_per_gib: float = 4.0,
+                 in_memory_ratio: float = 1.6,
+                 name: str = "read_parquet") -> PartitionedFrame:
+    """Load parquet files, several row-group partitions per file.
+
+    Parquet decompresses on read: a partition's in-memory size is
+    ``in_memory_ratio`` times its on-disk share, which is how the
+    fused read tasks end up with outputs "significantly larger than the
+    recommended 128 MB" (§IV-D3) when files are large.
+    """
+    if len(paths) != len(file_nbytes):
+        raise ValueError("need one size per path")
+    if partitions_per_file < 1 or read_ops_per_partition < 1:
+        raise ValueError("partition/read-op counts must be >= 1")
+    token = tokenize(name, tuple(paths), partitions_per_file)
+    pending: dict[str, TaskSpec] = {}
+    keys, sizes = [], []
+    index = 0
+    for path, nbytes in zip(paths, file_nbytes):
+        part_bytes = nbytes // partitions_per_file
+        for p in range(partitions_per_file):
+            offset = p * part_bytes
+            length = part_bytes if p < partitions_per_file - 1 \
+                else nbytes - offset
+            reads = []
+            op_bytes = max(1, length // read_ops_per_partition)
+            pos = offset
+            remaining = length
+            while remaining > 0:
+                chunk = min(op_bytes, remaining)
+                # Last op absorbs the remainder.
+                if remaining - chunk < op_bytes // 2:
+                    chunk = remaining
+                reads.append(IOOp(path, "read", pos, chunk))
+                pos += chunk
+                remaining -= chunk
+            out = max(1, int(length * in_memory_ratio))
+            spec = TaskSpec(
+                key=(f"{name}-{token}", index),
+                deps=(),
+                compute_time=decode_time_per_gib * length / 2**30,
+                reads=tuple(reads),
+                output_nbytes=out,
+            )
+            pending[spec.name] = spec
+            keys.append(spec.key)
+            sizes.append(out)
+            index += 1
+    return PartitionedFrame(name, keys, sizes, pending)

@@ -1,0 +1,111 @@
+"""Deployment helper: stand up a Dask-like cluster on a job allocation.
+
+Mirrors the paper's launch flow (§III-E): "after acquiring the
+requested resources, the client and workers connect to the scheduler".
+Given a :class:`~repro.jobs.Job`, this builds the scheduler on the
+first allocated node and ``workers_per_node`` workers on each remaining
+node, wires the work-stealing balancer, and returns a ready
+:class:`DaskCluster`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..jobs import Job
+from ..platform import Cluster
+from ..sim import Environment, RandomStreams
+from .client import Client
+from .config import DaskConfig
+from .scheduler import Scheduler
+from .stealing import WorkStealing
+from .worker import PassthroughIO, Worker
+
+__all__ = ["DaskCluster"]
+
+
+class DaskCluster:
+    """A scheduler plus its workers, deployed on a job's nodes."""
+
+    def __init__(self, env: Environment, cluster: Cluster, job: Job,
+                 config: Optional[DaskConfig] = None,
+                 streams: Optional[RandomStreams] = None,
+                 io_layer_factory: Optional[Callable] = None):
+        self.env = env
+        self.cluster = cluster
+        self.job = job
+        self.config = config or DaskConfig()
+        self.streams = streams or cluster.streams
+        #: Builds the (possibly Darshan-instrumented) I/O layer for one
+        #: worker; receives the worker index and must return an object
+        #: with the ``io(path, op, offset, length, thread_id)`` contract.
+        factory = io_layer_factory or (
+            lambda index: PassthroughIO(cluster.pfs)
+        )
+
+        self.scheduler = Scheduler(
+            env, job.scheduler_node, self.config, self.streams
+        )
+        self.workers: list[Worker] = []
+        index = 0
+        for node in job.worker_nodes:
+            for _ in range(job.spec.workers_per_node):
+                worker = Worker(
+                    env=env, index=index, node=node, config=self.config,
+                    streams=self.streams, network=cluster.network,
+                    io_layer=factory(index),
+                    nthreads=job.spec.threads_per_worker,
+                )
+                self.scheduler.add_worker(worker)
+                self.workers.append(worker)
+                index += 1
+        self.stealing = WorkStealing(self.scheduler)
+        self._started = False
+
+    def start(self, monitor_liveness: bool = False) -> None:
+        """Launch worker background processes and the balancer.
+
+        ``monitor_liveness=True`` also starts the scheduler's
+        heartbeat-based failure detector (off by default: the evaluation
+        workflows run on healthy allocations, and the detector is a
+        perpetual process callers must stop).
+        """
+        if self._started:
+            return
+        self._started = True
+        for worker in self.workers:
+            worker.start()
+        self.stealing.start()
+        if monitor_liveness:
+            self.scheduler.start_liveness_monitor()
+        self.cluster.pfs.start_interference()
+
+    def close(self) -> None:
+        for worker in self.workers:
+            worker.close()
+        self.stealing.stop()
+
+    def client(self, name: str = "client") -> Client:
+        return Client(self.env, self.scheduler, self.config, name=name)
+
+    # -- aggregation across workers (used by the instrumentation) --------
+    def all_task_runs(self):
+        return [run for w in self.workers for run in w.task_runs]
+
+    def all_comms(self):
+        return [c for w in self.workers for c in w.comms]
+
+    def all_warnings(self):
+        return [w for worker in self.workers for w in worker.warnings]
+
+    def all_logs(self):
+        logs = list(self.scheduler.logs)
+        for worker in self.workers:
+            logs.extend(worker.logs)
+        return sorted(logs, key=lambda entry: entry.time)
+
+    def all_transitions(self):
+        records = list(self.scheduler.transitions)
+        for worker in self.workers:
+            records.extend(worker.transitions)
+        return sorted(records, key=lambda r: r.timestamp)

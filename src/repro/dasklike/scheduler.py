@@ -1,0 +1,557 @@
+"""Scheduler model: dynamic task placement and state tracking.
+
+Mirrors the behaviourally relevant parts of ``distributed.scheduler``:
+
+* a per-task state machine (``released → waiting → processing → memory``)
+  whose every transition is timestamped, attributed to a stimulus, and
+  offered to scheduler plugins — the hook the paper's Mofka plugin uses;
+* dynamic worker selection combining *occupancy* (estimated queued work,
+  learned per task prefix from observed durations, as Dask does) with a
+  *data-locality* term (bytes of dependencies that would have to move);
+* reference-counted memory release, so long workflows (XGBoost submits
+  74 task graphs) do not accumulate distributed memory;
+* support for cross-graph dependencies: a later graph may consume keys
+  kept in memory by an earlier submission.
+
+Scheduling decisions here are deliberately *greedy and dynamic*: tasks
+are assigned when they become ready, based on the cluster state at that
+instant.  Because that state depends on noisy completion times, the
+task→worker mapping differs run to run — the paper's central source of
+"performance unpredictability" (§V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..platform import Node
+from ..sim import Environment, RandomStreams
+from .config import DaskConfig
+from .records import LogEntry, StealEvent
+from .states import TransitionRecord, key_str, validate_transition
+from .taskgraph import TaskGraph, TaskSpec
+from .worker import Worker
+
+__all__ = ["Scheduler", "SchedulerTaskState"]
+
+#: Dask's default duration guess for never-seen task prefixes (seconds).
+DEFAULT_DURATION_GUESS = 0.5
+
+
+@dataclass
+class SchedulerTaskState:
+    """Scheduler-side bookkeeping for one task."""
+
+    spec: TaskSpec
+    state: str = "released"
+    graph_index: int = 0
+    processing_on: Optional[Worker] = None
+    #: Workers holding (a replica of) this task's output, keyed by
+    #: address.  A dict, not a set: iteration order must be insertion
+    #: order so scheduling tie-breaks are reproducible run to run.
+    who_has: dict = field(default_factory=dict)        # address -> Worker
+    waiting_on: set = field(default_factory=set)       # dep names
+    dependents: set = field(default_factory=set)       # dependent names
+    remaining_dependents: int = 0
+    wanted: bool = False
+    nbytes: int = 0
+    #: Process handle of the in-flight worker-side execution (stealable).
+    worker_process: Optional[object] = None
+    #: Handle of the worker-side compute process (what stealing interrupts).
+    compute_process: Optional[object] = None
+    #: Exact amount this task added to its worker's occupancy estimate.
+    occupancy_contrib: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class Scheduler:
+    """The ``dask scheduler`` process of the simulated cluster."""
+
+    def __init__(self, env: Environment, node: Node, config: DaskConfig,
+                 streams: RandomStreams):
+        self.env = env
+        self.node = node
+        self.config = config
+        self.streams = streams
+        self.address = f"10.{node.switch}.{int(node.name[3:]) % 250}.1:8786"
+
+        self.workers: dict[str, Worker] = {}
+        self.tasks: dict[str, SchedulerTaskState] = {}
+        self.occupancy: dict[str, float] = {}
+        self._duration_ema: dict[str, float] = {}
+        self._n_graphs = 0
+
+        self.transitions: list[TransitionRecord] = []
+        self.logs: list[LogEntry] = []
+        self.steal_events: list[StealEvent] = []
+        self.plugins: list = []
+
+        #: Events fired when a wanted key reaches memory (client waits).
+        self._wanted_events: dict[str, object] = {}
+        self._last_heartbeat: dict[str, float] = {}
+        self._monitoring = False
+
+        self.log("INFO", f"Scheduler at: tcp://{self.address}")
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_worker(self, worker: Worker) -> None:
+        self.workers[worker.address] = worker
+        self.occupancy[worker.address] = 0.0
+        # Registration counts as the first liveness signal, so a worker
+        # that dies before ever heartbeating is still detected.
+        self._last_heartbeat[worker.address] = self.env.now
+        worker.scheduler = self
+        self.log("INFO", f"Register worker <WorkerState '{worker.address}', "
+                         f"name: {worker.name}, status: running>")
+
+    def remove_worker(self, worker: Worker) -> None:
+        self.workers.pop(worker.address, None)
+        self.occupancy.pop(worker.address, None)
+        self._last_heartbeat.pop(worker.address, None)
+        self.log("INFO", f"Remove worker {worker.address}")
+
+    # ------------------------------------------------------------------
+    # liveness and failure recovery
+    # ------------------------------------------------------------------
+    def heartbeat(self, worker: Worker) -> None:
+        self._last_heartbeat[worker.address] = self.env.now
+
+    def start_liveness_monitor(self, misses: int = 4) -> None:
+        """Detect dead workers through missed heartbeats (SSG-style)."""
+        if self._monitoring:
+            return
+        self._monitoring = True
+        self.env.process(self._liveness_loop(misses),
+                         name="scheduler-liveness")
+
+    def stop_liveness_monitor(self) -> None:
+        self._monitoring = False
+
+    def _liveness_loop(self, misses: int):
+        interval = self.config.heartbeat_interval
+        while self._monitoring:
+            yield self.env.timeout(interval)
+            deadline = self.env.now - misses * interval
+            for address in list(self.workers):
+                last = self._last_heartbeat.get(address)
+                if last is not None and last < deadline:
+                    self.log("WARNING",
+                             f"Worker {address} failed heartbeat check; "
+                             "removing and recovering its work")
+                    self.handle_worker_failure(self.workers[address])
+
+    def handle_worker_failure(self, worker: Worker) -> None:
+        """Recover from a dead worker: recompute lost keys, reassign
+        its in-flight tasks (Dask's ``remove_worker`` recovery path)."""
+        if worker.address not in self.workers:
+            return
+        worker.fail()
+        self.remove_worker(worker)
+
+        # Drop the dead worker's replicas everywhere.
+        lost: list[SchedulerTaskState] = []
+        inflight: list[SchedulerTaskState] = []
+        for ts in self.tasks.values():
+            had = ts.who_has.pop(worker.address, None)
+            if had is not None and ts.state == "memory" and not ts.who_has:
+                lost.append(ts)
+            if ts.state == "processing" and ts.processing_on is worker:
+                inflight.append(ts)
+
+        for ts in lost:
+            if ts.wanted or ts.remaining_dependents > 0 or ts.dependents:
+                self._resubmit(ts)
+            else:
+                self._transition(ts, "released", "worker-failed")
+                self._transition(ts, "forgotten", "gc")
+
+        for ts in inflight:
+            ts.processing_on = None
+            ts.worker_process = None
+            ts.compute_process = None
+            ts.occupancy_contrib = 0.0
+            self._transition(ts, "released", "worker-failed")
+            self._transition(ts, "waiting", "worker-failed")
+            ts.waiting_on = {
+                key_str(dep) for dep in ts.spec.deps
+                if self.tasks[key_str(dep)].state != "memory"
+            }
+            if not ts.waiting_on and self.workers:
+                self._assign(ts, stimulus="worker-failed")
+
+    def _resubmit(self, ts: SchedulerTaskState) -> None:
+        """Recompute a lost key (and, recursively, lost inputs)."""
+        if ts.state == "memory":
+            self._transition(ts, "released", "worker-failed")
+        elif ts.state == "forgotten":
+            # Resurrect: forgotten keys re-enter as released.
+            ts.state = "released"
+        if ts.state != "released":
+            return
+        self._transition(ts, "waiting", "recompute")
+        ts.nbytes = 0
+        ts.who_has.clear()
+        ts.waiting_on = set()
+        for dep in ts.spec.deps:
+            dep_ts = self.tasks[key_str(dep)]
+            # This task will consume its inputs once more.
+            dep_ts.remaining_dependents += 1
+            if dep_ts.state == "memory":
+                continue
+            ts.waiting_on.add(dep_ts.name)
+            if dep_ts.state in ("released", "forgotten"):
+                # The input itself is gone: rebuild it too.
+                self._resubmit(dep_ts)
+        # Downstream tasks still waiting must wait for this key again.
+        for dep_name in ts.dependents:
+            dep_ts = self.tasks[dep_name]
+            if dep_ts.state == "waiting":
+                dep_ts.waiting_on.add(ts.name)
+        if not ts.waiting_on and self.workers:
+            self._assign(ts, stimulus="recompute")
+
+    def log(self, level: str, message: str) -> None:
+        self.logs.append(LogEntry(
+            source="scheduler", time=self.env.now, level=level,
+            message=message,
+        ))
+
+    # ------------------------------------------------------------------
+    # duration estimation (per prefix, exponential moving average)
+    # ------------------------------------------------------------------
+    def estimate_duration(self, spec: TaskSpec) -> float:
+        return self._duration_ema.get(spec.prefix, DEFAULT_DURATION_GUESS)
+
+    def observe_duration(self, spec: TaskSpec, duration: float) -> None:
+        old = self._duration_ema.get(spec.prefix)
+        if old is None:
+            self._duration_ema[spec.prefix] = duration
+        else:
+            self._duration_ema[spec.prefix] = 0.5 * old + 0.5 * duration
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def _transition(self, ts: SchedulerTaskState, finish: str,
+                    stimulus: str) -> None:
+        start = ts.state
+        validate_transition(start, finish)
+        ts.state = finish
+        record = TransitionRecord(
+            key=ts.name, group=ts.spec.group, prefix=ts.spec.prefix,
+            start_state=start, finish_state=finish,
+            timestamp=self.env.now, stimulus=stimulus,
+            worker=ts.processing_on.address if ts.processing_on else None,
+            source="scheduler",
+        )
+        self.transitions.append(record)
+        for plugin in self.plugins:
+            plugin.transition(record)
+
+    # ------------------------------------------------------------------
+    # graph intake
+    # ------------------------------------------------------------------
+    def update_graph(self, graph: TaskGraph,
+                     wanted: Optional[list[str]] = None) -> int:
+        """Register a submitted graph; returns its graph index.
+
+        ``wanted`` keys (default: the graph's leaves) are pinned in
+        distributed memory until :meth:`release_wanted` is called —
+        they back the client's futures.
+        """
+        if not self.workers:
+            raise RuntimeError("no workers registered")
+        graph.validate(allow_external=True)
+        graph_index = self._n_graphs
+        self._n_graphs += 1
+        wanted = list(wanted) if wanted is not None else graph.leaves()
+        wanted_set = set(wanted)
+
+        order = graph.toposort()
+        new_states: list[SchedulerTaskState] = []
+        for name in order:
+            spec = graph[name]
+            if name in self.tasks:
+                raise RuntimeError(f"key {name} already known to scheduler")
+            ts = SchedulerTaskState(spec=spec, graph_index=graph_index)
+            ts.wanted = name in wanted_set
+            self.tasks[name] = ts
+            new_states.append(ts)
+
+        # Wire dependencies (allowing references to older graphs' keys).
+        for ts in new_states:
+            for dep in ts.spec.deps:
+                dep_name = key_str(dep)
+                dep_ts = self.tasks.get(dep_name)
+                if dep_ts is None:
+                    raise RuntimeError(
+                        f"task {ts.name} depends on unknown key {dep_name}"
+                    )
+                dep_ts.dependents.add(ts.name)
+                dep_ts.remaining_dependents += 1
+                if dep_ts.state != "memory":
+                    ts.waiting_on.add(dep_name)
+
+        for ts in new_states:
+            for plugin in self.plugins:
+                plugin.task_added(
+                    key=ts.name, group=ts.spec.group, prefix=ts.spec.prefix,
+                    deps=[key_str(d) for d in ts.spec.deps],
+                    graph_index=graph_index, timestamp=self.env.now,
+                )
+            self._transition(ts, "waiting", "update-graph")
+            if ts.wanted:
+                self._wanted_events[ts.name] = self.env.event()
+        ready = [ts for ts in new_states if not ts.waiting_on]
+        roots = [ts for ts in ready if not ts.spec.deps]
+        if (self.config.root_coassignment
+                and len(roots) >= 2 * len(self.workers)):
+            # Root-task co-assignment (as in modern Dask): slice the
+            # batch of simultaneously ready roots into contiguous slabs,
+            # one per worker, so sibling chunks start out co-located and
+            # their downstream consumers rarely need transfers.
+            workers = list(self.workers.values())
+            slab = -(-len(roots) // len(workers))
+            for w_index, start in enumerate(range(0, len(roots), slab)):
+                worker = workers[w_index % len(workers)]
+                for ts in roots[start:start + slab]:
+                    self._assign(ts, stimulus="ready-on-submit",
+                                 worker=worker)
+            root_set = set(id(ts) for ts in roots)
+            ready = [ts for ts in ready if id(ts) not in root_set]
+        for ts in ready:
+            self._assign(ts, stimulus="ready-on-submit")
+
+        self.log(
+            "INFO",
+            f"Receive graph {graph_index} ({len(new_states)} tasks, "
+            f"{len(wanted)} wanted keys)",
+        )
+        return graph_index
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def decide_worker(self, ts: SchedulerTaskState) -> Worker:
+        """Pick the worker minimising occupancy + transfer cost.
+
+        As in ``distributed.scheduler.decide_worker``: a task with
+        dependencies considers the workers already holding them, plus
+        any idle workers; only a dependency-less task (or one whose
+        holders are all gone) considers the whole pool.  This keeps
+        chains of tasks with their data unless somebody is starving —
+        and when the balance is wrong, work stealing (not placement)
+        moves the task, paying the data-movement price the paper's
+        lessons-learned section describes.
+        """
+        candidates: dict[str, Worker] = {}
+        if ts.spec.deps:
+            for dep in ts.spec.deps:
+                for address, holder in self.tasks[key_str(dep)].who_has.items():
+                    if address in self.workers:
+                        candidates[address] = holder
+            if candidates:
+                mean_occ = (sum(self.occupancy.values())
+                            / max(1, len(self.occupancy)))
+                threshold = self.config.idle_fraction * mean_occ
+                for address, worker in self.workers.items():
+                    if self.occupancy[address] < threshold \
+                            or self.occupancy[address] == 0.0:
+                        candidates[address] = worker
+        if not candidates:
+            candidates = dict(self.workers)
+
+        best: Optional[Worker] = None
+        best_score = float("inf")
+        for address, worker in candidates.items():
+            transfer_bytes = 0
+            for dep in ts.spec.deps:
+                dep_ts = self.tasks[key_str(dep)]
+                if address not in dep_ts.who_has:
+                    transfer_bytes += dep_ts.nbytes
+            comm_cost = (
+                self.config.locality_weight
+                * transfer_bytes / self.config.bandwidth_estimate
+            )
+            score = self.occupancy[address] + comm_cost
+            if score < best_score:
+                best_score = score
+                best = worker
+        assert best is not None
+        return best
+
+    def _assign(self, ts: SchedulerTaskState, stimulus: str,
+                worker: Optional[Worker] = None) -> None:
+        worker = worker or self.decide_worker(ts)
+        ts.processing_on = worker
+        ts.occupancy_contrib = self.estimate_duration(ts.spec)
+        self.occupancy[worker.address] += ts.occupancy_contrib
+        self._transition(ts, "processing", stimulus)
+        who_has = {
+            key_str(dep): list(self.tasks[key_str(dep)].who_has.values())
+            for dep in ts.spec.deps
+        }
+        sizes = {
+            key_str(dep): self.tasks[key_str(dep)].nbytes
+            for dep in ts.spec.deps
+        }
+        ts.worker_process = self.env.process(
+            self._dispatch(ts, worker, who_has, sizes),
+            name=f"dispatch-{ts.name}",
+        )
+
+    def _dispatch(self, ts: SchedulerTaskState, worker: Worker,
+                  who_has: dict, sizes: dict):
+        """Process: control-plane hop, then run the task on the worker."""
+        yield self.env.timeout(self.config.control_latency)
+        proc = self.env.process(
+            worker.compute_task(ts.spec, who_has, sizes, ts.graph_index),
+            name=f"compute-{ts.name}",
+        )
+        ts.compute_process = proc
+        completed = yield proc
+        if ts.compute_process is proc:
+            ts.compute_process = None
+        return completed
+
+    # ------------------------------------------------------------------
+    # completion path
+    # ------------------------------------------------------------------
+    def task_finished(self, worker: Worker, name: str, nbytes: int,
+                      start: float, stop: float) -> None:
+        if worker.address not in self.workers:
+            return  # ghost message from a removed/failed worker
+        ts = self.tasks[name]
+        if ts.state != "processing" or ts.processing_on is not worker:
+            return  # late message for a task that moved on (steal race)
+        duration = stop - start
+        self.observe_duration(ts.spec, duration)
+        self.occupancy[worker.address] = max(
+            0.0,
+            self.occupancy[worker.address] - ts.occupancy_contrib,
+        )
+        ts.occupancy_contrib = 0.0
+        ts.nbytes = nbytes
+        ts.who_has[worker.address] = worker
+        ts.worker_process = None
+        self._transition(ts, "memory", "task-finished")
+
+        if ts.wanted:
+            event = self._wanted_events.get(ts.name)
+            if event is not None and not event.triggered:
+                event.succeed(nbytes)
+
+        # Promote dependents whose last dependency just landed.
+        for dep_name in sorted(ts.dependents):
+            dep_ts = self.tasks[dep_name]
+            dep_ts.waiting_on.discard(name)
+            if dep_ts.state == "waiting" and not dep_ts.waiting_on:
+                self._assign(dep_ts, stimulus="dep-ready")
+
+        # Release upstream keys this completion may have unpinned.
+        for dep in ts.spec.deps:
+            dep_ts = self.tasks[key_str(dep)]
+            dep_ts.remaining_dependents -= 1
+            self._maybe_release(dep_ts)
+        # A result nothing depends on and no client holds is garbage
+        # immediately (Dask releases it as soon as it has no referrers).
+        self._maybe_release(ts)
+
+    def task_erred(self, worker: Worker, name: str,
+                   exception: BaseException) -> None:
+        """A task raised on its worker: err it and poison dependents.
+
+        Mirrors Dask: the failing task transitions to ``erred``, every
+        transitive dependent that can no longer run is erred as well
+        (stimulus ``upstream-erred``), and clients waiting on any of
+        those keys see the original exception.
+        """
+        if worker.address not in self.workers:
+            return
+        ts = self.tasks[name]
+        if ts.state != "processing" or ts.processing_on is not worker:
+            return
+        self.occupancy[worker.address] = max(
+            0.0, self.occupancy[worker.address] - ts.occupancy_contrib)
+        ts.occupancy_contrib = 0.0
+        ts.worker_process = None
+        self._transition(ts, "erred", "task-erred")
+        self.log("ERROR", f"Task {name} marked as failed because of "
+                          f"{type(exception).__name__}: {exception}")
+        self._fail_wanted(ts, exception)
+
+        # Poison the transitive dependents that are now unrunnable.
+        stack = sorted(ts.dependents)
+        seen = set()
+        while stack:
+            dep_name = stack.pop()
+            if dep_name in seen:
+                continue
+            seen.add(dep_name)
+            dep_ts = self.tasks[dep_name]
+            if dep_ts.state in ("erred", "memory", "forgotten"):
+                continue
+            if dep_ts.state == "waiting":
+                # waiting -> processing -> erred is the legal path; the
+                # short-circuit stimulus records why.
+                self._transition(dep_ts, "processing", "upstream-erred")
+            if dep_ts.state == "processing":
+                self._transition(dep_ts, "erred", "upstream-erred")
+            self._fail_wanted(dep_ts, exception)
+            stack.extend(sorted(dep_ts.dependents))
+
+    def _fail_wanted(self, ts: SchedulerTaskState,
+                     exception: BaseException) -> None:
+        event = self._wanted_events.get(ts.name)
+        if event is not None and not event.triggered:
+            event.fail(exception)
+
+    def _maybe_release(self, ts: SchedulerTaskState) -> None:
+        if ts.state != "memory":
+            return
+        if ts.wanted or ts.remaining_dependents > 0:
+            return
+        for worker in ts.who_has.values():
+            worker.free_keys([ts.name])
+        ts.who_has.clear()
+        self._transition(ts, "released", "no-dependents")
+        self._transition(ts, "forgotten", "gc")
+
+    # ------------------------------------------------------------------
+    # client-facing helpers
+    # ------------------------------------------------------------------
+    def add_replica(self, worker: Worker, name: str) -> None:
+        """A worker fetched a copy of ``name``; track it for release."""
+        ts = self.tasks.get(name)
+        if ts is not None and ts.state == "memory":
+            ts.who_has[worker.address] = worker
+
+    def wanted_event(self, name: str):
+        return self._wanted_events[name]
+
+    def release_wanted(self, names: list[str]) -> None:
+        """Client dropped its futures; unpin and maybe free the keys."""
+        for name in names:
+            ts = self.tasks.get(name)
+            if ts is None:
+                continue
+            ts.wanted = False
+            self._wanted_events.pop(name, None)
+            self._maybe_release(ts)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "address": self.address,
+            "hostname": self.node.name,
+            "n_workers": len(self.workers),
+            "config": self.config.describe(),
+        }

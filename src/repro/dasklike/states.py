@@ -1,0 +1,140 @@
+"""Task state machines and transition records.
+
+Dask.distributed tracks a task through two coupled state machines — one
+on the scheduler, one on the worker that runs it.  The paper's
+scheduler/worker plugins "capture crucial details such as the task key,
+group, prefix, initial state, final state, timestamp, and the stimuli
+that triggered this transition" (§III-E2).  This module defines the
+states, the legal transitions, and the :class:`TransitionRecord` that
+the instrumentation layer streams to Mofka.
+
+State vocabulary follows Dask.distributed:
+
+Scheduler side
+    ``released → waiting → processing → memory → released/forgotten``
+    with ``no-worker`` when nothing can accept the task and ``erred``
+    on failure.
+
+Worker side
+    ``waiting → ready → executing → memory`` with ``fetch → flight``
+    for dependencies being gathered from peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "SCHEDULER_STATES",
+    "WORKER_STATES",
+    "SCHEDULER_TRANSITIONS",
+    "TransitionRecord",
+    "validate_transition",
+    "key_split",
+    "key_group",
+    "key_str",
+]
+
+SCHEDULER_STATES = (
+    "released", "waiting", "no-worker", "processing", "memory", "erred",
+    "forgotten",
+)
+
+WORKER_STATES = (
+    "waiting", "fetch", "flight", "ready", "executing", "memory",
+    "released", "erred",
+)
+
+#: Legal scheduler-side transitions (superset of what we exercise).
+SCHEDULER_TRANSITIONS = frozenset([
+    ("released", "waiting"),
+    ("waiting", "processing"),
+    ("waiting", "no-worker"),
+    ("no-worker", "processing"),
+    ("processing", "memory"),
+    ("processing", "erred"),
+    ("processing", "released"),
+    ("memory", "released"),
+    ("memory", "forgotten"),
+    ("released", "forgotten"),
+    ("erred", "forgotten"),
+])
+
+
+def validate_transition(start: str, finish: str) -> None:
+    """Raise ``ValueError`` for a transition Dask's scheduler never makes."""
+    if (start, finish) not in SCHEDULER_TRANSITIONS:
+        raise ValueError(f"illegal scheduler transition {start!r} -> {finish!r}")
+
+
+@dataclass(frozen=True)
+class TransitionRecord:
+    """One captured state transition (the plugins' core event)."""
+
+    key: str
+    group: str
+    prefix: str
+    start_state: str
+    finish_state: str
+    timestamp: float
+    stimulus: str
+    #: Worker address for worker-side records; None on the scheduler
+    #: until the task is assigned.
+    worker: Optional[str] = None
+    #: Which machine recorded it: "scheduler" or the worker address.
+    source: str = "scheduler"
+
+
+# -- key naming conventions (mirrors dask.core / distributed) -------------
+
+def key_str(key) -> str:
+    """Canonical string form of a key (tuples render like Dask's)."""
+    if isinstance(key, tuple):
+        return "(" + ", ".join(repr(k) if isinstance(k, str) else str(k)
+                               for k in key) + ")"
+    return str(key)
+
+
+def key_group(key) -> str:
+    """Task *group*: the name part shared by siblings of one collection.
+
+    For ``('getitem-24266c', 63)`` the group is ``getitem-24266c``; for a
+    plain string key the group is the key itself.  Canonical string
+    renderings of tuple keys (``"('getitem-24266c', 63)"``) are parsed
+    back, so records that store :func:`key_str` output group correctly.
+    """
+    if isinstance(key, tuple) and key:
+        return str(key[0])
+    text = str(key)
+    if text.startswith("('") and "'" in text[2:]:
+        return text[2:text.index("'", 2)]
+    return text
+
+
+def key_split(key) -> str:
+    """Task *prefix*: the human-readable operation name.
+
+    Mirrors ``dask.utils.key_split``: strips the trailing hash token from
+    the group, e.g. ``'read_parquet-fused-assign-a1b2c3'`` →
+    ``'read_parquet-fused-assign'`` and ``('getitem-24266c', 63)`` →
+    ``'getitem'``.
+    """
+    group = key_group(key)
+    words = group.split("-")
+    # Drop trailing tokens that look like hex hashes or numbers.
+    while len(words) > 1 and _is_token(words[-1]):
+        words.pop()
+    return "-".join(words)
+
+
+def _is_token(word: str) -> bool:
+    if not word:
+        return True
+    if word.isdigit():
+        return True
+    # Hash tokens: hex strings of length >= 6 (tokenize() emits 8 hex
+    # chars; real operation names are never pure hex of that length).
+    if len(word) >= 6 and all(c in "0123456789abcdef" for c in word):
+        return True
+    return False

@@ -1,0 +1,121 @@
+"""Work-stealing balancer.
+
+Dask's stealing extension periodically moves *queued* (not yet
+executing) tasks from saturated workers to idle ones.  The paper's
+lessons-learned section flags it as a double-edged sword: "Work
+stealing is a runtime decision that may negatively impact overall
+performance because of expensive data movements or unforeseen effects
+in future task dispatching" (§V).  The ablation benchmark
+``bench_ablation_stealing`` measures exactly that trade-off.
+
+Implementation: every ``work_stealing_interval`` seconds the balancer
+compares worker occupancies.  If the most loaded worker with queued
+tasks exceeds the least loaded worker's occupancy by
+``steal_ratio``, one queued task migrates: the victim's in-flight
+worker process is interrupted (it withdraws its claim on the thread
+pool), and the task is re-dispatched to the thief — which may have to
+re-fetch the task's dependencies, the "expensive data movements" the
+paper warns about.
+"""
+
+from __future__ import annotations
+
+from .records import StealEvent
+from .scheduler import Scheduler
+
+__all__ = ["WorkStealing"]
+
+
+class WorkStealing:
+    """Scheduler extension implementing the balancing loop."""
+
+    def __init__(self, scheduler: Scheduler):
+        self.scheduler = scheduler
+        self.env = scheduler.env
+        self._running = False
+
+    def start(self) -> None:
+        if self._running or not self.scheduler.config.work_stealing:
+            return
+        self._running = True
+        self.env.process(self._loop(), name="work-stealing")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        interval = self.scheduler.config.work_stealing_interval
+        while self._running:
+            yield self.env.timeout(interval)
+            self.balance()
+
+    # ------------------------------------------------------------------
+    def balance(self) -> int:
+        """One balancing round; returns the number of tasks moved."""
+        sched = self.scheduler
+        workers = list(sched.workers.values())
+        if len(workers) < 2:
+            return 0
+        by_occ = sorted(workers, key=lambda w: sched.occupancy[w.address])
+        thief = by_occ[0]
+        moved = 0
+        for victim in reversed(by_occ[1:]):
+            if not victim.ready:
+                continue
+            victim_occ = sched.occupancy[victim.address]
+            thief_occ = sched.occupancy[thief.address]
+            if victim_occ <= sched.config.steal_ratio * max(thief_occ, 0.05):
+                break
+            # Steal the most recently queued task (deepest in the queue).
+            name = next(reversed(victim.ready))
+            if self._steal(name, victim, thief):
+                moved += 1
+            break  # one move per round, like a gentle balancer
+        return moved
+
+    def _steal(self, name: str, victim, thief) -> bool:
+        sched = self.scheduler
+        ts = sched.tasks.get(name)
+        if ts is None or ts.state != "processing":
+            return False
+        if ts.processing_on is not victim or ts.compute_process is None:
+            return False
+        proc = ts.compute_process
+        if proc.triggered:
+            return False
+        proc.interrupt("steal")
+        ts.compute_process = None
+
+        estimate = ts.occupancy_contrib
+        sched.occupancy[victim.address] = max(
+            0.0, sched.occupancy[victim.address] - estimate
+        )
+        sched.occupancy[thief.address] += estimate
+        event = StealEvent(
+            key=name, victim=victim.address, thief=thief.address,
+            time=self.env.now,
+            victim_occupancy=sched.occupancy[victim.address],
+            thief_occupancy=sched.occupancy[thief.address],
+        )
+        sched.steal_events.append(event)
+        for plugin in sched.plugins:
+            plugin.steal(event)
+        sched.log("INFO", f"Moving {name} from {victim.address} "
+                          f"to {thief.address}")
+
+        ts.processing_on = thief
+        # All deps are in memory at steal time (the task was ready).
+        from .states import key_str
+        who_has = {
+            key_str(dep): list(sched.tasks[key_str(dep)].who_has.values())
+            for dep in ts.spec.deps
+        }
+        sizes = {
+            key_str(dep): sched.tasks[key_str(dep)].nbytes
+            for dep in ts.spec.deps
+        }
+        ts.worker_process = self.env.process(
+            sched._dispatch(ts, thief, who_has, sizes),
+            name=f"steal-dispatch-{name}",
+        )
+        return True

@@ -1,0 +1,287 @@
+"""Task-graph representation and graph optimization.
+
+A workflow is "a directed acyclic graph, where nodes are tasks and edges
+are task dependencies" (§III-A).  Tasks in this reproduction are *cost
+models* rather than Python callables: each :class:`TaskSpec` declares
+how long it computes, what I/O it performs, and how large its output
+is.  The simulated workers then *act out* those costs on the platform
+substrate, producing the timings the instrumentation records.
+
+The module also implements the linear-chain *fusion* optimization that
+Dask applies before submission.  Fusion is load-bearing for the paper:
+the longest XGBoost tasks belong to the ``read_parquet-fused-assign``
+category, which "arises from Dask's task-graph optimization process,
+where I/O operations are combined with consuming tasks into a single
+node of the task graph to enhance data locality" (§IV-D3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from .states import key_group, key_split, key_str
+
+__all__ = ["IOOp", "TaskSpec", "TaskGraph", "fuse_linear_chains", "GraphError"]
+
+
+class GraphError(ValueError):
+    """Raised for malformed task graphs (cycles, missing dependencies)."""
+
+
+@dataclass(frozen=True)
+class IOOp:
+    """One planned POSIX operation a task will perform when it runs."""
+
+    path: str
+    op: str  # "read" | "write"
+    offset: int
+    length: int
+
+    def __post_init__(self):
+        if self.op not in ("read", "write"):
+            raise ValueError(f"op must be read/write, got {self.op!r}")
+        if self.offset < 0 or self.length < 0:
+            raise ValueError("offset/length must be non-negative")
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Cost-model description of one task.
+
+    Attributes
+    ----------
+    key:
+        Dask-style key — a string or a ``(name, index)`` tuple.
+    deps:
+        Keys this task consumes; their outputs must be in distributed
+        memory (possibly on another worker) before this task can run.
+    compute_time:
+        Nominal CPU seconds on a speed-1.0 core, before noise.
+    reads / writes:
+        Planned I/O, executed through the (Darshan-instrumented) PFS.
+    output_nbytes:
+        Size of the task's result kept in worker memory; this is the
+        "size" column of the paper's parallel-coordinates chart.
+    """
+
+    key: object
+    deps: tuple = ()
+    compute_time: float = 0.0
+    reads: tuple[IOOp, ...] = ()
+    writes: tuple[IOOp, ...] = ()
+    output_nbytes: int = 0
+
+    @property
+    def name(self) -> str:
+        return key_str(self.key)
+
+    @property
+    def group(self) -> str:
+        return key_group(self.key)
+
+    @property
+    def prefix(self) -> str:
+        return key_split(self.key)
+
+    def with_key(self, key) -> "TaskSpec":
+        return replace(self, key=key)
+
+
+class TaskGraph:
+    """A validated DAG of :class:`TaskSpec` nodes."""
+
+    def __init__(self, tasks: Iterable[TaskSpec] = (), name: str = "graph"):
+        self.name = name
+        self._tasks: dict[str, TaskSpec] = {}
+        for task in tasks:
+            self.add(task)
+
+    def add(self, task: TaskSpec) -> None:
+        name = task.name
+        if name in self._tasks:
+            raise GraphError(f"duplicate task key {name}")
+        self._tasks[name] = task
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, key) -> bool:
+        return key_str(key) in self._tasks
+
+    def __getitem__(self, key) -> TaskSpec:
+        return self._tasks[key_str(key)]
+
+    @property
+    def tasks(self) -> dict[str, TaskSpec]:
+        return dict(self._tasks)
+
+    def keys(self) -> list[str]:
+        return list(self._tasks)
+
+    def dependents(self) -> dict[str, set[str]]:
+        """Reverse adjacency: key → set of keys depending on it."""
+        out: dict[str, set[str]] = {name: set() for name in self._tasks}
+        for name, task in self._tasks.items():
+            for dep in task.deps:
+                dep_name = key_str(dep)
+                if dep_name in out:
+                    out[dep_name].add(name)
+        return out
+
+    def validate(self, allow_external: bool = False) -> None:
+        """Check deps resolve and the graph is acyclic.
+
+        With ``allow_external=True``, dependencies on keys outside this
+        graph are permitted — they reference results of previously
+        submitted graphs held in distributed memory (the multi-graph
+        submission pattern of the XGBoost workflow).
+        """
+        if not allow_external:
+            for name, task in self._tasks.items():
+                for dep in task.deps:
+                    if key_str(dep) not in self._tasks:
+                        raise GraphError(
+                            f"task {name} depends on missing key "
+                            f"{key_str(dep)}"
+                        )
+        self.toposort()
+
+    def toposort(self) -> list[str]:
+        """Kahn's algorithm; raises :class:`GraphError` on cycles."""
+        indegree = {name: 0 for name in self._tasks}
+        dependents = self.dependents()
+        for name, task in self._tasks.items():
+            indegree[name] = sum(
+                1 for dep in task.deps if key_str(dep) in self._tasks
+            )
+        ready = [name for name, deg in indegree.items() if deg == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for dependent in dependents[name]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(self._tasks):
+            raise GraphError("task graph contains a cycle")
+        return order
+
+    def roots(self) -> list[str]:
+        """Tasks with no in-graph dependencies."""
+        return [
+            name for name, task in self._tasks.items()
+            if not any(key_str(d) in self._tasks for d in task.deps)
+        ]
+
+    def leaves(self) -> list[str]:
+        """Tasks nothing in the graph depends on (the graph's outputs)."""
+        dependents = self.dependents()
+        return [name for name, deps in dependents.items() if not deps]
+
+    def stats(self) -> dict:
+        """Aggregate characteristics (feeds Table I)."""
+        files = set()
+        io_ops = 0
+        for task in self._tasks.values():
+            for op in task.reads + task.writes:
+                files.add(op.path)
+                io_ops += 1
+        return {
+            "tasks": len(self._tasks),
+            "edges": sum(len(t.deps) for t in self._tasks.values()),
+            "distinct_files": len(files),
+            "planned_io_ops": io_ops,
+            "prefixes": sorted({t.prefix for t in self._tasks.values()}),
+        }
+
+
+def fuse_linear_chains(graph: TaskGraph, name: Optional[str] = None) -> TaskGraph:
+    """Fuse linear chains, as ``dask.optimization.fuse`` does.
+
+    A chain ``a → b`` where *b* is *a*'s only dependent and *a* is *b*'s
+    only dependency collapses into one task whose key prefix is the
+    concatenation of the members' prefixes joined by ``-fused-`` (so a
+    ``read_parquet`` chained into an ``assign`` becomes
+    ``read_parquet-fused-assign``, the exact category the paper's Fig. 6
+    highlights).  Costs add; the fused output size is the tail's.
+    """
+    graph.validate(allow_external=True)
+    dependents = graph.dependents()
+    tasks = graph.tasks
+
+    # Walk chains from their heads.
+    fused_into: dict[str, str] = {}
+    chains: dict[str, list[str]] = {}
+    for head in graph.toposort():
+        if head in fused_into:
+            continue
+        chain = [head]
+        current = head
+        while True:
+            deps_of = dependents[current]
+            if len(deps_of) != 1:
+                break
+            nxt = next(iter(deps_of))
+            in_graph_deps = [
+                d for d in tasks[nxt].deps if key_str(d) in tasks
+            ]
+            if len(in_graph_deps) != 1:
+                break
+            chain.append(nxt)
+            current = nxt
+        if len(chain) > 1:
+            for member in chain:
+                fused_into[member] = chain[0]
+            chains[chain[0]] = chain
+
+    out = TaskGraph(name=name or f"{graph.name}-fused")
+    replaced: dict[str, object] = {}
+    for head, chain in chains.items():
+        members = [tasks[m] for m in chain]
+        prefixes = []
+        for member in members:
+            if member.prefix not in prefixes:
+                prefixes.append(member.prefix)
+        if len(prefixes) > 1:
+            fused_prefix = "-fused-".join([prefixes[0], prefixes[-1]]) \
+                if len(prefixes) == 2 else "-fused-".join(prefixes)
+        else:
+            fused_prefix = prefixes[0]
+        head_task = members[0]
+        tail_task = members[-1]
+        token = head_task.group.split("-")[-1] if "-" in head_task.group else "0"
+        if isinstance(head_task.key, tuple) and len(head_task.key) > 1:
+            new_key = (f"{fused_prefix}-{token}",) + tuple(head_task.key[1:])
+        else:
+            new_key = f"{fused_prefix}-{token}"
+        fused = TaskSpec(
+            key=new_key,
+            deps=tuple(
+                d for d in head_task.deps
+            ),
+            compute_time=sum(m.compute_time for m in members),
+            reads=tuple(op for m in members for op in m.reads),
+            writes=tuple(op for m in members for op in m.writes),
+            output_nbytes=tail_task.output_nbytes,
+        )
+        for member in chain:
+            replaced[member] = new_key
+        out.add(fused)
+
+    for name_, task in tasks.items():
+        if name_ in fused_into:
+            continue
+        new_deps = tuple(
+            replaced.get(key_str(d), d) for d in task.deps
+        )
+        out.add(replace(task, deps=new_deps))
+
+    # Rewrite deps of fused tasks too (their heads may depend on fused keys).
+    final = TaskGraph(name=out.name)
+    for task in out.tasks.values():
+        new_deps = tuple(replaced.get(key_str(d), d) for d in task.deps)
+        final.add(replace(task, deps=new_deps))
+    final.validate(allow_external=True)
+    return final

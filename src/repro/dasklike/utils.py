@@ -1,0 +1,29 @@
+"""Small shared utilities for the WMS layer."""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["tokenize", "format_bytes"]
+
+
+def tokenize(*parts: object) -> str:
+    """Deterministic 8-hex-digit token, like ``dask.base.tokenize``.
+
+    Keys built from the same logical inputs get the same token in every
+    run, which keeps task identities stable across repetitions — a
+    prerequisite for the paper's cross-run scheduling comparisons.
+    """
+    digest = hashlib.blake2b(
+        "\x1f".join(str(p) for p in parts).encode("utf-8"), digest_size=4
+    ).hexdigest()
+    return digest
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (``1.50 GiB`` style)."""
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.2f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,33 @@
+"""The paper's instrumentation layer: Dask–Mofka plugins, the adapted
+Darshan deployment, and layered provenance-metadata capture (Fig. 1).
+
+:class:`InstrumentedRun` is the one-stop assembly: given a platform
+cluster and a job allocation it wires plugins, producers, and Darshan
+runtimes around a Dask-like cluster, and persists the whole multi-
+source record set for PERFRECUP.
+"""
+
+from .metadata import capture_provenance, read_provenance, write_provenance
+from .online import (
+    DXT_TOPIC,
+    MonitorSnapshot,
+    OnlineDarshanBridge,
+    OnlineMonitor,
+)
+from .plugins import BasePlugin, MofkaSchedulerPlugin, MofkaWorkerPlugin
+from .recorder import PROVENANCE_TOPIC, InstrumentedRun
+
+__all__ = [
+    "BasePlugin",
+    "DXT_TOPIC",
+    "InstrumentedRun",
+    "MofkaSchedulerPlugin",
+    "MofkaWorkerPlugin",
+    "MonitorSnapshot",
+    "OnlineDarshanBridge",
+    "OnlineMonitor",
+    "PROVENANCE_TOPIC",
+    "capture_provenance",
+    "read_provenance",
+    "write_provenance",
+]

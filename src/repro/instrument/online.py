@@ -1,0 +1,178 @@
+"""Online (in-situ) analysis — the paper's future-work direction (§VI).
+
+Two pieces:
+
+* :class:`OnlineDarshanBridge` — "we will shift to capturing Darshan
+  records and pushing them to Mofka at runtime to have a fully online
+  system": a per-worker hook that forwards every DXT segment to a
+  dedicated Mofka topic through a batching producer, so I/O telemetry
+  is available *while the workflow runs* instead of only at shutdown.
+
+* :class:`OnlineMonitor` — an in-situ consumer that periodically pulls
+  the provenance (and optionally DXT) streams and maintains running
+  aggregates: task throughput, per-prefix duration statistics, warning
+  counts, and I/O volume.  Because Mofka streams are persistent, this
+  consumer "can proceed at its own pace" (§III-B) without slowing the
+  producers; snapshots can drive dashboards or the adaptive-capture
+  policies of :mod:`repro.darshan.adaptive`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..mofka import Consumer, MofkaService, Producer
+from ..sim import Environment
+
+__all__ = ["OnlineDarshanBridge", "OnlineMonitor", "MonitorSnapshot"]
+
+DXT_TOPIC = "darshan-dxt"
+
+
+class OnlineDarshanBridge:
+    """Streams DXT segments to Mofka as they are recorded."""
+
+    def __init__(self, env: Environment, service: MofkaService,
+                 topic: str = DXT_TOPIC, batch_size: int = 128,
+                 linger: float = 0.1, n_partitions: int = 4):
+        self.env = env
+        self.service = service
+        self.topic = topic
+        if topic not in service.topics:
+            service.create_topic(topic, n_partitions)
+        self._producers: dict[int, Producer] = {}
+        self.batch_size = batch_size
+        self.linger = linger
+        self.n_forwarded = 0
+
+    def producer_for(self, rank: int) -> Producer:
+        producer = self._producers.get(rank)
+        if producer is None:
+            producer = Producer(
+                self.env, self.service, self.topic,
+                batch_size=self.batch_size, linger=self.linger,
+                name=f"dxt-producer-{rank}",
+            )
+            self._producers[rank] = producer
+        return producer
+
+    def segment_callback(self, runtime, segment) -> None:
+        """The hook installed as ``DarshanRuntime.segment_callback``."""
+        self.producer_for(runtime.rank).push({
+            "type": "dxt_segment",
+            "rank": runtime.rank,
+            "hostname": runtime.hostname,
+            "pthread_id": segment.pthread_id,
+            "file": segment.path,
+            "op": segment.op,
+            "offset": segment.offset,
+            "length": segment.length,
+            "start": segment.start,
+            "end": segment.end,
+        })
+        self.n_forwarded += 1
+
+    def drain(self):
+        """Simulation process: flush and close every producer."""
+        for producer in self._producers.values():
+            yield self.env.process(producer.close())
+
+
+@dataclass
+class MonitorSnapshot:
+    """Running aggregates at one monitoring instant."""
+
+    time: float
+    n_events: int
+    tasks_completed: int
+    warnings: dict = field(default_factory=dict)
+    prefix_durations: dict = field(default_factory=dict)  # prefix -> (n, mean)
+    io_ops: int = 0
+    io_bytes: int = 0
+    lag: int = 0
+
+
+class OnlineMonitor:
+    """In-situ consumer maintaining running workflow statistics."""
+
+    def __init__(self, env: Environment, service: MofkaService,
+                 topics: tuple[str, ...], interval: float = 1.0,
+                 on_snapshot: Optional[Callable[[MonitorSnapshot], None]]
+                 = None):
+        self.env = env
+        self.service = service
+        self.interval = interval
+        self.on_snapshot = on_snapshot
+        self._consumers = [Consumer(env, service, t,
+                                    name=f"monitor-{t}") for t in topics]
+        self.snapshots: list[MonitorSnapshot] = []
+        self._running = False
+
+        # Running aggregates.
+        self._n_events = 0
+        self._tasks_completed = 0
+        self._warnings: dict[str, int] = {}
+        self._prefix_stats: dict[str, list] = {}  # prefix -> [n, total]
+        self._io_ops = 0
+        self._io_bytes = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.env.process(self._loop(), name="online-monitor")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            yield self.env.timeout(self.interval)
+            yield self.env.process(self.poll())
+
+    def poll(self):
+        """Simulation process: one pull-and-aggregate round."""
+        for consumer in self._consumers:
+            events = yield self.env.process(consumer.pull(4096))
+            for event in events:
+                self._ingest(event.metadata)
+        snapshot = self.snapshot()
+        self.snapshots.append(snapshot)
+        if self.on_snapshot is not None:
+            self.on_snapshot(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def _ingest(self, metadata: dict) -> None:
+        self._n_events += 1
+        event_type = metadata.get("type")
+        if event_type == "task_run":
+            self._tasks_completed += 1
+            prefix = metadata.get("prefix", "?")
+            duration = metadata["stop"] - metadata["start"]
+            stats = self._prefix_stats.setdefault(prefix, [0, 0.0])
+            stats[0] += 1
+            stats[1] += duration
+        elif event_type == "warning":
+            kind = metadata.get("kind", "?")
+            self._warnings[kind] = self._warnings.get(kind, 0) + 1
+        elif event_type == "dxt_segment":
+            self._io_ops += 1
+            self._io_bytes += metadata.get("length", 0)
+
+    def snapshot(self) -> MonitorSnapshot:
+        return MonitorSnapshot(
+            time=self.env.now,
+            n_events=self._n_events,
+            tasks_completed=self._tasks_completed,
+            warnings=dict(self._warnings),
+            prefix_durations={
+                prefix: (n, total / n if n else 0.0)
+                for prefix, (n, total) in self._prefix_stats.items()
+            },
+            io_ops=self._io_ops,
+            io_bytes=self._io_bytes,
+            lag=sum(c.lag for c in self._consumers),
+        )

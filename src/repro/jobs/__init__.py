@@ -1,0 +1,15 @@
+"""Batch-job layer: job specs, allocation, scripts, and logs.
+
+The provenance chart of the paper (Fig. 1) has a "system software and
+job configurations" layer that records job scripts and logs "to provide
+insight into the requested and allocated resources".  This package
+provides that layer for the simulated machine: a PBS-like batch system
+that assigns job IDs, simulates queue wait, allocates nodes through the
+:class:`~repro.platform.Cluster`, and captures the job-level metadata
+PERFRECUP ingests.
+"""
+
+from .jobspec import JobSpec
+from .scheduler import BatchSystem, Job
+
+__all__ = ["BatchSystem", "Job", "JobSpec"]

@@ -1,0 +1,88 @@
+"""Job specification: what the user asks the batch system for.
+
+The paper's evaluation uses a fixed shape for every experiment —
+"2 worker nodes, 4 workers per node, 8 threads per worker" (§IV-B) —
+plus one extra node that hosts the Dask scheduler and the Mofka
+servers.  :func:`JobSpec.paper_default` captures that configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["JobSpec"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Resource request + WMS layout for one workflow run."""
+
+    name: str = "dask-workflow"
+    worker_nodes: int = 2
+    workers_per_node: int = 4
+    threads_per_worker: int = 8
+    #: Extra node hosting the Dask scheduler (and Mofka servers).
+    scheduler_nodes: int = 1
+    walltime_limit: float = 3600.0
+    queue: str = "debug"
+    project: str = "repro"
+    #: Environment-module names, captured as system-software provenance.
+    modules: tuple[str, ...] = (
+        "PrgEnv-gnu", "cray-python/3.11", "cudatoolkit-standalone",
+    )
+
+    @property
+    def total_nodes(self) -> int:
+        return self.worker_nodes + self.scheduler_nodes
+
+    @property
+    def total_workers(self) -> int:
+        return self.worker_nodes * self.workers_per_node
+
+    @property
+    def total_threads(self) -> int:
+        return self.total_workers * self.threads_per_worker
+
+    @classmethod
+    def paper_default(cls, name: str = "dask-workflow") -> "JobSpec":
+        """The §IV-B configuration: 2×4 workers × 8 threads."""
+        return cls(name=name, worker_nodes=2, workers_per_node=4,
+                   threads_per_worker=8)
+
+    def render_script(self) -> str:
+        """A PBS-style job script, stored verbatim as provenance."""
+        lines = [
+            "#!/bin/bash",
+            f"#PBS -N {self.name}",
+            f"#PBS -l select={self.total_nodes}:system=polaris",
+            f"#PBS -l walltime={int(self.walltime_limit) // 3600:02d}:"
+            f"{int(self.walltime_limit) % 3600 // 60:02d}:00",
+            f"#PBS -q {self.queue}",
+            f"#PBS -A {self.project}",
+            "",
+        ]
+        lines += [f"module load {m}" for m in self.modules]
+        lines += [
+            "",
+            "dask scheduler --scheduler-file cluster.info &",
+            f"mpiexec -n {self.total_workers} -ppn {self.workers_per_node} \\",
+            f"    dask worker --nthreads {self.threads_per_worker} "
+            "--scheduler-file cluster.info &",
+            f"python {self.name}.py",
+        ]
+        return "\n".join(lines) + "\n"
+
+    def describe(self) -> dict:
+        """Metadata record for the provenance job layer (Fig. 1)."""
+        return {
+            "name": self.name,
+            "worker_nodes": self.worker_nodes,
+            "workers_per_node": self.workers_per_node,
+            "threads_per_worker": self.threads_per_worker,
+            "scheduler_nodes": self.scheduler_nodes,
+            "total_nodes": self.total_nodes,
+            "walltime_limit": self.walltime_limit,
+            "queue": self.queue,
+            "project": self.project,
+            "modules": list(self.modules),
+        }

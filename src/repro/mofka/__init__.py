@@ -1,0 +1,33 @@
+"""Mofka-like event streaming service built from Mochi-like microservices.
+
+The instrumentation transport of the reproduction: Dask-side plugins
+act as producers, analysis tools as consumers (§III-B).  Composition
+mirrors the paper's: Yokan (key/value), Warabi (blobs), Bedrock
+(bootstrap), SSG (membership/fault detection), assembled into a broker
+with topics, partitions, batching producers, and pull consumers.
+"""
+
+from .bedrock import BedrockConfig, bootstrap
+from .consumer import Consumer
+from .event import Event
+from .producer import Producer
+from .server import MofkaService
+from .ssg import Member, SSGGroup
+from .topic import Partition, Topic
+from .warabi import WarabiStore
+from .yokan import YokanStore
+
+__all__ = [
+    "BedrockConfig",
+    "Consumer",
+    "Event",
+    "Member",
+    "MofkaService",
+    "Partition",
+    "Producer",
+    "SSGGroup",
+    "Topic",
+    "WarabiStore",
+    "YokanStore",
+    "bootstrap",
+]

@@ -1,0 +1,64 @@
+"""Bedrock: Mochi service deployment and bootstrapping.
+
+Bedrock turns a declarative JSON configuration into a running Mochi
+service composition.  Here it instantiates the broker, its SSG group
+monitor, and the requested topics from a config mapping, and returns a
+handle bundle — mirroring how the paper's framework deploys Mofka
+alongside the workflow "on any platform, and scaled as needed for a
+given workflow instance" (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim import Environment
+from .server import MofkaService
+
+__all__ = ["BedrockConfig", "bootstrap"]
+
+
+@dataclass(frozen=True)
+class BedrockConfig:
+    """Declarative deployment description."""
+
+    service_name: str = "mofka"
+    address: str = "mofka://scheduler:9000"
+    topics: tuple[tuple[str, int], ...] = (("dask-provenance", 4),)
+    heartbeat_period: float = 1.0
+    start_monitor: bool = True
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "BedrockConfig":
+        return cls(
+            service_name=raw.get("service_name", "mofka"),
+            address=raw.get("address", "mofka://scheduler:9000"),
+            topics=tuple(
+                (t["name"], int(t.get("partitions", 4)))
+                for t in raw.get("topics", [])
+            ) or (("dask-provenance", 4),),
+            heartbeat_period=float(raw.get("heartbeat_period", 1.0)),
+            start_monitor=bool(raw.get("start_monitor", True)),
+        )
+
+    def describe(self) -> dict:
+        return {
+            "service_name": self.service_name,
+            "address": self.address,
+            "topics": [
+                {"name": name, "partitions": n} for name, n in self.topics
+            ],
+            "heartbeat_period": self.heartbeat_period,
+        }
+
+
+def bootstrap(env: Environment, config: BedrockConfig) -> MofkaService:
+    """Stand up a Mofka service per the Bedrock configuration."""
+    service = MofkaService(env, name=config.service_name,
+                           address=config.address)
+    service.group.heartbeat_period = config.heartbeat_period
+    for name, n_partitions in config.topics:
+        service.create_topic(name, n_partitions)
+    if config.start_monitor:
+        service.group.start_monitor()
+    return service

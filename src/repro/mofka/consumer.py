@@ -1,0 +1,66 @@
+"""Mofka consumers: in-situ pulls and post-hoc bulk reads.
+
+"Consumers subscribe to specific topics and pull events from servers to
+process them ... the API for consuming events is identical whether
+consumers process events individually in real time or in bulk at the
+completion of a workflow" (§III-B).  Two entry points mirror that:
+
+* :meth:`Consumer.pull` — a simulation process that fetches the next
+  window of events while the workflow runs (in-situ analysis);
+* :meth:`Consumer.fetch_all` — an immediate bulk read used by the
+  PERFRECUP engine at analysis time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Environment
+from .event import Event
+from .server import MofkaService
+
+__all__ = ["Consumer"]
+
+
+class Consumer:
+    """A subscriber on one topic with per-partition offsets."""
+
+    def __init__(self, env: Environment, service: MofkaService, topic: str,
+                 name: str = "consumer"):
+        self.env = env
+        self.service = service
+        self.topic_name = topic
+        self.name = name
+        topic_obj = service.topic(topic)
+        self._offsets = {p.index: 0 for p in topic_obj.partitions}
+
+    @property
+    def lag(self) -> int:
+        """Events published but not yet pulled by this consumer."""
+        topic = self.service.topic(self.topic_name)
+        return sum(
+            len(part) - self._offsets[part.index]
+            for part in topic.partitions
+        )
+
+    def pull(self, max_events: int = 1024):
+        """Simulation process: fetch up to ``max_events`` pending events."""
+        out: list[Event] = []
+        per_part = max(1, max_events // max(1, len(self._offsets)))
+        for index in sorted(self._offsets):
+            events = yield self.env.process(self.service.fetch(
+                self.topic_name, index, self._offsets[index], per_part,
+            ))
+            if events:
+                self._offsets[index] = events[-1].offset + 1
+                out.extend(events)
+        out.sort(key=lambda e: (e.timestamp, e.partition, e.offset))
+        return out
+
+    def fetch_all(self) -> list[Event]:
+        """Immediate bulk read of everything from the beginning.
+
+        Used for postprocessing; does not advance this consumer's
+        offsets (analysis replays the persistent stream).
+        """
+        return self.service.topic(self.topic_name).events()

@@ -1,0 +1,54 @@
+"""Event structure of the Mofka-like streaming service.
+
+"Each event has two parts.  The first is a data portion that contains
+the raw data payload.  The second is metadata expressed in JSON format
+to describe the data." (§III-B).  We reproduce that structure: the
+metadata part is a JSON-serialisable mapping, the data part an opaque
+byte string (often empty for provenance events, whose payload fits in
+the metadata).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Event"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One event as stored in a topic partition."""
+
+    topic: str
+    partition: int
+    offset: int
+    timestamp: float
+    metadata: dict
+    data: bytes = b""
+
+    def to_json(self) -> str:
+        """Line-oriented serialisation (metadata only references data)."""
+        return json.dumps({
+            "topic": self.topic,
+            "partition": self.partition,
+            "offset": self.offset,
+            "timestamp": self.timestamp,
+            "metadata": self.metadata,
+            "data_size": len(self.data),
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str, data: bytes = b"") -> "Event":
+        raw = json.loads(line)
+        return cls(
+            topic=raw["topic"], partition=raw["partition"],
+            offset=raw["offset"], timestamp=raw["timestamp"],
+            metadata=raw["metadata"], data=data,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate wire size: JSON metadata plus raw payload."""
+        return len(json.dumps(self.metadata)) + len(self.data)

@@ -1,0 +1,115 @@
+"""SSG: Mochi group membership and fault detection.
+
+Tracks which service processes belong to a group and detects failures
+through missed heartbeats, as the SSG library does for Mochi services.
+In the simulation, members ping the group periodically; a monitor
+process marks members suspect/dead when pings stop arriving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..sim import Environment
+
+__all__ = ["SSGGroup", "Member"]
+
+
+@dataclass
+class Member:
+    """One group member and its liveness bookkeeping."""
+
+    address: str
+    rank: int
+    joined_at: float
+    last_heartbeat: float
+    status: str = "alive"  # alive | suspect | dead
+
+
+class SSGGroup:
+    """A named membership group with heartbeat-based fault detection."""
+
+    def __init__(self, env: Environment, name: str,
+                 heartbeat_period: float = 1.0,
+                 suspect_after: float = 3.0,
+                 dead_after: float = 10.0):
+        self.env = env
+        self.name = name
+        self.heartbeat_period = heartbeat_period
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.members: dict[str, Member] = {}
+        self._next_rank = 0
+        self._observers: list[Callable[[Member, str], None]] = []
+        self._monitoring = False
+
+    # -- membership ------------------------------------------------------
+    def join(self, address: str) -> Member:
+        if address in self.members:
+            raise ValueError(f"{address} already in group {self.name}")
+        member = Member(
+            address=address, rank=self._next_rank,
+            joined_at=self.env.now, last_heartbeat=self.env.now,
+        )
+        self._next_rank += 1
+        self.members[address] = member
+        return member
+
+    def leave(self, address: str) -> None:
+        member = self.members.pop(address, None)
+        if member is not None:
+            member.status = "left"
+            self._notify(member, "left")
+
+    def alive(self) -> list[Member]:
+        return [m for m in self.members.values() if m.status == "alive"]
+
+    def on_change(self, callback: Callable[[Member, str], None]) -> None:
+        self._observers.append(callback)
+
+    def _notify(self, member: Member, change: str) -> None:
+        for callback in self._observers:
+            callback(member, change)
+
+    # -- liveness ----------------------------------------------------------
+    def heartbeat(self, address: str) -> None:
+        member = self.members[address]
+        member.last_heartbeat = self.env.now
+        if member.status in ("suspect",):
+            member.status = "alive"
+            self._notify(member, "recovered")
+
+    def start_monitor(self) -> None:
+        if self._monitoring:
+            return
+        self._monitoring = True
+        self.env.process(self._monitor(), name=f"ssg-{self.name}")
+
+    def _monitor(self):
+        while self._monitoring:
+            yield self.env.timeout(self.heartbeat_period)
+            now = self.env.now
+            for member in self.members.values():
+                if member.status in ("dead", "left"):
+                    continue
+                silence = now - member.last_heartbeat
+                if silence >= self.dead_after and member.status != "dead":
+                    member.status = "dead"
+                    self._notify(member, "died")
+                elif (silence >= self.suspect_after
+                      and member.status == "alive"):
+                    member.status = "suspect"
+                    self._notify(member, "suspected")
+
+    def stop_monitor(self) -> None:
+        self._monitoring = False
+
+    def describe(self) -> dict:
+        return {
+            "group": self.name,
+            "members": [
+                {"address": m.address, "rank": m.rank, "status": m.status}
+                for m in self.members.values()
+            ],
+        }

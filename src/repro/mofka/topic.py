@@ -1,0 +1,127 @@
+"""Topics and partitions of the Mofka-like broker.
+
+"A producer pushes events that are organized into topics in the
+servers" (§III-B).  A topic is a set of partitions; each partition is
+an ordered, persistent event log.  Faithful to the Mochi composition,
+a partition stores event metadata in a :class:`~repro.mofka.yokan.YokanStore`
+(keyed by zero-padded offset, so prefix scans return events in order)
+and payloads in a :class:`~repro.mofka.warabi.WarabiStore`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Optional
+
+from .event import Event
+from .warabi import WarabiStore
+from .yokan import YokanStore
+
+__all__ = ["Partition", "Topic"]
+
+
+class Partition:
+    """One ordered event log."""
+
+    def __init__(self, topic: str, index: int):
+        self.topic = topic
+        self.index = index
+        self.metadata_store = YokanStore(f"{topic}.{index}.meta")
+        self.data_store = WarabiStore(f"{topic}.{index}.data")
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, metadata: dict, data: bytes, timestamp: float) -> Event:
+        offset = self._n
+        event = Event(
+            topic=self.topic, partition=self.index, offset=offset,
+            timestamp=timestamp, metadata=metadata, data=data,
+        )
+        region = self.data_store.create(data)
+        self.metadata_store.put_json(
+            f"evt/{offset:012d}", {
+                "timestamp": timestamp,
+                "metadata": metadata,
+                "region": region,
+            },
+        )
+        self._n += 1
+        return event
+
+    def read(self, offset: int) -> Event:
+        raw = self.metadata_store.get_json(f"evt/{offset:012d}")
+        data = self.data_store.read(raw["region"])
+        return Event(
+            topic=self.topic, partition=self.index, offset=offset,
+            timestamp=raw["timestamp"], metadata=raw["metadata"], data=data,
+        )
+
+    def read_range(self, start: int, stop: Optional[int] = None
+                   ) -> Iterator[Event]:
+        stop = self._n if stop is None else min(stop, self._n)
+        for offset in range(start, stop):
+            yield self.read(offset)
+
+    # -- persistence --------------------------------------------------------
+    def dump(self, directory: str) -> None:
+        base = os.path.join(directory, f"{self.topic}.{self.index}")
+        self.metadata_store.dump(base + ".meta.jsonl")
+        self.data_store.dump(base + ".warabi")
+
+    @classmethod
+    def load(cls, directory: str, topic: str, index: int) -> "Partition":
+        base = os.path.join(directory, f"{topic}.{index}")
+        part = cls(topic, index)
+        part.metadata_store = YokanStore.load(base + ".meta.jsonl")
+        part.data_store = WarabiStore.load(base + ".warabi")
+        part._n = len(part.metadata_store.list_keys("evt/"))
+        return part
+
+
+class Topic:
+    """A named stream split into partitions."""
+
+    def __init__(self, name: str, n_partitions: int = 1):
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.name = name
+        self.partitions = [Partition(name, i) for i in range(n_partitions)]
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def partition_for(self, partition_key: Optional[str], counter: int) -> int:
+        """Hash routing when a key is given, round-robin otherwise."""
+        if partition_key is None:
+            return counter % len(self.partitions)
+        return hash_string(partition_key) % len(self.partitions)
+
+    def events(self) -> list[Event]:
+        """All events, ordered by (timestamp, partition, offset)."""
+        out: list[Event] = []
+        for part in self.partitions:
+            out.extend(part.read_range(0))
+        out.sort(key=lambda e: (e.timestamp, e.partition, e.offset))
+        return out
+
+    def dump(self, directory: str) -> None:
+        for part in self.partitions:
+            part.dump(directory)
+
+    @classmethod
+    def load(cls, directory: str, name: str, n_partitions: int) -> "Topic":
+        topic = cls(name, n_partitions)
+        topic.partitions = [
+            Partition.load(directory, name, i) for i in range(n_partitions)
+        ]
+        return topic
+
+
+def hash_string(value: str) -> int:
+    """Stable (non-salted) string hash for partition routing."""
+    acc = 2166136261
+    for ch in value.encode("utf-8"):
+        acc = (acc ^ ch) * 16777619 % 2**32
+    return acc

@@ -1,0 +1,69 @@
+"""Warabi: the Mochi blob-storage microservice.
+
+Stores raw byte payloads under opaque region IDs (the data portion of
+Mofka events lands here; metadata goes to Yokan).  Supports partial
+reads, which is how consumers fetch only the payloads they need.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["WarabiStore"]
+
+
+class WarabiStore:
+    """An append-only blob store addressed by integer region IDs."""
+
+    def __init__(self, name: str = "warabi"):
+        self.name = name
+        self._blobs: list[bytes] = []
+
+    def create(self, data: bytes) -> int:
+        """Store a blob; returns its region ID."""
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError("Warabi stores bytes")
+        self._blobs.append(bytes(data))
+        return len(self._blobs) - 1
+
+    def read(self, region_id: int, offset: int = 0,
+             length: Optional[int] = None) -> bytes:
+        try:
+            blob = self._blobs[region_id]
+        except IndexError:
+            raise KeyError(f"warabi: no region {region_id}") from None
+        if offset < 0 or offset > len(blob):
+            raise ValueError("offset out of range")
+        end = len(blob) if length is None else min(len(blob), offset + length)
+        return blob[offset:end]
+
+    def size(self, region_id: int) -> int:
+        return len(self._blobs[region_id])
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs)
+
+    # -- persistence ---------------------------------------------------------
+    def dump(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "wb") as fh:
+            for blob in self._blobs:
+                fh.write(len(blob).to_bytes(8, "little"))
+                fh.write(blob)
+
+    @classmethod
+    def load(cls, path: str, name: str = "warabi") -> "WarabiStore":
+        store = cls(name)
+        with open(path, "rb") as fh:
+            while True:
+                header = fh.read(8)
+                if not header:
+                    break
+                size = int.from_bytes(header, "little")
+                store._blobs.append(fh.read(size))
+        return store

@@ -1,0 +1,75 @@
+"""Yokan: the Mochi key/value microservice.
+
+Mofka "uses the following reusable Mochi microservices: Yokan to store
+key/value data, Warabi to store raw (blob) data, Bedrock for deployment
+and bootstrapping, and SSG for group membership and fault detection"
+(§III-B).  This is the key/value component: an ordered map with prefix
+scans, used by the broker to index partition offsets and topic
+metadata, with optional JSON-lines persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, Optional
+
+__all__ = ["YokanStore"]
+
+
+class YokanStore:
+    """An ordered string-keyed store with prefix iteration."""
+
+    def __init__(self, name: str = "yokan"):
+        self.name = name
+        self._data: dict[str, str] = {}
+
+    def put(self, key: str, value: str) -> None:
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise TypeError("Yokan stores string keys and values")
+        self._data[key] = value
+
+    def get(self, key: str) -> str:
+        try:
+            return self._data[key]
+        except KeyError:
+            raise KeyError(f"yokan: no such key {key!r}") from None
+
+    def exists(self, key: str) -> bool:
+        return key in self._data
+
+    def erase(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._data if k.startswith(prefix))
+
+    def iter_prefix(self, prefix: str = "") -> Iterator[tuple[str, str]]:
+        for key in self.list_keys(prefix):
+            yield key, self._data[key]
+
+    # -- JSON convenience --------------------------------------------------
+    def put_json(self, key: str, value: object) -> None:
+        self.put(key, json.dumps(value, sort_keys=True))
+
+    def get_json(self, key: str) -> object:
+        return json.loads(self.get(key))
+
+    # -- persistence ---------------------------------------------------------
+    def dump(self, path: str) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            for key in self.list_keys():
+                fh.write(json.dumps({"k": key, "v": self._data[key]}) + "\n")
+
+    @classmethod
+    def load(cls, path: str, name: str = "yokan") -> "YokanStore":
+        store = cls(name)
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                row = json.loads(line)
+                store._data[row["k"]] = row["v"]
+        return store

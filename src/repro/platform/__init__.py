@@ -1,0 +1,30 @@
+"""Hardware substrate: nodes, interconnect, and parallel file system.
+
+This package simulates the Polaris-like platform of the paper's
+evaluation (§IV-A).  Everything the instrumentation layers observe —
+transfer timestamps, I/O record timings, placement topology — is
+produced here, so the analysis engine exercises the same correlation
+logic it would against a physical machine.
+"""
+
+from .cluster import COMMODITY_CLUSTER, POLARIS_LIKE, Cluster, ClusterSpec
+from .network import Network, NetworkSpec, TransferRecord
+from .node import POLARIS_NODE, Node, NodeSpec
+from .pfs import FileMeta, IORecord, ParallelFileSystem, PFSSpec
+
+__all__ = [
+    "COMMODITY_CLUSTER",
+    "POLARIS_LIKE",
+    "POLARIS_NODE",
+    "Cluster",
+    "ClusterSpec",
+    "FileMeta",
+    "IORecord",
+    "Network",
+    "NetworkSpec",
+    "Node",
+    "NodeSpec",
+    "PFSSpec",
+    "ParallelFileSystem",
+    "TransferRecord",
+]

@@ -1,0 +1,138 @@
+"""Cluster assembly: nodes + interconnect + file system.
+
+A :class:`Cluster` owns the full hardware substrate for one simulation.
+Its job-facing operation is :meth:`Cluster.allocate`, which picks nodes
+for a job the way a batch scheduler would: from whatever happens to be
+free, with no topology guarantee.  The paper calls out exactly this as
+a reproducibility hazard — "the allocated nodes may vary in performance
+due to factors such as network topology" (§III-E1) — so allocation is
+deliberately randomized per run (seeded), letting multi-run experiments
+sample different placements like real job submissions do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim import Environment, RandomStreams
+from .network import Network, NetworkSpec
+from .node import Node, NodeSpec
+from .pfs import ParallelFileSystem, PFSSpec
+
+__all__ = ["COMMODITY_CLUSTER", "Cluster", "ClusterSpec", "POLARIS_LIKE"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a machine."""
+
+    name: str = "polaris-sim"
+    num_nodes: int = 64
+    nodes_per_switch: int = 8
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    pfs: PFSSpec = field(default_factory=PFSSpec)
+    #: Sigma of per-node speed perturbation (manufacturing/thermal spread).
+    node_speed_sigma: float = 0.03
+
+
+#: Default machine shape, loosely modelled on ALCF Polaris.
+POLARIS_LIKE = ClusterSpec()
+
+#: A commodity departmental cluster: 10 GbE instead of Slingshot, an
+#: NFS-class shared filesystem (few servers, slow, high-latency), more
+#: node-to-node speed spread.  Used by the cross-platform bench to show
+#: the characterization stack is machine-agnostic (§III: "our approach
+#: can be used for other workflow management systems and tools").
+COMMODITY_CLUSTER = ClusterSpec(
+    name="commodity-sim",
+    num_nodes=32,
+    nodes_per_switch=16,
+    node=NodeSpec(
+        cores=16,
+        memory_bytes=128 * 2**30,
+        nic_bandwidth=1.25e9,      # 10 GbE
+        nic_channels=2,
+    ),
+    network=NetworkSpec(
+        base_latency=25e-6,
+        hop_latency=10e-6,
+        message_overhead=400e-6,
+        intranode_bandwidth=40e9,
+        jitter_sigma=0.2,
+        congestion_probability=0.05,
+    ),
+    pfs=PFSSpec(
+        num_osts=4,                # a few NFS servers, not a Lustre rack
+        ost_bandwidth=0.4e9,
+        request_latency=2.5e-3,
+        ost_service_slots=2,
+        default_stripe_count=1,
+        jitter_sigma=0.25,
+        max_interference=6.0,
+    ),
+    node_speed_sigma=0.08,
+)
+
+
+class Cluster:
+    """A live machine: named nodes, a network, and a parallel FS."""
+
+    def __init__(self, env: Environment, spec: ClusterSpec | None = None,
+                 streams: RandomStreams | None = None):
+        self.env = env
+        self.spec = spec or POLARIS_LIKE
+        self.streams = streams or RandomStreams()
+        self.nodes: dict[str, Node] = {}
+        for i in range(self.spec.num_nodes):
+            name = f"nid{i:05d}"
+            speed = self.spec.node.cpu_speed * self.streams.lognormal_factor(
+                f"node.speed.{name}", self.spec.node_speed_sigma
+            )
+            self.nodes[name] = Node(
+                env=env,
+                name=name,
+                spec=self.spec.node,
+                switch=i // self.spec.nodes_per_switch,
+                speed=speed,
+            )
+        self.network = Network(env, self.nodes, self.spec.network, self.streams)
+        self.pfs = ParallelFileSystem(env, self.spec.pfs, self.streams)
+        self._allocated: set[str] = set()
+
+    # -- allocation ---------------------------------------------------------
+    def allocate(self, count: int, job_name: str = "job") -> list[Node]:
+        """Grab ``count`` free nodes, batch-scheduler style.
+
+        The choice is a seeded random sample of the free pool, so two
+        repetitions of the same experiment generally land on different
+        nodes/switches — the placement variability the paper studies.
+        """
+        free = [n for n in self.nodes if n not in self._allocated]
+        if count > len(free):
+            raise RuntimeError(
+                f"cannot allocate {count} nodes; only {len(free)} free"
+            )
+        rng = self.streams.stream(f"alloc.{job_name}")
+        picked = sorted(rng.choice(len(free), size=count, replace=False).tolist())
+        names = [free[i] for i in picked]
+        self._allocated.update(names)
+        return [self.nodes[n] for n in names]
+
+    def release(self, nodes: list[Node]) -> None:
+        for node in nodes:
+            self._allocated.discard(node.name)
+
+    def describe(self) -> dict:
+        """Metadata record for the provenance hardware layer (Fig. 1)."""
+        return {
+            "machine": self.spec.name,
+            "num_nodes": self.spec.num_nodes,
+            "nodes_per_switch": self.spec.nodes_per_switch,
+            "node": {
+                "cores": self.spec.node.cores,
+                "memory_bytes": self.spec.node.memory_bytes,
+                "nic_bandwidth": self.spec.node.nic_bandwidth,
+            },
+            "pfs": self.pfs.describe(),
+        }

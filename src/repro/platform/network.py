@@ -1,0 +1,132 @@
+"""Interconnect model.
+
+The paper attributes part of the observed run-to-run variability to
+network topology effects: "if the Dask scheduler and worker nodes are
+connected to different switches, some workers may experience increased
+latency" (§III-E1), and Fig. 5 colours communications by whether the
+endpoints share a node.  This module provides exactly that structure —
+a two-level switch topology with distinct intra-node, intra-switch and
+inter-switch costs, per-NIC contention, and log-normal jitter.
+
+A transfer is a simulation process: it claims a DMA channel on the
+sender's and receiver's NICs (FIFO queueing under load), waits latency
+plus ``size / effective_bandwidth`` (perturbed by jitter), and returns a
+:class:`TransferRecord` that the worker instrumentation turns into the
+communication events PERFRECUP analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import Environment, RandomStreams
+from .node import Node
+
+__all__ = ["NetworkSpec", "TransferRecord", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Tunable constants of the interconnect model (Slingshot-11-like)."""
+
+    #: One-way latency between NICs on the same switch (seconds).
+    base_latency: float = 2.0e-6
+    #: Extra latency per switch hop.
+    hop_latency: float = 1.0e-6
+    #: Software/protocol overhead per message (serialization setup etc.).
+    message_overhead: float = 200e-6
+    #: Bandwidth of an intra-node (shared-memory) transfer, bytes/s.
+    intranode_bandwidth: float = 80e9
+    #: Latency of an intra-node transfer.
+    intranode_latency: float = 0.5e-6
+    #: Sigma of the log-normal jitter on transfer durations.
+    jitter_sigma: float = 0.12
+    #: Probability that a message hits a transient congestion episode.
+    congestion_probability: float = 0.02
+    #: Multiplier applied during a congestion episode.
+    congestion_factor: float = 8.0
+
+
+@dataclass
+class TransferRecord:
+    """One completed point-to-point transfer."""
+
+    src: str
+    dst: str
+    nbytes: int
+    start: float
+    stop: float
+    same_node: bool
+    same_switch: bool
+
+    @property
+    def duration(self) -> float:
+        return self.stop - self.start
+
+
+class Network:
+    """Point-to-point transfer engine over a set of :class:`Node` objects."""
+
+    def __init__(self, env: Environment, nodes: dict[str, Node],
+                 spec: NetworkSpec | None = None,
+                 streams: RandomStreams | None = None):
+        self.env = env
+        self.nodes = nodes
+        self.spec = spec or NetworkSpec()
+        self.streams = streams or RandomStreams()
+        self.records: list[TransferRecord] = []
+
+    # -- static cost model ------------------------------------------------
+    def latency(self, src: Node, dst: Node) -> float:
+        if src.name == dst.name:
+            return self.spec.intranode_latency
+        if src.switch == dst.switch:
+            return self.spec.base_latency
+        # Two-level fat tree: up to the spine and back down.
+        return self.spec.base_latency + 2 * self.spec.hop_latency
+
+    def bandwidth(self, src: Node, dst: Node) -> float:
+        if src.name == dst.name:
+            return self.spec.intranode_bandwidth
+        return min(src.spec.nic_bandwidth, dst.spec.nic_bandwidth)
+
+    # -- transfers ---------------------------------------------------------
+    def transfer(self, src: Node, dst: Node, nbytes: int):
+        """Simulation process performing one transfer; returns the record."""
+        start = self.env.now
+        same_node = src.name == dst.name
+        if not same_node:
+            send_req = src.nic_send.request()
+            recv_req = dst.nic_recv.request()
+            yield send_req & recv_req
+        try:
+            base = (
+                self.spec.message_overhead
+                + self.latency(src, dst)
+                + nbytes / self.bandwidth(src, dst)
+            )
+            jitter = self.streams.lognormal_factor(
+                f"net.jitter.{src.name}.{dst.name}", self.spec.jitter_sigma
+            )
+            duration = base * jitter
+            if (
+                self.streams.uniform(f"net.congestion.{src.name}", 0.0, 1.0)
+                < self.spec.congestion_probability
+            ):
+                duration *= self.spec.congestion_factor
+            yield self.env.timeout(duration)
+        finally:
+            if not same_node:
+                src.nic_send.release(send_req)
+                dst.nic_recv.release(recv_req)
+        record = TransferRecord(
+            src=src.name,
+            dst=dst.name,
+            nbytes=nbytes,
+            start=start,
+            stop=self.env.now,
+            same_node=same_node,
+            same_switch=src.switch == dst.switch,
+        )
+        self.records.append(record)
+        return record

@@ -1,0 +1,91 @@
+"""Compute-node model.
+
+A :class:`Node` models one HPC compute node: a named host with a CPU
+speed factor, a memory capacity, and a network interface (NIC) whose
+send and receive sides are contention points.  The reproduced paper ran
+on ALCF Polaris nodes (one 32-core AMD EPYC 7543P, 512 GB DDR4, dual
+Slingshot-11 NICs); :data:`POLARIS_NODE` captures that shape.
+
+Nodes intentionally know nothing about workers or tasks — the WMS layer
+(`repro.dasklike`) places workers *onto* nodes, which is exactly the
+placement degree of freedom the paper identifies as a variability
+source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim import Container, Environment, Resource
+
+__all__ = ["NodeSpec", "Node", "POLARIS_NODE"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of a node type.
+
+    Attributes
+    ----------
+    cores:
+        Physical cores available for worker threads.
+    memory_bytes:
+        RAM capacity.
+    cpu_speed:
+        Relative speed multiplier (1.0 = nominal).  Real machines show
+        per-node speed spread from manufacturing variation and thermal
+        state; the cluster builder perturbs this per node.
+    nic_bandwidth:
+        Injection bandwidth of the NIC, bytes/second.
+    nic_channels:
+        Concurrent DMA channels per NIC direction; more channels means
+        more overlapping transfers before queueing starts.
+    """
+
+    cores: int = 32
+    memory_bytes: int = 512 * 2**30
+    cpu_speed: float = 1.0
+    nic_bandwidth: float = 25e9
+    nic_channels: int = 4
+
+
+#: The Polaris node shape used throughout the paper's evaluation.
+POLARIS_NODE = NodeSpec()
+
+
+@dataclass
+class Node:
+    """A live node in a simulation: spec + contention resources."""
+
+    env: Environment
+    name: str
+    spec: NodeSpec
+    switch: int = 0
+    #: Effective per-node speed after manufacturing/thermal perturbation.
+    speed: float = 1.0
+    nic_send: Resource = field(init=False)
+    nic_recv: Resource = field(init=False)
+    memory: Container = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.nic_send = Resource(self.env, capacity=self.spec.nic_channels)
+        self.nic_recv = Resource(self.env, capacity=self.spec.nic_channels)
+        self.memory = Container(self.env, capacity=self.spec.memory_bytes)
+
+    @property
+    def hostname(self) -> str:
+        return self.name
+
+    def describe(self) -> dict:
+        """Metadata record for the provenance hardware layer (Fig. 1)."""
+        return {
+            "hostname": self.name,
+            "switch": self.switch,
+            "cores": self.spec.cores,
+            "memory_bytes": self.spec.memory_bytes,
+            "cpu_speed": round(self.speed, 6),
+            "nic_bandwidth": self.spec.nic_bandwidth,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.name} switch={self.switch}>"

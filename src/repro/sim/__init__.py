@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel underlying every substrate.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Environment` — the virtual clock + event loop.
+* :class:`~repro.sim.engine.Event`, :class:`~repro.sim.engine.Timeout`,
+  :class:`~repro.sim.engine.Process`, :class:`~repro.sim.engine.AllOf`,
+  :class:`~repro.sim.engine.AnyOf` — the event vocabulary.
+* :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`,
+  :class:`~repro.sim.resources.Container` — contention primitives.
+* :class:`~repro.sim.random.RandomStreams` — named reproducible RNG streams.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .random import RandomStreams, stable_seed
+from .resources import Container, Request, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "stable_seed",
+]

@@ -1,0 +1,386 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, self-contained discrete-event simulation
+engine in the style of SimPy: *processes* are Python generators that
+``yield`` :class:`Event` objects, and an :class:`Environment` advances a
+virtual clock by popping scheduled events off a binary heap.
+
+Every substrate in this repository (the Dask-like workflow management
+system, the network and parallel-file-system models, the Mofka event
+streaming service) runs on top of this kernel, which gives the whole
+reproduction a single, deterministic notion of time.  Timestamps recorded
+by the instrumentation layers are engine timestamps, exactly as the paper
+correlates wall-clock timestamps across Darshan and Dask logs.
+
+Design notes
+------------
+* Events are scheduled with a ``(time, priority, sequence)`` key; the
+  monotonically increasing sequence number guarantees FIFO ordering of
+  simultaneous events, which keeps runs bit-reproducible for a fixed
+  seed.
+* A process that raises is marked *failed*; the exception propagates to
+  any process waiting on it, mirroring how task failures surface through
+  Dask futures.
+* ``Interrupt`` support allows the work-stealing and fault-detection
+  models to cancel in-flight waits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural errors in the simulation (e.g. deadlock)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event state markers.
+PENDING = object()
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *untriggered*; once :meth:`succeed` or :meth:`fail`
+    is called it is placed on the environment's queue and, when popped,
+    its callbacks run.  Processes waiting on the event are resumed with
+    the event's value (or have the failure exception thrown in).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: Set when a failure has been passed to a waiter (or defused).
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (success or failure)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay=0.0)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so it does not crash the run."""
+        self._defused = True
+
+    # -- composition ----------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Timeout({self.delay}) at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, delay=0.0, priority=-1)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it finishes."""
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is self.env._active_until:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, delay=0.0, priority=-1)
+        # Detach from the old target: when the old event fires we must not
+        # resume a second time.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    result = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    result = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, delay=0.0)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, delay=0.0)
+                break
+
+            if not isinstance(result, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded a non-event: {result!r}"
+                )
+            if result.callbacks is not None:
+                # Not yet processed: wait for it.
+                result.callbacks.append(self._resume)
+                self._target = result
+                break
+            # Already processed: continue immediately with its value.
+            event = result
+        self.env._active_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r}>"
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event],
+                 evaluate: Callable[[list[Event], int], bool]):
+        super().__init__(env)
+        self.events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            event: event._value
+            for event in self.events
+            if event.triggered and event._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self.events, self._count):
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Fires once every component event has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda events, count: count >= len(events))
+
+
+class AnyOf(Condition):
+    """Fires once any component event has fired."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, lambda events, count: count >= 1)
+
+
+class Environment:
+    """Execution environment: virtual clock plus the event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # Target event of the currently executing process (used to detect
+    # self-interrupts).
+    @property
+    def _active_until(self) -> Optional[Event]:
+        proc = self._active_process
+        return proc._target if proc is not None else None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories -------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = 0) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            # An unhandled failure terminates the simulation loudly, like
+            # an uncaught exception in a real run.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or exhaustion).
+
+        * ``until is None`` — run until no events remain.
+        * ``until`` is a number — run until the clock reaches it.
+        * ``until`` is an :class:`Event` — run until it fires and return
+          its value (raising if it failed).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        f"deadlock: event {stop!r} will never fire"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            stop._defused = True
+            raise stop._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

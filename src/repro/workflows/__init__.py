@@ -1,0 +1,30 @@
+"""The paper's three evaluation workflows (§IV-B) and their runner.
+
+Each workflow reproduces the graph shapes, file inventories, and I/O
+granularities of its original, against synthetic stand-ins for the
+datasets (see :mod:`repro.workflows.datasets` and DESIGN.md for the
+substitution rationale).  ``run_many`` repeats an instrumented
+execution with per-repetition reseeding, producing the multi-run data
+every cross-run analysis consumes.
+"""
+
+from .base import Workflow, scaled
+from .datasets import bcss_images, imagewang_files, nyc_taxi_parquet
+from .image_processing import ImageProcessingWorkflow
+from .resnet152 import ResNet152Workflow
+from .runner import RunResult, run_many, run_workflow
+from .xgboost_trip import XGBoostWorkflow
+
+__all__ = [
+    "ImageProcessingWorkflow",
+    "ResNet152Workflow",
+    "RunResult",
+    "Workflow",
+    "XGBoostWorkflow",
+    "bcss_images",
+    "imagewang_files",
+    "nyc_taxi_parquet",
+    "run_many",
+    "run_workflow",
+    "scaled",
+]

@@ -1,0 +1,52 @@
+"""Workflow protocol shared by the three evaluation workloads.
+
+A workflow owns three things: dataset preparation on the simulated
+PFS, a *driver* (a simulation process that builds task graphs and
+submits them through a client, one ``compute`` per task graph — the
+paper's per-workflow "task graphs" count), and a description used as
+application-layer provenance.
+
+``scale`` shrinks dataset/task counts proportionally so the test suite
+and default benchmarks run in seconds; ``scale=1.0`` is paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dasklike import Client
+from ..platform import Cluster
+from ..sim import Environment, RandomStreams
+
+__all__ = ["Workflow", "scaled"]
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale an integer knob, never below ``minimum``."""
+    return max(minimum, int(round(value * scale)))
+
+
+class Workflow:
+    """Base class; subclasses implement prepare/driver/describe."""
+
+    #: Human name, used in run directories and reports.
+    name: str = "workflow"
+    #: Repetitions used in the paper's evaluation for this workflow.
+    paper_runs: int = 10
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    # -- hooks ------------------------------------------------------------
+    def prepare(self, cluster: Cluster, streams: RandomStreams) -> None:
+        """Create input files on the PFS (called once per run)."""
+        raise NotImplementedError
+
+    def driver(self, env: Environment, client: Client, cluster: Cluster):
+        """Simulation process: build and compute the task graphs."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {"name": self.name, "scale": self.scale}

@@ -1,0 +1,85 @@
+"""Synthetic dataset generators standing in for the paper's datasets.
+
+The paper's three workflows consume datasets we cannot ship (and that a
+simulator cannot pixel-read anyway), so each generator reproduces the
+properties the instrumentation actually observes — file counts, size
+distributions, and access granularity:
+
+* **BCSS** (Breast Cancer Semantic Segmentation [23]): 151 large
+  whole-slide crops.  The paper reads them as "10-25 read operations of
+  4 MB each ... per image", i.e. images of roughly 40-100 MB.
+* **Imagewang** (ResNet152 fine-tuning/prediction input): thousands of
+  small JPEG-scale files — Table I reports 3,929 distinct files.
+* **NYC TLC High-Volume FHV parquet**: 61 parquet files, about 20 GiB
+  on disk, whose decoded partitions exceed Dask's 128 MB guidance.
+
+Every generator registers its files on the simulated PFS and returns
+the (path, size) inventory the workflow builders consume.  Sizes are
+drawn from seeded streams so repetitions see the same dataset.
+"""
+
+from __future__ import annotations
+
+from ..platform import Cluster
+from ..sim import RandomStreams
+
+__all__ = ["bcss_images", "imagewang_files", "nyc_taxi_parquet"]
+
+
+def bcss_images(cluster: Cluster, streams: RandomStreams,
+                n_images: int = 151,
+                min_bytes: int = 40 * 2**20,
+                max_bytes: int = 100 * 2**20,
+                prefix: str = "/lus/bcss") -> list[tuple[str, int]]:
+    """BCSS whole-slide image crops: ``n_images`` files of 40-100 MB."""
+    inventory = []
+    for i in range(n_images):
+        path = f"{prefix}/TCGA-crop-{i:04d}.tif"
+        size = int(streams.fixed_stream("bcss.size").integers(min_bytes, max_bytes))
+        # Round to 1 MiB so 4 MiB read ops tile the file neatly.
+        size = max(2**20, (size // 2**20) * 2**20)
+        cluster.pfs.create_file(path, size, stripe_count=4)
+        inventory.append((path, size))
+    return inventory
+
+
+def imagewang_files(cluster: Cluster, streams: RandomStreams,
+                    n_files: int = 3929,
+                    min_bytes: int = 30 * 2**10,
+                    max_bytes: int = 350 * 2**10,
+                    prefix: str = "/lus/imagewang") -> list[tuple[str, int]]:
+    """Imagewang-like image corpus: thousands of small JPEG files."""
+    inventory = []
+    for i in range(n_files):
+        cls = i % 20  # 20 classes, as the paper's subset
+        path = f"{prefix}/val/n{cls:08d}/ILSVRC-{i:06d}.JPEG"
+        size = int(streams.fixed_stream("imagewang.size").integers(min_bytes, max_bytes))
+        cluster.pfs.create_file(path, size, stripe_count=1)
+        inventory.append((path, size))
+    return inventory
+
+
+def nyc_taxi_parquet(cluster: Cluster, streams: RandomStreams,
+                     n_files: int = 61,
+                     total_bytes: int = 20 * 2**30,
+                     prefix: str = "/lus/nyc-tlc") -> list[tuple[str, int]]:
+    """NYC High-Volume FHV trip records, 2019-2024: 61 parquet files.
+
+    Monthly file sizes vary (ridership seasonality); we draw weights
+    around the mean so files span roughly 0.5x-1.5x of it.
+    """
+    rng = streams.fixed_stream("nyc.size")
+    weights = [float(rng.uniform(0.5, 1.5)) for _ in range(n_files)]
+    scale = total_bytes / sum(weights)
+    inventory = []
+    year, month = 2019, 1
+    for i in range(n_files):
+        path = (f"{prefix}/fhvhv_tripdata_{year:04d}-{month:02d}.parquet")
+        size = max(2**20, int(weights[i] * scale))
+        cluster.pfs.create_file(path, size, stripe_count=4)
+        inventory.append((path, size))
+        month += 1
+        if month > 12:
+            month = 1
+            year += 1
+    return inventory

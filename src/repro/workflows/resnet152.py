@@ -1,0 +1,129 @@
+"""The fine-tuned ResNet152 batch-prediction workflow (§IV-B).
+
+"We have fine-tuned the pretrained Pytorch ResNet152 image
+classification model on the supervised part of the Imagewang [dataset]
+... In this workflow we have three main functions decorated with
+``@dask.delayed`` to create tasks: load, transform, and predict."
+
+Table I reports a single task graph, 8,645 distinct tasks and 3,929
+distinct files, with the I/O operation count (2,057-2,302) *truncated*
+by default Darshan instrumentation buffer limits (footnote 9).  The
+shape here matches: one ``load`` task per image file (one small read
+each), one ``transform`` per image, and one ``predict`` per batch that
+also consumes the broadcast model weights — 3,929 + 3,929 + ceil(3929/5)
++ 1 ≈ 8,645 tasks in one graph.  The model-weights task reads the
+~230 MB checkpoint once; predict tasks pull the weights (and their
+batch's transformed tensors) over the network, producing the heavy
+communication counts of Table I.
+
+At paper scale the per-process DXT buffers overflow exactly as in the
+paper; :attr:`ResNet152Workflow.dxt_buffer_limit` exposes the knob the
+A2 ablation sweeps.
+"""
+
+from __future__ import annotations
+
+from ..dasklike import IOOp, collect, delayed
+from .base import Workflow, scaled
+from .datasets import imagewang_files
+
+__all__ = ["ResNet152Workflow"]
+
+
+class ResNet152Workflow(Workflow):
+    """Imagewang batch prediction with delayed load/transform/predict."""
+
+    name = "ResNet152"
+    paper_runs = 10
+
+    #: Paper-scale knobs.
+    N_FILES = 3929
+    BATCH_SIZE = 5
+    MODEL_BYTES = 230 * 2**20  # ResNet152 checkpoint, ~60M params fp32
+    #: Per-process DXT budget that reproduces the footnote-9 truncation
+    #: at paper scale (observed ops land in the ~2.1-2.3k band).
+    dxt_buffer_limit = 280
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.n_files = scaled(self.N_FILES, scale, minimum=16)
+        self.inventory: list[tuple[str, int]] = []
+        self.model_path = "/lus/models/resnet152-imagewang-ft.pt"
+
+    # ------------------------------------------------------------------
+    def prepare(self, cluster, streams) -> None:
+        self.inventory = imagewang_files(cluster, streams,
+                                         n_files=self.n_files)
+        cluster.pfs.create_file(self.model_path, self.MODEL_BYTES,
+                                stripe_count=8)
+
+    # ------------------------------------------------------------------
+    def driver(self, env, client, cluster):
+        # The model-weights task: one big striped read, broadcast to
+        # every predict task through distributed memory.
+        load_model = delayed(
+            "load_model",
+            compute_time=0.8,
+            reads=tuple(
+                IOOp(self.model_path, "read", off, 16 * 2**20)
+                for off in range(0, self.MODEL_BYTES, 16 * 2**20)
+            ),
+            output_nbytes=self.MODEL_BYTES,
+        )
+
+        transforms = []
+        for i, (path, size) in enumerate(self.inventory):
+            load = delayed(
+                "load", index=i,
+                compute_time=1e-3,
+                reads=(IOOp(path, "read", 0, size),),
+                output_nbytes=size,
+            )
+            transforms.append(delayed(
+                "transform", index=i,
+                compute_time=2e-3,  # resize + tensor transform
+                deps=(load,),
+                # 224x224x3 float32 tensor regardless of input size.
+                output_nbytes=224 * 224 * 3 * 4,
+            ))
+
+        # Batches are assembled the way a shuffling DataLoader samples
+        # them — a seeded permutation of the (class-sorted) file list —
+        # so a batch's tensors rarely all live on one worker and each
+        # predict task gathers most of its inputs over the network,
+        # reproducing Table I's heavy communication counts.  The
+        # permutation comes from a run-independent stream: the same
+        # "shuffle" every repetition, like a fixed DataLoader seed.
+        import numpy as _np
+
+        from ..sim.random import stable_seed
+        order = _np.random.default_rng(
+            stable_seed("resnet152.batch.shuffle", self.n_files)
+        ).permutation(len(transforms))
+        shuffled = [transforms[i] for i in order]
+        n_batches = -(-len(shuffled) // self.BATCH_SIZE)
+        predictions = []
+        for b in range(n_batches):
+            members = shuffled[b * self.BATCH_SIZE:(b + 1) * self.BATCH_SIZE]
+            predictions.append(delayed(
+                "predict", index=b,
+                compute_time=1e-2,  # GPU inference for one batch
+                deps=tuple(members) + (load_model,),
+                output_nbytes=len(members) * 20 * 4,  # logits, 20 classes
+            ))
+
+        graph = collect(predictions, name="resnet152-batch-prediction")
+        # A single task graph, submitted once (Table I: Task graphs = 1).
+        yield env.process(client.compute(graph, optimize=False))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "name": self.name, "scale": self.scale,
+            "dataset": "Imagewang supervised subset (synthetic stand-in)",
+            "n_files": self.n_files,
+            "batch_size": self.BATCH_SIZE,
+            "model_bytes": self.MODEL_BYTES,
+            "task_graphs": 1,
+            "dxt_buffer_limit": self.dxt_buffer_limit,
+        }

@@ -1,0 +1,101 @@
+"""Experiment runner: repeated, fully instrumented workflow executions.
+
+One :func:`run_workflow` call is one "job" in the paper's methodology:
+a fresh simulated platform, a batch allocation, the instrumented WMS
+stack, the workflow driver, and finally draining the instrumentation.
+:func:`run_many` repeats it ``n_runs`` times with the *same* root seed
+but distinct run indices — identical code and configuration, different
+noise and placement, exactly the repetition protocol behind the
+paper's variability analysis (10 runs for ImageProcessing and
+ResNet152, 50 for XGBOOST "because it showed more variability").
+
+Results come back as in-memory :class:`~repro.core.RunData` (fast
+path) and can optionally be persisted to run directories for the
+postprocessing path.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core import RunData
+from ..dasklike import DaskConfig
+from ..instrument import InstrumentedRun
+from ..jobs import BatchSystem, JobSpec
+from ..platform import Cluster, ClusterSpec
+from ..sim import Environment, RandomStreams
+from .base import Workflow
+
+__all__ = ["run_workflow", "run_many", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything one repetition produced."""
+
+    data: RunData
+    run_index: int
+    wall_time: float
+    run_dir: Optional[str] = None
+
+
+def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
+                 config: Optional[DaskConfig] = None,
+                 cluster_spec: Optional[ClusterSpec] = None,
+                 job_spec: Optional[JobSpec] = None,
+                 dxt_buffer_limit: Optional[int] = None,
+                 persist_dir: Optional[str] = None,
+                 **instrument_kwargs) -> RunResult:
+    """Execute one instrumented repetition of ``workflow``."""
+    env = Environment()
+    streams = RandomStreams(seed, run_index=run_index)
+    cluster = Cluster(env, cluster_spec or ClusterSpec(), streams)
+    batch = BatchSystem(env, cluster, streams)
+    spec = job_spec or JobSpec.paper_default(name=workflow.name)
+    job = env.run(until=env.process(batch.submit(spec)))
+
+    if config is None and hasattr(workflow, "recommended_config"):
+        config = workflow.recommended_config()
+    if dxt_buffer_limit is None:
+        dxt_buffer_limit = getattr(workflow, "dxt_buffer_limit", None)
+    kwargs = dict(instrument_kwargs)
+    if dxt_buffer_limit is not None:
+        kwargs["dxt_buffer_limit"] = dxt_buffer_limit
+
+    run = InstrumentedRun(env, cluster, job, config=config,
+                          streams=streams, run_index=run_index,
+                          seed=seed, **kwargs)
+    run.start()
+    workflow.prepare(cluster, streams)
+    client = run.client(name=f"client-{workflow.name}")
+
+    def main():
+        yield env.process(client.connect())
+        yield env.process(workflow.driver(env, client, cluster))
+        yield env.process(run.drain())
+
+    env.run(until=env.process(main()))
+    batch.complete(job)
+
+    run_dir = None
+    if persist_dir is not None:
+        run_dir = os.path.join(
+            persist_dir, workflow.name.lower(), f"run{run_index:04d}")
+        run.persist(run_dir, client=client, workflow=workflow.describe())
+
+    data = RunData.from_live(run, client)
+    return RunResult(data=data, run_index=run_index,
+                     wall_time=data.wall_time, run_dir=run_dir)
+
+
+def run_many(workflow_factory, n_runs: int, seed: int = 0,
+             **kwargs) -> list[RunResult]:
+    """Repeat a workflow ``n_runs`` times (fresh workflow per run)."""
+    results = []
+    for run_index in range(n_runs):
+        workflow = workflow_factory()
+        results.append(run_workflow(workflow, seed=seed,
+                                    run_index=run_index, **kwargs))
+    return results

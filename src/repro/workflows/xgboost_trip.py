@@ -1,0 +1,279 @@
+"""The XGBoost trip-duration training workflow (§IV-B).
+
+"This workflow trains a regression model to predict trip duration
+using New York City High Volume For-Hire Vehicle trip records ... the
+parquet data records from 2019 through 2024, with a total size of
+20 GiB.  High-level methods such as xgboost.dask.train and
+xgboost.dask.predict are used, and the underlying task graph is created
+automatically."
+
+Table I: 74 task graphs, 10,348 distinct tasks, 61 distinct files.
+Fig. 6 shows the longest tasks in the ``read_parquet-fused-assign``
+category with outputs well above Dask's recommended 128 MB; Fig. 7
+shows ~300 unresponsive-event-loop warnings concentrated in the first
+~500 s, while those fused reads hold their oversized partitions in
+memory.
+
+Graph inventory (74 at paper scale):
+
+1. ``read_parquet`` + ``assign`` — submitted fused, producing the
+   ``read_parquet-fused-assign`` category with >128 MB outputs.
+2. ``getitem`` — feature/label projection (unfused, its own category).
+3. ``drop_by_shallow_copy`` + ``random_split_take`` — train/test split.
+4. 70 boosting rounds — per-partition gradient/histogram tasks feeding
+   a tree-build reduction; each round is one task graph whose model
+   output the next round consumes (cross-graph dependencies).
+5. ``predict`` on the held-out partitions.
+
+Early rounds run while the oversized intermediates are still pinned,
+so worker memory pressure — and with it the GC/unresponsive-loop
+warning rate — peaks in the opening minutes, reproducing Fig. 7's
+temporal skew.
+"""
+
+from __future__ import annotations
+
+from ..dasklike import DaskConfig, IOOp, TaskGraph, TaskSpec
+from ..dasklike.dataframe import read_parquet
+from ..dasklike.utils import tokenize
+from .base import Workflow, scaled
+from .datasets import nyc_taxi_parquet
+
+__all__ = ["XGBoostWorkflow"]
+
+
+class XGBoostWorkflow(Workflow):
+    """NYC-FHV trip-duration regression with Dask-XGBoost graph shapes."""
+
+    name = "XGBOOST"
+    paper_runs = 50
+
+    #: Paper-scale knobs.
+    N_FILES = 61
+    TOTAL_BYTES = 20 * 2**30
+    PARTITIONS_PER_FILE = 2
+    #: Column-chunk reads per row-group partition (61 x 2 x 7 = 854
+    #: read ops at paper scale, inside Table I's 867-1670 band once
+    #: checkpoint and prediction writes are added).
+    READ_OPS_PER_PARTITION = 7
+    ROUNDS = 70
+    #: Parquet decode cost (s per GiB on disk): dominates the fused reads.
+    DECODE_TIME_PER_GIB = 120.0
+    #: Per-round per-partition gradient/histogram cost (s).
+    GRAD_TIME = 4.0
+    MODEL_BYTES = 2 * 2**20
+    #: Model checkpoint every k rounds (adds the write-side I/O ops).
+    CHECKPOINT_EVERY = 1
+
+    def __init__(self, scale: float = 1.0):
+        super().__init__(scale)
+        self.n_files = scaled(self.N_FILES, scale, minimum=4)
+        self.total_bytes = max(64 * 2**20,
+                               int(self.TOTAL_BYTES * scale))
+        self.rounds = scaled(self.ROUNDS, scale, minimum=3)
+        self.inventory: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    def recommended_config(self) -> DaskConfig:
+        """WMS config reproducing the paper's memory-pressure regime.
+
+        The oversized fused partitions must actually pressure worker
+        memory for the Fig.-7 warning skew to appear, so the worker
+        memory limit is set to the few-GiB working-set band the
+        partitions occupy early in the run.  The GC pause rate is
+        scaled inversely with the workload scale so that the *warning
+        density over the run* matches the full-scale regime even in
+        scaled-down test/bench configurations (a shorter run would
+        otherwise see proportionally fewer pause events and the Fig.-7
+        distribution would drown in noise).
+        """
+        limit = max(128 * 2**20, int(self.total_bytes * 1.6 // 8))
+        rate_scale = 1.0 / max(self.scale, 0.05)
+        base = DaskConfig()
+        return DaskConfig(
+            memory_limit=limit,
+            gc_pressure_rate=base.gc_pressure_rate * rate_scale,
+        )
+
+    def prepare(self, cluster, streams) -> None:
+        self.inventory = nyc_taxi_parquet(
+            cluster, streams, n_files=self.n_files,
+            total_bytes=self.total_bytes,
+        )
+        self.checkpoint_path = "/lus/xgboost/model-checkpoints.ubj"
+        self.predictions_path = "/lus/xgboost/predictions.parquet"
+        cluster.pfs.create_file(self.checkpoint_path, 0, stripe_count=1)
+        cluster.pfs.create_file(self.predictions_path, 0, stripe_count=4)
+
+    # ------------------------------------------------------------------
+    def driver(self, env, client, cluster):
+        paths = [p for p, _ in self.inventory]
+        sizes = [s for _, s in self.inventory]
+
+        # Graph 1: read_parquet + assign, submitted fused.
+        frame = read_parquet(
+            paths, sizes,
+            partitions_per_file=self.PARTITIONS_PER_FILE,
+            read_ops_per_partition=self.READ_OPS_PER_PARTITION,
+            decode_time_per_gib=self.DECODE_TIME_PER_GIB,
+            in_memory_ratio=1.6,
+        ).assign(compute_time_per_partition=0.4)
+        _, loaded_keys = yield env.process(
+            client.persist(frame.graph("load"), optimize=True))
+        frame.mark_computed()
+        # After fusion the leaf keys changed names; track the fused keys.
+        fused_keys = list(loaded_keys)
+
+        # Graph 2: getitem (feature/label projection).
+        token = tokenize(self.name, "getitem", self.scale)
+        projected = [
+            TaskSpec(key=(f"getitem-{token}", i), deps=(key,),
+                     compute_time=0.05,
+                     output_nbytes=max(1, int(nbytes * 0.6)))
+            for i, (key, nbytes) in enumerate(loaded_keys.items())
+        ]
+        graph2 = TaskGraph(projected, name="getitem")
+        _, proj_keys = yield env.process(
+            client.persist(graph2, optimize=False))
+
+        # Graph 3: drop_by_shallow_copy + random_split_take + DMatrix.
+        # The final stage converts each split partition into the compact
+        # DMatrix representation xgboost trains on; once the DMatrix
+        # exists the dataframe partitions are dropped, so the oversized
+        # frames live only through this opening phase — which is what
+        # concentrates the Fig.-7 warnings at the start of the run.
+        token3 = tokenize(self.name, "split", self.scale)
+        tasks3, train_keys, test_keys = [], {}, {}
+        for i, (key, nbytes) in enumerate(proj_keys.items()):
+            drop = TaskSpec(key=(f"drop_by_shallow_copy-{token3}", i),
+                            deps=(key,), compute_time=0.02,
+                            output_nbytes=max(1, int(nbytes * 0.98)))
+            train = TaskSpec(key=(f"random_split_take-{token3}", 0, i),
+                             deps=(drop.key,), compute_time=0.03,
+                             output_nbytes=max(1, int(nbytes * 0.8)))
+            test = TaskSpec(key=(f"random_split_take-{token3}", 1, i),
+                            deps=(drop.key,), compute_time=0.03,
+                            output_nbytes=max(1, int(nbytes * 0.2)))
+            dmx_train = TaskSpec(key=(f"dmatrix-{token3}", 0, i),
+                                 deps=(train.key,), compute_time=0.05,
+                                 output_nbytes=max(1, int(
+                                     train.output_nbytes * 0.35)))
+            dmx_test = TaskSpec(key=(f"dmatrix-{token3}", 1, i),
+                                deps=(test.key,), compute_time=0.05,
+                                output_nbytes=max(1, int(
+                                    test.output_nbytes * 0.35)))
+            tasks3 += [drop, train, test, dmx_train, dmx_test]
+            train_keys[dmx_train.name] = dmx_train.output_nbytes
+            test_keys[dmx_test.name] = dmx_test.output_nbytes
+        graph3 = TaskGraph(tasks3, name="split")
+        yield env.process(client.persist(
+            graph3, optimize=False,
+            wanted=list(train_keys) + list(test_keys)))
+        # The raw and projected frames are no longer needed: release
+        # them so memory pressure relaxes after the opening phase.
+        client.release(list(fused_keys))
+        client.release(list(proj_keys))
+
+        # Graphs 4..: boosting rounds (xgboost.dask.train).
+        model_key = None
+        for r in range(self.rounds):
+            token_r = tokenize(self.name, "round", r)
+            grads = []
+            for i, (tkey, nbytes) in enumerate(train_keys.items()):
+                deps = (tkey,) if model_key is None else (tkey, model_key)
+                # The histogram exchange happens inside the collective
+                # (rabit allreduce), not over Dask's data channel, so a
+                # grad task's Dask-visible result is an empty marker.
+                grads.append(TaskSpec(
+                    key=(f"grad-hist-{token_r}", i), deps=deps,
+                    compute_time=self.GRAD_TIME,
+                    output_nbytes=0,
+                ))
+            # Rabit-style reduction: histograms are first combined into
+            # per-worker partials over *contiguous* partition ranges (the
+            # ranges root co-assignment laid out on each worker, so the
+            # partial reducers run where their inputs already live), and
+            # only the small partials cross the network to the single
+            # model-update task.  This mirrors xgboost.dask, where the
+            # heavy allreduce happens inside the collective rather than
+            # as a web of Dask transfers.
+            round_tasks = list(grads)
+            group_size = max(1, -(-len(grads) // 8))
+            level = []
+            for idx, start in enumerate(range(0, len(grads), group_size)):
+                group = [g.key for g in grads[start:start + group_size]]
+                spec = TaskSpec(
+                    key=(f"tree-reduce-{token_r}", idx),
+                    deps=tuple(group),
+                    compute_time=0.02 * len(group),
+                    output_nbytes=0,
+                )
+                round_tasks.append(spec)
+                level.append(spec.key)
+            if len(level) > 1:
+                merge = TaskSpec(
+                    key=(f"tree-reduce-{token_r}", len(level)),
+                    deps=tuple(level),
+                    compute_time=0.02 * len(level),
+                    output_nbytes=0,
+                )
+                round_tasks.append(merge)
+                level = [merge.key]
+            checkpoint_writes = ()
+            if r % self.CHECKPOINT_EVERY == 0:
+                checkpoint_writes = (IOOp(
+                    self.checkpoint_path, "write",
+                    r * self.MODEL_BYTES, self.MODEL_BYTES,
+                ),)
+            update = TaskSpec(
+                key=f"model-update-{token_r}",
+                deps=(level[0],) + (() if model_key is None
+                                    else (model_key,)),
+                compute_time=0.05, output_nbytes=self.MODEL_BYTES,
+                writes=checkpoint_writes,
+            )
+            round_tasks.append(update)
+            graph_r = TaskGraph(round_tasks, name=f"round-{r}")
+            yield env.process(client.persist(
+                graph_r, optimize=False, wanted=[update.name]))
+            if model_key is not None:
+                client.release([model_key])
+            model_key = update.name
+
+        # Final graph: predict on the held-out partitions.
+        token_p = tokenize(self.name, "predict", self.scale)
+        predict_tasks = []
+        pred_offset = 0
+        for i, (tkey, nbytes) in enumerate(test_keys.items()):
+            out = max(1, nbytes // 100)
+            predict_tasks.append(TaskSpec(
+                key=(f"predict-{token_p}", i),
+                deps=(tkey, model_key), compute_time=0.08,
+                output_nbytes=out,
+                writes=(IOOp(self.predictions_path, "write",
+                             pred_offset, out),),
+            ))
+            pred_offset += out
+        score = TaskSpec(
+            key=f"score-{token_p}",
+            deps=tuple(t.key for t in predict_tasks),
+            compute_time=0.05, output_nbytes=64,
+        )
+        graph_p = TaskGraph(predict_tasks + [score], name="predict")
+        yield env.process(client.compute(graph_p, optimize=False))
+
+        # Drop everything still pinned.
+        client.release(list(train_keys) + list(test_keys) + [model_key])
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "name": self.name, "scale": self.scale,
+            "dataset": "NYC TLC HV-FHV parquet 2019-2024 "
+                       "(synthetic stand-in)",
+            "n_files": self.n_files,
+            "total_bytes": self.total_bytes,
+            "partitions_per_file": self.PARTITIONS_PER_FILE,
+            "boosting_rounds": self.rounds,
+            "task_graphs": 3 + self.rounds + 1,
+        }

@@ -1,0 +1,316 @@
+"""Unit tests for the individual PERFRECUP analysis modules,
+using hand-built tables (no simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IOPhase,
+    Table,
+    comm_scatter,
+    comm_summary,
+    correlate_warnings_with_tasks,
+    detect_phases,
+    format_bar,
+    format_records,
+    format_table,
+    fuse_io_with_tasks,
+    io_timeline,
+    longest_categories,
+    order_distance,
+    oversized_tasks,
+    parallel_coordinates,
+    per_task_io,
+    placement_agreement,
+    prefix_duration_variability,
+    slow_small_messages,
+    summarize_metric,
+    unattributed_io,
+    warning_histogram,
+    warnings_in_window,
+)
+
+
+def tasks_table():
+    return Table.from_records([
+        dict(key="a", group="a", prefix="load", worker="w0",
+             hostname="h0", thread_id=100, start=0.0, stop=2.0,
+             duration=2.0, output_nbytes=200 * 2**20, graph_index=0,
+             compute_time=1.5, io_time=0.5, n_reads=2, n_writes=0),
+        dict(key="b", group="b", prefix="load", worker="w1",
+             hostname="h1", thread_id=200, start=1.0, stop=2.5,
+             duration=1.5, output_nbytes=50 * 2**20, graph_index=0,
+             compute_time=1.0, io_time=0.5, n_reads=1, n_writes=0),
+        dict(key="c", group="c", prefix="sum", worker="w0",
+             hostname="h0", thread_id=100, start=3.0, stop=3.2,
+             duration=0.2, output_nbytes=8, graph_index=0,
+             compute_time=0.2, io_time=0.0, n_reads=0, n_writes=0),
+    ])
+
+
+def io_table():
+    return Table.from_records([
+        dict(hostname="h0", rank=0, pthread_id=100, file="/f", op="read",
+             offset=0, length=4 * 2**20, start=0.1, end=0.3,
+             duration=0.2),
+        dict(hostname="h0", rank=0, pthread_id=100, file="/f", op="read",
+             offset=4 * 2**20, length=4 * 2**20, start=0.4, end=0.6,
+             duration=0.2),
+        dict(hostname="h1", rank=1, pthread_id=200, file="/g", op="read",
+             offset=0, length=2**20, start=1.2, end=1.4, duration=0.2),
+        # An orphan: thread nobody's task window covers.
+        dict(hostname="h9", rank=9, pthread_id=999, file="/x", op="write",
+             offset=0, length=10, start=0.5, end=0.6, duration=0.1),
+    ])
+
+
+class TestCorrelate:
+    def test_fusion_attributes_by_thread_and_window(self):
+        fused = fuse_io_with_tasks(tasks_table(), io_table())
+        assert list(fused["key"])[:3] == ["a", "a", "b"]
+        assert fused["key"][3] is None
+
+    def test_unattributed(self):
+        fused = fuse_io_with_tasks(tasks_table(), io_table())
+        orphans = unattributed_io(fused)
+        assert len(orphans) == 1
+        assert orphans["file"][0] == "/x"
+
+    def test_per_task_io_aggregates(self):
+        fused = fuse_io_with_tasks(tasks_table(), io_table())
+        agg = per_task_io(fused)
+        rows = {r["key"]: r for r in agg.to_records()}
+        assert rows["a"]["n_reads"] == 2
+        assert rows["a"]["bytes_read"] == 8 * 2**20
+        assert rows["b"]["n_ops"] == 1
+
+    def test_io_outside_window_not_attributed(self):
+        io = Table.from_records([dict(
+            hostname="h0", rank=0, pthread_id=100, file="/f", op="read",
+            offset=0, length=10, start=2.5, end=2.6, duration=0.1,
+        )])
+        fused = fuse_io_with_tasks(tasks_table(), io)
+        assert fused["key"][0] is None  # between a (ends 2.0) and c (3.0)
+
+
+class TestTimeline:
+    def test_lanes_are_dense_ranks(self):
+        timeline = io_timeline(io_table())
+        assert set(timeline["thread_rank"]) == {0, 1, 2}
+
+    def test_rel_size_normalised(self):
+        timeline = io_timeline(io_table())
+        assert max(timeline["rel_size"]) == 1.0
+        assert min(timeline["rel_size"]) > 0
+
+    def test_empty_io(self):
+        assert len(io_timeline(Table.from_records([]))) == 0
+        assert detect_phases(Table.from_records([])) == []
+
+    def test_detect_phases_alternation(self):
+        records = []
+        t = 0.0
+        for phase, op in enumerate(["read", "write", "read"]):
+            for k in range(5):
+                records.append(dict(
+                    hostname="h", rank=0, pthread_id=1, file="/f", op=op,
+                    offset=0, length=100, start=t, end=t + 0.05,
+                    duration=0.05))
+                t += 0.1
+            t += 10.0  # gap
+        phases = detect_phases(Table.from_records(records), gap=5.0,
+                               min_ops=3)
+        assert [p.op for p in phases] == ["read", "write", "read"]
+        assert all(p.n_ops == 5 for p in phases)
+
+    def test_small_bursts_filtered(self):
+        records = [dict(hostname="h", rank=0, pthread_id=1, file="/f",
+                        op="read", offset=0, length=1, start=0.0, end=0.1,
+                        duration=0.1)]
+        assert detect_phases(Table.from_records(records), min_ops=2) == []
+
+
+class TestCommStats:
+    def comms(self):
+        return Table.from_records([
+            dict(key="k1", src_worker="a", dst_worker="b", src_host="h0",
+                 dst_host="h0", nbytes=1000, start=0.0, stop=0.5,
+                 duration=0.5, same_node=True, same_switch=True),
+            dict(key="k2", src_worker="a", dst_worker="c", src_host="h0",
+                 dst_host="h1", nbytes=1000, start=0.1, stop=0.15,
+                 duration=0.05, same_node=False, same_switch=True),
+            dict(key="k3", src_worker="a", dst_worker="c", src_host="h0",
+                 dst_host="h1", nbytes=10**8, start=1.0, stop=2.0,
+                 duration=1.0, same_node=False, same_switch=False),
+        ])
+
+    def test_scatter_columns_and_order(self):
+        scatter = comm_scatter(self.comms())
+        assert list(scatter["start"]) == sorted(scatter["start"])
+        assert "same_node" in scatter.column_names
+
+    def test_summary_split(self):
+        summary = comm_summary(self.comms())
+        assert summary["intranode"]["count"] == 1
+        assert summary["internode"]["count"] == 2
+        assert summary["internode"]["total_bytes"] == 10**8 + 1000
+        assert summary["n_total"] == 3
+
+    def test_summary_empty(self):
+        empty = Table.from_records([], columns=self.comms().column_names)
+        summary = comm_summary(empty)
+        assert summary["intranode"]["count"] == 0
+
+    def test_slow_small_flagging(self):
+        flagged = slow_small_messages(self.comms(), size_threshold=10_000,
+                                      duration_factor=1.5)
+        assert len(flagged) == 1
+        assert flagged["duration"][0] == 0.5  # the slow small one
+
+
+class TestParallelCoords:
+    def test_coordinates_and_oversize_flag(self):
+        coords = parallel_coordinates(tasks_table())
+        rows = {r["key"]: r for r in coords.to_records()}
+        assert rows["a"]["oversized"] is True or rows["a"]["oversized"]
+        assert not rows["c"]["oversized"]
+        assert rows["a"]["size_mb"] == pytest.approx(200.0)
+
+    def test_longest_categories_ranked(self):
+        top = longest_categories(tasks_table(), top=2)
+        assert top["category"][0] == "load"
+        assert top["n_tasks"][0] == 2
+
+    def test_oversized_sorted_desc(self):
+        big = oversized_tasks(tasks_table())
+        sizes = list(big["size_mb"])
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_empty(self):
+        empty = Table.from_records([], columns=tasks_table().column_names)
+        assert len(parallel_coordinates(empty)) == 0
+
+
+class TestWarningsAnalysis:
+    def warnings(self):
+        rows = []
+        for t in (10, 20, 30, 40, 450):
+            rows.append(dict(source="w", hostname="h",
+                             kind="unresponsive_event_loop", time=float(t),
+                             duration=1.0, message="m"))
+        rows.append(dict(source="w", hostname="h", kind="gc_collect",
+                         time=700.0, duration=0.5, message="gc"))
+        return Table.from_records(rows)
+
+    def test_histogram_buckets(self):
+        hist = warning_histogram(self.warnings(), bucket=100.0)
+        rows = {(r["bucket_start"], r["kind"]): r["count"]
+                for r in hist.to_records()}
+        assert rows[(0.0, "unresponsive_event_loop")] == 4
+        assert rows[(400.0, "unresponsive_event_loop")] == 1
+        assert rows[(700.0, "gc_collect")] == 1
+
+    def test_window_counting(self):
+        assert warnings_in_window(self.warnings(), 0, 100) == 4
+        assert warnings_in_window(self.warnings(), 0, 1000,
+                                  kind="gc_collect") == 1
+
+    def test_correlation_ratio(self):
+        # Category active 0-50s; 4 of 5 unresponsive warnings inside.
+        tasks = Table.from_records([dict(
+            key="t", group="g", prefix="hot", worker="w", hostname="h",
+            thread_id=1, start=0.0, stop=50.0, duration=50.0,
+            output_nbytes=1, graph_index=0, compute_time=50.0,
+            io_time=0.0, n_reads=0, n_writes=0)])
+        result = correlate_warnings_with_tasks(
+            self.warnings(), tasks, "hot")
+        assert result["n_in"] == 4
+        assert result["ratio"] > 1.0
+
+    def test_correlation_missing_category(self):
+        result = correlate_warnings_with_tasks(
+            self.warnings(), tasks_table(), "nonexistent")
+        assert result["ratio"] == 0.0
+
+
+class TestScheduling:
+    def view(self, order, workers):
+        return Table.from_records([
+            dict(key=k, group=k, prefix="p", worker=w, hostname="h",
+                 thread_id=1, start=float(i), stop=float(i) + 0.5,
+                 duration=0.5, output_nbytes=1, graph_index=0,
+                 compute_time=0.5, io_time=0.0, n_reads=0, n_writes=0)
+            for i, (k, w) in enumerate(zip(order, workers))
+        ])
+
+    def test_identical_runs(self):
+        a = self.view(["x", "y", "z"], ["w0", "w1", "w0"])
+        assert placement_agreement(a, a) == 1.0
+        assert order_distance(a, a) == 0.0
+
+    def test_reversed_order(self):
+        a = self.view(["x", "y", "z"], ["w0"] * 3)
+        b = self.view(["z", "y", "x"], ["w0"] * 3)
+        assert order_distance(a, b) == 1.0
+
+    def test_partial_placement_agreement(self):
+        a = self.view(["x", "y"], ["w0", "w1"])
+        b = self.view(["x", "y"], ["w0", "w0"])
+        assert placement_agreement(a, b) == 0.5
+
+    def test_disjoint_keys(self):
+        a = self.view(["x"], ["w0"])
+        b = self.view(["q"], ["w0"])
+        assert placement_agreement(a, b) == 0.0
+        assert order_distance(a, b) == 0.0
+
+
+class TestVariability:
+    def test_summarize(self):
+        stats = summarize_metric("m", [1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.min == 1.0 and stats.max == 3.0
+        assert stats.spread == 2.0
+        assert stats.cv == pytest.approx(0.5)
+
+    def test_single_value_no_std(self):
+        stats = summarize_metric("m", [4.0])
+        assert stats.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_metric("m", [])
+
+    def test_prefix_variability_ordering(self):
+        noisy = [tasks_table()]
+        second = tasks_table().with_column(
+            "duration", [5.0, 1.5, 0.2])  # 'load' total differs a lot
+        table = prefix_duration_variability([noisy[0], second])
+        assert table["prefix"][0] == "load"
+        assert table["cv"][0] > table["cv"][1]
+
+
+class TestReport:
+    def test_format_records_alignment(self):
+        text = format_records([{"a": 1, "bb": "x"}, {"a": 22, "bb": "yyy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_records_empty(self):
+        assert "(empty)" in format_records([], title="t")
+
+    def test_format_table_truncation(self):
+        table = Table({"x": list(range(100))})
+        text = format_table(table, max_rows=5)
+        assert "95 more rows" in text
+
+    def test_format_bar_bounds(self):
+        bar = format_bar("io", 0.5, 1.0, width=10)
+        assert bar.count("#") == 5
+        overflow = format_bar("io", 5.0, 1.0, width=10)
+        assert overflow.count("#") == 10
+
+    def test_format_floats(self):
+        text = format_records([{"v": 0.000012345}])
+        assert "e-05" in text

@@ -1,0 +1,96 @@
+"""Tests for I/O hotspot and heatmap-similarity analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core import RunData, Table, heatmap_similarity, io_hotspots, io_view
+from repro.darshan import HeatmapModule
+from repro.workflows import ImageProcessingWorkflow, run_many
+
+
+def io_rows(durations_by_file):
+    rows = []
+    for path, durations in durations_by_file.items():
+        for k, duration in enumerate(durations):
+            rows.append(dict(
+                hostname="h0", rank=0, pthread_id=1, file=path,
+                op="read", offset=k * 100, length=100,
+                start=float(k), end=float(k) + duration,
+                duration=duration,
+            ))
+    return Table.from_records(rows, columns=[
+        "hostname", "rank", "pthread_id", "file", "op", "offset",
+        "length", "start", "end", "duration"])
+
+
+class TestHotspots:
+    def test_ranks_by_variability(self):
+        run_a = io_rows({"/steady": [1.0, 1.0], "/noisy": [0.5, 0.5]})
+        run_b = io_rows({"/steady": [1.0, 1.0], "/noisy": [2.0, 2.0]})
+        table = io_hotspots([run_a, run_b])
+        assert table["file"][0] == "/noisy"
+        rows = {r["file"]: r for r in table.to_records()}
+        assert rows["/steady"]["cv"] == pytest.approx(0.0)
+        assert rows["/noisy"]["cv"] > 0.5
+        assert rows["/steady"]["n_runs"] == 2
+        assert rows["/steady"]["mean_ops"] == 2.0
+
+    def test_top_limits_output(self):
+        views = [io_rows({f"/f{i}": [1.0] for i in range(30)})]
+        assert len(io_hotspots(views, top=5)) == 5
+
+    def test_real_runs_produce_hotspots(self):
+        results = run_many(lambda: ImageProcessingWorkflow(scale=0.04),
+                           n_runs=2, seed=71)
+        table = io_hotspots([io_view(r.data) for r in results])
+        assert len(table) > 0
+        assert all(table["n_runs"] == 2)
+        assert all(table["mean_io_time"].astype(float) > 0)
+
+
+class TestHeatmapSimilarity:
+    def heatmap_from(self, pattern):
+        hm = HeatmapModule(nbins=16, initial_bin_width=1.0)
+        for t, nbytes in enumerate(pattern):
+            if nbytes:
+                hm.record("read", nbytes, float(t), float(t) + 0.5)
+        return hm
+
+    def test_identical_profiles_score_one(self):
+        a = self.heatmap_from([100, 0, 0, 200])
+        b = self.heatmap_from([100, 0, 0, 200])
+        table = heatmap_similarity([a, b])
+        assert table["similarity"][0] == pytest.approx(1.0)
+
+    def test_disjoint_profiles_score_zero(self):
+        a = self.heatmap_from([100, 0, 0, 0])
+        b = self.heatmap_from([0, 0, 100, 0])
+        table = heatmap_similarity([a, b])
+        assert table["similarity"][0] == pytest.approx(0.0)
+
+    def test_coarsening_forgives_jitter(self):
+        a = self.heatmap_from([100, 0, 0, 0])
+        shifted = self.heatmap_from([0, 100, 0, 0])
+        fine = heatmap_similarity([a, shifted])["similarity"][0]
+        coarse = heatmap_similarity([a, shifted],
+                                    coarsen=2)["similarity"][0]
+        assert coarse > fine
+
+    def test_pairwise_count(self):
+        heatmaps = [self.heatmap_from([i + 1]) for i in range(4)]
+        table = heatmap_similarity(heatmaps)
+        assert len(table) == 6  # 4 choose 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heatmap_similarity([self.heatmap_from([1])])
+        with pytest.raises(ValueError):
+            heatmap_similarity([self.heatmap_from([1])] * 2, coarsen=0)
+
+    def test_repeated_runs_have_high_io_similarity(self):
+        """Same workflow, different noise: the burst structure repeats."""
+        results = run_many(lambda: ImageProcessingWorkflow(scale=0.04),
+                           n_runs=2, seed=73)
+        heatmaps = [r.data.darshan.job_heatmap() for r in results]
+        table = heatmap_similarity(heatmaps, coarsen=2)
+        assert table["similarity"][0] > 0.7

@@ -1,0 +1,221 @@
+"""Unit and property tests for the PERFRECUP columnar Table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Table
+
+
+def sample():
+    return Table({
+        "key": ["a", "b", "c", "d"],
+        "worker": ["w0", "w1", "w0", "w1"],
+        "duration": [1.0, 2.0, 3.0, 4.0],
+        "nbytes": [10, 20, 30, 40],
+    })
+
+
+class TestConstruction:
+    def test_columns_and_len(self):
+        t = sample()
+        assert len(t) == 4
+        assert set(t.column_names) == {"key", "worker", "duration", "nbytes"}
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": np.zeros((2, 2))})
+
+    def test_from_records(self):
+        t = Table.from_records([{"x": 1, "y": "p"}, {"x": 2, "y": "q"}])
+        assert list(t["x"]) == [1, 2]
+        assert list(t["y"]) == ["p", "q"]
+
+    def test_from_records_empty_with_columns(self):
+        t = Table.from_records([], columns=["x", "y"])
+        assert len(t) == 0
+        assert t.column_names == ["x", "y"]
+
+    def test_missing_column_error_lists_names(self):
+        with pytest.raises(KeyError, match="duration"):
+            sample()["missing"]
+
+    def test_row_and_to_records(self):
+        t = sample()
+        assert t.row(1)["key"] == "b"
+        assert t.to_records()[2] == {
+            "key": "c", "worker": "w0", "duration": 3.0, "nbytes": 30,
+        }
+
+
+class TestTransforms:
+    def test_filter_mask(self):
+        t = sample().filter(np.array([True, False, True, False]))
+        assert list(t["key"]) == ["a", "c"]
+
+    def test_filter_predicate(self):
+        t = sample().filter(lambda row: row["duration"] > 2.5)
+        assert list(t["key"]) == ["c", "d"]
+
+    def test_filter_bad_mask_length(self):
+        with pytest.raises(ValueError):
+            sample().filter(np.array([True]))
+
+    def test_sort_descending(self):
+        t = sample().sort_by("duration", descending=True)
+        assert list(t["key"]) == ["d", "c", "b", "a"]
+
+    def test_sort_stable_on_ties(self):
+        t = Table({"g": [1, 1, 0, 0], "i": [0, 1, 2, 3]})
+        s = t.sort_by("g")
+        assert list(s["i"]) == [2, 3, 0, 1]
+
+    def test_select_and_with_column(self):
+        t = sample().select(["key"]).with_column("flag", [1, 0, 1, 0])
+        assert t.column_names == ["key", "flag"]
+
+    def test_with_column_length_checked(self):
+        with pytest.raises(ValueError):
+            sample().with_column("x", [1])
+
+    def test_take_and_head(self):
+        assert list(sample().take([3, 0])["key"]) == ["d", "a"]
+        assert len(sample().head(2)) == 2
+
+    def test_concat(self):
+        t = sample().concat(sample())
+        assert len(t) == 8
+
+    def test_concat_column_mismatch(self):
+        with pytest.raises(ValueError):
+            sample().concat(Table({"other": [1]}))
+
+
+class TestAggregation:
+    def test_groupby(self):
+        groups = sample().groupby("worker")
+        assert set(groups) == {"w0", "w1"}
+        assert list(groups["w0"]["key"]) == ["a", "c"]
+
+    def test_aggregate(self):
+        agg = sample().aggregate("worker", {
+            "total": ("duration", lambda v: float(np.sum(v))),
+            "count": ("key", len),
+        })
+        records = {r["worker"]: r for r in agg.to_records()}
+        assert records["w0"]["total"] == 4.0
+        assert records["w1"]["count"] == 2
+
+    def test_unique(self):
+        assert list(sample().unique("worker")) == ["w0", "w1"]
+
+    def test_describe_numeric(self):
+        d = sample().describe_column("duration")
+        assert d["mean"] == pytest.approx(2.5)
+        assert d["min"] == 1.0 and d["max"] == 4.0
+
+    def test_describe_string(self):
+        d = sample().describe_column("worker")
+        assert d["unique"] == 2 and d["top_count"] == 2
+
+
+class TestJoin:
+    def test_inner_join(self):
+        left = sample()
+        right = Table({"key": ["a", "c", "z"], "extra": [100, 300, 999]})
+        joined = left.join(right, on=["key"])
+        assert len(joined) == 2
+        assert list(joined["extra"]) == [100, 300]
+
+    def test_left_join_fills_none(self):
+        left = sample()
+        right = Table({"key": ["a"], "extra": [1]})
+        joined = left.join(right, on=["key"], how="left")
+        assert len(joined) == 4
+        assert joined["extra"][1] is None
+
+    def test_join_one_to_many(self):
+        left = Table({"host": ["h0", "h1"]})
+        right = Table({"host": ["h0", "h0", "h1"], "v": [1, 2, 3]})
+        joined = left.join(right, on=["host"])
+        assert len(joined) == 3
+
+    def test_join_collision_suffix(self):
+        left = Table({"key": ["a"], "value": [1]})
+        right = Table({"key": ["a"], "value": [2]})
+        joined = left.join(right, on=["key"])
+        assert list(joined["value"]) == [1]
+        assert list(joined["value_r"]) == [2]
+
+    def test_join_multi_column(self):
+        left = Table({"h": ["h0", "h0"], "t": [1, 2], "x": ["p", "q"]})
+        right = Table({"h": ["h0"], "t": [2], "y": ["match"]})
+        joined = left.join(right, on=["h", "t"])
+        assert list(joined["x"]) == ["q"]
+
+    def test_bad_how_rejected(self):
+        with pytest.raises(ValueError):
+            sample().join(sample(), on=["key"], how="outer")
+
+
+# -- property-based tests ----------------------------------------------
+
+records_strategy = st.lists(
+    st.fixed_dictionaries({
+        "g": st.integers(0, 3),
+        "v": st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-1e6, max_value=1e6),
+    }),
+    max_size=60,
+)
+
+
+@given(records_strategy)
+@settings(max_examples=60, deadline=None)
+def test_filter_partition_is_complete(records):
+    """filter(mask) + filter(~mask) partitions the rows."""
+    t = Table.from_records(records, columns=["g", "v"])
+    if len(t) == 0:
+        return
+    mask = t["v"].astype(float) >= 0
+    yes, no = t.filter(mask), t.filter(~mask)
+    assert len(yes) + len(no) == len(t)
+    assert float(np.sum(yes["v"])) + float(np.sum(no["v"])) == pytest.approx(
+        float(np.sum(t["v"])), abs=1e-6)
+
+
+@given(records_strategy)
+@settings(max_examples=60, deadline=None)
+def test_groupby_preserves_rows(records):
+    t = Table.from_records(records, columns=["g", "v"])
+    groups = t.groupby("g")
+    assert sum(len(sub) for sub in groups.values()) == len(t)
+
+
+@given(records_strategy)
+@settings(max_examples=60, deadline=None)
+def test_sort_is_permutation(records):
+    t = Table.from_records(records, columns=["g", "v"])
+    s = t.sort_by("v")
+    assert len(s) == len(t)
+    assert sorted(s["v"]) == sorted(t["v"])
+    values = list(s["v"])
+    assert all(values[i] <= values[i + 1] for i in range(len(values) - 1))
+
+
+@given(records_strategy, records_strategy)
+@settings(max_examples=40, deadline=None)
+def test_inner_join_row_count_matches_key_products(left_rec, right_rec):
+    left = Table.from_records(left_rec, columns=["g", "v"])
+    right = Table.from_records(right_rec, columns=["g", "v"])
+    joined = left.join(right, on=["g"])
+    from collections import Counter
+    lc = Counter(left["g"]) if len(left) else Counter()
+    rc = Counter(right["g"]) if len(right) else Counter()
+    expected = sum(lc[k] * rc[k] for k in lc)
+    assert len(joined) == expected

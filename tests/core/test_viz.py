@@ -1,0 +1,178 @@
+"""Tests for the SVG figure renderers (validated by XML parsing)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core import (
+    Table,
+    fig3_svg,
+    fig4_svg,
+    fig5_svg,
+    fig6_svg,
+    fig7_svg,
+    write_svg,
+)
+from repro.core.variability import summarize_metric
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def count(root: ET.Element, tag: str) -> int:
+    return len(root.findall(f".//{SVG_NS}{tag}"))
+
+
+def stats_fixture():
+    def one(io, comm, compute):
+        return {
+            "normalized": {"io": io, "communication": comm,
+                           "computation": compute, "total": 1.0},
+            "normalized_err": {"io": 0.02, "communication": 0.01,
+                               "computation": 0.05, "total": 0.03},
+        }
+    return {"WF-A": one(0.4, 0.1, 0.7), "WF-B": one(0.05, 0.02, 3.0)}
+
+
+class TestFig3:
+    def test_valid_svg_with_bars_and_errorbars(self):
+        root = parse(fig3_svg(stats_fixture()))
+        # 2 workflows x 4 phases bars + background + legend swatches.
+        assert count(root, "rect") >= 2 * 4 + 1
+        assert count(root, "line") >= 2 * 4  # error bars + axes
+        texts = [t.text for t in root.findall(f".//{SVG_NS}text")]
+        assert "WF-A" in texts and "WF-B" in texts
+
+
+class TestFig4:
+    def timeline(self):
+        return Table.from_records([
+            dict(thread_rank=0, pthread_id=1, hostname="h", op="read",
+                 start=0.0, duration=1.0, length=100, rel_size=1.0),
+            dict(thread_rank=1, pthread_id=2, hostname="h", op="write",
+                 start=1.0, duration=0.5, length=10, rel_size=0.1),
+        ])
+
+    def test_segments_rendered(self):
+        root = parse(fig4_svg(self.timeline()))
+        rects = root.findall(f".//{SVG_NS}rect")
+        fills = {r.get("fill") for r in rects}
+        assert "#c62828" in fills  # read
+        assert "#1565c0" in fills  # write
+
+    def test_opacity_tracks_rel_size(self):
+        root = parse(fig4_svg(self.timeline()))
+        reads = [r for r in root.findall(f".//{SVG_NS}rect")
+                 if r.get("fill") == "#c62828"]
+        writes = [r for r in root.findall(f".//{SVG_NS}rect")
+                  if r.get("fill") == "#1565c0"]
+        # Legend swatches have opacity 1.0; data rects carry computed
+        # opacity.  The read data rect must be more opaque than write's.
+        read_op = max(float(r.get("fill-opacity")) for r in reads
+                      if float(r.get("fill-opacity")) <= 1.0)
+        write_op = min(float(r.get("fill-opacity")) for r in writes)
+        assert read_op > write_op
+
+    def test_empty_timeline(self):
+        empty = Table.from_records([], columns=[
+            "thread_rank", "pthread_id", "hostname", "op", "start",
+            "duration", "length", "rel_size"])
+        root = parse(fig4_svg(empty))
+        assert root.tag == f"{SVG_NS}svg"
+
+
+class TestFig5:
+    def scatter(self):
+        return Table.from_records([
+            dict(nbytes=1000, duration=0.001, same_node=True,
+                 same_switch=True, start=0.0),
+            dict(nbytes=10**8, duration=1.0, same_node=False,
+                 same_switch=False, start=1.0),
+        ])
+
+    def test_points_coloured_by_locality(self):
+        root = parse(fig5_svg(self.scatter()))
+        circles = root.findall(f".//{SVG_NS}circle")
+        fills = {c.get("fill") for c in circles}
+        assert "#2e7d32" in fills and "#e65100" in fills
+
+    def test_empty(self):
+        empty = Table.from_records([], columns=[
+            "nbytes", "duration", "same_node", "same_switch", "start"])
+        assert parse(fig5_svg(empty)).tag == f"{SVG_NS}svg"
+
+
+class TestFig6:
+    def coords(self):
+        return Table.from_records([
+            dict(key="a", elapsed=0.0, category="read_parquet",
+                 thread_rank=0, size_mb=300.0, duration=20.0,
+                 oversized=True),
+            dict(key="b", elapsed=5.0, category="getitem",
+                 thread_rank=1, size_mb=10.0, duration=0.1,
+                 oversized=False),
+            dict(key="c", elapsed=9.0, category="predict",
+                 thread_rank=2, size_mb=1.0, duration=0.5,
+                 oversized=False),
+        ])
+
+    def test_one_polyline_per_task_plus_axes(self):
+        root = parse(fig6_svg(self.coords()))
+        assert count(root, "polyline") == 3
+        assert count(root, "line") == 5  # one per coordinate axis
+        texts = [t.text for t in root.findall(f".//{SVG_NS}text")]
+        for axis in ("elapsed", "category", "thread_rank", "size_mb",
+                     "duration"):
+            assert axis in texts
+
+    def test_longest_task_drawn_widest(self):
+        root = parse(fig6_svg(self.coords()))
+        widths = sorted(float(p.get("stroke-width"))
+                        for p in root.findall(f".//{SVG_NS}polyline"))
+        assert widths[-1] > widths[0]
+
+
+class TestFig7:
+    def hist(self):
+        return Table.from_records([
+            dict(bucket_start=0.0, kind="unresponsive_event_loop",
+                 count=10),
+            dict(bucket_start=0.0, kind="gc_collect", count=20),
+            dict(bucket_start=100.0, kind="gc_collect", count=3),
+        ])
+
+    def test_bars_and_legend(self):
+        root = parse(fig7_svg(self.hist()))
+        assert count(root, "rect") >= 3 + 1 + 2  # bars + bg + legend
+        texts = [t.text for t in root.findall(f".//{SVG_NS}text")]
+        assert "gc_collect" in texts
+        assert "unresponsive_event_loop" in texts
+
+
+class TestHeatmapSvg:
+    def test_bars_for_both_directions(self):
+        from repro.core import heatmap_svg
+        from repro.darshan import HeatmapModule
+        hm = HeatmapModule(nbins=10, initial_bin_width=1.0)
+        hm.record("read", 1000, 0.0, 0.5)
+        hm.record("write", 500, 2.0, 2.5)
+        root = parse(heatmap_svg(hm))
+        fills = {r.get("fill") for r in root.findall(f".//{SVG_NS}rect")}
+        assert "#c62828" in fills and "#1565c0" in fills
+
+    def test_none_heatmap_renders_empty_chart(self):
+        from repro.core import heatmap_svg
+        root = parse(heatmap_svg(None))
+        assert root.tag == f"{SVG_NS}svg"
+
+
+class TestWrite:
+    def test_write_svg(self, tmp_path):
+        path = write_svg(fig3_svg(stats_fixture()),
+                         str(tmp_path / "sub" / "fig3.svg"))
+        content = open(path).read()
+        assert content.startswith("<svg")
+        parse(content)

@@ -1,0 +1,138 @@
+"""Tests for the Darshan HEATMAP module."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.darshan import HeatmapModule, merge_heatmaps
+from repro.darshan.log import DarshanLog
+from repro.darshan import read_log, write_log
+
+from tests.darshan.test_darshan import run_runtime_io
+
+
+class TestHeatmapBasics:
+    def test_single_bin_accumulation(self):
+        hm = HeatmapModule(nbins=10, initial_bin_width=1.0)
+        hm.record("read", 1000, 0.2, 0.8)
+        assert hm.read_bytes[0] == 1000
+        assert hm.read_ops[0] == 1
+        assert hm.write_bytes.sum() == 0
+
+    def test_spanning_op_spread_proportionally(self):
+        hm = HeatmapModule(nbins=10, initial_bin_width=1.0)
+        hm.record("write", 300, 0.5, 3.5)  # spans bins 0..3
+        assert hm.write_bytes[0] == pytest.approx(50)   # 0.5s of 3s
+        assert hm.write_bytes[1] == pytest.approx(100)
+        assert hm.write_bytes[2] == pytest.approx(100)
+        assert hm.write_bytes[3] == pytest.approx(50)
+        assert hm.write_ops.sum() == 1
+
+    def test_widening_preserves_totals(self):
+        hm = HeatmapModule(nbins=4, initial_bin_width=1.0)
+        hm.record("read", 100, 0.0, 0.5)
+        hm.record("read", 200, 3.0, 3.5)
+        total_before = hm.read_bytes.sum()
+        hm.record("read", 50, 30.0, 30.1)  # forces widening
+        assert hm.read_bytes.sum() == pytest.approx(total_before + 50)
+        assert hm.bin_width > 1.0
+        assert hm.horizon >= 30.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeatmapModule(nbins=1)
+        with pytest.raises(ValueError):
+            HeatmapModule(initial_bin_width=0)
+        hm = HeatmapModule()
+        with pytest.raises(ValueError):
+            hm.record("seek", 1, 0, 1)
+        with pytest.raises(ValueError):
+            hm.record("read", 1, 2.0, 1.0)
+
+    def test_roundtrip(self):
+        hm = HeatmapModule(nbins=8, initial_bin_width=0.5)
+        hm.record("read", 123, 0.1, 0.2)
+        hm.record("write", 456, 1.0, 3.0)
+        back = HeatmapModule.from_dict(hm.to_dict())
+        assert np.allclose(back.read_bytes, hm.read_bytes)
+        assert np.allclose(back.write_bytes, hm.write_bytes)
+        assert back.bin_width == hm.bin_width
+
+
+class TestMerge:
+    def test_merge_same_width(self):
+        a = HeatmapModule(nbins=4, initial_bin_width=1.0)
+        b = HeatmapModule(nbins=4, initial_bin_width=1.0)
+        a.record("read", 100, 0.0, 0.5)
+        b.record("read", 200, 1.0, 1.5)
+        merged = merge_heatmaps([a, b])
+        assert merged.read_bytes[0] == 100
+        assert merged.read_bytes[1] == 200
+
+    def test_merge_widens_to_coarsest(self):
+        a = HeatmapModule(nbins=4, initial_bin_width=1.0)
+        b = HeatmapModule(nbins=4, initial_bin_width=1.0)
+        a.record("read", 100, 0.0, 0.5)
+        b.record("read", 200, 10.0, 10.5)  # b widens internally
+        merged = merge_heatmaps([a, b])
+        assert merged.bin_width == b.bin_width
+        assert merged.read_bytes.sum() == pytest.approx(300)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_heatmaps([])
+
+
+@given(st.lists(
+    st.tuples(st.sampled_from(["read", "write"]),
+              st.integers(1, 10**6),
+              st.floats(0, 500), st.floats(0.001, 5.0)),
+    min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_property_total_bytes_conserved(ops):
+    hm = HeatmapModule(nbins=16, initial_bin_width=0.5)
+    expected_read = expected_write = 0
+    for op, nbytes, start, dur in ops:
+        hm.record(op, nbytes, start, start + dur)
+        if op == "read":
+            expected_read += nbytes
+        else:
+            expected_write += nbytes
+    assert hm.read_bytes.sum() == pytest.approx(expected_read, rel=1e-9)
+    assert hm.write_bytes.sum() == pytest.approx(expected_write, rel=1e-9)
+    assert hm.read_ops.sum() + hm.write_ops.sum() == len(ops)
+
+
+class TestRuntimeIntegration:
+    def test_runtime_populates_heatmap(self):
+        runtime = run_runtime_io([
+            ("/lus/a", "read", 0, 4 * 2**20, 1),
+            ("/lus/b", "write", 0, 2**20, 2),
+        ])
+        log = runtime.finalize()
+        assert log.heatmap is not None
+        assert log.heatmap.read_bytes.sum() == pytest.approx(4 * 2**20)
+        assert log.heatmap.write_bytes.sum() == pytest.approx(2**20)
+
+    def test_heatmap_survives_log_roundtrip(self, tmp_path):
+        runtime = run_runtime_io([("/lus/a", "read", 0, 2**20, 1)])
+        path = str(tmp_path / "log.darshan.json.gz")
+        write_log(runtime.finalize(), path)
+        back = read_log(path)
+        assert back.heatmap is not None
+        assert back.heatmap.read_bytes.sum() == pytest.approx(2**20)
+
+    def test_report_job_heatmap(self, tmp_path):
+        from repro.darshan import DarshanReport
+        logs = []
+        for rank in range(2):
+            runtime = run_runtime_io([
+                ("/lus/a", "read", 0, 2**20, 10 + rank)])
+            log = runtime.finalize()
+            log.rank = rank
+            logs.append(log)
+        report = DarshanReport(logs)
+        merged = report.job_heatmap()
+        assert merged is not None
+        assert merged.read_bytes.sum() == pytest.approx(2 * 2**20)

@@ -1,0 +1,118 @@
+"""Tests for client semantics: persist/release, logs, graph indices."""
+
+import pytest
+
+from repro.dasklike import TaskGraph, TaskSpec
+
+from tests.helpers import make_wms
+
+
+def simple_graph(token, nbytes=1024):
+    return TaskGraph([
+        TaskSpec(key=(f"work-{token}", i), compute_time=0.02,
+                 output_nbytes=nbytes)
+        for i in range(4)
+    ])
+
+
+def drive(env, steps):
+    out = []
+
+    def driver():
+        for step in steps:
+            value = yield env.process(step())
+            out.append(value)
+
+    env.run(until=env.process(driver()))
+    return out
+
+
+class TestPersistRelease:
+    def test_persist_keeps_keys_in_memory(self):
+        env, cluster, dask, client, job = make_wms()
+        graph = simple_graph("aa0001ff")
+        (index, results), = drive(env, [
+            lambda: client.persist(graph, optimize=False)])
+        for name in results:
+            assert dask.scheduler.tasks[name].state == "memory"
+        total = sum(sum(w.data.values()) for w in dask.workers)
+        assert total == 4 * 1024
+
+    def test_release_frees_memory(self):
+        env, cluster, dask, client, job = make_wms()
+        graph = simple_graph("bb0002ff")
+        (index, results), = drive(env, [
+            lambda: client.persist(graph, optimize=False)])
+        client.release(list(results))
+        for name in results:
+            assert dask.scheduler.tasks[name].state == "forgotten"
+        assert all(not w.data for w in dask.workers)
+
+    def test_compute_equals_persist_plus_release(self):
+        env, cluster, dask, client, job = make_wms()
+        graph = simple_graph("cc0003ff")
+        (index, results), = drive(env, [
+            lambda: client.compute(graph, optimize=False)])
+        assert len(results) == 4
+        assert all(not w.data for w in dask.workers)
+
+    def test_release_unknown_keys_is_noop(self):
+        env, cluster, dask, client, job = make_wms()
+        client.release(["never-existed"])  # must not raise
+
+    def test_double_release_is_idempotent(self):
+        env, cluster, dask, client, job = make_wms()
+        graph = simple_graph("dd0004ff")
+        (index, results), = drive(env, [
+            lambda: client.persist(graph, optimize=False)])
+        client.release(list(results))
+        client.release(list(results))
+
+
+class TestClientBookkeeping:
+    def test_graph_indices_accumulate(self):
+        env, cluster, dask, client, job = make_wms()
+        drive(env, [
+            lambda: client.compute(simple_graph("ee0005ff"),
+                                   optimize=False),
+            lambda: client.compute(simple_graph("ff0006ff"),
+                                   optimize=False),
+        ])
+        assert client.graph_indices == [0, 1]
+
+    def test_explicit_wanted_subset(self):
+        env, cluster, dask, client, job = make_wms()
+        graph = simple_graph("ab0007ff")
+        wanted = [graph.keys()[0]]
+        (index, results), = drive(env, [
+            lambda: client.persist(graph, optimize=False, wanted=wanted)])
+        assert list(results) == wanted
+        # Unwanted siblings were freed once nothing needed them.
+        for name in graph.keys()[1:]:
+            assert dask.scheduler.tasks[name].state == "forgotten"
+
+    def test_client_logs_submission_and_gather(self):
+        env, cluster, dask, client, job = make_wms()
+        drive(env, [
+            lambda: client.compute(simple_graph("ba0008ff"),
+                                   optimize=False)])
+        messages = [e.message for e in client.logs]
+        assert any("Submitted graph" in m for m in messages)
+        assert any("Gathered" in m for m in messages)
+
+    def test_submission_cost_scales_with_graph_size(self):
+        env, cluster, dask, client, job = make_wms()
+        t0 = env.now
+        drive(env, [lambda: client.compute(
+            simple_graph("ca0009ff"), optimize=False)])
+        small = env.now - t0
+        env2, cluster2, dask2, client2, job2 = make_wms()
+        big = TaskGraph([
+            TaskSpec(key=("many-da000aff", i), compute_time=0.0,
+                     output_nbytes=1)
+            for i in range(400)
+        ])
+        t0 = env2.now
+        drive(env2, [lambda: client2.compute(big, optimize=False)])
+        large = env2.now - t0
+        assert large > small  # graph build cost is per-task

@@ -1,0 +1,73 @@
+"""Tests for the DaskCluster deployment helper."""
+
+import pytest
+
+from repro.dasklike import DaskCluster, DaskConfig, PassthroughIO
+from repro.jobs import BatchSystem, JobSpec
+from repro.platform import Cluster, ClusterSpec
+from repro.sim import Environment, RandomStreams
+
+from tests.helpers import make_wms, run_graphs
+from tests.dasklike.test_integration import map_reduce_graph
+
+
+def build(worker_nodes=2, workers_per_node=3, threads=5):
+    env = Environment()
+    streams = RandomStreams(7)
+    cluster = Cluster(env, ClusterSpec(num_nodes=8), streams)
+    batch = BatchSystem(env, cluster, streams)
+    job = env.run(until=env.process(batch.submit(JobSpec(
+        worker_nodes=worker_nodes, workers_per_node=workers_per_node,
+        threads_per_worker=threads))))
+    dask = DaskCluster(env, cluster, job, streams=streams)
+    return env, cluster, dask
+
+
+class TestLayout:
+    def test_worker_placement_matches_job(self):
+        env, cluster, dask = build()
+        assert len(dask.workers) == 6
+        hosts = {}
+        for worker in dask.workers:
+            hosts.setdefault(worker.node.name, []).append(worker)
+        assert len(hosts) == 2
+        assert all(len(ws) == 3 for ws in hosts.values())
+        assert all(w.nthreads == 5 for w in dask.workers)
+
+    def test_scheduler_on_first_node(self):
+        env, cluster, dask = build()
+        assert dask.scheduler.node is dask.job.nodes[0]
+        worker_nodes = {w.node.name for w in dask.workers}
+        assert dask.scheduler.node.name not in worker_nodes
+
+    def test_default_io_layer_is_passthrough(self):
+        env, cluster, dask = build()
+        assert all(isinstance(w.io_layer, PassthroughIO)
+                   for w in dask.workers)
+
+    def test_unique_worker_addresses_and_threads(self):
+        env, cluster, dask = build()
+        addresses = [w.address for w in dask.workers]
+        assert len(set(addresses)) == len(addresses)
+        all_tids = [tid for w in dask.workers for tid in w.thread_ids]
+        assert len(set(all_tids)) == len(all_tids)
+
+    def test_start_is_idempotent(self):
+        env, cluster, dask = build()
+        dask.start()
+        dask.start()  # second call must be a no-op
+        assert dask._started
+
+
+class TestAggregationHelpers:
+    def test_all_logs_sorted_and_all_transitions_sorted(self):
+        env, cluster, dask, client, job = make_wms()
+        run_graphs(env, client, map_reduce_graph(width=8,
+                                                 token="de9de9de"))
+        logs = dask.all_logs()
+        assert [e.time for e in logs] == sorted(e.time for e in logs)
+        transitions = dask.all_transitions()
+        times = [t.timestamp for t in transitions]
+        assert times == sorted(times)
+        sources = {t.source for t in transitions}
+        assert "scheduler" in sources and len(sources) > 1

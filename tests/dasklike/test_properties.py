@@ -1,0 +1,89 @@
+"""Property-based tests on task-graph and fusion invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dasklike import TaskGraph, TaskSpec, fuse_linear_chains
+from repro.dasklike.states import key_split
+from repro.dasklike.utils import tokenize
+
+
+@st.composite
+def random_dag(draw):
+    """A random DAG: each task may depend on earlier tasks only."""
+    n = draw(st.integers(1, 25))
+    tasks = []
+    for i in range(n):
+        n_deps = draw(st.integers(0, min(i, 3)))
+        deps = tuple(
+            f"t{j}-aa00bb11" for j in sorted(
+                draw(st.lists(st.integers(0, i - 1), min_size=n_deps,
+                              max_size=n_deps, unique=True))
+            )
+        ) if i > 0 else ()
+        tasks.append(TaskSpec(
+            key=f"t{i}-aa00bb11",
+            deps=deps,
+            compute_time=draw(st.floats(0, 2)),
+            output_nbytes=draw(st.integers(0, 10**6)),
+        ))
+    return TaskGraph(tasks)
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_fusion_preserves_total_compute(graph):
+    fused = fuse_linear_chains(graph)
+    original = sum(t.compute_time for t in graph.tasks.values())
+    after = sum(t.compute_time for t in fused.tasks.values())
+    assert after == pytest.approx(original)
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_fusion_never_grows_the_graph(graph):
+    fused = fuse_linear_chains(graph)
+    assert len(fused) <= len(graph)
+    fused.validate(allow_external=True)
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_fusion_preserves_io_ops(graph):
+    fused = fuse_linear_chains(graph)
+    def ops(g):
+        return sum(len(t.reads) + len(t.writes) for t in g.tasks.values())
+    assert ops(fused) == ops(graph)
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_fusion_preserves_leaf_outputs(graph):
+    """The set of leaf output sizes survives fusion (keys may rename)."""
+    fused = fuse_linear_chains(graph)
+    original = sorted(graph[k].output_nbytes for k in graph.leaves())
+    after = sorted(fused[k].output_nbytes for k in fused.leaves())
+    assert after == original
+
+
+@given(random_dag())
+@settings(max_examples=60, deadline=None)
+def test_toposort_respects_all_edges(graph):
+    order = {name: i for i, name in enumerate(graph.toposort())}
+    for name, task in graph.tasks.items():
+        for dep in task.deps:
+            assert order[str(dep)] < order[name]
+
+
+@given(st.lists(st.sampled_from(
+    ["load", "transform", "read_parquet", "getitem", "assign"]),
+    min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_key_split_strips_tokenize_tokens(names):
+    """Any tokenize() token is stripped from any operation name."""
+    for name in names:
+        token = tokenize(*names)
+        assert key_split(f"{name}-{token}") == name
+        assert key_split((f"{name}-{token}", 5)) == name

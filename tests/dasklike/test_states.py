@@ -1,0 +1,66 @@
+"""Tests for key naming conventions and transition validation."""
+
+import pytest
+
+from repro.dasklike import key_group, key_split, key_str
+from repro.dasklike.states import validate_transition
+
+
+class TestKeyStr:
+    def test_plain_string(self):
+        assert key_str("sum-abc123") == "sum-abc123"
+
+    def test_tuple_key(self):
+        assert key_str(("getitem-24266c", 63)) == "('getitem-24266c', 63)"
+
+    def test_nested_index(self):
+        assert key_str(("blocks-ff00aa", 1, 2)) == "('blocks-ff00aa', 1, 2)"
+
+
+class TestKeyGroup:
+    def test_string_key_is_its_own_group(self):
+        assert key_group("train-part-9f8e7d61") == "train-part-9f8e7d61"
+
+    def test_tuple_key_group_is_name(self):
+        assert key_group(("getitem-24266c", 63)) == "getitem-24266c"
+
+
+class TestKeySplit:
+    def test_strips_hash_token(self):
+        assert key_split("getitem-24266c1f") == "getitem"
+
+    def test_strips_numeric_suffix(self):
+        assert key_split(("sum-123", 4)) == "sum"
+
+    def test_keeps_composite_names(self):
+        assert key_split("read_parquet-fused-assign-9a8b7c6d") == \
+            "read_parquet-fused-assign"
+
+    def test_plain_word_unchanged(self):
+        assert key_split("normalize") == "normalize"
+
+    def test_word_with_dash_but_no_token(self):
+        assert key_split("random_split_take") == "random_split_take"
+
+
+class TestTransitions:
+    @pytest.mark.parametrize("start,finish", [
+        ("released", "waiting"),
+        ("waiting", "processing"),
+        ("processing", "memory"),
+        ("memory", "released"),
+        ("memory", "forgotten"),
+        ("processing", "erred"),
+    ])
+    def test_legal(self, start, finish):
+        validate_transition(start, finish)
+
+    @pytest.mark.parametrize("start,finish", [
+        ("memory", "processing"),
+        ("released", "memory"),
+        ("waiting", "memory"),
+        ("processing", "waiting"),
+    ])
+    def test_illegal(self, start, finish):
+        with pytest.raises(ValueError):
+            validate_transition(start, finish)

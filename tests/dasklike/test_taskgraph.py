@@ -1,0 +1,152 @@
+"""Tests for task-graph construction, validation, and fusion."""
+
+import pytest
+
+from repro.dasklike import GraphError, IOOp, TaskGraph, TaskSpec, fuse_linear_chains
+
+
+def simple_chain():
+    """read -> transform -> write, a pure linear chain."""
+    return TaskGraph([
+        TaskSpec(key="read-aa11bb22", compute_time=0.1,
+                 reads=(IOOp("/f", "read", 0, 1024),),
+                 output_nbytes=1024),
+        TaskSpec(key="transform-cc33dd44", deps=("read-aa11bb22",),
+                 compute_time=0.5, output_nbytes=512),
+        TaskSpec(key="store-ee55ff66", deps=("transform-cc33dd44",),
+                 writes=(IOOp("/out", "write", 0, 512),),
+                 output_nbytes=0),
+    ])
+
+
+class TestTaskSpec:
+    def test_prefix_group_derivation(self):
+        spec = TaskSpec(key=("getitem-24266c1f", 63))
+        assert spec.group == "getitem-24266c1f"
+        assert spec.prefix == "getitem"
+        assert spec.name == "('getitem-24266c1f', 63)"
+
+    def test_ioop_validation(self):
+        with pytest.raises(ValueError):
+            IOOp("/f", "append", 0, 10)
+        with pytest.raises(ValueError):
+            IOOp("/f", "read", -1, 10)
+
+
+class TestTaskGraph:
+    def test_add_and_lookup(self):
+        graph = simple_chain()
+        assert len(graph) == 3
+        assert "read-aa11bb22" in graph
+        assert graph["read-aa11bb22"].output_nbytes == 1024
+
+    def test_duplicate_key_rejected(self):
+        graph = simple_chain()
+        with pytest.raises(GraphError):
+            graph.add(TaskSpec(key="read-aa11bb22"))
+
+    def test_missing_dep_detected(self):
+        graph = TaskGraph([TaskSpec(key="a", deps=("ghost",))])
+        with pytest.raises(GraphError, match="missing"):
+            graph.validate()
+
+    def test_cycle_detected(self):
+        graph = TaskGraph([
+            TaskSpec(key="a", deps=("b",)),
+            TaskSpec(key="b", deps=("a",)),
+        ])
+        with pytest.raises(GraphError, match="cycle"):
+            graph.validate()
+
+    def test_toposort_respects_dependencies(self):
+        graph = simple_chain()
+        order = graph.toposort()
+        assert order.index("read-aa11bb22") < order.index("transform-cc33dd44")
+        assert order.index("transform-cc33dd44") < order.index("store-ee55ff66")
+
+    def test_roots_and_leaves(self):
+        graph = simple_chain()
+        assert graph.roots() == ["read-aa11bb22"]
+        assert graph.leaves() == ["store-ee55ff66"]
+
+    def test_stats(self):
+        stats = simple_chain().stats()
+        assert stats["tasks"] == 3
+        assert stats["edges"] == 2
+        assert stats["distinct_files"] == 2
+        assert stats["planned_io_ops"] == 2
+        assert "transform" in stats["prefixes"]
+
+
+class TestFusion:
+    def test_linear_chain_fuses_to_one_task(self):
+        fused = fuse_linear_chains(simple_chain())
+        assert len(fused) == 1
+        (task,) = fused.tasks.values()
+        assert "fused" in task.prefix
+
+    def test_fused_costs_accumulate(self):
+        fused = fuse_linear_chains(simple_chain())
+        (task,) = fused.tasks.values()
+        assert task.compute_time == pytest.approx(0.6)
+        assert len(task.reads) == 1
+        assert len(task.writes) == 1
+        assert task.output_nbytes == 0  # tail's output
+
+    def test_read_parquet_assign_naming(self):
+        graph = TaskGraph([
+            TaskSpec(key=("read_parquet-1a2b3c4d", 0),
+                     reads=(IOOp("/p", "read", 0, 100),),
+                     output_nbytes=100),
+            TaskSpec(key=("assign-5e6f7a8b", 0),
+                     deps=(("read_parquet-1a2b3c4d", 0),),
+                     compute_time=0.2, output_nbytes=120),
+        ])
+        fused = fuse_linear_chains(graph)
+        (task,) = fused.tasks.values()
+        assert task.prefix == "read_parquet-fused-assign"
+
+    def test_fan_out_not_fused(self):
+        graph = TaskGraph([
+            TaskSpec(key="src-ab12cd34", output_nbytes=10),
+            TaskSpec(key="left-ab12cd34", deps=("src-ab12cd34",)),
+            TaskSpec(key="right-ab12cd34", deps=("src-ab12cd34",)),
+        ])
+        fused = fuse_linear_chains(graph)
+        assert len(fused) == 3
+
+    def test_fan_in_not_fused_across_join(self):
+        graph = TaskGraph([
+            TaskSpec(key="a-11112222", output_nbytes=1),
+            TaskSpec(key="b-11112222", output_nbytes=1),
+            TaskSpec(key="join-33334444", deps=("a-11112222", "b-11112222")),
+        ])
+        fused = fuse_linear_chains(graph)
+        assert len(fused) == 3
+
+    def test_external_deps_preserved(self):
+        """Deps pointing outside the graph survive fusion untouched."""
+        graph = TaskGraph([
+            TaskSpec(key="load-99990000", deps=("external-key",),
+                     output_nbytes=5),
+            TaskSpec(key="use-99990000", deps=("load-99990000",)),
+        ])
+        fused = fuse_linear_chains(graph)
+        (task,) = fused.tasks.values()
+        assert "external-key" in [str(d) for d in task.deps]
+
+    def test_diamond_partial_fusion(self):
+        """Only the unbranched tails of a diamond fuse."""
+        graph = TaskGraph([
+            TaskSpec(key="src-0a0a0a0a"),
+            TaskSpec(key="l1-0a0a0a0a", deps=("src-0a0a0a0a",)),
+            TaskSpec(key="r1-0a0a0a0a", deps=("src-0a0a0a0a",)),
+            TaskSpec(key="sink-0b0b0b0b", deps=("l1-0a0a0a0a", "r1-0a0a0a0a")),
+        ])
+        fused = fuse_linear_chains(graph)
+        fused.validate()
+        assert len(fused) == 4
+
+    def test_fusion_keeps_graph_valid(self):
+        fused = fuse_linear_chains(simple_chain())
+        fused.validate()

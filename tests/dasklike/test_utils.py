@@ -1,0 +1,35 @@
+"""Tests for WMS utility helpers."""
+
+import pytest
+
+from repro.dasklike.utils import format_bytes, tokenize
+
+
+class TestTokenize:
+    def test_deterministic(self):
+        assert tokenize("a", 1, [2, 3]) == tokenize("a", 1, [2, 3])
+
+    def test_distinct_inputs_distinct_tokens(self):
+        assert tokenize("a") != tokenize("b")
+        assert tokenize("a", 1) != tokenize("a", 2)
+
+    def test_eight_hex_chars(self):
+        token = tokenize("anything")
+        assert len(token) == 8
+        assert all(c in "0123456789abcdef" for c in token)
+
+    def test_separator_prevents_concat_collisions(self):
+        assert tokenize("ab", "c") != tokenize("a", "bc")
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize("n,expected", [
+        (0, "0 B"),
+        (512, "512 B"),
+        (2048, "2.00 KiB"),
+        (5 * 2**20, "5.00 MiB"),
+        (int(1.5 * 2**30), "1.50 GiB"),
+        (3 * 2**40, "3.00 TiB"),
+    ])
+    def test_rendering(self, n, expected):
+        assert format_bytes(n) == expected

@@ -1,0 +1,119 @@
+"""Worker-failure injection: detection, recovery, recomputation."""
+
+import pytest
+
+from repro.dasklike import DaskConfig, TaskGraph, TaskSpec
+
+from tests.helpers import make_wms
+
+
+def pipeline_graph(width=8, token="f00dfeed"):
+    tasks = [
+        TaskSpec(key=(f"stage1-{token}", i), compute_time=0.3,
+                 output_nbytes=2**20)
+        for i in range(width)
+    ] + [
+        TaskSpec(key=(f"stage2-{token}", i),
+                 deps=((f"stage1-{token}", i),),
+                 compute_time=0.3, output_nbytes=2**19)
+        for i in range(width)
+    ] + [
+        TaskSpec(key=f"final-{token}",
+                 deps=tuple((f"stage2-{token}", i) for i in range(width)),
+                 compute_time=0.1, output_nbytes=16),
+    ]
+    return TaskGraph(tasks)
+
+
+def run_with_mid_run_failure(kill_at=0.5, monitor=False, **wms_kwargs):
+    env, cluster, dask, client, job = make_wms(**wms_kwargs)
+    if monitor:
+        dask.scheduler.start_liveness_monitor(misses=3)
+    victim = dask.workers[0]
+    results = []
+
+    def killer():
+        yield env.timeout(kill_at)
+        if monitor:
+            victim.fail()  # silent crash; heartbeats stop
+        else:
+            dask.scheduler.handle_worker_failure(victim)
+
+    def driver():
+        yield env.process(client.connect())
+        result = yield env.process(
+            client.compute(pipeline_graph(), optimize=False))
+        results.append(result)
+        dask.scheduler.stop_liveness_monitor()
+
+    env.process(killer())
+    env.run(until=env.process(driver()))
+    return env, dask, victim, results
+
+
+def test_workflow_completes_despite_failure():
+    env, dask, victim, results = run_with_mid_run_failure()
+    (index, values), = results
+    assert "final-f00dfeed" in values
+
+
+def test_failed_worker_removed_from_membership():
+    env, dask, victim, results = run_with_mid_run_failure()
+    assert victim.address not in dask.scheduler.workers
+    assert victim.failed
+    assert victim.data == {}
+
+
+def test_no_surviving_replicas_on_dead_worker():
+    env, dask, victim, results = run_with_mid_run_failure()
+    for ts in dask.scheduler.tasks.values():
+        assert victim.address not in ts.who_has
+
+
+def test_recovery_transitions_recorded():
+    env, dask, victim, results = run_with_mid_run_failure()
+    stimuli = {t.stimulus for t in dask.scheduler.transitions}
+    assert "worker-failed" in stimuli or "recompute" in stimuli
+
+
+def test_tasks_not_duplicated_in_results():
+    """Every task reaches memory exactly once per needed computation
+    (recomputed tasks may run twice, but the final answer is single)."""
+    env, dask, victim, results = run_with_mid_run_failure()
+    final_memory = [
+        t for t in dask.scheduler.transitions
+        if t.key == "final-f00dfeed" and t.finish_state == "memory"
+    ]
+    assert len(final_memory) == 1
+
+
+def test_heartbeat_based_detection():
+    """A silent crash is detected via missed heartbeats."""
+    env, dask, victim, results = run_with_mid_run_failure(
+        monitor=True, kill_at=0.3)
+    (index, values), = results
+    assert "final-f00dfeed" in values
+    assert victim.address not in dask.scheduler.workers
+    warnings = [e for e in dask.scheduler.logs
+                if "failed heartbeat check" in e.message]
+    assert len(warnings) == 1
+
+
+def test_healthy_run_has_no_failure_logs():
+    env, cluster, dask, client, job = make_wms()
+    dask.scheduler.start_liveness_monitor()
+    results = []
+
+    def driver():
+        yield env.process(client.connect())
+        result = yield env.process(
+            client.compute(pipeline_graph(token="ok11ok11"),
+                           optimize=False))
+        results.append(result)
+        dask.scheduler.stop_liveness_monitor()
+
+    env.run(until=env.process(driver()))
+    assert results
+    assert not any("heartbeat check" in e.message
+                   for e in dask.scheduler.logs)
+    assert len(dask.scheduler.workers) == 4

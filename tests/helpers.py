@@ -1,0 +1,75 @@
+"""Shared helpers to stand up a small simulated cluster for tests."""
+
+from repro.dasklike import DaskCluster, DaskConfig
+from repro.instrument import InstrumentedRun
+from repro.jobs import BatchSystem, JobSpec
+from repro.platform import Cluster, ClusterSpec
+from repro.sim import Environment, RandomStreams
+
+
+def make_wms(seed=0, run_index=0, worker_nodes=2, workers_per_node=2,
+             threads=4, config=None, num_nodes=16, io_layer_factory=None):
+    """Build (env, cluster, dask, client, job) ready to run a workflow."""
+    env = Environment()
+    streams = RandomStreams(seed, run_index=run_index)
+    cluster = Cluster(env, ClusterSpec(num_nodes=num_nodes), streams)
+    batch = BatchSystem(env, cluster, streams)
+    spec = JobSpec(worker_nodes=worker_nodes,
+                   workers_per_node=workers_per_node,
+                   threads_per_worker=threads)
+    job = env.run(until=env.process(batch.submit(spec)))
+    dask = DaskCluster(env, cluster, job, config=config or DaskConfig(),
+                       streams=streams, io_layer_factory=io_layer_factory)
+    dask.start()
+    client = dask.client()
+    return env, cluster, dask, client, job
+
+
+def make_instrumented(seed=0, run_index=0, worker_nodes=2,
+                      workers_per_node=2, threads=4, config=None,
+                      num_nodes=16, **run_kwargs):
+    """Build (env, cluster, InstrumentedRun) with the full paper stack."""
+    env = Environment()
+    streams = RandomStreams(seed, run_index=run_index)
+    cluster = Cluster(env, ClusterSpec(num_nodes=num_nodes), streams)
+    batch = BatchSystem(env, cluster, streams)
+    spec = JobSpec(worker_nodes=worker_nodes,
+                   workers_per_node=workers_per_node,
+                   threads_per_worker=threads)
+    job = env.run(until=env.process(batch.submit(spec)))
+    run = InstrumentedRun(env, cluster, job, config=config, streams=streams,
+                          run_index=run_index, seed=seed, **run_kwargs)
+    run.start()
+    return env, cluster, run
+
+
+def drive_instrumented(env, run, *graphs, optimize=True):
+    """Run graphs through an InstrumentedRun's client; drains producers."""
+    client = run.client()
+    results = []
+
+    def driver():
+        yield env.process(client.connect())
+        for graph in graphs:
+            result = yield env.process(
+                client.compute(graph, optimize=optimize))
+            results.append(result)
+        yield env.process(run.drain())
+
+    env.run(until=env.process(driver()))
+    return client, results
+
+
+def run_graphs(env, client, *graphs, optimize=True):
+    """Drive the client through one or more graphs; returns results list."""
+    out = []
+
+    def driver():
+        yield env.process(client.connect())
+        for graph in graphs:
+            result = yield env.process(client.compute(graph,
+                                                      optimize=optimize))
+            out.append(result)
+
+    env.run(until=env.process(driver()))
+    return out

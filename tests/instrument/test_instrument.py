@@ -1,0 +1,180 @@
+"""Tests for the Mofka plugins, metadata capture, and run recorder."""
+
+import json
+import os
+
+import pytest
+
+from repro.dasklike import DaskConfig, TaskGraph, TaskSpec, IOOp
+from repro.darshan import DarshanReport
+from repro.instrument import PROVENANCE_TOPIC, InstrumentedRun, read_provenance
+from repro.jobs import BatchSystem, JobSpec
+from repro.mofka import Consumer, MofkaService
+from repro.platform import Cluster, ClusterSpec
+from repro.sim import Environment, RandomStreams
+
+
+def make_instrumented(seed=0, run_index=0, **kwargs):
+    env = Environment()
+    streams = RandomStreams(seed, run_index=run_index)
+    cluster = Cluster(env, ClusterSpec(num_nodes=8), streams)
+    batch = BatchSystem(env, cluster, streams)
+    job = env.run(until=env.process(batch.submit(
+        JobSpec(worker_nodes=2, workers_per_node=2, threads_per_worker=4)
+    )))
+    run = InstrumentedRun(env, cluster, job, streams=streams,
+                          run_index=run_index, seed=seed, **kwargs)
+    run.start()
+    return env, cluster, run
+
+
+def small_workload_graph(cluster):
+    cluster.pfs.create_file("/lus/data.bin", 16 * 2**20)
+    tasks = [
+        TaskSpec(key=(f"load-aabbccdd", i), compute_time=0.02,
+                 reads=(IOOp("/lus/data.bin", "read", i * 2**20, 2**20),),
+                 output_nbytes=2**20)
+        for i in range(8)
+    ]
+    tasks.append(TaskSpec(
+        key="sum-eeff0011",
+        deps=tuple((f"load-aabbccdd", i) for i in range(8)),
+        compute_time=0.05, output_nbytes=128,
+    ))
+    return TaskGraph(tasks)
+
+
+def run_workload(env, run, graph):
+    client = run.client()
+    results = []
+
+    def driver():
+        yield env.process(client.connect())
+        result = yield env.process(client.compute(graph, optimize=False))
+        results.append(result)
+        yield env.process(run.drain())
+
+    env.run(until=env.process(driver()))
+    return client, results
+
+
+class TestPluginsStreamEvents:
+    def test_events_reach_mofka(self):
+        env, cluster, run = make_instrumented()
+        client, _ = run_workload(env, run, small_workload_graph(cluster))
+        consumer = Consumer(env, run.mofka, PROVENANCE_TOPIC)
+        events = consumer.fetch_all()
+        types = {e.metadata["type"] for e in events}
+        assert "transition" in types
+        assert "task_run" in types
+        assert "communication" in types
+
+    def test_transition_events_carry_full_schema(self):
+        env, cluster, run = make_instrumented()
+        run_workload(env, run, small_workload_graph(cluster))
+        events = Consumer(env, run.mofka, PROVENANCE_TOPIC).fetch_all()
+        transitions = [e for e in events if e.metadata["type"] == "transition"]
+        sample = transitions[0].metadata
+        for field in ("key", "group", "prefix", "start_state",
+                      "finish_state", "timestamp", "stimulus", "source"):
+            assert field in sample
+
+    def test_task_run_events_have_thread_ids(self):
+        env, cluster, run = make_instrumented()
+        run_workload(env, run, small_workload_graph(cluster))
+        events = Consumer(env, run.mofka, PROVENANCE_TOPIC).fetch_all()
+        runs = [e for e in events if e.metadata["type"] == "task_run"]
+        assert len(runs) == 9
+        valid_tids = {tid for w in run.dask.workers for tid in w.thread_ids}
+        assert all(e.metadata["thread_id"] in valid_tids for e in runs)
+
+    def test_scheduler_and_worker_sources_present(self):
+        env, cluster, run = make_instrumented()
+        run_workload(env, run, small_workload_graph(cluster))
+        events = Consumer(env, run.mofka, PROVENANCE_TOPIC).fetch_all()
+        sources = {e.metadata["plugin_source"] for e in events}
+        assert "scheduler" in sources
+        assert len(sources) > 1
+
+
+class TestDarshanIntegration:
+    def test_worker_io_lands_in_darshan(self):
+        env, cluster, run = make_instrumented()
+        run_workload(env, run, small_workload_graph(cluster))
+        logs = [r.finalize() for r in run.darshan_runtimes]
+        assert sum(log.total_io_ops for log in logs) == 8
+        threads = {s.pthread_id for log in logs for s in log.dxt_segments}
+        valid = {tid for w in run.dask.workers for tid in w.thread_ids}
+        assert threads <= valid
+
+    def test_dxt_buffer_limit_applies(self):
+        env, cluster, run = make_instrumented(dxt_buffer_limit=1)
+        run_workload(env, run, small_workload_graph(cluster))
+        logs = [r.finalize() for r in run.darshan_runtimes]
+        total_segments = sum(len(log.dxt_segments) for log in logs)
+        total_ops = sum(log.total_io_ops for log in logs)
+        assert total_ops == 8
+        # 8 ops over 4 worker processes with a 1-segment budget: some
+        # process must have overflowed its DXT buffer.
+        assert total_segments < total_ops
+        assert any(log.dxt_truncated for log in logs)
+        assert sum(log.dxt_dropped for log in logs) == total_ops - total_segments
+
+
+class TestPersistence:
+    def test_run_directory_layout(self, tmp_path):
+        env, cluster, run = make_instrumented()
+        client, _ = run_workload(env, run, small_workload_graph(cluster))
+        run_dir = run.persist(str(tmp_path / "run0000"), client=client,
+                              workflow={"name": "test-workload"})
+        assert os.path.exists(os.path.join(run_dir, "provenance.json"))
+        assert os.path.exists(os.path.join(run_dir, "job.json"))
+        assert os.path.exists(os.path.join(run_dir, "logs.jsonl"))
+        assert os.path.exists(os.path.join(run_dir, "mofka", "MANIFEST"))
+        darshan_files = os.listdir(os.path.join(run_dir, "darshan"))
+        assert len(darshan_files) == 4  # one per worker process
+
+    def test_provenance_layers(self, tmp_path):
+        env, cluster, run = make_instrumented(seed=7, run_index=3)
+        client, _ = run_workload(env, run, small_workload_graph(cluster))
+        run_dir = run.persist(str(tmp_path / "run"), client=client)
+        doc = read_provenance(os.path.join(run_dir, "provenance.json"))
+        layers = doc["layers"]
+        assert doc["run_index"] == 3 and doc["seed"] == 7
+        assert "hardware_infrastructure" in layers
+        assert "system_software_and_job" in layers
+        assert "application" in layers
+        hw = layers["hardware_infrastructure"]
+        assert len(hw["allocated_nodes"]) == 3  # 1 scheduler + 2 workers
+        app = layers["application"]
+        assert len(app["wms"]["workers"]) == 4
+        assert app["profilers"]["darshan"]["enabled"]
+
+    def test_persisted_mofka_stream_reloadable(self, tmp_path):
+        env, cluster, run = make_instrumented()
+        client, _ = run_workload(env, run, small_workload_graph(cluster))
+        run_dir = run.persist(str(tmp_path / "run"), client=client)
+        topics = MofkaService.load_topics(os.path.join(run_dir, "mofka"))
+        events = topics[PROVENANCE_TOPIC].events()
+        assert events
+        live = Consumer(env, run.mofka, PROVENANCE_TOPIC).fetch_all()
+        assert len(events) == len(live)
+
+    def test_persisted_darshan_readable_by_report(self, tmp_path):
+        env, cluster, run = make_instrumented()
+        client, _ = run_workload(env, run, small_workload_graph(cluster))
+        run_dir = run.persist(str(tmp_path / "run"), client=client)
+        report = DarshanReport.from_directory(
+            os.path.join(run_dir, "darshan"))
+        assert report.total_io_ops == 8
+        assert report.distinct_files() == ["/lus/data.bin"]
+
+    def test_logs_jsonl_parses(self, tmp_path):
+        env, cluster, run = make_instrumented()
+        client, _ = run_workload(env, run, small_workload_graph(cluster))
+        run_dir = run.persist(str(tmp_path / "run"), client=client)
+        with open(os.path.join(run_dir, "logs.jsonl")) as fh:
+            entries = [json.loads(line) for line in fh]
+        assert entries
+        sources = {e["source"] for e in entries}
+        assert "scheduler" in sources and "client" in sources

@@ -1,0 +1,76 @@
+"""Unit tests for provenance-metadata capture and persistence."""
+
+import json
+
+import pytest
+
+from repro.instrument import (
+    capture_provenance,
+    read_provenance,
+    write_provenance,
+)
+
+from tests.helpers import drive_instrumented, make_instrumented
+from tests.instrument.test_instrument import small_workload_graph
+
+
+@pytest.fixture(scope="module")
+def captured():
+    env, cluster, run = make_instrumented(seed=61)
+    client, _ = drive_instrumented(env, run, small_workload_graph(cluster),
+                                   optimize=False)
+    document = capture_provenance(
+        cluster, run.job, run.dask, client=client,
+        mofka_service=run.mofka,
+        workflow={"name": "unit-test-wf", "scale": 0.5},
+        run_index=4, seed=61,
+    )
+    return document
+
+
+class TestCapture:
+    def test_top_level_fields(self, captured):
+        assert captured["run_index"] == 4
+        assert captured["seed"] == 61
+        assert set(captured["layers"]) == {
+            "hardware_infrastructure", "system_software_and_job",
+            "application"}
+
+    def test_hardware_layer(self, captured):
+        hw = captured["layers"]["hardware_infrastructure"]
+        assert hw["machine"]["machine"] == "polaris-sim"
+        assert len(hw["allocated_nodes"]) == 3
+        assert hw["network"]["nic_bandwidth"] > 0
+
+    def test_system_layer(self, captured):
+        sw = captured["layers"]["system_software_and_job"]
+        assert sw["os"]["system"] == "Linux"
+        assert "dask" in sw["packages"]
+        assert sw["job"]["spec"]["threads_per_worker"] == 4
+
+    def test_application_layer(self, captured):
+        app = captured["layers"]["application"]
+        assert app["client"]["n_task_graphs"] == 1
+        assert app["workflow"]["name"] == "unit-test-wf"
+        assert app["profilers"]["mofka"]["stats"]["events"] > 0
+        config = app["wms"]["config"]
+        assert "distributed.scheduler.work-stealing" in config
+
+    def test_json_serialisable(self, captured):
+        json.dumps(captured)
+
+    def test_write_read_roundtrip(self, captured, tmp_path):
+        path = write_provenance(captured,
+                                str(tmp_path / "sub" / "prov.json"))
+        back = read_provenance(path)
+        assert back == json.loads(json.dumps(captured))
+
+
+class TestOptionalParts:
+    def test_capture_without_client_or_mofka(self):
+        env, cluster, run = make_instrumented(seed=62)
+        document = capture_provenance(cluster, run.job, run.dask)
+        app = document["layers"]["application"]
+        assert app["client"]["name"] is None
+        assert app["profilers"]["mofka"] is None
+        json.dumps(document)

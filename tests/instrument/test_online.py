@@ -1,0 +1,143 @@
+"""Tests for the online (in-situ) extensions: Darshan→Mofka streaming,
+the in-situ monitor, and adaptive DXT capture."""
+
+import pytest
+
+from repro.darshan import AdaptiveDXTModule, DXTSegment
+from repro.instrument import DXT_TOPIC, OnlineMonitor, PROVENANCE_TOPIC
+from repro.mofka import Consumer
+
+from tests.helpers import drive_instrumented, make_instrumented
+from tests.instrument.test_instrument import small_workload_graph
+
+
+class TestOnlineDarshanBridge:
+    def test_segments_stream_to_mofka(self):
+        env, cluster, run = make_instrumented(online_darshan=True)
+        drive_instrumented(env, run, small_workload_graph(cluster),
+                           optimize=False)
+        consumer = Consumer(env, run.mofka, DXT_TOPIC)
+        events = consumer.fetch_all()
+        assert len(events) == 8  # one per read op
+        sample = events[0].metadata
+        assert sample["type"] == "dxt_segment"
+        for field in ("rank", "hostname", "pthread_id", "file", "op",
+                      "offset", "length", "start", "end"):
+            assert field in sample
+
+    def test_online_stream_matches_offline_log(self):
+        env, cluster, run = make_instrumented(online_darshan=True)
+        drive_instrumented(env, run, small_workload_graph(cluster),
+                           optimize=False)
+        streamed = Consumer(env, run.mofka, DXT_TOPIC).fetch_all()
+        offline = [s for r in run.darshan_runtimes
+                   for s in r.finalize().dxt_segments]
+        assert len(streamed) == len(offline)
+        streamed_keys = {(e.metadata["pthread_id"], e.metadata["offset"],
+                          e.metadata["file"]) for e in streamed}
+        offline_keys = {(s.pthread_id, s.offset, s.path) for s in offline}
+        assert streamed_keys == offline_keys
+
+    def test_disabled_by_default(self):
+        env, cluster, run = make_instrumented()
+        assert run.online_bridge is None
+        drive_instrumented(env, run, small_workload_graph(cluster),
+                           optimize=False)
+        assert DXT_TOPIC not in run.mofka.topics
+
+
+class TestOnlineMonitor:
+    def test_snapshots_track_progress(self):
+        env, cluster, run = make_instrumented(online_darshan=True)
+        monitor = OnlineMonitor(env, run.mofka,
+                                (PROVENANCE_TOPIC, DXT_TOPIC),
+                                interval=0.2)
+        monitor.start()
+        client, _ = drive_instrumented(env, run,
+                                       small_workload_graph(cluster),
+                                       optimize=False)
+        monitor.stop()
+
+        def final_poll():
+            yield env.process(monitor.poll())
+
+        env.run(until=env.process(final_poll()))
+        snap = monitor.snapshots[-1]
+        assert snap.tasks_completed == 9
+        assert snap.io_ops == 8
+        assert snap.io_bytes == 8 * 2**20
+        assert "load" in snap.prefix_durations
+        n, mean = snap.prefix_durations["load"]
+        assert n == 8 and mean > 0
+        # Progress is monotone across snapshots.
+        completed = [s.tasks_completed for s in monitor.snapshots]
+        assert completed == sorted(completed)
+
+    def test_snapshot_callback_fires(self):
+        env, cluster, run = make_instrumented()
+        seen = []
+        monitor = OnlineMonitor(env, run.mofka, (PROVENANCE_TOPIC,),
+                                interval=0.05, on_snapshot=seen.append)
+        monitor.start()
+        drive_instrumented(env, run, small_workload_graph(cluster),
+                           optimize=False)
+        monitor.stop()
+        assert seen
+        assert all(hasattr(s, "lag") for s in seen)
+
+
+class TestAdaptiveDXT:
+    def seg(self, i):
+        return DXTSegment(path="/f", op="read", offset=i, length=1,
+                          start=float(i), end=float(i) + 0.1,
+                          pthread_id=7)
+
+    def test_full_fidelity_below_watermark(self):
+        mod = AdaptiveDXTModule(buffer_limit=100)
+        for i in range(40):
+            mod.record(self.seg(i))
+        assert len(mod.segments) == 40
+        assert mod.stride == 1
+        assert mod.coverage == 1.0
+
+    def test_stride_escalates_under_pressure(self):
+        mod = AdaptiveDXTModule(buffer_limit=40,
+                                watermarks=(0.5, 0.75, 0.9))
+        for i in range(400):
+            mod.record(self.seg(i))
+        assert mod.stride > 1
+        assert len(mod.segments) <= 40
+        # Unlike plain DXT, late ops are still sampled:
+        assert max(s.offset for s in mod.segments) > 300
+
+    def test_estimated_total_is_exact(self):
+        mod = AdaptiveDXTModule(buffer_limit=30)
+        for i in range(250):
+            mod.record(self.seg(i))
+        assert mod.estimated_total_ops == 250
+        assert 0 < mod.coverage < 1
+
+    def test_epochs_cover_all_ops(self):
+        mod = AdaptiveDXTModule(buffer_limit=30)
+        for i in range(250):
+            mod.record(self.seg(i))
+        epochs = mod.epochs
+        assert sum(e.n_ops for e in epochs) == 250
+        strides = [e.stride for e in epochs]
+        assert strides == sorted(strides)
+
+    def test_bad_watermarks_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveDXTModule(watermarks=(0.0,))
+
+    def test_adaptive_in_instrumented_run(self):
+        env, cluster, run = make_instrumented(adaptive_dxt=True,
+                                              dxt_buffer_limit=4)
+        drive_instrumented(env, run, small_workload_graph(cluster),
+                           optimize=False)
+        modules = [r._dxt for r in run.darshan_runtimes]
+        assert all(isinstance(m, AdaptiveDXTModule) for m in modules)
+        # Compared to the hard-truncating default at the same budget,
+        # adaptive capture keeps coverage bounded away from zero.
+        total_ops = sum(m.estimated_total_ops for m in modules)
+        assert total_ops == 8

@@ -1,0 +1,87 @@
+"""Tests for the batch-job layer."""
+
+import pytest
+
+from repro.jobs import BatchSystem, JobSpec
+from repro.platform import Cluster, ClusterSpec
+from repro.sim import Environment, RandomStreams
+
+
+class TestJobSpec:
+    def test_paper_default_shape(self):
+        spec = JobSpec.paper_default()
+        assert spec.worker_nodes == 2
+        assert spec.workers_per_node == 4
+        assert spec.threads_per_worker == 8
+        assert spec.total_nodes == 3          # +1 scheduler node
+        assert spec.total_workers == 8
+        assert spec.total_threads == 64
+
+    def test_script_rendering(self):
+        script = JobSpec.paper_default("wf").render_script()
+        assert script.startswith("#!/bin/bash")
+        assert "#PBS -N wf" in script
+        assert "select=3" in script
+        assert "dask scheduler" in script
+        assert "--nthreads 8" in script
+        assert "module load PrgEnv-gnu" in script
+
+    def test_describe_fields(self):
+        meta = JobSpec.paper_default().describe()
+        for field in ("worker_nodes", "workers_per_node",
+                      "threads_per_worker", "walltime_limit", "queue",
+                      "modules"):
+            assert field in meta
+
+
+def submit(env, batch, spec):
+    return env.run(until=env.process(batch.submit(spec)))
+
+
+class TestBatchSystem:
+    def make(self, mean_queue_wait=0.0):
+        env = Environment()
+        streams = RandomStreams(3)
+        cluster = Cluster(env, ClusterSpec(num_nodes=16), streams)
+        return env, cluster, BatchSystem(env, cluster, streams,
+                                         mean_queue_wait=mean_queue_wait)
+
+    def test_submit_allocates_and_logs(self):
+        env, cluster, batch = self.make()
+        job = submit(env, batch, JobSpec.paper_default())
+        assert len(job.nodes) == 3
+        assert job.scheduler_node is job.nodes[0]
+        assert len(job.worker_nodes) == 2
+        assert job.log and "started" in job.log[0][1]
+        assert job.job_id.endswith(".polaris-sim")
+
+    def test_queue_wait_delays_start(self):
+        env, cluster, batch = self.make(mean_queue_wait=100.0)
+        job = submit(env, batch, JobSpec.paper_default())
+        assert job.start_time > job.submit_time
+
+    def test_complete_releases_nodes(self):
+        env, cluster, batch = self.make()
+        spec = JobSpec(worker_nodes=14, scheduler_nodes=1)
+        job = submit(env, batch, spec)
+        batch.complete(job)
+        assert job.end_time is not None
+        # The freed nodes are allocatable again.
+        again = submit(env, batch, spec)
+        assert len(again.nodes) == 15
+
+    def test_job_ids_unique(self):
+        env, cluster, batch = self.make()
+        a = submit(env, batch, JobSpec(worker_nodes=1))
+        b = submit(env, batch, JobSpec(worker_nodes=1))
+        assert a.job_id != b.job_id
+
+    def test_describe_captures_provenance(self):
+        env, cluster, batch = self.make()
+        job = submit(env, batch, JobSpec.paper_default())
+        meta = job.describe()
+        assert meta["job_id"] == job.job_id
+        assert len(meta["nodes"]) == 3
+        assert meta["script"].startswith("#!")
+        assert isinstance(meta["switches"], list)
+        assert meta["log"]

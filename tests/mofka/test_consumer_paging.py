@@ -1,0 +1,80 @@
+"""Tests for consumer paging and offset semantics."""
+
+import pytest
+
+from repro.mofka import Consumer, MofkaService, Producer
+from repro.sim import Environment
+
+
+def loaded_service(env, n_events=50, n_partitions=2):
+    service = MofkaService(env)
+    service.create_topic("t", n_partitions)
+    producer = Producer(env, service, "t", batch_size=16, linger=0.01)
+
+    def workload():
+        for i in range(n_events):
+            producer.push({"i": i})
+        yield env.process(producer.close())
+
+    env.run(until=env.process(workload()))
+    return service
+
+
+class TestPaging:
+    def test_pull_respects_max_events(self):
+        env = Environment()
+        service = loaded_service(env, n_events=50)
+        consumer = Consumer(env, service, "t")
+        got = []
+
+        def proc():
+            events = yield env.process(consumer.pull(max_events=10))
+            got.extend(events)
+
+        env.run(until=env.process(proc()))
+        assert 0 < len(got) <= 10
+
+    def test_successive_pulls_advance_offsets(self):
+        env = Environment()
+        service = loaded_service(env, n_events=30)
+        consumer = Consumer(env, service, "t")
+        seen = []
+
+        def proc():
+            while consumer.lag:
+                events = yield env.process(consumer.pull(max_events=8))
+                seen.extend(e.metadata["i"] for e in events)
+
+        env.run(until=env.process(proc()))
+        assert sorted(seen) == list(range(30))
+        assert len(seen) == len(set(seen))  # no duplicates
+        assert consumer.lag == 0
+
+    def test_two_consumers_are_independent(self):
+        env = Environment()
+        service = loaded_service(env, n_events=12)
+        a = Consumer(env, service, "t", name="a")
+        b = Consumer(env, service, "t", name="b")
+        got_a, got_b = [], []
+
+        def proc():
+            events = yield env.process(a.pull(4096))
+            got_a.extend(events)
+            events = yield env.process(b.pull(4096))
+            got_b.extend(events)
+
+        env.run(until=env.process(proc()))
+        assert len(got_a) == len(got_b) == 12
+
+    def test_fetch_all_does_not_advance_offsets(self):
+        env = Environment()
+        service = loaded_service(env, n_events=9)
+        consumer = Consumer(env, service, "t")
+        assert len(consumer.fetch_all()) == 9
+        assert consumer.lag == 9  # bulk replay leaves offsets untouched
+
+    def test_unknown_topic_rejected(self):
+        env = Environment()
+        service = MofkaService(env)
+        with pytest.raises(KeyError):
+            Consumer(env, service, "ghost")

@@ -1,0 +1,89 @@
+"""Tests for cluster assembly and job-style allocation."""
+
+import pytest
+
+from repro.platform import Cluster, ClusterSpec
+from repro.sim import Environment, RandomStreams
+
+
+def test_cluster_builds_named_nodes():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=16, nodes_per_switch=4),
+                      RandomStreams(1))
+    assert len(cluster.nodes) == 16
+    assert "nid00000" in cluster.nodes
+    assert cluster.nodes["nid00005"].switch == 1
+    assert cluster.nodes["nid00015"].switch == 3
+
+
+def test_node_speeds_perturbed_but_near_nominal():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=32, node_speed_sigma=0.05),
+                      RandomStreams(2))
+    speeds = [n.speed for n in cluster.nodes.values()]
+    assert len(set(speeds)) > 1
+    assert all(0.7 < s < 1.4 for s in speeds)
+
+
+def test_allocation_returns_distinct_free_nodes():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=8), RandomStreams(3))
+    first = cluster.allocate(4, "jobA")
+    second = cluster.allocate(4, "jobB")
+    names = {n.name for n in first} | {n.name for n in second}
+    assert len(names) == 8
+
+
+def test_allocation_exhaustion_raises():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=4), RandomStreams(3))
+    cluster.allocate(4, "jobA")
+    with pytest.raises(RuntimeError):
+        cluster.allocate(1, "jobB")
+
+
+def test_release_frees_nodes():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=4), RandomStreams(3))
+    nodes = cluster.allocate(4, "jobA")
+    cluster.release(nodes)
+    again = cluster.allocate(4, "jobB")
+    assert len(again) == 4
+
+
+def test_allocation_varies_across_runs():
+    """Different run seeds sample different placements (the paper's
+    placement-variability source)."""
+    def placement(run_index):
+        env = Environment()
+        cluster = Cluster(env, ClusterSpec(num_nodes=64),
+                          RandomStreams(0, run_index=run_index))
+        return tuple(n.name for n in cluster.allocate(2, "wf"))
+
+    placements = {placement(k) for k in range(8)}
+    assert len(placements) > 1
+
+
+def test_describe_contains_hardware_layers():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(num_nodes=4), RandomStreams(1))
+    meta = cluster.describe()
+    assert meta["machine"] == "polaris-sim"
+    assert meta["node"]["cores"] == 32
+    assert meta["pfs"]["num_osts"] > 0
+    node_meta = cluster.nodes["nid00000"].describe()
+    assert node_meta["hostname"] == "nid00000"
+    assert "cpu_speed" in node_meta
+
+
+def test_commodity_preset_shape():
+    from repro.platform import COMMODITY_CLUSTER, POLARIS_LIKE
+    assert COMMODITY_CLUSTER.name == "commodity-sim"
+    assert COMMODITY_CLUSTER.node.nic_bandwidth < \
+        POLARIS_LIKE.node.nic_bandwidth / 10
+    assert COMMODITY_CLUSTER.pfs.ost_bandwidth < \
+        POLARIS_LIKE.pfs.ost_bandwidth
+    env = Environment()
+    cluster = Cluster(env, COMMODITY_CLUSTER, RandomStreams(1))
+    assert len(cluster.nodes) == 32
+    assert cluster.describe()["machine"] == "commodity-sim"

@@ -1,0 +1,165 @@
+"""Tests for the Lustre-like parallel file system model."""
+
+import pytest
+
+from repro.platform import ParallelFileSystem, PFSSpec
+from repro.sim import Environment, RandomStreams
+
+
+def make_pfs(env, **kw):
+    defaults = dict(jitter_sigma=0.0)
+    defaults.update(kw)
+    return ParallelFileSystem(env, PFSSpec(**defaults), RandomStreams(1))
+
+
+def run_io(env, pfs, *ops):
+    """Run several (path, op, offset, length) operations sequentially.
+
+    Runs until the I/O driver finishes (not until event exhaustion,
+    because perpetual background processes like the interference walk
+    never drain the queue).
+    """
+    records = []
+
+    def proc():
+        for path, op, offset, length in ops:
+            rec = yield env.process(pfs.io(path, op, offset, length))
+            records.append(rec)
+
+    env.run(until=env.process(proc()))
+    return records
+
+
+def test_create_and_stat():
+    env = Environment()
+    pfs = make_pfs(env)
+    meta = pfs.create_file("/lus/data/a.bin", 10 * 2**20, stripe_count=4)
+    assert meta.stripe_count == 4
+    assert len(meta.osts) == 4
+    assert pfs.stat("/lus/data/a.bin").size == 10 * 2**20
+    assert pfs.exists("/lus/data/a.bin")
+    assert not pfs.exists("/nope")
+
+
+def test_stat_missing_raises():
+    env = Environment()
+    pfs = make_pfs(env)
+    with pytest.raises(FileNotFoundError):
+        pfs.stat("/missing")
+
+
+def test_stripe_count_clamped_to_num_osts():
+    env = Environment()
+    pfs = make_pfs(env, num_osts=4)
+    meta = pfs.create_file("/f", 1024, stripe_count=16)
+    assert meta.stripe_count == 4
+
+
+def test_read_produces_record():
+    env = Environment()
+    pfs = make_pfs(env)
+    pfs.create_file("/f", 8 * 2**20)
+    (rec,) = run_io(env, pfs, ("/f", "read", 0, 4 * 2**20))
+    assert rec.op == "read"
+    assert rec.length == 4 * 2**20
+    assert rec.stop > rec.start == 0.0
+
+
+def test_read_past_eof_is_short():
+    env = Environment()
+    pfs = make_pfs(env)
+    pfs.create_file("/f", 1000)
+    (rec,) = run_io(env, pfs, ("/f", "read", 500, 10_000))
+    assert rec.length == 500
+
+
+def test_write_extends_file():
+    env = Environment()
+    pfs = make_pfs(env)
+    pfs.create_file("/f", 0)
+    run_io(env, pfs, ("/f", "write", 0, 4096), ("/f", "write", 4096, 4096))
+    assert pfs.stat("/f").size == 8192
+
+
+def test_invalid_op_rejected():
+    env = Environment()
+    pfs = make_pfs(env)
+    pfs.create_file("/f", 10)
+
+    def proc():
+        yield env.process(pfs.io("/f", "append", 0, 1))
+
+    env.process(proc())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_striped_read_faster_than_single_stripe():
+    """Striping across OSTs parallelizes a large read."""
+    def duration(stripes):
+        env = Environment()
+        pfs = make_pfs(env, num_osts=8)
+        pfs.create_file("/f", 64 * 2**20, stripe_count=stripes)
+        (rec,) = run_io(env, pfs, ("/f", "read", 0, 64 * 2**20))
+        return rec.duration
+
+    assert duration(8) < duration(1)
+
+
+def test_ost_contention_serializes():
+    env = Environment()
+    pfs = make_pfs(env, num_osts=1, ost_service_slots=1)
+    pfs.create_file("/f", 64 * 2**20, stripe_count=1)
+    records = []
+
+    def proc():
+        rec = yield env.process(pfs.io("/f", "read", 0, 32 * 2**20))
+        records.append(rec)
+
+    env.process(proc())
+    env.process(proc())
+    env.run()
+    total = max(r.stop for r in records)
+    # Two reads through one slot take about twice one read's time.
+    solo_env = Environment()
+    solo = make_pfs(solo_env, num_osts=1, ost_service_slots=1)
+    solo.create_file("/f", 64 * 2**20, stripe_count=1)
+    (solo_rec,) = run_io(solo_env, solo, ("/f", "read", 0, 32 * 2**20))
+    assert total > 1.8 * solo_rec.duration
+
+
+def test_interference_slows_io():
+    def total_time(with_noise):
+        env = Environment()
+        pfs = ParallelFileSystem(
+            env,
+            PFSSpec(jitter_sigma=0.0, max_interference=6.0,
+                    interference_interval=0.0005, interference_step=5.0),
+            RandomStreams(5),
+        )
+        pfs.create_file("/f", 256 * 2**20, stripe_count=2)
+        if with_noise:
+            pfs.start_interference()
+        recs = run_io(env, pfs, *[("/f", "read", 0, 16 * 2**20)
+                                  for _ in range(40)])
+        return sum(r.duration for r in recs)
+
+    assert total_time(True) > total_time(False)
+
+
+def test_zero_length_io_pays_rpc():
+    env = Environment()
+    pfs = make_pfs(env)
+    pfs.create_file("/f", 100)
+    (rec,) = run_io(env, pfs, ("/f", "read", 100, 0))
+    assert rec.length == 0
+    assert rec.duration > 0
+
+
+def test_round_robin_ost_assignment_spreads_files():
+    env = Environment()
+    pfs = make_pfs(env, num_osts=8)
+    osts = set()
+    for i in range(8):
+        osts.update(pfs.create_file(f"/f{i}", 1024, stripe_count=2).osts)
+    assert len(osts) == 8

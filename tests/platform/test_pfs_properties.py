@@ -1,0 +1,101 @@
+"""Property-based tests on PFS striping and the simulation engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform import ParallelFileSystem, PFSSpec
+from repro.sim import Environment, RandomStreams
+
+
+def make_pfs(num_osts=8, stripe_size=2**20):
+    env = Environment()
+    spec = PFSSpec(num_osts=num_osts, stripe_size=stripe_size,
+                   jitter_sigma=0.0)
+    return env, ParallelFileSystem(env, spec, RandomStreams(1))
+
+
+@given(
+    offset=st.integers(0, 10 * 2**20),
+    length=st.integers(0, 20 * 2**20),
+    stripe_count=st.integers(1, 8),
+)
+@settings(max_examples=80, deadline=None)
+def test_stripe_extents_partition_the_range(offset, length, stripe_count):
+    """The per-OST pieces of an I/O exactly tile [offset, offset+len)."""
+    env, pfs = make_pfs()
+    meta = pfs.create_file("/f", 64 * 2**20, stripe_count=stripe_count)
+    pieces = list(pfs._stripe_extents(meta, offset, length))
+    assert sum(nbytes for _, nbytes in pieces) == length
+    assert all(nbytes > 0 for _, nbytes in pieces)
+    assert all(0 <= ost < pfs.spec.num_osts for ost, _ in pieces)
+    # No piece crosses a stripe boundary.
+    pos = offset
+    for ost, nbytes in pieces:
+        stripe_start = pos // meta.stripe_size
+        stripe_end = (pos + nbytes - 1) // meta.stripe_size
+        assert stripe_start == stripe_end
+        assert ost == pfs._ost_for(meta, pos)
+        pos += nbytes
+
+
+@given(
+    offsets=st.lists(st.integers(0, 30 * 2**20), min_size=1, max_size=8),
+    length=st.integers(1, 4 * 2**20),
+)
+@settings(max_examples=40, deadline=None)
+def test_reads_never_exceed_file_size(offsets, length):
+    env, pfs = make_pfs()
+    size = 16 * 2**20
+    pfs.create_file("/f", size)
+    records = []
+
+    def proc():
+        for offset in offsets:
+            rec = yield env.process(pfs.io("/f", "read", offset, length))
+            records.append(rec)
+
+    env.run(until=env.process(proc()))
+    for rec, offset in zip(records, offsets):
+        assert rec.length == max(0, min(length, size - offset))
+        assert rec.stop >= rec.start
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_pfs_deterministic_per_seed(seed):
+    def total(s):
+        env = Environment()
+        pfs = ParallelFileSystem(env, PFSSpec(), RandomStreams(s))
+        pfs.create_file("/f", 8 * 2**20)
+        out = []
+
+        def proc():
+            for k in range(5):
+                rec = yield env.process(
+                    pfs.io("/f", "read", k * 2**20, 2**20))
+                out.append(rec.duration)
+
+        env.run(until=env.process(proc()))
+        return out
+
+    assert total(seed) == total(seed)
+
+
+@given(delays=st.lists(st.floats(0.001, 10.0), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_engine_time_is_monotone(delays):
+    """Events fire in nondecreasing time order regardless of creation."""
+    env = Environment()
+    fired = []
+
+    def waiter(delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(waiter(delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert env.now == pytest.approx(max(delays))

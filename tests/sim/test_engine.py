@@ -1,0 +1,288 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc():
+        yield env.timeout(5.0)
+        log.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert log == [5.0]
+
+
+def test_timeout_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(proc())
+    env.run(until=3.5)
+    assert env.now == 3.5
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.run(until=2.0)
+    with pytest.raises(ValueError):
+        env.run(until=1.0)
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return 42
+
+    def parent(results):
+        value = yield env.process(child())
+        results.append(value)
+
+    results = []
+    env.process(parent(results))
+    env.run()
+    assert results == [42]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(2.0)
+        return "done"
+
+    proc = env.process(child())
+    assert env.run(until=proc) == "done"
+    assert env.now == 2.0
+
+
+def test_simultaneous_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_unhandled_process_failure_raises():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    env.process(bad())
+    with pytest.raises(ValueError, match="boom"):
+        env.run()
+
+
+def test_failure_propagates_to_waiter():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1.0)
+        raise KeyError("inner")
+
+    def waiter(log):
+        try:
+            yield env.process(bad())
+        except KeyError:
+            log.append("caught")
+
+    log = []
+    env.process(waiter(log))
+    env.run()
+    assert log == ["caught"]
+
+
+def test_event_succeed_twice_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad():
+        yield 17
+
+    env.process(bad())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+    times = []
+
+    def waiter():
+        yield AllOf(env, [env.timeout(1.0), env.timeout(3.0)])
+        times.append(env.now)
+
+    env.process(waiter())
+    env.run()
+    assert times == [3.0]
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    times = []
+
+    def waiter():
+        yield AnyOf(env, [env.timeout(1.0), env.timeout(3.0)])
+        times.append(env.now)
+
+    env.process(waiter())
+    env.run()
+    assert times == [1.0]
+
+
+def test_condition_operators():
+    env = Environment()
+    times = []
+
+    def waiter():
+        yield env.timeout(2.0) & env.timeout(4.0)
+        times.append(env.now)
+        yield env.timeout(1.0) | env.timeout(9.0)
+        times.append(env.now)
+
+    env.process(waiter())
+    env.run()
+    assert times == [4.0, 5.0]
+
+
+def test_interrupt_reaches_process():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            log.append((env.now, exc.cause))
+
+    def interrupter(target):
+        yield env.timeout(3.0)
+        target.interrupt("steal")
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [(3.0, "steal")]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def sleeper():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+        log.append(env.now)
+
+    def interrupter(target):
+        yield env.timeout(2.0)
+        target.interrupt()
+
+    target = env.process(sleeper())
+    env.process(interrupter(target))
+    env.run()
+    assert log == [3.0]
+
+
+def test_interrupt_finished_process_rejected():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+
+    def late(target):
+        yield env.timeout(5.0)
+        with pytest.raises(SimulationError):
+            target.interrupt()
+
+    target = env.process(quick())
+    env.process(late(target))
+    env.run()
+
+
+def test_deadlock_detected_when_waiting_on_unreachable_event():
+    env = Environment()
+    never = env.event()
+
+    def waiter():
+        yield never
+
+    env.process(waiter())
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=never)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+    env.run()
+    assert env.peek() == float("inf")
+
+
+def test_nested_processes_chain():
+    env = Environment()
+
+    def level3():
+        yield env.timeout(1.0)
+        return 3
+
+    def level2():
+        value = yield env.process(level3())
+        yield env.timeout(1.0)
+        return value + 2
+
+    def level1(results):
+        value = yield env.process(level2())
+        results.append((env.now, value))
+
+    results = []
+    env.process(level1(results))
+    env.run()
+    assert results == [(2.0, 5)]

@@ -1,0 +1,143 @@
+"""Edge-case tests for the simulation engine's failure semantics."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, SimulationError
+
+
+class TestFailurePropagation:
+    def test_allof_fails_if_component_fails(self):
+        env = Environment()
+        good = env.timeout(1.0)
+        bad = env.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield AllOf(env, [good, bad])
+            except RuntimeError as exc:
+                caught.append(exc)
+
+        def failer():
+            yield env.timeout(0.5)
+            bad.fail(RuntimeError("component"))
+
+        env.process(waiter())
+        env.process(failer())
+        env.run()
+        assert caught and str(caught[0]) == "component"
+
+    def test_anyof_succeeds_before_failure(self):
+        env = Environment()
+        fast = env.timeout(0.1, value="fast")
+        slow_fail = env.event()
+        got = []
+
+        def waiter():
+            result = yield AnyOf(env, [fast, slow_fail])
+            got.append(result)
+
+        def failer():
+            yield env.timeout(1.0)
+            slow_fail.fail(RuntimeError("late"))
+            slow_fail.defuse()
+
+        env.process(waiter())
+        env.process(failer())
+        env.run()
+        assert got and fast in got[0]
+
+    def test_defused_failure_does_not_crash_run(self):
+        env = Environment()
+        event = env.event()
+
+        def failer():
+            yield env.timeout(0.2)
+            event.fail(ValueError("handled elsewhere"))
+            event.defuse()
+
+        env.process(failer())
+        env.run()  # must not raise
+
+    def test_undefused_failure_crashes_run(self):
+        env = Environment()
+        event = env.event()
+
+        def failer():
+            yield env.timeout(0.2)
+            event.fail(ValueError("unhandled"))
+
+        env.process(failer())
+        with pytest.raises(ValueError, match="unhandled"):
+            env.run()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not-an-exception")
+
+
+class TestConditions:
+    def test_condition_with_pre_fired_events(self):
+        env = Environment()
+        done = env.event()
+        done.succeed("early")
+        env.run()  # process the trigger
+        got = []
+
+        def waiter():
+            result = yield AllOf(env, [done])
+            got.append(result)
+
+        env.process(waiter())
+        env.run()
+        assert got and got[0][done] == "early"
+
+    def test_empty_condition_fires_immediately(self):
+        env = Environment()
+        got = []
+
+        def waiter():
+            result = yield AllOf(env, [])
+            got.append((env.now, result))
+
+        env.process(waiter())
+        env.run()
+        assert got == [(0.0, {})]
+
+    def test_cross_environment_rejected(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env1, [env1.timeout(1), env2.timeout(1)])
+
+
+class TestEventValues:
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_timeout_carries_value(self):
+        env = Environment()
+        got = []
+
+        def waiter():
+            value = yield env.timeout(1.0, value="payload")
+            got.append(value)
+
+        env.process(waiter())
+        env.run()
+        assert got == ["payload"]
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_step_on_empty_queue_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.step()

@@ -1,0 +1,64 @@
+"""Smoke tests: every shipped example runs end to end."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, argv=()):
+    path = os.path.abspath(os.path.join(EXAMPLES, name))
+    old_argv = sys.argv
+    sys.argv = [path, *argv]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Phase breakdown" in out
+    assert "states" in out  # the provenance tree
+
+
+def test_variability_study(capsys):
+    run_example("variability_study.py", ["2", "0.05"])
+    out = capsys.readouterr().out
+    assert "Normalized phase durations" in out
+    assert "placement" in out
+
+
+def test_provenance_drilldown(capsys):
+    run_example("provenance_drilldown.py")
+    out = capsys.readouterr().out
+    assert "slowest task categories" in out
+    assert "identifier coverage" in out
+
+
+def test_postprocess_run_directory(capsys, tmp_path):
+    run_example("postprocess_run_directory.py", [str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "Reloaded runs" in out
+    assert "placement agreement" in out
+    assert "task_run" in out
+
+
+def test_failure_recovery(capsys):
+    run_example("failure_recovery.py")
+    out = capsys.readouterr().out
+    assert "killing worker" in out
+    assert "completed anyway" in out
+    assert "recovery transitions" in out
+
+
+def test_online_monitoring(capsys):
+    run_example("online_monitoring.py")
+    out = capsys.readouterr().out
+    assert "live monitoring" in out
+    assert "tasks=" in out
+    assert "mean durations" in out

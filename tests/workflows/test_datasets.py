@@ -1,0 +1,71 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.platform import Cluster, ClusterSpec
+from repro.sim import Environment, RandomStreams
+from repro.workflows import bcss_images, imagewang_files, nyc_taxi_parquet
+
+
+def make_cluster(seed=0, run_index=0):
+    env = Environment()
+    streams = RandomStreams(seed, run_index=run_index)
+    return Cluster(env, ClusterSpec(num_nodes=4), streams), streams
+
+
+class TestBCSS:
+    def test_count_and_size_band(self):
+        cluster, streams = make_cluster()
+        inventory = bcss_images(cluster, streams, n_images=20)
+        assert len(inventory) == 20
+        for path, size in inventory:
+            assert 40 * 2**20 <= size <= 100 * 2**20
+            assert size % 2**20 == 0  # MiB aligned for 4 MiB reads
+            assert cluster.pfs.exists(path)
+
+    def test_run_index_does_not_change_dataset(self):
+        a_cluster, a_streams = make_cluster(run_index=0)
+        b_cluster, b_streams = make_cluster(run_index=5)
+        a = bcss_images(a_cluster, a_streams, n_images=10)
+        b = bcss_images(b_cluster, b_streams, n_images=10)
+        assert a == b
+
+    def test_different_seed_different_dataset(self):
+        a_cluster, a_streams = make_cluster(seed=1)
+        b_cluster, b_streams = make_cluster(seed=2)
+        a = bcss_images(a_cluster, a_streams, n_images=10)
+        b = bcss_images(b_cluster, b_streams, n_images=10)
+        assert a != b
+
+
+class TestImagewang:
+    def test_small_files_and_class_layout(self):
+        cluster, streams = make_cluster()
+        inventory = imagewang_files(cluster, streams, n_files=40)
+        assert len(inventory) == 40
+        classes = set()
+        for path, size in inventory:
+            assert 30 * 2**10 <= size <= 350 * 2**10
+            classes.add(path.split("/")[-2])
+        assert len(classes) == 20  # the paper's 20-class subset
+
+
+class TestNYCParquet:
+    def test_total_size_and_monthly_names(self):
+        cluster, streams = make_cluster()
+        inventory = nyc_taxi_parquet(cluster, streams, n_files=61,
+                                     total_bytes=2 * 2**30)
+        assert len(inventory) == 61
+        total = sum(size for _, size in inventory)
+        assert total == pytest.approx(2 * 2**30, rel=0.01)
+        assert inventory[0][0].endswith("fhvhv_tripdata_2019-01.parquet")
+        assert inventory[12][0].endswith("fhvhv_tripdata_2020-01.parquet")
+        # 61 months starting 2019-01 ends in 2024-01.
+        assert inventory[-1][0].endswith("fhvhv_tripdata_2024-01.parquet")
+
+    def test_sizes_vary_seasonally(self):
+        cluster, streams = make_cluster()
+        inventory = nyc_taxi_parquet(cluster, streams, n_files=24,
+                                     total_bytes=2**30)
+        sizes = [size for _, size in inventory]
+        assert max(sizes) > 1.5 * min(sizes)

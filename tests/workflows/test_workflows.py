@@ -1,0 +1,203 @@
+"""Tests for the three evaluation workflows and the runner."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    comm_view,
+    detect_phases,
+    io_view,
+    longest_categories,
+    oversized_tasks,
+    task_view,
+    warning_view,
+)
+from repro.workflows import (
+    ImageProcessingWorkflow,
+    ResNet152Workflow,
+    XGBoostWorkflow,
+    run_many,
+    run_workflow,
+    scaled,
+)
+
+
+class TestScaled:
+    def test_rounds_and_floors(self):
+        assert scaled(151, 1.0) == 151
+        assert scaled(151, 0.1) == 15
+        assert scaled(151, 0.0001, minimum=4) == 4
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ImageProcessingWorkflow(scale=0)
+
+
+@pytest.fixture(scope="module")
+def imageproc_run():
+    return run_workflow(ImageProcessingWorkflow(scale=0.08), seed=3)
+
+
+@pytest.fixture(scope="module")
+def resnet_run():
+    return run_workflow(ResNet152Workflow(scale=0.04), seed=3)
+
+
+@pytest.fixture(scope="module")
+def xgboost_run():
+    return run_workflow(XGBoostWorkflow(scale=0.08), seed=3)
+
+
+class TestImageProcessing:
+    def test_three_task_graphs(self, imageproc_run):
+        tasks = task_view(imageproc_run.data)
+        assert set(tasks.unique("graph_index")) == {0, 1, 2}
+
+    def test_read_write_phase_structure(self, imageproc_run):
+        """Fig. 4: read bursts followed by write bursts."""
+        phases = detect_phases(io_view(imageproc_run.data), gap=30.0,
+                               min_ops=3)
+        ops = [p.op for p in phases]
+        assert "read" in ops and "write" in ops
+        assert ops[0] == "read"
+        # At least two read->write alternations.
+        alternations = sum(
+            1 for a, b in zip(ops, ops[1:]) if (a, b) == ("read", "write")
+        )
+        assert alternations >= 2
+
+    def test_reads_are_4mb_capped(self, imageproc_run):
+        io = io_view(imageproc_run.data)
+        reads = io.filter(np.array([o == "read" for o in io["op"]]))
+        assert int(np.max(reads["length"])) <= 4 * 2**20
+
+    def test_later_writes_smaller_than_first(self, imageproc_run):
+        """Phase 2/3 written images are KB-scale vs the MB-scale
+        normalized images of phase 1 (the Fig.-4 opacity contrast)."""
+        io = io_view(imageproc_run.data)
+        writes = io.filter(np.array([o == "write" for o in io["op"]]))
+        phase1 = writes.filter(np.array(
+            ["normalized.zarr" in f for f in writes["file"]]))
+        later = writes.filter(np.array(
+            ["preview.zarr" in f or "masks.zarr" in f
+             for f in writes["file"]]))
+        assert len(phase1) and len(later)
+        assert float(np.mean(phase1["length"])) > \
+            50 * float(np.mean(later["length"]))
+        # And the later phases start after the first write phase began.
+        assert float(np.min(later["start"])) > \
+            float(np.min(phase1["start"]))
+
+    def test_distinct_files_scale(self, imageproc_run):
+        # originals + 3 consolidated stage stores (Table I: 151 files).
+        n_images = ImageProcessingWorkflow(scale=0.08).n_images
+        files = imageproc_run.data.darshan.distinct_files()
+        assert len(files) == n_images + 3
+
+
+class TestResNet152:
+    def test_single_task_graph(self, resnet_run):
+        tasks = task_view(resnet_run.data)
+        assert set(tasks.unique("graph_index")) == {0}
+
+    def test_task_count_shape(self, resnet_run):
+        """load + transform per file, predict per batch, one model task."""
+        wf = ResNet152Workflow(scale=0.04)
+        tasks = task_view(resnet_run.data)
+        n = wf.n_files
+        batches = -(-n // wf.BATCH_SIZE)
+        assert len(tasks) == 2 * n + batches + 1
+        prefixes = dict(zip(*np.unique(
+            list(tasks["prefix"]), return_counts=True)))
+        assert prefixes["load"] == n
+        assert prefixes["transform"] == n
+        assert prefixes["predict"] == batches
+
+    def test_dxt_truncation_reproduced(self):
+        """Footnote 9: default buffers truncate the ResNet I/O count."""
+        wf = ResNet152Workflow(scale=0.04)
+        result = run_workflow(wf, seed=3, dxt_buffer_limit=8)
+        report = result.data.darshan
+        assert report.any_truncated
+        assert report.dropped_segments > 0
+
+    def test_model_broadcast_generates_comms(self, resnet_run):
+        comms = comm_view(resnet_run.data)
+        model_moves = comms.filter(
+            np.array(["load_model" in k for k in comms["key"]]))
+        assert len(model_moves) >= 1
+        assert all(model_moves["nbytes"] ==
+                   ResNet152Workflow.MODEL_BYTES)
+
+
+class TestXGBoost:
+    def test_graph_count(self, xgboost_run):
+        wf = XGBoostWorkflow(scale=0.08)
+        tasks = task_view(xgboost_run.data)
+        n_graphs = len(set(tasks.unique("graph_index")))
+        assert n_graphs == 3 + wf.rounds + 1
+
+    def test_fused_read_category_present(self, xgboost_run):
+        tasks = task_view(xgboost_run.data)
+        prefixes = set(tasks.unique("prefix"))
+        assert "read_parquet-fused-assign" in prefixes
+        assert "getitem" in prefixes
+        assert "random_split_take" in prefixes
+        assert "drop_by_shallow_copy" in prefixes
+
+    def test_fused_reads_are_longest_category(self, xgboost_run):
+        """Fig. 6: the red lines are read_parquet-fused-assign."""
+        top = longest_categories(task_view(xgboost_run.data), top=1)
+        assert top["category"][0] == "read_parquet-fused-assign"
+
+    def test_oversized_outputs(self, xgboost_run):
+        """Fig. 6: fused-read outputs exceed the recommended 128 MB and
+        are the largest outputs in the workflow."""
+        big = oversized_tasks(task_view(xgboost_run.data))
+        assert len(big) > 0
+        categories = set(big["category"])
+        assert "read_parquet-fused-assign" in categories
+        assert big["category"][0] == "read_parquet-fused-assign"
+
+    def test_warnings_skew_early(self, xgboost_run):
+        """Fig. 7: warnings concentrate while the big frames are live."""
+        warnings = warning_view(xgboost_run.data)
+        assert len(warnings) > 0
+        wall = xgboost_run.wall_time
+        times = warnings["time"].astype(float)
+        early = (times < wall / 2).sum()
+        late = (times >= wall / 2).sum()
+        assert early > late
+
+    def test_checkpoint_and_prediction_writes(self, xgboost_run):
+        io = io_view(xgboost_run.data)
+        files = set(io.unique("file"))
+        assert "/lus/xgboost/model-checkpoints.ubj" in files
+        assert "/lus/xgboost/predictions.parquet" in files
+
+
+class TestRunner:
+    def test_run_many_reseeds(self):
+        results = run_many(lambda: ImageProcessingWorkflow(scale=0.04),
+                           n_runs=3, seed=5)
+        walls = [r.wall_time for r in results]
+        assert len(set(walls)) == 3  # noise differs per repetition
+        assert [r.run_index for r in results] == [0, 1, 2]
+
+    def test_persist_dir_layout(self, tmp_path):
+        result = run_workflow(ImageProcessingWorkflow(scale=0.04),
+                              seed=5, persist_dir=str(tmp_path))
+        assert result.run_dir is not None
+        assert os.path.exists(os.path.join(result.run_dir,
+                                           "provenance.json"))
+        workflow_meta = __import__("json").load(
+            open(os.path.join(result.run_dir, "provenance.json"))
+        )["layers"]["application"]["workflow"]
+        assert workflow_meta["name"] == "ImageProcessing"
+
+    def test_same_seed_same_run_reproduces(self):
+        a = run_workflow(ImageProcessingWorkflow(scale=0.04), seed=9)
+        b = run_workflow(ImageProcessingWorkflow(scale=0.04), seed=9)
+        assert a.wall_time == b.wall_time
