@@ -1,0 +1,58 @@
+"""Correctness tooling: static analysis and runtime sanitizing.
+
+Three pass families guard the properties the whole analysis chain
+depends on:
+
+* **Determinism lint** (:mod:`repro.analysis.determinism`) — AST rules
+  flagging nondeterminism hazards (wall clocks, unseeded RNGs,
+  unordered iteration, ``id()`` keys, float accumulation) in simulated
+  code paths.
+* **Provenance-schema lint** (:mod:`repro.analysis.schema`) — verifies
+  every Mofka emission site supplies the shared identifiers declared
+  in :mod:`repro.core.fair`, so records stay joinable.
+* **Event-ordering sanitizer** (:mod:`repro.analysis.sanitizer`) — a
+  runtime race detector for the discrete-event kernel.
+
+CLI front ends: ``perfrecup lint`` and ``perfrecup sanitize``; see
+``docs/static_analysis.md``.
+"""
+
+from .engine import (
+    LintEngine,
+    ModuleSource,
+    Rule,
+    fingerprint,
+    load_baseline,
+    register,
+    registered_rules,
+    rules_for,
+    write_baseline,
+)
+from .findings import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    Finding,
+    LintReport,
+)
+from .sanitizer import EventOrderSanitizer
+from .schema import EVENT_REQUIREMENTS
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "EVENT_REQUIREMENTS",
+    "EventOrderSanitizer",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "fingerprint",
+    "load_baseline",
+    "register",
+    "registered_rules",
+    "rules_for",
+    "write_baseline",
+]

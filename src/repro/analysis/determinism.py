@@ -1,0 +1,419 @@
+"""Determinism lint: nondeterminism hazards in simulated code paths.
+
+The whole reproduction hinges on bit-reproducible simulation: the
+variability figures compare *runs*, so any noise source that is not a
+seeded :class:`~repro.sim.random.RandomStreams` stream corrupts the
+measurement.  These rules statically flag the classic offenders:
+
+``det-wallclock``
+    Real clocks (``time.time``, ``datetime.now``, ...) leaking into
+    simulated code; engine timestamps (``env.now``) are the only valid
+    notion of time.
+``det-unseeded-random``
+    The process-global ``random`` / ``numpy.random`` generators, or
+    ``default_rng()`` / ``Random()`` constructed without a seed.
+``det-set-iteration``
+    Iterating a ``set``/``frozenset`` in an order-sensitive context.
+    With ``PYTHONHASHSEED`` randomisation, string-set iteration order
+    differs *between* processes, so anything ordering-sensitive fed
+    from a set breaks cross-run comparison.  Order-insensitive
+    consumers (``sorted``, ``len``, ``min``, ``max``, ``any``, ``all``,
+    set-to-set operations) are exempt.
+``det-id-key``
+    ``id()`` used outside ``__repr__``-style debug helpers: CPython
+    object addresses differ between runs, so ``id()``-keyed maps and
+    sets order (and hash-place) differently per process.
+``det-float-accumulation``
+    ``sum()`` over an unordered collection: float addition is not
+    associative, so the total depends on iteration order.
+
+All rules honour ``# repro: allow[rule]`` suppressions (see
+:mod:`repro.analysis.engine`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from .engine import ModuleSource, Rule, register
+from .findings import Finding
+
+__all__ = ["module_aliases"]
+
+WALLCLOCK_TIME_FNS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+})
+WALLCLOCK_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "normalvariate", "gauss",
+    "lognormvariate", "expovariate", "vonmisesvariate", "gammavariate",
+    "betavariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes", "seed",
+})
+NUMPY_GLOBAL_RANDOM_FNS = frozenset({
+    "rand", "randn", "random", "random_sample", "ranf", "sample",
+    "choice", "shuffle", "permutation", "randint", "random_integers",
+    "seed", "uniform", "normal", "standard_normal", "exponential",
+    "poisson", "beta", "gamma", "binomial", "bytes", "lognormal",
+})
+
+#: Builtin consumers whose result does not depend on iteration order.
+ORDER_INSENSITIVE_CONSUMERS = frozenset({
+    "sorted", "len", "min", "max", "any", "all", "set", "frozenset",
+    "sum",  # handled (for floats) by det-float-accumulation instead
+})
+
+#: Debug-only dunder methods where ``id()`` is conventional and harmless.
+ID_EXEMPT_METHODS = frozenset({"__repr__", "__str__", "__hash__", "__del__"})
+
+
+# ---------------------------------------------------------------------------
+# shared module model
+# ---------------------------------------------------------------------------
+
+def module_aliases(tree: ast.Module) -> dict[str, dict[str, str]]:
+    """Map local names to the well-known modules/objects they alias.
+
+    Returns ``{"modules": {local: canonical}, "names": {local:
+    "module.attr"}}`` covering ``time``, ``datetime``, ``random`` and
+    ``numpy`` in their common import spellings.
+    """
+    modules: dict[str, str] = {}
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("time", "datetime", "random", "numpy",
+                                  "numpy.random"):
+                    modules[alias.asname or alias.name.split(".")[0]] = \
+                        alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                names[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return {"modules": modules, "names": names}
+
+
+def _attach_parents(tree: ast.Module) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def _parent(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, "_repro_parent", None)
+
+
+def _enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    cursor = _parent(node)
+    while cursor is not None:
+        if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return cursor
+        cursor = _parent(cursor)
+    return None
+
+
+def _dotted(node: ast.AST) -> str:
+    """Render ``a.b.c`` attribute chains; '' for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+# ---------------------------------------------------------------------------
+# set-typed expression tracking
+# ---------------------------------------------------------------------------
+
+_SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet",
+                              "AbstractSet", "MutableSet"})
+
+
+def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _SET_ANNOTATIONS
+    return isinstance(annotation, ast.Name) and \
+        annotation.id in _SET_ANNOTATIONS
+
+
+class _SetBindings:
+    """Names (and ``self.<attr>``s) statically known to hold sets."""
+
+    def __init__(self, tree: ast.Module):
+        #: id(scope node) -> set of plain names bound to sets there.
+        self.by_scope: dict[int, set[str]] = {}
+        #: attribute names annotated as sets anywhere in the module.
+        self.self_attrs: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and self._is_set_literalish(
+                    node.value):
+                for target in node.targets:
+                    self._bind(target, node)
+            elif isinstance(node, ast.AnnAssign):
+                if _annotation_is_set(node.annotation) or (
+                        node.value is not None
+                        and self._is_set_literalish(node.value)):
+                    self._bind(node.target, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = list(node.args.args) + list(node.args.kwonlyargs) \
+                    + list(node.args.posonlyargs)
+                for arg in args:
+                    if _annotation_is_set(arg.annotation):
+                        # AST-node identity keys never leave this
+                        # single-process lint pass.
+                        # repro: allow[det-id-key]
+                        self.by_scope.setdefault(id(node), set()).add(arg.arg)
+
+    @staticmethod
+    def _is_set_literalish(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("set", "frozenset"))
+
+    def _bind(self, target: ast.AST, node: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            scope = _enclosing_function(node)
+            # repro: allow[det-id-key]
+            self.by_scope.setdefault(id(scope), set()).add(target.id)
+        elif isinstance(target, ast.Attribute) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id == "self":
+            self.self_attrs.add(target.attr)
+
+    # ------------------------------------------------------------------
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if self._is_set_literalish(node):
+            return True
+        if isinstance(node, ast.Name):
+            scope = _enclosing_function(node)
+            while True:
+                # repro: allow[det-id-key]
+                if node.id in self.by_scope.get(id(scope), ()):
+                    return True
+                if scope is None:
+                    return False
+                scope = _enclosing_function(scope)
+        if isinstance(node, ast.Attribute) and \
+                isinstance(node.value, ast.Name) and \
+                node.value.id == "self":
+            return node.attr in self.self_attrs
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+            return self.is_set_expr(node.left) and \
+                self.is_set_expr(node.right)
+        return False
+
+
+def _prepare(module: ModuleSource) -> _SetBindings:
+    """Parent links + set bindings, computed once per module."""
+    cached = getattr(module, "_repro_det_cache", None)
+    if cached is None:
+        _attach_parents(module.tree)
+        cached = _SetBindings(module.tree)
+        module._repro_det_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+
+@register
+class WallClockRule(Rule):
+    name = "det-wallclock"
+    family = "determinism"
+    description = ("real clocks (time.time, datetime.now, ...) in "
+                   "simulated code; use env.now")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        aliases = module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base = _dotted(func.value)
+                canonical = aliases["modules"].get(base, base)
+                imported = aliases["names"].get(base, "")
+                if canonical == "time" and func.attr in WALLCLOCK_TIME_FNS:
+                    yield self.finding(
+                        module, node,
+                        f"wall-clock call time.{func.attr}(); simulated "
+                        f"code must derive time from env.now")
+                elif func.attr in WALLCLOCK_DATETIME_FNS and (
+                        imported in ("datetime.datetime", "datetime.date")
+                        or base in ("datetime.datetime", "datetime.date")):
+                    yield self.finding(
+                        module, node,
+                        f"wall-clock call {base}.{func.attr}(); simulated "
+                        f"code must derive time from env.now")
+            elif isinstance(func, ast.Name):
+                if aliases["names"].get(func.id) == "time.time":
+                    yield self.finding(
+                        module, node,
+                        "wall-clock call time(); simulated code must "
+                        "derive time from env.now")
+
+
+@register
+class UnseededRandomRule(Rule):
+    name = "det-unseeded-random"
+    family = "determinism"
+    description = ("process-global or unseeded RNGs; use "
+                   "RandomStreams / a seeded default_rng")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        aliases = module_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base = _dotted(func.value)
+                canonical = aliases["modules"].get(base, base)
+                if canonical == "random" and func.attr in GLOBAL_RANDOM_FNS:
+                    yield self.finding(
+                        module, node,
+                        f"module-level random.{func.attr}() uses the "
+                        f"process-global RNG; draw from RandomStreams")
+                elif canonical == "random" and func.attr == "Random" \
+                        and not node.args:
+                    yield self.finding(
+                        module, node,
+                        "random.Random() without a seed")
+                elif self._is_numpy_random(base, canonical, aliases):
+                    if func.attr in NUMPY_GLOBAL_RANDOM_FNS:
+                        yield self.finding(
+                            module, node,
+                            f"legacy global numpy.random.{func.attr}(); "
+                            f"draw from RandomStreams")
+                    elif func.attr in ("default_rng", "RandomState") \
+                            and not node.args:
+                        yield self.finding(
+                            module, node,
+                            f"numpy.random.{func.attr}() without a seed")
+            elif isinstance(func, ast.Name):
+                origin = aliases["names"].get(func.id, "")
+                if origin.startswith("random.") and \
+                        origin.split(".", 1)[1] in GLOBAL_RANDOM_FNS:
+                    yield self.finding(
+                        module, node,
+                        f"module-level {origin}() uses the process-global "
+                        f"RNG; draw from RandomStreams")
+                elif origin == "numpy.random.default_rng" and not node.args:
+                    yield self.finding(
+                        module, node, "default_rng() without a seed")
+
+    @staticmethod
+    def _is_numpy_random(base: str, canonical: str, aliases: dict) -> bool:
+        if canonical == "numpy.random":
+            return True
+        if "." in base:
+            head, tail = base.split(".", 1)
+            head = aliases["modules"].get(head, head)
+            return head == "numpy" and tail == "random"
+        return False
+
+
+@register
+class SetIterationRule(Rule):
+    name = "det-set-iteration"
+    family = "determinism"
+    description = ("iterating a set in an order-sensitive context; "
+                   "sorted() it or use an ordered container")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        bindings = _prepare(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For) and \
+                    bindings.is_set_expr(node.iter):
+                yield self.finding(
+                    module, node,
+                    "for-loop over a set: iteration order is hash-"
+                    "dependent; use sorted(...) if order can matter")
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                if any(bindings.is_set_expr(gen.iter)
+                       for gen in node.generators) and \
+                        not self._order_insensitive_context(node):
+                    yield self.finding(
+                        module, node,
+                        "comprehension over a set builds an ordered "
+                        "sequence from unordered input; sort first")
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id in ("list", "tuple", "enumerate", "iter") \
+                    and node.args and bindings.is_set_expr(node.args[0]):
+                yield self.finding(
+                    module, node,
+                    f"{node.func.id}() over a set freezes a hash-"
+                    f"dependent order; use sorted(...)")
+
+    @staticmethod
+    def _order_insensitive_context(node: ast.AST) -> bool:
+        parent = _parent(node)
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in ORDER_INSENSITIVE_CONSUMERS)
+
+
+@register
+class IdKeyRule(Rule):
+    name = "det-id-key"
+    family = "determinism"
+    description = ("id() outside __repr__-style helpers: object "
+                   "addresses vary per process")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        _prepare(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == "id" and len(node.args) == 1:
+                enclosing = _enclosing_function(node)
+                if enclosing is not None and \
+                        enclosing.name in ID_EXEMPT_METHODS:
+                    continue
+                yield self.finding(
+                    module, node,
+                    "id()-derived value: CPython addresses differ "
+                    "between runs; key on a stable identifier instead")
+
+
+@register
+class FloatAccumulationRule(Rule):
+    name = "det-float-accumulation"
+    family = "determinism"
+    description = ("sum() over an unordered collection: float addition "
+                   "is order-dependent")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        bindings = _prepare(module)
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "sum" and node.args):
+                continue
+            arg = node.args[0]
+            hazardous = bindings.is_set_expr(arg)
+            if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                hazardous = any(bindings.is_set_expr(gen.iter)
+                                for gen in arg.generators)
+            if hazardous:
+                yield self.finding(
+                    module, node,
+                    "sum() over a set: float accumulation order is "
+                    "hash-dependent; sum over sorted(...) instead")

@@ -1,0 +1,191 @@
+"""Runtime event-ordering sanitizer: a race detector for the DES.
+
+Static rules cannot see every ordering hazard — some only exist in the
+*dynamic* event stream.  :class:`EventOrderSanitizer` plugs into the
+simulation kernel's monitor hooks (``Environment.monitor``) and checks
+three invariants on every scheduled and popped event:
+
+``sanitize-tie-order``
+    Two events popped at the *identical* ``(time, priority)`` key that
+    (a) were scheduled with positive delays from *different* origin
+    instants — an accidental float collision, not a structural
+    zero-delay cascade — and (b) share a waiter (the same callback,
+    e.g. one ``AnyOf``/``AllOf`` condition spanning both).  That
+    waiter's outcome is decided only by insertion sequence, so any
+    epsilon of timing drift flips it.  Structural cascades (events
+    scheduled *at* the instant they fire, e.g. ``succeed()`` chains)
+    and independent periodic timers that merely coincide (disjoint
+    callbacks, e.g. linger vs. heartbeat grids) are deterministic and
+    exempt; coincidences are still counted in
+    ``stats["tie_groups"]``.
+``sanitize-foreign-resume``
+    A handler callback resuming a :class:`~repro.sim.engine.Process`
+    that is parked on a *different* event — entity state mutated
+    outside the event queue.  Legal resumptions either target the
+    event the process waits on or follow an ``interrupt()`` (which
+    detaches the process first); anything else risks double-resume
+    races exactly like a data race in threaded code.
+``sanitize-negative-delay``
+    An event scheduled before the current instant (time travel), which
+    the binary heap would silently reorder around already-popped
+    events.
+
+Attach with :meth:`attach`, run the workload, then read
+:meth:`report`.  The CLI front end is ``perfrecup sanitize``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..sim.engine import Environment, Event, Process
+from .findings import Finding, LintReport
+
+__all__ = ["EventOrderSanitizer", "MAX_FINDINGS"]
+
+#: Recording cap so a pathological run cannot exhaust memory; the
+#: overflow count is reported in ``stats["findings_dropped"]``.
+MAX_FINDINGS = 200
+
+
+class EventOrderSanitizer:
+    """Dynamic checker wired into :class:`~repro.sim.Environment`."""
+
+    def __init__(self, max_findings: int = MAX_FINDINGS):
+        self.max_findings = max_findings
+        self.findings: list[Finding] = []
+        self._dropped = 0
+        #: seq -> (when, priority, origin now) for still-queued events.
+        self._origins: dict[int, tuple[float, int, float]] = {}
+        self._last_pop: Optional[tuple[float, int, int, float]] = None
+        self._tie_size = 1
+        #: (origin, callbacks) of the previous pop and of the
+        #: accidental-origin members of the current tie group.
+        self._prev_member: tuple[float, list] = (0.0, [])
+        self._tie_members: list[tuple[float, list]] = []
+        # Statistics.
+        self.events_scheduled = 0
+        self.events_processed = 0
+        self.tie_groups = 0
+        self.max_tie_size = 1
+        self._env: Optional[Environment] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, env: Environment) -> "EventOrderSanitizer":
+        if env.monitor is not None:
+            raise RuntimeError("environment already has a monitor")
+        env.monitor = self
+        self._env = env
+        return self
+
+    def detach(self) -> None:
+        if self._env is not None:
+            self._env.monitor = None
+            self._env = None
+
+    # -- hook surface (called by Environment) ---------------------------
+    def on_schedule(self, event: Event, when: float, priority: int,
+                    seq: int, now: float) -> None:
+        self.events_scheduled += 1
+        self._origins[seq] = (when, priority, now)
+        if when < now:
+            self._record(
+                "sanitize-negative-delay", now,
+                f"{event!r} scheduled at t={when:.6f}, before the "
+                f"current instant t={now:.6f}",
+            )
+
+    def on_step(self, event: Event, when: float, priority: int,
+                seq: int) -> None:
+        self.events_processed += 1
+        origin = self._origins.pop(seq, (when, priority, when))[2]
+        last = self._last_pop
+        self._last_pop = (when, priority, seq, origin)
+        # Only accidental (positive-delay) members can make a tie
+        # fragile; structural zero-delay members never do, so their
+        # callbacks need not be retained.
+        member = (origin,
+                  list(event.callbacks or ()) if origin != when else [])
+        if last is None:
+            self._prev_member = member
+            return
+        last_when, last_priority, _last_seq, _last_origin = last
+        if when < last_when:
+            self._record(
+                "sanitize-time-regression", when,
+                f"popped t={when:.6f} after t={last_when:.6f}",
+            )
+        if (when, priority) == (last_when, last_priority):
+            self._tie_size += 1
+            if self._tie_size == 2:
+                self.tie_groups += 1
+                self._tie_members = [self._prev_member]
+            self.max_tie_size = max(self.max_tie_size, self._tie_size)
+            self._check_tie_member(event, when, member)
+            self._tie_members.append(member)
+        else:
+            self._tie_size = 1
+            self._tie_members = []
+        self._prev_member = member
+
+    def _check_tie_member(self, event: Event, when: float,
+                          member: tuple[float, list]) -> None:
+        origin, callbacks = member
+        if origin == when or not callbacks:
+            return
+        for other_origin, other_callbacks in self._tie_members:
+            if other_origin == when or other_origin == origin:
+                continue
+            # Bound methods compare equal on (instance, function), so a
+            # condition's _check registered on both events matches.
+            if any(cb == other for cb in callbacks
+                   for other in other_callbacks):
+                self._record(
+                    "sanitize-tie-order", when,
+                    f"{event!r} ties at t={when:.6f} with an event "
+                    f"scheduled from a different instant (origins "
+                    f"t={other_origin:.6f} and t={origin:.6f}) and both "
+                    f"feed the same waiter; its outcome is decided only "
+                    f"by insertion sequence",
+                )
+                return
+
+    def before_callback(self, event: Event, callback: Any) -> None:
+        process = getattr(callback, "__self__", None)
+        if isinstance(process, Process) and \
+                getattr(callback, "__name__", "") == "_resume":
+            target = process._target
+            if target is not None and target is not event:
+                self._record(
+                    "sanitize-foreign-resume",
+                    event.env.now,
+                    f"{event!r} resumes {process!r} which is parked on "
+                    f"{target!r}; entity state mutated outside the "
+                    f"event queue",
+                )
+
+    # ------------------------------------------------------------------
+    def _record(self, rule: str, time: float, message: str) -> None:
+        if len(self.findings) >= self.max_findings:
+            self._dropped += 1
+            return
+        self.findings.append(Finding(
+            rule=rule, message=message, time=time,
+        ))
+
+    def report(self) -> LintReport:
+        report = LintReport(
+            findings=list(self.findings),
+            rules_run=["sanitize-tie-order", "sanitize-foreign-resume",
+                       "sanitize-negative-delay",
+                       "sanitize-time-regression"],
+            stats={
+                "events_scheduled": self.events_scheduled,
+                "events_processed": self.events_processed,
+                "tie_groups": self.tie_groups,
+                "max_tie_size": self.max_tie_size,
+            },
+        )
+        if self._dropped:
+            report.stats["findings_dropped"] = self._dropped
+        return report

@@ -212,6 +212,76 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static determinism + provenance-schema analysis over the tree."""
+    import os
+
+    from .analysis import (
+        EXIT_ERROR,
+        LintEngine,
+        load_baseline,
+        rules_for,
+        write_baseline,
+    )
+
+    paths = args.paths
+    if not paths:
+        # Default target: the installed repro package itself.
+        paths = [os.path.dirname(os.path.abspath(__file__))]
+    root = os.path.commonpath([os.path.abspath(p) for p in paths])
+    if os.path.isfile(root):
+        root = os.path.dirname(root)
+
+    selectors = None
+    if args.rules:
+        selectors = [token.strip() for token in args.rules.split(",")
+                     if token.strip()]
+    try:
+        rules = rules_for(selectors)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return EXIT_ERROR
+
+    baseline = set()
+    if args.baseline and os.path.exists(args.baseline):
+        baseline = load_baseline(args.baseline)
+
+    engine = LintEngine(rules=rules, baseline=baseline, root=root)
+    try:
+        report = engine.run(paths)
+    except (FileNotFoundError, SyntaxError) as exc:
+        print(f"lint failed: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.write_baseline:
+        count = write_baseline(report, args.write_baseline, root)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {args.write_baseline}")
+        return 0
+
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text(verbose=args.verbose))
+    return report.exit_code
+
+
+def cmd_sanitize(args: argparse.Namespace) -> int:
+    """Run one workflow under the runtime event-ordering sanitizer."""
+    from .analysis import EventOrderSanitizer
+    from .workflows import run_workflow
+
+    factory = _workflow_factory(args.workflow, args.scale)
+    sanitizer = EventOrderSanitizer()
+    run_workflow(factory(), seed=args.seed, monitor=sanitizer)
+    report = sanitizer.report()
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     for name in sorted(WORKFLOWS):
         print(name)
@@ -292,6 +362,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("run_dir")
     p_rep.add_argument("--out", default=None)
     p_rep.set_defaults(func=cmd_report)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static determinism + provenance-schema analysis")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories (default: the repro "
+                             "package)")
+    p_lint.add_argument("--rules", default=None,
+                        help="comma-separated rule or family names "
+                             "(determinism, provenance, det-wallclock, ...)")
+    p_lint.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    p_lint.add_argument("--baseline", default=None,
+                        help="JSON baseline of grandfathered findings")
+    p_lint.add_argument("--write-baseline", default=None,
+                        help="write current findings as the new baseline "
+                             "and exit 0")
+    p_lint.add_argument("--verbose", action="store_true",
+                        help="also print suppressed/baselined findings")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_san = sub.add_parser(
+        "sanitize",
+        help="run a workflow under the event-ordering sanitizer")
+    p_san.add_argument("workflow",
+                       help="imageprocessing|resnet152|xgboost")
+    p_san.add_argument("--scale", type=float, default=0.05)
+    p_san.add_argument("--seed", type=int, default=0)
+    p_san.add_argument("--format", choices=("text", "json"),
+                       default="text")
+    p_san.set_defaults(func=cmd_sanitize)
 
     p_list = sub.add_parser("list-workflows", help="list workflow names")
     p_list.set_defaults(func=cmd_list)

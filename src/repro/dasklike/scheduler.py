@@ -323,8 +323,8 @@ class Scheduler:
                 for ts in roots[start:start + slab]:
                     self._assign(ts, stimulus="ready-on-submit",
                                  worker=worker)
-            root_set = set(id(ts) for ts in roots)
-            ready = [ts for ts in ready if id(ts) not in root_set]
+            root_names = {ts.name for ts in roots}
+            ready = [ts for ts in ready if ts.name not in root_names]
         for ts in ready:
             self._assign(ts, stimulus="ready-on-submit")
 

@@ -297,6 +297,11 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        #: Optional observer (e.g. the event-ordering sanitizer in
+        #: :mod:`repro.analysis.sanitizer`).  When set, it receives
+        #: ``on_schedule``/``on_step``/``before_callback`` calls; the
+        #: hot path pays a single ``is None`` check otherwise.
+        self.monitor: Optional[Any] = None
 
     # Target event of the currently executing process (used to detect
     # self-interrupts).
@@ -333,7 +338,11 @@ class Environment:
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 0) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        when = self._now + delay
+        heapq.heappush(self._queue, (when, priority, self._seq, event))
+        if self.monitor is not None:
+            self.monitor.on_schedule(event, when, priority, self._seq,
+                                     self._now)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -343,11 +352,19 @@ class Environment:
         """Process the next scheduled event."""
         if not self._queue:
             raise SimulationError("no scheduled events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, prio, seq, event = heapq.heappop(self._queue)
         self._now = when
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.on_step(event, when, prio, seq)
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        if monitor is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            for callback in callbacks:
+                monitor.before_callback(event, callback)
+                callback(event)
         if event._ok is False and not event._defused:
             # An unhandled failure terminates the simulation loudly, like
             # an uncaught exception in a real run.

@@ -47,9 +47,17 @@ def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
                  job_spec: Optional[JobSpec] = None,
                  dxt_buffer_limit: Optional[int] = None,
                  persist_dir: Optional[str] = None,
+                 monitor=None,
                  **instrument_kwargs) -> RunResult:
-    """Execute one instrumented repetition of ``workflow``."""
+    """Execute one instrumented repetition of ``workflow``.
+
+    ``monitor`` is an optional engine observer (e.g. the event-ordering
+    sanitizer from :mod:`repro.analysis`) attached to the environment
+    for the whole run — the mechanism behind ``perfrecup sanitize``.
+    """
     env = Environment()
+    if monitor is not None:
+        monitor.attach(env)
     streams = RandomStreams(seed, run_index=run_index)
     cluster = Cluster(env, cluster_spec or ClusterSpec(), streams)
     batch = BatchSystem(env, cluster, streams)

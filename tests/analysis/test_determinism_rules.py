@@ -1,0 +1,223 @@
+"""Determinism rules on fixture modules with known violations."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import LintEngine, ModuleSource, rules_for
+
+
+def lint(code, selectors=("determinism",)):
+    module = ModuleSource.parse(
+        "fixture.py", textwrap.dedent(code).lstrip("\n"))
+    engine = LintEngine(rules=rules_for(selectors), root="/tmp")
+    return engine.check_module(module)
+
+
+def rule_names(findings):
+    return sorted(f.rule for f in findings if f.active)
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        findings = lint("""
+            import time
+            stamp = time.time()
+        """)
+        assert rule_names(findings) == ["det-wallclock"]
+        assert findings[0].line == 2
+
+    def test_aliased_and_from_imports(self):
+        findings = lint("""
+            import time as _t
+            from time import time
+            a = _t.monotonic()
+            b = time()
+        """)
+        assert rule_names(findings) == ["det-wallclock", "det-wallclock"]
+
+    def test_datetime_now(self):
+        findings = lint("""
+            import datetime
+            from datetime import datetime as dt
+            a = datetime.datetime.now()
+            b = dt.utcnow()
+        """)
+        assert rule_names(findings) == ["det-wallclock", "det-wallclock"]
+
+    def test_env_now_not_flagged(self):
+        assert lint("""
+            def run(env):
+                return env.now
+        """) == []
+
+    def test_unrelated_time_attribute_not_flagged(self):
+        # A record's ``.time`` field is not the time module.
+        assert lint("""
+            def f(record):
+                return record.time
+        """) == []
+
+
+class TestUnseededRandom:
+    def test_module_level_random(self):
+        findings = lint("""
+            import random
+            x = random.random()
+            random.shuffle([1, 2])
+        """)
+        assert rule_names(findings) == ["det-unseeded-random"] * 2
+
+    def test_from_import(self):
+        findings = lint("""
+            from random import choice
+            pick = choice([1, 2])
+        """)
+        assert rule_names(findings) == ["det-unseeded-random"]
+
+    def test_numpy_global_and_unseeded_default_rng(self):
+        findings = lint("""
+            import numpy as np
+            a = np.random.rand(3)
+            gen = np.random.default_rng()
+        """)
+        assert rule_names(findings) == ["det-unseeded-random"] * 2
+
+    def test_seeded_default_rng_ok(self):
+        assert lint("""
+            import numpy as np
+            gen = np.random.default_rng(42)
+            inst = np.random.default_rng(seed=7)
+        """) == [] or rule_names(lint("""
+            import numpy as np
+            gen = np.random.default_rng(42)
+        """)) == []
+
+    def test_random_random_instance_seeded_ok(self):
+        assert lint("""
+            import random
+            gen = random.Random(1234)
+        """) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal(self):
+        findings = lint("""
+            for item in {"a", "b"}:
+                print(item)
+        """)
+        assert rule_names(findings) == ["det-set-iteration"]
+
+    def test_for_over_tracked_variable(self):
+        findings = lint("""
+            def f(keys):
+                pending = set(keys)
+                for key in pending:
+                    print(key)
+        """)
+        assert rule_names(findings) == ["det-set-iteration"]
+
+    def test_annotated_attribute(self):
+        findings = lint("""
+            class Worker:
+                def __init__(self):
+                    self.executing: set[str] = set()
+
+                def drain(self):
+                    return [k for k in self.executing]
+        """)
+        assert rule_names(findings) == ["det-set-iteration"]
+
+    def test_list_of_set_flagged(self):
+        findings = lint("""
+            def f(a: set):
+                return list(a)
+        """)
+        assert rule_names(findings) == ["det-set-iteration"]
+
+    def test_sorted_exempt(self):
+        assert lint("""
+            def f(keys):
+                pending = set(keys)
+                ordered = sorted(pending)
+                n = len(pending)
+                top = max(pending)
+                hit = "x" in pending
+                return ordered, n, top, hit
+        """) == []
+
+    def test_sorted_comprehension_exempt(self):
+        assert lint("""
+            def f(names: set):
+                return sorted(n.lower() for n in names)
+        """) == []
+
+    def test_dict_iteration_not_flagged(self):
+        # Python dicts are insertion-ordered, hence deterministic.
+        assert lint("""
+            def f(mapping):
+                for key, value in mapping.items():
+                    print(key, value)
+                return list(mapping.values())
+        """) == []
+
+
+class TestIdKey:
+    def test_id_key_flagged(self):
+        findings = lint("""
+            def dedupe(items):
+                return {id(x): x for x in items}
+        """)
+        assert rule_names(findings) == ["det-id-key"]
+
+    def test_repr_exempt(self):
+        assert lint("""
+            class Event:
+                def __repr__(self):
+                    return f"<Event at {id(self):#x}>"
+        """) == []
+
+
+class TestFloatAccumulation:
+    def test_sum_over_set(self):
+        findings = lint("""
+            def total(durations: set):
+                return sum(durations)
+        """)
+        assert rule_names(findings) == ["det-float-accumulation"]
+
+    def test_sum_generator_over_set(self):
+        findings = lint("""
+            def total(records):
+                pending = set(records)
+                return sum(r for r in pending)
+        """)
+        assert rule_names(findings) == ["det-float-accumulation"]
+
+    def test_sum_over_list_ok(self):
+        assert lint("""
+            def total(durations):
+                return sum(durations)
+        """) == []
+
+    def test_sum_over_sorted_set_ok(self):
+        assert lint("""
+            def total(durations: set):
+                return sum(sorted(durations))
+        """) == []
+
+
+class TestRealisticCleanModule:
+    def test_simlike_module_clean(self):
+        # The idioms the repo actually uses must not trip the linter.
+        assert lint("""
+            import numpy as np
+
+            def draw(streams, env):
+                noise = streams.lognormal_factor("net", 0.1)
+                gen = np.random.default_rng(123)
+                order = gen.permutation(4)
+                now = env.now
+                names = sorted({"b", "a"})
+                return noise, order, now, names
+        """) == []

@@ -1,0 +1,186 @@
+"""Engine mechanics: discovery, suppression, baseline, selection."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    LintEngine,
+    ModuleSource,
+    load_baseline,
+    registered_rules,
+    rules_for,
+    write_baseline,
+)
+
+DIRTY = """
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def write(tmp_path, name, code):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(code).lstrip("\n"))
+    return str(path)
+
+
+class TestDiscovery:
+    def test_walks_directories_sorted(self, tmp_path):
+        write(tmp_path, "b.py", "x = 1")
+        write(tmp_path, "a.py", "y = 2")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "c.py").write_text("z = 3")
+        (sub / "notes.txt").write_text("not python")
+        found = LintEngine.discover([str(tmp_path)])
+        assert [os.path.basename(p) for p in found] == \
+            ["a.py", "b.py", "c.py"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            LintEngine.discover(["/nonexistent/nowhere"])
+
+
+class TestSuppression:
+    def test_same_line_comment(self, tmp_path):
+        path = write(tmp_path, "m.py", """
+            import time
+            t = time.time()  # repro: allow[det-wallclock]
+        """)
+        report = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path)).run([path])
+        assert report.active == []
+        assert len(report.suppressed) == 1
+
+    def test_preceding_line_comment(self, tmp_path):
+        path = write(tmp_path, "m.py", """
+            import time
+            # repro: allow[det-wallclock]
+            t = time.time()
+        """)
+        report = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path)).run([path])
+        assert report.active == []
+
+    def test_wildcard_and_multiple_rules(self, tmp_path):
+        path = write(tmp_path, "m.py", """
+            import time
+            # repro: allow[*]
+            t = time.time()
+            u = {id(x) for x in []}  # repro: allow[det-id-key, det-set-iteration]
+        """)
+        report = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path)).run([path])
+        assert report.active == []
+
+    def test_wrong_rule_name_does_not_suppress(self, tmp_path):
+        path = write(tmp_path, "m.py", """
+            import time
+            t = time.time()  # repro: allow[det-id-key]
+        """)
+        report = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path)).run([path])
+        assert [f.rule for f in report.active] == ["det-wallclock"]
+
+
+class TestBaseline:
+    def test_roundtrip_marks_baselined(self, tmp_path):
+        path = write(tmp_path, "m.py", DIRTY)
+        engine = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path))
+        report = engine.run([path])
+        assert len(report.active) == 1
+
+        baseline_path = str(tmp_path / "baseline.json")
+        count = write_baseline(report, baseline_path, str(tmp_path))
+        assert count == 1
+
+        engine2 = LintEngine(rules=rules_for(["determinism"]),
+                             baseline=load_baseline(baseline_path),
+                             root=str(tmp_path))
+        report2 = engine2.run([path])
+        assert report2.active == []
+        assert len(report2.baselined) == 1
+        assert report2.exit_code == 0
+
+    def test_baseline_survives_line_shifts(self, tmp_path):
+        path = write(tmp_path, "m.py", DIRTY)
+        engine = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path))
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(engine.run([path]), baseline_path, str(tmp_path))
+
+        # Prepend lines: the finding moves but its text is unchanged.
+        shifted = "import os\nimport sys\n" + \
+            (tmp_path / "m.py").read_text()
+        (tmp_path / "m.py").write_text(shifted)
+        engine2 = LintEngine(rules=rules_for(["determinism"]),
+                             baseline=load_baseline(baseline_path),
+                             root=str(tmp_path))
+        assert engine2.run([path]).active == []
+
+    def test_new_findings_stay_active(self, tmp_path):
+        path = write(tmp_path, "m.py", DIRTY)
+        engine = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path))
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(engine.run([path]), baseline_path, str(tmp_path))
+
+        (tmp_path / "m.py").write_text(
+            (tmp_path / "m.py").read_text()
+            + "\ndef stamp2():\n    return time.monotonic()\n")
+        engine2 = LintEngine(rules=rules_for(["determinism"]),
+                             baseline=load_baseline(baseline_path),
+                             root=str(tmp_path))
+        report = engine2.run([path])
+        assert len(report.active) == 1
+        assert "monotonic" in report.active[0].snippet
+
+    def test_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+
+class TestSelection:
+    def test_families_and_names(self):
+        rules = registered_rules()
+        assert {r.family for r in rules.values()} == \
+            {"determinism", "provenance"}
+        assert [r.name for r in rules_for(["det-wallclock"])] == \
+            ["det-wallclock"]
+        det = rules_for(["determinism"])
+        assert all(r.family == "determinism" for r in det)
+        assert len(det) >= 5
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(KeyError):
+            rules_for(["no-such-rule"])
+
+    def test_every_rule_documented(self):
+        for rule in registered_rules().values():
+            assert rule.description
+
+
+class TestReportRendering:
+    def test_json_roundtrips(self, tmp_path):
+        path = write(tmp_path, "m.py", DIRTY)
+        report = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path)).run([path])
+        document = json.loads(report.render_json())
+        assert document["exit_code"] == 1
+        assert document["findings"][0]["rule"] == "det-wallclock"
+
+    def test_text_contains_location_and_counts(self, tmp_path):
+        path = write(tmp_path, "m.py", DIRTY)
+        report = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path)).run([path])
+        text = report.render_text()
+        assert "m.py:4" in text
+        assert "1 finding(s)" in text

@@ -133,6 +133,66 @@ class TestFigures:
         assert content.startswith("<svg")
 
 
+class TestLint:
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == []
+        assert args.format == "text"
+        assert args.rules is None
+
+    def test_lint_real_tree_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_lint_json_format(self, capsys):
+        import json
+        assert main(["lint", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["exit_code"] == 0
+        assert "det-wallclock" in document["rules_run"]
+
+    def test_lint_dirty_fixture_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        assert main(["lint", str(bad)]) == 1
+
+    def test_lint_rule_selection(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        # Provenance-only run does not see the determinism violation.
+        assert main(["lint", "--rules", "provenance", str(bad)]) == 0
+
+    def test_lint_unknown_rule_is_usage_error(self, capsys):
+        assert main(["lint", "--rules", "bogus"]) == 2
+
+    def test_lint_write_and_use_baseline(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", "--write-baseline", baseline,
+                     str(bad)]) == 0
+        assert main(["lint", "--baseline", baseline, str(bad)]) == 0
+
+
+class TestSanitize:
+    def test_sanitize_defaults(self):
+        args = build_parser().parse_args(["sanitize", "imageprocessing"])
+        assert args.workflow == "imageprocessing"
+        assert args.scale == 0.05
+
+    def test_sanitize_small_workflow_clean(self, capsys):
+        assert main(["sanitize", "imageprocessing",
+                     "--scale", "0.04", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+        assert "events_processed=" in out
+
+    def test_sanitize_unknown_workflow_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sanitize", "not-a-workflow"])
+
+
 class TestExperiments:
     def test_registry_listing(self, capsys):
         assert main(["experiments"]) == 0

@@ -1,0 +1,55 @@
+"""CI gate: the real tree must stay lint-clean.
+
+This is the enforcement half of the determinism/provenance tooling: if
+a change introduces a wall-clock call, unseeded RNG, unordered
+iteration, or an emission site missing identifier fields, tier-1
+pytest fails here — the same contract ``perfrecup lint`` checks
+locally.
+"""
+
+import os
+import textwrap
+
+import repro
+from repro.cli import main
+
+PACKAGE_DIR = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+class TestTreeIsClean:
+    def test_lint_whole_package_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_lint_simulated_paths_explicitly(self, capsys):
+        paths = [os.path.join(PACKAGE_DIR, sub) for sub in
+                 ("sim", "dasklike", "mofka", "darshan", "workflows",
+                  "instrument")]
+        assert main(["lint", *paths]) == 0
+
+
+class TestPlantedViolationsStillDetected:
+    """Guards against the gate rotting into a tautology."""
+
+    def test_planted_wallclock_fails(self, tmp_path, capsys):
+        planted = tmp_path / "planted.py"
+        planted.write_text(textwrap.dedent("""
+            import time
+
+            def stamp():
+                return time.time()
+        """))
+        assert main(["lint", str(planted)]) == 1
+        assert "det-wallclock" in capsys.readouterr().out
+
+    def test_planted_incomplete_emission_fails(self, tmp_path, capsys):
+        planted = tmp_path / "planted.py"
+        planted.write_text(textwrap.dedent("""
+            def emit(producer, env):
+                producer.push({"type": "task_run", "key": "k1",
+                               "start": env.now})
+        """))
+        assert main(["lint", str(planted)]) == 1
+        out = capsys.readouterr().out
+        assert "prov-missing-identifier" in out
