@@ -1,0 +1,477 @@
+#!/usr/bin/env python
+"""Before/after benchmark of the PERFRECUP view-building hot path.
+
+Workload: a compare-style analysis over ``--runs`` synthetic runs —
+for every run, build all nine views, then re-request the task and
+communication views the way ``perfrecup compare`` (phase breakdown +
+variability + scheduling comparison) does.
+
+Two implementations race on identical inputs:
+
+* **legacy** — the pre-columnar path this PR replaced: every view call
+  re-scans the full event list (``events_of_type`` was a linear filter)
+  and assembles per-row dicts before ``Table.from_records``.  The
+  builders below are verbatim copies of that code, kept here as the
+  measurement baseline.
+* **columnar** — the shipped path: ``AnalysisSession`` over the
+  ``EventStore`` (partition the stream once, NumPy column math for
+  derived columns, memoized views).
+
+The two outputs are asserted cell-for-cell identical before any
+timing is reported (the same parity the test suite checks on recorded
+runs).  Results append to ``benchmarks/out/perfrecup_ingest.txt`` so
+the speedup trajectory is recorded next to the other artifacts.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_perfrecup_ingest.py
+    PYTHONPATH=src python benchmarks/bench_perfrecup_ingest.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.core import AnalysisSession, RunData, Table  # noqa: E402
+from repro.core.views import VIEW_NAMES  # noqa: E402
+
+OUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "out", "perfrecup_ingest.txt")
+
+WORKERS = [f"tcp://10.0.0.{n}:9000" for n in range(1, 9)]
+HOSTS = [f"nid{n:05d}" for n in range(1, 9)]
+PREFIXES = ["read_parquet", "normalize", "train", "getitem", "stats"]
+
+
+class _SyntheticDarshan:
+    """Just enough of a DarshanReport for the io view: DXT rows."""
+
+    def __init__(self, rows: list[dict]):
+        self._rows = rows
+        self.logs: list = []
+
+    def dxt_rows(self) -> list[dict]:
+        return [dict(row) for row in self._rows]
+
+
+def make_run(n_tasks: int, run_index: int, seed: int = 7) -> RunData:
+    """One synthetic run with every event type the nine views read."""
+    rng = np.random.default_rng(seed + run_index)
+    events: list[dict] = []
+    dxt: list[dict] = []
+    logs: list[dict] = []
+    clock = 0.0
+    for i in range(n_tasks):
+        prefix = PREFIXES[i % len(PREFIXES)]
+        key = f"{prefix}-{run_index:02d}{i:06d}"
+        group = f"{prefix}-{run_index:02d}"
+        worker = WORKERS[i % len(WORKERS)]
+        hostname = HOSTS[i % len(HOSTS)]
+        deps = [f"{PREFIXES[(i - 1) % len(PREFIXES)]}"
+                f"-{run_index:02d}{i - 1:06d}"] if i else []
+        clock += float(rng.uniform(0.0005, 0.002))
+        events.append({
+            "type": "task_added", "key": key, "group": group,
+            "prefix": prefix, "deps": deps, "graph_index": i,
+            "timestamp": clock,
+        })
+        for start_state, finish_state in (("released", "waiting"),
+                                          ("processing", "memory")):
+            events.append({
+                "type": "transition", "key": key, "group": group,
+                "prefix": prefix, "start_state": start_state,
+                "finish_state": finish_state, "timestamp": clock,
+                "stimulus": f"stim-{i}", "worker": worker,
+                "source": "scheduler",
+            })
+        start = clock + float(rng.uniform(0.001, 0.01))
+        stop = start + float(rng.uniform(0.01, 0.4))
+        events.append({
+            "type": "task_run", "key": key, "group": group,
+            "prefix": prefix, "worker": worker, "hostname": hostname,
+            "thread_id": 1000 + (i % 4), "start": start, "stop": stop,
+            "output_nbytes": int(rng.integers(1024, 2**24)),
+            "graph_index": i,
+            "compute_time": stop - start, "io_time": 0.0,
+            "n_reads": int(rng.integers(0, 8)), "n_writes": 0,
+        })
+        if i % 2 == 0:
+            events.append({
+                "type": "communication", "key": key,
+                "src_worker": WORKERS[(i + 1) % len(WORKERS)],
+                "dst_worker": worker,
+                "src_host": HOSTS[(i + 1) % len(HOSTS)],
+                "dst_host": hostname,
+                "nbytes": int(rng.integers(256, 2**20)),
+                "start": stop, "stop": stop + float(rng.uniform(0.001, 0.05)),
+                "same_node": bool(i % 4 == 0),
+                "same_switch": bool(i % 2 == 0),
+            })
+        if i % 20 == 0:
+            events.append({
+                "type": "warning", "source": worker, "hostname": hostname,
+                "kind": "gc" if i % 40 == 0 else "event_loop",
+                "time": stop, "duration": float(rng.uniform(0.01, 0.3)),
+                "message": f"pause on {hostname}",
+            })
+        if i % 10 == 0:
+            events.append({
+                "type": "spill", "worker": worker, "hostname": hostname,
+                "key": key, "nbytes": int(rng.integers(2**10, 2**22)),
+                "time": stop, "direction": "out" if i % 20 else "in",
+            })
+        if i % 25 == 0:
+            events.append({
+                "type": "steal", "key": key,
+                "victim": WORKERS[i % len(WORKERS)],
+                "thief": WORKERS[(i + 3) % len(WORKERS)],
+                "time": clock, "victim_occupancy": float(rng.uniform(0, 9)),
+                "thief_occupancy": float(rng.uniform(0, 2)),
+            })
+        if i % 4 == 0:
+            dxt.append({
+                "hostname": hostname, "rank": i % 16,
+                "pthread_id": 1000 + (i % 4),
+                "file": f"/lus/data{i % 32:03d}.parquet", "op": "read",
+                "offset": (i % 64) * 2**20, "length": 2**20,
+                "start": start, "end": start + float(rng.uniform(0.001, 0.02)),
+            })
+        if i % 5 == 0:
+            logs.append({"source": worker, "time": clock, "level": "INFO",
+                         "message": f"task {key} update"})
+    return RunData(events=events, darshan=_SyntheticDarshan(dxt),
+                   logs=logs, run_index=run_index)
+
+
+# ---------------------------------------------------------------------------
+# the pre-PR path, kept verbatim as the measurement baseline
+# (builders, column conversion, and record scan all match the code this
+# PR replaced — including the old ``_as_column`` per-element type scan)
+# ---------------------------------------------------------------------------
+
+def _legacy_as_column(values) -> np.ndarray:
+    if isinstance(values, np.ndarray):
+        arr = values
+    else:
+        values = list(values)
+        if any(isinstance(v, (list, tuple, dict, set)) for v in values):
+            arr = np.empty(len(values), dtype=object)
+            for i, v in enumerate(values):
+                arr[i] = v
+        else:
+            arr = np.asarray(values)
+    if arr.dtype.kind in ("U", "S"):
+        arr = arr.astype(object)
+    return arr
+
+
+def _legacy_from_records(records: list[dict], columns: list[str]) -> Table:
+    if not records:
+        return Table({name: [] for name in columns})
+    cols = {
+        name: _legacy_as_column([record.get(name) for record in records])
+        for name in columns
+    }
+    # Arrays pass through Table.__init__ untouched, so the timing below
+    # charges the legacy path for its own conversion kernel only.
+    return Table(cols)
+
+
+def _legacy_events_of_type(run: RunData, event_type: str) -> list[dict]:
+    return [e for e in run.events if e.get("type") == event_type]
+
+
+def _legacy_task_view(run: RunData) -> Table:
+    rows = []
+    for e in _legacy_events_of_type(run, "task_run"):
+        rows.append({
+            "key": e["key"], "group": e["group"], "prefix": e["prefix"],
+            "worker": e["worker"], "hostname": e["hostname"],
+            "thread_id": e["thread_id"], "start": e["start"],
+            "stop": e["stop"], "duration": e["stop"] - e["start"],
+            "output_nbytes": e["output_nbytes"],
+            "graph_index": e["graph_index"],
+            "compute_time": e["compute_time"], "io_time": e["io_time"],
+            "n_reads": e["n_reads"], "n_writes": e["n_writes"],
+        })
+    return _legacy_from_records(rows, [
+        "key", "group", "prefix", "worker", "hostname", "thread_id",
+        "start", "stop", "duration", "output_nbytes", "graph_index",
+        "compute_time", "io_time", "n_reads", "n_writes",
+    ])
+
+
+def _legacy_transition_view(run: RunData) -> Table:
+    rows = []
+    for e in _legacy_events_of_type(run, "transition"):
+        rows.append({
+            "key": e["key"], "group": e["group"], "prefix": e["prefix"],
+            "start_state": e["start_state"],
+            "finish_state": e["finish_state"],
+            "timestamp": e["timestamp"], "stimulus": e["stimulus"],
+            "worker": e["worker"], "source": e["source"],
+        })
+    return _legacy_from_records(rows, [
+        "key", "group", "prefix", "start_state", "finish_state",
+        "timestamp", "stimulus", "worker", "source",
+    ])
+
+
+def _legacy_io_view(run: RunData) -> Table:
+    if run.darshan is None:
+        return Table({c: [] for c in (
+            "hostname", "rank", "pthread_id", "file", "op", "offset",
+            "length", "start", "end", "duration",
+        )})
+    rows = run.darshan.dxt_rows()
+    for row in rows:
+        row["duration"] = row["end"] - row["start"]
+    return _legacy_from_records(rows, [
+        "hostname", "rank", "pthread_id", "file", "op", "offset",
+        "length", "start", "end", "duration",
+    ])
+
+
+def _legacy_comm_view(run: RunData) -> Table:
+    rows = []
+    for e in _legacy_events_of_type(run, "communication"):
+        rows.append({
+            "key": e["key"], "src_worker": e["src_worker"],
+            "dst_worker": e["dst_worker"], "src_host": e["src_host"],
+            "dst_host": e["dst_host"], "nbytes": e["nbytes"],
+            "start": e["start"], "stop": e["stop"],
+            "duration": e["stop"] - e["start"],
+            "same_node": e["same_node"], "same_switch": e["same_switch"],
+        })
+    return _legacy_from_records(rows, [
+        "key", "src_worker", "dst_worker", "src_host", "dst_host",
+        "nbytes", "start", "stop", "duration", "same_node", "same_switch",
+    ])
+
+
+def _legacy_warning_view(run: RunData) -> Table:
+    rows = []
+    for e in _legacy_events_of_type(run, "warning"):
+        rows.append({
+            "source": e["source"], "hostname": e["hostname"],
+            "kind": e["kind"], "time": e["time"],
+            "duration": e["duration"], "message": e["message"],
+        })
+    return _legacy_from_records(rows, [
+        "source", "hostname", "kind", "time", "duration", "message",
+    ])
+
+
+def _legacy_spill_view(run: RunData) -> Table:
+    rows = []
+    for e in _legacy_events_of_type(run, "spill"):
+        rows.append({
+            "worker": e["worker"], "hostname": e["hostname"],
+            "key": e["key"], "nbytes": e["nbytes"], "time": e["time"],
+            "direction": e["direction"],
+        })
+    return _legacy_from_records(rows, [
+        "worker", "hostname", "key", "nbytes", "time", "direction",
+    ])
+
+
+def _legacy_steal_view(run: RunData) -> Table:
+    rows = []
+    for e in _legacy_events_of_type(run, "steal"):
+        rows.append({
+            "key": e["key"], "victim": e["victim"], "thief": e["thief"],
+            "time": e["time"],
+            "victim_occupancy": e["victim_occupancy"],
+            "thief_occupancy": e["thief_occupancy"],
+        })
+    return _legacy_from_records(rows, [
+        "key", "victim", "thief", "time", "victim_occupancy",
+        "thief_occupancy",
+    ])
+
+
+def _legacy_dependency_view(run: RunData) -> Table:
+    rows = []
+    for e in _legacy_events_of_type(run, "task_added"):
+        rows.append({
+            "key": e["key"], "group": e["group"], "prefix": e["prefix"],
+            "deps": list(e["deps"]), "n_deps": len(e["deps"]),
+            "graph_index": e["graph_index"],
+            "submitted_at": e["timestamp"],
+        })
+    return _legacy_from_records(rows, [
+        "key", "group", "prefix", "deps", "n_deps", "graph_index",
+        "submitted_at",
+    ])
+
+
+def _legacy_log_view(run: RunData) -> Table:
+    return _legacy_from_records(run.logs, [
+        "source", "time", "level", "message",
+    ])
+
+
+LEGACY_BUILDERS = {
+    "task": _legacy_task_view,
+    "transition": _legacy_transition_view,
+    "io": _legacy_io_view,
+    "comm": _legacy_comm_view,
+    "warning": _legacy_warning_view,
+    "spill": _legacy_spill_view,
+    "steal": _legacy_steal_view,
+    "dependency": _legacy_dependency_view,
+    "log": _legacy_log_view,
+}
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+
+def legacy_compare_workload(runs: list[RunData]) -> dict[str, int]:
+    """Pre-PR behavior: every view request is a fresh full-list scan."""
+    built = 0
+    for run in runs:
+        for name in VIEW_NAMES:
+            LEGACY_BUILDERS[name](run)
+            built += 1
+        # compare re-requests these (phase breakdown + variability).
+        _legacy_task_view(run)
+        _legacy_comm_view(run)
+        built += 2
+    return {"view_requests": built}
+
+
+def columnar_compare_workload(runs: list[RunData]) -> dict[str, int]:
+    """Shipped path: EventStore partition + memoized AnalysisSession."""
+    built = 0
+    for run in runs:
+        session = AnalysisSession.of(run)
+        for name in VIEW_NAMES:
+            session.view(name)
+            built += 1
+        session.task_view()   # cache hits
+        session.comm_view()
+        built += 2
+    return {"view_requests": built}
+
+
+def check_parity(run: RunData) -> None:
+    """Cell-for-cell equality of every view between both paths."""
+    session = AnalysisSession.of(run)
+    for name in VIEW_NAMES:
+        legacy = LEGACY_BUILDERS[name](run)
+        fast = session.view(name)
+        assert legacy.column_names == fast.column_names, name
+        assert len(legacy) == len(fast), name
+        for column in legacy.column_names:
+            left, right = legacy[column], fast[column]
+            same = all(
+                lv == rv for lv, rv in zip(left.tolist(), right.tolist())
+            )
+            assert same, f"{name}.{column} differs between paths"
+
+
+def run_bench(n_runs: int, n_tasks: int, repeats: int,
+              smoke: bool) -> str:
+    runs = [make_run(n_tasks, run_index) for run_index in range(n_runs)]
+    check_parity(runs[0])
+
+    # Fresh RunData per timed pass so neither path benefits from a
+    # previous pass's caches.
+    def fresh():
+        return [RunData(events=r.events, darshan=r.darshan, logs=r.logs,
+                        run_index=r.run_index) for r in runs]
+
+    def timed(workload) -> float:
+        # Collect before and pause GC during the pass: both paths
+        # allocate heavily, and collector pauses otherwise dominate the
+        # run-to-run spread.
+        batch = fresh()
+        gc.collect()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            workload(batch)
+            return time.perf_counter() - t0
+        finally:
+            gc.enable()
+
+    legacy_times, columnar_times = [], []
+    for _ in range(repeats):
+        legacy_times.append(timed(legacy_compare_workload))
+        columnar_times.append(timed(columnar_compare_workload))
+
+    legacy_best = min(legacy_times)
+    columnar_best = min(columnar_times)
+    speedup = legacy_best / columnar_best if columnar_best else float("inf")
+    n_events = sum(len(r.events) for r in runs)
+
+    lines = [
+        "perfrecup ingest/view-building benchmark "
+        "(compare-style workload)",
+        f"  runs={n_runs} tasks/run={n_tasks} events={n_events} "
+        f"repeats={repeats}{' smoke' if smoke else ''}",
+        f"  view requests per pass: {n_runs * (len(VIEW_NAMES) + 2)}",
+        f"  legacy (per-view full scan, per-row dicts): "
+        f"{legacy_best * 1000:8.1f} ms",
+        f"  columnar (EventStore + memoized session):   "
+        f"{columnar_best * 1000:8.1f} ms",
+        f"  speedup: {speedup:.1f}x",
+        "  parity: all nine views cell-for-cell identical",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=10,
+                        help="synthetic runs in the compare (default 10)")
+    parser.add_argument("--tasks", type=int, default=2000,
+                        help="tasks per run (default 2000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed passes; best-of wins (default 3)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI: parity + a sanity "
+                             "speedup, no artifact write")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless speedup reaches this factor "
+                             "(default: 3.0, or unchecked with --smoke)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_runs, n_tasks, repeats = min(args.runs, 3), min(args.tasks,
+                                                          300), 1
+    else:
+        n_runs, n_tasks, repeats = args.runs, args.tasks, args.repeats
+
+    text = run_bench(n_runs, n_tasks, repeats, smoke=args.smoke)
+    print(text)
+
+    speedup = float(text.split("speedup: ")[1].split("x")[0])
+    if not args.smoke:
+        os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+        with open(OUT_PATH, "a", encoding="utf-8") as fh:
+            fh.write(text + "\n\n")
+        print(f"(appended to {OUT_PATH})")
+    floor = args.min_speedup if args.min_speedup is not None \
+        else (None if args.smoke else 3.0)
+    if floor is not None and speedup < floor:
+        print(f"FAIL: speedup {speedup:.1f}x below the {floor:.1f}x floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

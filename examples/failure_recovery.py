@@ -11,7 +11,7 @@ what the failure cost.
 Run:  python examples/failure_recovery.py
 """
 
-from repro.core import RunData, format_records, task_view, transition_view
+from repro.core import AnalysisSession, format_records
 from repro.dasklike import TaskGraph, TaskSpec
 from repro.instrument import InstrumentedRun
 from repro.jobs import BatchSystem, JobSpec
@@ -72,8 +72,8 @@ def main() -> None:
     (index, values), = results
     print(f"\nworkflow completed anyway: final={values['final-dead0001']}")
 
-    data = RunData.from_live(run, client)
-    transitions = transition_view(data)
+    session = AnalysisSession.of(run, client=client)
+    transitions = session.transition_view()
     recovery = transitions.filter(
         lambda row: row["stimulus"] in ("worker-failed", "recompute"))
     print(f"\nrecovery transitions recorded: {len(recovery)}")
@@ -83,7 +83,7 @@ def main() -> None:
              "timestamp"]).to_records(),
         title="First recovery transitions"))
 
-    tasks = task_view(data)
+    tasks = session.task_view()
     reruns = {}
     for key in tasks["key"]:
         reruns[key] = reruns.get(key, 0) + 1

@@ -8,7 +8,7 @@ path end to end:
 
 1. run the ResNet152 workflow twice, persisting full run directories
    (provenance.json, job.json, logs.jsonl, mofka/, darshan/);
-2. reload each directory with ``RunData.from_directory`` — no live
+2. reload each directory through ``AnalysisSession`` — no live
    objects involved;
 3. compare the two runs: phase breakdown, Darshan summaries (including
    the DXT truncation flag), and scheduling agreement;
@@ -23,13 +23,7 @@ import sys
 import tempfile
 from collections import Counter
 
-from repro.core import (
-    RunData,
-    format_records,
-    phase_breakdown,
-    placement_agreement,
-    task_view,
-)
+from repro.core import format_records, placement_agreement, sessions_for
 from repro.instrument import PROVENANCE_TOPIC
 from repro.mofka import MofkaService
 from repro.workflows import ResNet152Workflow, run_many
@@ -44,12 +38,14 @@ def main() -> None:
                        n_runs=2, seed=21, persist_dir=out_dir)
     run_dirs = [r.run_dir for r in results]
 
-    # Reload purely from disk.
-    datasets = [RunData.from_directory(d) for d in run_dirs]
+    # Reload purely from disk (sessions load the run directories and
+    # cache every view/derived analysis they build).
+    sessions = sessions_for(run_dirs, workers=2)
 
     rows = []
-    for i, data in enumerate(datasets):
-        breakdown = phase_breakdown(data)
+    for i, session in enumerate(sessions):
+        data = session.run
+        breakdown = session.phase_breakdown()
         darshan = data.darshan.summary()
         rows.append({
             "run": i,
@@ -62,7 +58,7 @@ def main() -> None:
         })
     print(format_records(rows, title="Reloaded runs"))
 
-    views = [task_view(d) for d in datasets]
+    views = [session.task_view() for session in sessions]
     agreement = placement_agreement(views[0], views[1])
     print(f"\nplacement agreement between the two runs: {agreement:.2%}")
 

@@ -15,25 +15,23 @@ Run:  python examples/provenance_drilldown.py
 """
 
 from repro.core import (
+    AnalysisSession,
     correlate_warnings_with_tasks,
     format_records,
     fuse_io_with_tasks,
     identifier_coverage,
-    io_view,
     longest_categories,
     per_task_io,
     render_provenance,
     task_provenance,
-    task_view,
-    warning_view,
 )
 from repro.workflows import XGBoostWorkflow, run_workflow
 
 
 def main() -> None:
     result = run_workflow(XGBoostWorkflow(scale=0.08), seed=13)
-    data = result.data
-    tasks = task_view(data)
+    session = AnalysisSession.of(result)
+    tasks = session.task_view()
 
     print("1) slowest task categories")
     top = longest_categories(tasks, top=5)
@@ -42,7 +40,7 @@ def main() -> None:
 
     print(f"\n2) warning correlation with {suspect!r}")
     correlation = correlate_warnings_with_tasks(
-        warning_view(data), tasks, suspect)
+        session.warning_view(), tasks, suspect)
     print(f"   unresponsive-loop rate inside its span: "
           f"{correlation['in_rate']:.3f}/s, outside: "
           f"{correlation['out_rate']:.3f}/s "
@@ -52,17 +50,17 @@ def main() -> None:
     slow = tasks.filter(lambda row: row["prefix"] == suspect) \
                 .sort_by("duration", descending=True)
     key = slow["key"][0]
-    print(render_provenance(task_provenance(data, key)))
+    print(render_provenance(task_provenance(session, key)))
 
     print(f"\n   per-task I/O summary for {key}:")
-    fused = fuse_io_with_tasks(tasks, io_view(data))
+    fused = fuse_io_with_tasks(tasks, session.io_view())
     io_summary = per_task_io(fused).filter(
         lambda row: row["key"] == key)
     print(format_records(io_summary.to_records()))
 
     print("\n4) identifier coverage of the views used above")
-    for name, view in (("task", tasks), ("io", io_view(data)),
-                       ("warning", warning_view(data))):
+    for name, view in (("task", tasks), ("io", session.io_view()),
+                       ("warning", session.warning_view())):
         print(f"   {name}: {identifier_coverage(view, name)}")
 
 

@@ -14,12 +14,11 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core import (
+    AnalysisSession,
     format_records,
     longest_categories,
-    phase_breakdown,
     render_provenance,
     task_provenance,
-    task_view,
 )
 from repro.workflows import ImageProcessingWorkflow, run_workflow
 
@@ -27,17 +26,19 @@ from repro.workflows import ImageProcessingWorkflow, run_workflow
 def main() -> None:
     # One run, ~1/10 of the paper's dataset so it finishes in seconds.
     result = run_workflow(ImageProcessingWorkflow(scale=0.1), seed=42)
-    data = result.data
+    # The memoized analysis facade: every view and derived analysis is
+    # built once and cached for the life of the session.
+    session = AnalysisSession.of(result)
 
     print(f"workflow wall time: {result.wall_time:.1f} simulated seconds\n")
 
     # Fig.-3-style phase decomposition of this single run.
-    breakdown = phase_breakdown(data)
+    breakdown = session.phase_breakdown()
     print(format_records([breakdown.as_dict()], title="Phase breakdown"))
     print()
 
     # Which task categories dominate?
-    tasks = task_view(data)
+    tasks = session.task_view()
     print(format_records(
         longest_categories(tasks, top=5).to_records(),
         title="Longest task categories"))
@@ -45,7 +46,7 @@ def main() -> None:
 
     # Full provenance of the single longest task (Fig.-8 style).
     longest = tasks.sort_by("duration", descending=True)["key"][0]
-    print(render_provenance(task_provenance(data, longest)))
+    print(render_provenance(task_provenance(session, longest)))
 
 
 if __name__ == "__main__":

@@ -19,10 +19,7 @@ from repro.core import (
     compare_runs,
     format_bar,
     format_records,
-    phase_breakdown,
-    phase_variability,
-    prefix_duration_variability,
-    task_view,
+    variability_report,
 )
 from repro.workflows import XGBoostWorkflow, run_many
 
@@ -35,8 +32,10 @@ def main() -> None:
     results = run_many(lambda: XGBoostWorkflow(scale=scale),
                        n_runs=n_runs, seed=7)
 
-    breakdowns = [phase_breakdown(r.data) for r in results]
-    stats = phase_variability(breakdowns)
+    # One call loads sessions, builds breakdowns and task views (cached
+    # per run), and aggregates the cross-run statistics.
+    report = variability_report([r.data for r in results], workers=2)
+    stats = report["phases"]
 
     print("\nNormalized phase durations (mean fraction of wall time, "
           "±std across runs):")
@@ -49,10 +48,10 @@ def main() -> None:
         [stats[p].as_dict() for p in
          ("io", "communication", "computation", "total")]))
 
-    views = [task_view(r.data) for r in results]
     print("\nTask categories by cross-run variability (top 8):")
-    print(format_records(
-        prefix_duration_variability(views).head(8).to_records()))
+    print(format_records(report["by_prefix"].head(8).to_records()))
+
+    views = [session.task_view() for session in report["sessions"]]
 
     print("\nScheduling differences between runs "
           "(1.0 = same placement / identical order):")

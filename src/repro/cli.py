@@ -4,35 +4,39 @@ Usage::
 
     perfrecup run imageprocessing --runs 3 --scale 0.1 --out ./results
     perfrecup analyze ./results/imageprocessing/run0000
+    perfrecup compare ./results/xgboost --workers 4
     perfrecup provenance ./results/xgboost/run0000 --key <task-key>
     perfrecup list-workflows
+
+Every analysis subcommand (``analyze``/``compare``/``figures``/``zoom``/
+``report``) shares the same option set: ``--out`` (output file or
+directory), ``--format text|json``, and ``--workers N`` (thread fan-out
+for view building and multi-run loading).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from .core import (
-    RunData,
+    AnalysisSession,
     comm_scatter,
     comm_summary,
-    comm_view,
     fig4_svg,
     fig5_svg,
     fig6_svg,
     fig7_svg,
     format_records,
     io_timeline,
-    io_view,
     longest_categories,
     parallel_coordinates,
     phase_breakdown,
     render_provenance,
     task_provenance,
-    task_view,
     warning_histogram,
-    warning_view,
     write_svg,
 )
 
@@ -54,11 +58,42 @@ def _workflow_factory(name: str, scale: float):
     return lambda: cls(scale=scale)
 
 
+def _deliver(args: argparse.Namespace, text: str, document) -> int:
+    """Common output contract of the analysis subcommands.
+
+    ``--format json`` serialises ``document`` instead of ``text``;
+    ``--out FILE`` writes the payload there (printing the path) instead
+    of stdout.
+    """
+    if getattr(args, "format", "text") == "json":
+        payload = json.dumps(document, indent=2, default=str)
+    else:
+        payload = text
+    out = getattr(args, "out", None)
+    if out:
+        os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(out)
+    else:
+        print(payload)
+    return 0
+
+
+def _session_of_dir(args: argparse.Namespace) -> AnalysisSession:
+    """Load one run directory; ``--workers`` prefetches views."""
+    session = AnalysisSession.of(args.run_dir)
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers > 1:
+        session.prefetch(workers=workers)
+    return session
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from .workflows import run_many
     factory = _workflow_factory(args.workflow, args.scale)
     results = run_many(factory, n_runs=args.runs, seed=args.seed,
-                       persist_dir=args.out)
+                       persist_dir=args.out, workers=args.workers)
     rows = []
     for result in results:
         breakdown = phase_breakdown(result.data)
@@ -76,42 +111,52 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    data = RunData.from_directory(args.run_dir)
-    breakdown = phase_breakdown(data)
-    print(format_records([breakdown.as_dict()], title="Phase breakdown"))
-    print()
-    tasks = task_view(data)
-    print(format_records(
-        longest_categories(tasks, top=args.top).to_records(),
-        title=f"Longest task categories (top {args.top})"))
-    print()
-    summary = comm_summary(comm_view(data))
-    print(format_records(
-        [{"locality": k, **v} for k, v in summary.items()
-         if isinstance(v, dict)],
-        title="Communication summary"))
-    print()
-    hist = warning_histogram(warning_view(data), bucket=args.bucket)
-    print(format_records(hist.to_records(),
-                         title=f"Warnings per {args.bucket:.0f}s bucket"))
-    print()
-    darshan = data.darshan.summary()
-    print(format_records([darshan], title="Darshan summary"))
-    print()
     from .core import format_gap_report, metadata_gaps
-    print(format_gap_report(metadata_gaps(data)))
-    return 0
+
+    session = _session_of_dir(args)
+    breakdown = phase_breakdown(session)
+    categories = longest_categories(session.task_view(),
+                                    top=args.top).to_records()
+    summary = comm_summary(session.comm_view())
+    hist = warning_histogram(session.warning_view(),
+                             bucket=args.bucket).to_records()
+    darshan = session.run.darshan.summary()
+    gaps = metadata_gaps(session)
+
+    sections = [
+        format_records([breakdown.as_dict()], title="Phase breakdown"),
+        format_records(categories,
+                       title=f"Longest task categories (top {args.top})"),
+        format_records(
+            [{"locality": k, **v} for k, v in summary.items()
+             if isinstance(v, dict)],
+            title="Communication summary"),
+        format_records(hist,
+                       title=f"Warnings per {args.bucket:.0f}s bucket"),
+        format_records([darshan], title="Darshan summary"),
+        format_gap_report(gaps),
+    ]
+    document = {
+        "run_dir": args.run_dir,
+        "phase_breakdown": breakdown.as_dict(),
+        "longest_categories": categories,
+        "comm_summary": summary,
+        "warning_histogram": hist,
+        "darshan": darshan,
+        "gaps": gaps,
+    }
+    return _deliver(args, "\n\n".join(sections), document)
 
 
 def cmd_provenance(args: argparse.Namespace) -> int:
-    data = RunData.from_directory(args.run_dir)
+    session = AnalysisSession.of(args.run_dir)
     if args.key is None:
-        tasks = task_view(data).sort_by("duration", descending=True)
+        tasks = session.task_view().sort_by("duration", descending=True)
         key = tasks["key"][0]
-        print(f"(no --key given; showing the longest task)\n")
+        print("(no --key given; showing the longest task)\n")
     else:
         key = args.key
-    print(render_provenance(task_provenance(data, key),
+    print(render_provenance(task_provenance(session, key),
                             max_items=args.max_items))
     return 0
 
@@ -119,13 +164,8 @@ def cmd_provenance(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     """Cross-run variability report over several persisted runs."""
     import glob
-    import os
 
-    from .core import (
-        compare_runs,
-        phase_variability,
-        prefix_duration_variability,
-    )
+    from .core import compare_runs, variability_report
 
     run_dirs = sorted(
         d for d in glob.glob(os.path.join(args.runs_dir, "run*"))
@@ -134,49 +174,57 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if len(run_dirs) < 2:
         raise SystemExit(
             f"need at least two run directories under {args.runs_dir}")
-    datasets = [RunData.from_directory(d) for d in run_dirs]
-    breakdowns = [phase_breakdown(d) for d in datasets]
-    stats = phase_variability(breakdowns)
-    print(format_records(
-        [stats[p].as_dict()
-         for p in ("io", "communication", "computation", "total")],
-        title=f"Phase variability over {len(datasets)} runs"))
-    print()
-    views = [task_view(d) for d in datasets]
-    print(format_records(
-        prefix_duration_variability(views).head(args.top).to_records(),
-        title="Task categories by cross-run variability"))
-    print()
-    print(format_records(
-        compare_runs(views).to_records(),
-        title="Pairwise scheduling comparison "
-              "(agreement=same placement, distance=order drift)"))
-    return 0
+    report = variability_report(run_dirs, workers=args.workers)
+    stats = report["phases"]
+    by_prefix = report["by_prefix"].head(args.top).to_records()
+    views = [session.task_view() for session in report["sessions"]]
+    comparison = compare_runs(views).to_records()
+
+    sections = [
+        format_records(
+            [stats[p].as_dict()
+             for p in ("io", "communication", "computation", "total")],
+            title=f"Phase variability over {len(run_dirs)} runs"),
+        format_records(by_prefix,
+                       title="Task categories by cross-run variability"),
+        format_records(
+            comparison,
+            title="Pairwise scheduling comparison "
+                  "(agreement=same placement, distance=order drift)"),
+    ]
+    document = {
+        "runs_dir": args.runs_dir,
+        "n_runs": len(run_dirs),
+        "phases": {p: stats[p].as_dict()
+                   for p in ("io", "communication", "computation",
+                             "total")},
+        "normalized": stats["normalized"],
+        "by_prefix": by_prefix,
+        "scheduling_comparison": comparison,
+    }
+    return _deliver(args, "\n\n".join(sections), document)
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
     """Render the paper-style SVG figures for one persisted run."""
-    import os
-
-    data = RunData.from_directory(args.run_dir)
+    session = _session_of_dir(args)
     out = args.out or os.path.join(args.run_dir, "figures")
-    tasks = task_view(data)
-    written = []
-    written.append(write_svg(
-        fig4_svg(io_timeline(io_view(data))),
-        os.path.join(out, "per_thread_io.svg")))
-    written.append(write_svg(
-        fig5_svg(comm_scatter(comm_view(data))),
-        os.path.join(out, "comm_scatter.svg")))
-    written.append(write_svg(
-        fig6_svg(parallel_coordinates(tasks)),
-        os.path.join(out, "parallel_coordinates.svg")))
-    written.append(write_svg(
-        fig7_svg(warning_histogram(warning_view(data),
-                                   bucket=args.bucket)),
-        os.path.join(out, "warning_distribution.svg")))
-    for path in written:
-        print(path)
+    written = [
+        write_svg(fig4_svg(io_timeline(session.io_view())),
+                  os.path.join(out, "per_thread_io.svg")),
+        write_svg(fig5_svg(comm_scatter(session.comm_view())),
+                  os.path.join(out, "comm_scatter.svg")),
+        write_svg(fig6_svg(parallel_coordinates(session.task_view())),
+                  os.path.join(out, "parallel_coordinates.svg")),
+        write_svg(fig7_svg(warning_histogram(session.warning_view(),
+                                             bucket=args.bucket)),
+                  os.path.join(out, "warning_distribution.svg")),
+    ]
+    if args.format == "json":
+        print(json.dumps({"written": written}, indent=2))
+    else:
+        for path in written:
+            print(path)
     return 0
 
 
@@ -184,31 +232,32 @@ def cmd_zoom(args: argparse.Namespace) -> int:
     """Summarize everything inside one time window of a run."""
     from .core import zoom
 
-    data = RunData.from_directory(args.run_dir)
-    end = args.end if args.end is not None else data.wall_time
-    window = zoom(data, args.start, end)
-    print(format_records([{
+    session = _session_of_dir(args)
+    end = args.end if args.end is not None else session.wall_time
+    window = zoom(session, args.start, end)
+    lines = [format_records([{
         k: v for k, v in window.stats.items()
         if k not in ("window", "prefixes_active")
-    }], title=f"Window [{args.start:.1f}s, {end:.1f}s)"))
-    print(f"\nactive categories: "
-          f"{', '.join(window.stats['prefixes_active']) or '(none)'}")
+    }], title=f"Window [{args.start:.1f}s, {end:.1f}s)")]
+    lines.append(f"\nactive categories: "
+                 f"{', '.join(window.stats['prefixes_active']) or '(none)'}")
     if len(window.warnings):
-        print(f"warnings in window: {len(window.warnings)}")
-    return 0
+        lines.append(f"warnings in window: {len(window.warnings)}")
+    return _deliver(args, "\n".join(lines), window.stats)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Write a standalone HTML report for one persisted run."""
-    import os
-
     from .core import write_html_report
 
-    data = RunData.from_directory(args.run_dir)
+    session = _session_of_dir(args)
     out = args.out or os.path.join(args.run_dir, "report.html")
-    path = write_html_report(data, out,
+    path = write_html_report(session, out,
                              title=f"PERFRECUP report: {args.run_dir}")
-    print(path)
+    if args.format == "json":
+        print(json.dumps({"written": [path]}, indent=2))
+    else:
+        print(path)
     return 0
 
 
@@ -305,6 +354,27 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Subcommands sharing the analysis option set (``--out`` / ``--format``
+#: / ``--workers``), asserted consistent by the CLI tests.
+ANALYSIS_COMMANDS = ("analyze", "compare", "figures", "zoom", "report")
+
+
+def _analysis_parent() -> argparse.ArgumentParser:
+    """The option set every analysis subcommand shares."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--out", default=None,
+        help="output destination (file, or directory for figures; "
+             "default: stdout / a path under the run directory)")
+    parent.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="render as human-readable text (default) or JSON")
+    parent.add_argument(
+        "--workers", type=int, default=None,
+        help="thread fan-out for view building and multi-run loading")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="perfrecup",
@@ -312,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "simulated Dask-like workflows (SC24 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _analysis_parent()
 
     p_run = sub.add_parser("run", help="run an instrumented workflow")
     p_run.add_argument("workflow", help="imageprocessing|resnet152|xgboost")
@@ -320,9 +391,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--out", default=None,
                        help="persist run directories under this path")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="run repetitions concurrently on this many "
+                            "threads")
     p_run.set_defaults(func=cmd_run)
 
-    p_an = sub.add_parser("analyze", help="analyze a persisted run")
+    p_an = sub.add_parser("analyze", parents=[common],
+                          help="analyze a persisted run")
     p_an.add_argument("run_dir")
     p_an.add_argument("--top", type=int, default=5)
     p_an.add_argument("--bucket", type=float, default=100.0)
@@ -335,32 +410,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_prov.add_argument("--max-items", type=int, default=8)
     p_prov.set_defaults(func=cmd_provenance)
 
-    p_cmp = sub.add_parser("compare",
+    p_cmp = sub.add_parser("compare", parents=[common],
                            help="variability report across persisted runs")
     p_cmp.add_argument("runs_dir",
                        help="directory containing run0000, run0001, ...")
     p_cmp.add_argument("--top", type=int, default=8)
     p_cmp.set_defaults(func=cmd_compare)
 
-    p_fig = sub.add_parser("figures",
+    p_fig = sub.add_parser("figures", parents=[common],
                            help="render SVG figures for a persisted run")
     p_fig.add_argument("run_dir")
-    p_fig.add_argument("--out", default=None,
-                       help="output directory (default <run_dir>/figures)")
     p_fig.add_argument("--bucket", type=float, default=100.0)
     p_fig.set_defaults(func=cmd_figures)
 
-    p_zoom = sub.add_parser("zoom",
+    p_zoom = sub.add_parser("zoom", parents=[common],
                             help="stats for one time window of a run")
     p_zoom.add_argument("run_dir")
     p_zoom.add_argument("--start", type=float, default=0.0)
     p_zoom.add_argument("--end", type=float, default=None)
     p_zoom.set_defaults(func=cmd_zoom)
 
-    p_rep = sub.add_parser("report",
+    p_rep = sub.add_parser("report", parents=[common],
                            help="single-file HTML report for a run")
     p_rep.add_argument("run_dir")
-    p_rep.add_argument("--out", default=None)
     p_rep.set_defaults(func=cmd_report)
 
     p_lint = sub.add_parser(

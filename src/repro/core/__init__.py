@@ -1,14 +1,29 @@
 """PERFRECUP: the multisource data aggregation, analysis, and
 visualization engine — the paper's core contribution (§III-D).
 
-Pipeline: :class:`RunData` ingests one run's artifacts (Mofka streams,
-Darshan logs, text logs, provenance document); the view builders turn
-them into uniform :class:`Table`s sharing identifier columns; the
-correlation layer fuses I/O onto tasks via hostname + pthread ID +
-timestamps; and the analysis modules reproduce every figure-level
-result of the paper's evaluation (phases/variability, I/O timelines,
-communication scatter, parallel coordinates, warning distributions,
-per-task lineage, cross-run scheduling comparison, FAIR checks).
+Pipeline: :meth:`RunData.load` ingests one run's artifacts (Mofka
+streams, Darshan logs, text logs, provenance document) from a run
+directory or a live instrumented run; the columnar
+:class:`EventStore` partitions the event stream by type once; the view
+builders turn it into uniform :class:`Table`s sharing identifier
+columns; the correlation layer fuses I/O onto tasks via hostname +
+pthread ID + timestamps; and the analysis modules reproduce every
+figure-level result of the paper's evaluation (phases/variability, I/O
+timelines, communication scatter, parallel coordinates, warning
+distributions, per-task lineage, cross-run scheduling comparison, FAIR
+checks).
+
+The documented entry point is :class:`AnalysisSession` — a memoized
+facade that caches every view and derived analysis per run, with
+:func:`sessions_for` / :func:`map_sessions` fanning multi-run
+workloads out over ``concurrent.futures``::
+
+    from repro.core import AnalysisSession
+    session = AnalysisSession.of(result.data)   # or a run-dir path
+    tasks = session.task_view()                 # built once, cached
+
+The ``task_view(run)``-style free functions remain as deprecated
+compatibility shims over the session API.
 """
 
 from .categories import (
@@ -25,10 +40,12 @@ from .fair import (
     identifier_coverage,
     shared_identifiers,
 )
+from .eventstore import EventStore
 from .gaps import format_gap_report, metadata_gaps
 from .hotspots import heatmap_similarity, io_hotspots
 from .html_report import html_report, write_html_report
 from .ingest import RunData
+from .session import AnalysisSession, map_sessions, sessions_for
 from .parallel_coords import (
     RECOMMENDED_CHUNK_BYTES,
     longest_categories,
@@ -51,8 +68,10 @@ from .variability import (
     phase_variability,
     prefix_duration_variability,
     summarize_metric,
+    variability_report,
 )
 from .views import (
+    VIEW_NAMES,
     comm_view,
     spill_view,
     dependency_view,
@@ -81,8 +100,14 @@ from .viz import (
 from .zoom import WindowSummary, zoom
 
 __all__ = [
+    "AnalysisSession",
+    "EventStore",
     "IDENTIFIER_REGISTRY",
+    "VIEW_NAMES",
     "WindowSummary",
+    "map_sessions",
+    "sessions_for",
+    "variability_report",
     "category_across_runs",
     "category_io_profile",
     "category_profile",

@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .ingest import RunData
-from .views import comm_view, dependency_view, task_view
+from .session import AnalysisSession
 
 __all__ = ["CriticalHop", "critical_path", "critical_path_summary"]
 
@@ -38,11 +37,18 @@ class CriticalHop:
     transfer_time: float
 
 
-def critical_path(run: RunData) -> list[CriticalHop]:
+def critical_path(run) -> list[CriticalHop]:
     """Longest finishing-time chain over the executed DAG."""
-    tasks = task_view(run)
-    deps = dependency_view(run)
-    comms = comm_view(run)
+    session = AnalysisSession.of(run)
+    chain = session.cached("critical_path",
+                           lambda: _build_critical_path(session))
+    return list(chain)
+
+
+def _build_critical_path(session: AnalysisSession) -> list[CriticalHop]:
+    tasks = session.task_view()
+    deps = session.dependency_view()
+    comms = session.comm_view()
     if len(tasks) == 0:
         return []
 
@@ -88,7 +94,7 @@ def critical_path(run: RunData) -> list[CriticalHop]:
     return chain
 
 
-def critical_path_summary(run: RunData) -> dict:
+def critical_path_summary(run) -> dict:
     """Aggregate the chain: execution vs gap time, by task category."""
     chain = critical_path(run)
     if not chain:

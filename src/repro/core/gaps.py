@@ -13,31 +13,26 @@ chains of §V are complete for this run.
 from __future__ import annotations
 
 from .correlate import fuse_io_with_tasks, unattributed_io
-from .ingest import RunData
-from .views import (
-    comm_view,
-    dependency_view,
-    io_view,
-    task_view,
-    transition_view,
-    warning_view,
-)
+from .session import AnalysisSession
 
 __all__ = ["metadata_gaps", "format_gap_report"]
 
 
-def metadata_gaps(run: RunData) -> dict:
+def metadata_gaps(run) -> dict:
     """Audit one run for self-detectable metadata-collection gaps."""
-    tasks = task_view(run)
-    io = io_view(run)
-    transitions = transition_view(run)
-    deps = dependency_view(run)
-    comms = comm_view(run)
+    session = AnalysisSession.of(run)
+    run = session.run
+    tasks = session.task_view()
+    io = session.io_view()
+    transitions = session.transition_view()
+    deps = session.dependency_view()
+    comms = session.comm_view()
 
     gaps: dict = {}
 
     # 1. I/O that no task window claims (thread/time join failed).
-    fused = fuse_io_with_tasks(tasks, io)
+    fused = session.cached("fused_io",
+                           lambda: fuse_io_with_tasks(tasks, io))
     orphans = unattributed_io(fused)
     gaps["unattributed_io_ops"] = {
         "count": len(orphans),
@@ -86,7 +81,7 @@ def metadata_gaps(run: RunData) -> dict:
         executed - memory_keys)[:10]
 
     # 6. Warning sources that are not registered workers.
-    warnings = warning_view(run)
+    warnings = session.warning_view()
     known_workers = set(tasks["worker"]) if len(tasks) else set()
     unknown_sources = {
         warnings["source"][i] for i in range(len(warnings))

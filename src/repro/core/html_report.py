@@ -15,12 +15,11 @@ import os
 from .categories import category_profile
 from .commstats import comm_scatter, comm_summary
 from .critical_path import critical_path_summary
-from .ingest import RunData
 from .parallel_coords import longest_categories, parallel_coordinates
 from .phases import phase_breakdown
+from .session import AnalysisSession
 from .timeline import io_timeline
 from .utilization import overall_utilization
-from .views import comm_view, io_view, task_view, warning_view
 from .viz import fig4_svg, fig5_svg, fig6_svg, fig7_svg, heatmap_svg
 from .warnings_analysis import warning_histogram
 
@@ -63,13 +62,15 @@ def _fmt(value) -> str:
     return str(value)
 
 
-def html_report(data: RunData, title: str = "PERFRECUP run report") -> str:
+def html_report(data, title: str = "PERFRECUP run report") -> str:
     """Build the standalone HTML document for one run."""
-    tasks = task_view(data)
-    io = io_view(data)
-    comms = comm_view(data)
-    warnings = warning_view(data)
-    breakdown = phase_breakdown(data)
+    session = AnalysisSession.of(data)
+    data = session.run
+    tasks = session.task_view()
+    io = session.io_view()
+    comms = session.comm_view()
+    warnings = session.warning_view()
+    breakdown = phase_breakdown(session)
     wall = data.wall_time
 
     workers = data.provenance.get("layers", {}).get(
@@ -77,7 +78,7 @@ def html_report(data: RunData, title: str = "PERFRECUP run report") -> str:
     n_threads = sum(len(w.get("thread_ids", [])) for w in workers) or 1
     utilization = overall_utilization(tasks, n_threads, wall) \
         if len(tasks) else 0.0
-    cp = critical_path_summary(data)
+    cp = critical_path_summary(session)
 
     workflow = data.provenance.get("layers", {}).get(
         "application", {}).get("workflow", {})
@@ -134,7 +135,7 @@ def html_report(data: RunData, title: str = "PERFRECUP run report") -> str:
     return "\n".join(parts)
 
 
-def write_html_report(data: RunData, path: str,
+def write_html_report(data, path: str,
                       title: str = "PERFRECUP run report") -> str:
     """Persist the HTML report for ``data``; returns the path written."""
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)

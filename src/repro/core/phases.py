@@ -17,8 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .ingest import RunData
-from .views import comm_view, task_view
+from .session import AnalysisSession
 
 __all__ = ["PhaseBreakdown", "phase_breakdown"]
 
@@ -54,10 +53,21 @@ class PhaseBreakdown:
         }
 
 
-def phase_breakdown(run: RunData) -> PhaseBreakdown:
-    """Compute the Fig.-3 quantities for one run."""
-    tasks = task_view(run)
-    comms = comm_view(run)
+def phase_breakdown(run) -> PhaseBreakdown:
+    """Compute the Fig.-3 quantities for one run (session-cached).
+
+    ``run`` may be a :class:`~repro.core.ingest.RunData` or an
+    :class:`~repro.core.session.AnalysisSession`.
+    """
+    session = AnalysisSession.of(run)
+    return session.cached("phase_breakdown",
+                          lambda: _build_breakdown(session))
+
+
+def _build_breakdown(session: AnalysisSession) -> PhaseBreakdown:
+    run = session.run
+    tasks = session.task_view()
+    comms = session.comm_view()
     io_time = run.darshan.total_io_time if run.darshan is not None else 0.0
     n_io_ops = run.darshan.total_io_ops if run.darshan is not None else 0
     comm_time = float(np.sum(comms["duration"])) if len(comms) else 0.0

@@ -15,15 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from .correlate import fuse_io_with_tasks
-from .ingest import RunData
+from .session import AnalysisSession
 from .table import Table
-from .views import (
-    comm_view,
-    dependency_view,
-    io_view,
-    task_view,
-    transition_view,
-)
 
 __all__ = ["task_provenance", "render_provenance"]
 
@@ -35,15 +28,17 @@ def _rows_for_key(table: Table, key: str, column: str = "key") -> list[dict]:
     return table.filter(mask).to_records()
 
 
-def task_provenance(run: RunData, key: str,
+def task_provenance(run, key: str,
                     pfs_name: str = "lustre0") -> dict:
     """The full lineage document of one task (Fig.-8 structure)."""
-    deps = _rows_for_key(dependency_view(run), key)
-    transitions = _rows_for_key(transition_view(run), key)
-    runs = _rows_for_key(task_view(run), key)
-    comms = _rows_for_key(comm_view(run), key)
-    tasks = task_view(run)
-    fused = fuse_io_with_tasks(tasks, io_view(run))
+    session = AnalysisSession.of(run)
+    deps = _rows_for_key(session.dependency_view(), key)
+    transitions = _rows_for_key(session.transition_view(), key)
+    tasks = session.task_view()
+    runs = _rows_for_key(tasks, key)
+    comms = _rows_for_key(session.comm_view(), key)
+    fused = session.cached("fused_io", lambda: fuse_io_with_tasks(
+        tasks, session.io_view()))
     io_rows = _rows_for_key(fused, key)
 
     if not deps and not transitions and not runs:

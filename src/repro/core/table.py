@@ -16,22 +16,42 @@ from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["Table"]
+__all__ = ["Table", "as_column"]
 
 
-def _as_column(values) -> np.ndarray:
+def _object_column(values: list) -> np.ndarray:
+    # Element-wise fill: container-valued cells (e.g. dependency lists)
+    # must stay one cell each; np.asarray would reject ragged shapes or
+    # broadcast same-length ones into a 2-D array.
+    arr = np.empty(len(values), dtype=object)
+    for i, v in enumerate(values):
+        arr[i] = v
+    return arr
+
+
+def as_column(values) -> np.ndarray:
     if isinstance(values, np.ndarray):
         arr = values
-    else:
-        values = list(values)
-        # Container-valued cells (e.g. dependency lists) must become an
-        # object column; np.asarray would reject ragged shapes.
-        if any(isinstance(v, (list, tuple, dict, set)) for v in values):
-            arr = np.empty(len(values), dtype=object)
-            for i, v in enumerate(values):
-                arr[i] = v
-        else:
-            arr = np.asarray(values)
+        if arr.dtype.kind in ("U", "S"):
+            arr = arr.astype(object)
+        return arr
+    values = list(values)
+    if values:
+        first = values[0]
+        # Hot-path sniff on the first cell: string columns go straight
+        # to object dtype (skipping NumPy's unicode intermediate plus a
+        # second astype copy) and container columns go element-wise.
+        if isinstance(first, str):
+            return np.array(values, dtype=object)
+        if isinstance(first, (list, tuple, dict, set)):
+            return _object_column(values)
+    try:
+        arr = np.asarray(values)
+    except ValueError:
+        # Ragged/mixed content that numpy refuses to stack.
+        return _object_column(values)
+    if arr.ndim != 1:
+        return _object_column(values)
     if arr.dtype.kind in ("U", "S"):
         arr = arr.astype(object)
     return arr
@@ -44,7 +64,7 @@ class Table:
         self._columns: dict[str, np.ndarray] = {}
         length = None
         for name, values in (columns or {}).items():
-            arr = _as_column(values)
+            arr = as_column(values)
             if arr.ndim != 1:
                 raise ValueError(f"column {name!r} must be 1-D")
             if length is None:
@@ -102,7 +122,7 @@ class Table:
         return Table({name: self._columns[name] for name in names})
 
     def with_column(self, name: str, values) -> "Table":
-        arr = _as_column(values)
+        arr = as_column(values)
         if len(arr) != self._length:
             raise ValueError("column length mismatch")
         columns = dict(self._columns)
@@ -146,16 +166,25 @@ class Table:
     def unique(self, name: str) -> np.ndarray:
         return np.unique(self._columns[name].astype(object))
 
+    def group_indices(self, by: str) -> dict:
+        """Mapping of group value → row-index list (first-seen order).
+
+        The dict-based fast path behind :meth:`groupby` and
+        :meth:`aggregate`: one pass over the python values of the key
+        column (``tolist()`` is far cheaper than per-row ndarray
+        indexing), no sub-Table materialisation.
+        """
+        index_lists: dict = {}
+        for i, value in enumerate(self._columns[by].tolist()):
+            index_lists.setdefault(value, []).append(i)
+        return index_lists
+
     def groupby(self, by: str) -> dict:
         """Mapping of group value → sub-Table (stable row order)."""
-        groups: dict = {}
-        col = self._columns[by]
-        index_lists: dict = {}
-        for i in range(self._length):
-            index_lists.setdefault(col[i], []).append(i)
-        for value, indices in index_lists.items():
-            groups[value] = self.take(indices)
-        return groups
+        return {
+            value: self.take(indices)
+            for value, indices in self.group_indices(by).items()
+        }
 
     def aggregate(self, by: str, agg: dict[str, Callable]) -> "Table":
         """Group by ``by`` and reduce named columns.
@@ -189,32 +218,54 @@ class Table:
         if how not in ("inner", "left"):
             raise ValueError("how must be 'inner' or 'left'")
         on = list(on)
+        # Hash join: index the right side once, then resolve every left
+        # row to (left index, right index) pairs and gather whole
+        # columns with one fancy-index per column instead of per-cell
+        # list appends.  ``tolist()`` keys keep hashing cheap and make
+        # left/right key values compare as plain python objects.
         right_index: dict = {}
-        for j in range(len(other)):
-            key = tuple(other[c][j] for c in on)
+        right_keys = zip(*(other[c].tolist() for c in on)) if len(other) \
+            else iter(())
+        for j, key in enumerate(right_keys):
             right_index.setdefault(key, []).append(j)
 
-        right_cols = [c for c in other.column_names if c not in on]
-        out_names = self.column_names + [
-            c + suffix if c in self._columns else c for c in right_cols
-        ]
-        out: dict[str, list] = {name: [] for name in out_names}
-        for i in range(self._length):
-            key = tuple(self._columns[c][i] for c in on)
-            matches = right_index.get(key, [])
-            if not matches and how == "left":
-                for name in self.column_names:
-                    out[name].append(self._columns[name][i])
-                for c in right_cols:
-                    out[c + suffix if c in self._columns else c].append(None)
+        left_idx: list[int] = []
+        right_idx: list[int] = []  # -1 marks an unmatched left row
+        left_keys = zip(*(self._columns[c].tolist() for c in on)) \
+            if self._length else iter(())
+        for i, key in enumerate(left_keys):
+            matches = right_index.get(key)
+            if matches is None:
+                if how == "left":
+                    left_idx.append(i)
+                    right_idx.append(-1)
                 continue
             for j in matches:
-                for name in self.column_names:
-                    out[name].append(self._columns[name][i])
-                for c in right_cols:
-                    out[c + suffix if c in self._columns else c].append(
-                        other[c][j]
-                    )
+                left_idx.append(i)
+                right_idx.append(j)
+
+        left_indices = np.asarray(left_idx, dtype=np.intp)
+        right_indices = np.asarray(right_idx, dtype=np.intp)
+        null_mask = right_indices < 0
+
+        out: dict[str, np.ndarray] = {
+            name: self._columns[name][left_indices]
+            for name in self.column_names
+        }
+        right_cols = [c for c in other.column_names if c not in on]
+        for c in right_cols:
+            out_name = c + suffix if c in self._columns else c
+            source = other[c]
+            if not null_mask.any():
+                out[out_name] = source[right_indices]
+            elif len(source) == 0:
+                out[out_name] = np.full(len(right_indices), None,
+                                        dtype=object)
+            else:
+                gathered = source[np.where(null_mask, 0, right_indices)] \
+                    .astype(object)
+                gathered[null_mask] = None
+                out[out_name] = gathered
         return Table(out)
 
     # -- description -----------------------------------------------------------

@@ -4,18 +4,32 @@
 scheduler and worker logs, including task keys, dependencies, state
 transitions, location in the distributed memory (worker, thread),
 worker communication, and other events ... to create pandas DataFrames
-as 'views'" (§III-D).  Each function below produces one such view with
-a documented column set; the shared identifier columns (``hostname``,
+as 'views'" (§III-D).  Each builder below produces one such view with a
+documented column set; the shared identifier columns (``hostname``,
 ``thread_id``/``pthread_id``, timestamps, worker addresses) are what
 make the views joinable (§V).
+
+Builders are **columnar**: they pull whole NumPy columns out of the
+run's :class:`~repro.core.eventstore.EventStore` partition and compute
+derived columns (``duration``, ``n_deps``) by array math — no per-row
+dicts on the hot path.  The documented entry point is
+:class:`~repro.core.session.AnalysisSession`, which memoizes every view
+per run; the module-level free functions (``task_view(run)``-style)
+remain as compatibility shims that delegate to a session and emit a
+:class:`DeprecationWarning` when handed a bare
+:class:`~repro.core.ingest.RunData`.
 """
 
 from __future__ import annotations
 
+import warnings as _warnings
+
+from .eventstore import columns_from_records
 from .ingest import RunData
 from .table import Table
 
 __all__ = [
+    "VIEW_NAMES",
     "task_view",
     "transition_view",
     "io_view",
@@ -28,50 +42,46 @@ __all__ = [
 ]
 
 
-def task_view(run: RunData) -> Table:
+# ---------------------------------------------------------------------------
+# columnar builders (one per view; AnalysisSession caches their output)
+# ---------------------------------------------------------------------------
+
+def build_task_view(run: RunData) -> Table:
     """One row per completed task execution.
 
     Columns: key, group, prefix, worker, hostname, thread_id, start,
     stop, duration, output_nbytes, graph_index, compute_time, io_time,
     n_reads, n_writes.
     """
-    rows = []
-    for e in run.events_of_type("task_run"):
-        rows.append({
-            "key": e["key"], "group": e["group"], "prefix": e["prefix"],
-            "worker": e["worker"], "hostname": e["hostname"],
-            "thread_id": e["thread_id"], "start": e["start"],
-            "stop": e["stop"], "duration": e["stop"] - e["start"],
-            "output_nbytes": e["output_nbytes"],
-            "graph_index": e["graph_index"],
-            "compute_time": e["compute_time"], "io_time": e["io_time"],
-            "n_reads": e["n_reads"], "n_writes": e["n_writes"],
-        })
-    return Table.from_records(rows, columns=[
+    cols = run.store.columns("task_run", [
         "key", "group", "prefix", "worker", "hostname", "thread_id",
-        "start", "stop", "duration", "output_nbytes", "graph_index",
-        "compute_time", "io_time", "n_reads", "n_writes",
+        "start", "stop", "output_nbytes", "graph_index", "compute_time",
+        "io_time", "n_reads", "n_writes",
     ])
+    start = cols["start"].astype(float)
+    stop = cols["stop"].astype(float)
+    return Table({
+        "key": cols["key"], "group": cols["group"],
+        "prefix": cols["prefix"], "worker": cols["worker"],
+        "hostname": cols["hostname"], "thread_id": cols["thread_id"],
+        "start": cols["start"], "stop": cols["stop"],
+        "duration": stop - start,
+        "output_nbytes": cols["output_nbytes"],
+        "graph_index": cols["graph_index"],
+        "compute_time": cols["compute_time"], "io_time": cols["io_time"],
+        "n_reads": cols["n_reads"], "n_writes": cols["n_writes"],
+    })
 
 
-def transition_view(run: RunData) -> Table:
+def build_transition_view(run: RunData) -> Table:
     """One row per captured state transition (scheduler and workers)."""
-    rows = []
-    for e in run.events_of_type("transition"):
-        rows.append({
-            "key": e["key"], "group": e["group"], "prefix": e["prefix"],
-            "start_state": e["start_state"],
-            "finish_state": e["finish_state"],
-            "timestamp": e["timestamp"], "stimulus": e["stimulus"],
-            "worker": e["worker"], "source": e["source"],
-        })
-    return Table.from_records(rows, columns=[
+    return run.store.table("transition", [
         "key", "group", "prefix", "start_state", "finish_state",
         "timestamp", "stimulus", "worker", "source",
     ])
 
 
-def io_view(run: RunData) -> Table:
+def build_io_view(run: RunData) -> Table:
     """One row per DXT segment from the Darshan side.
 
     Columns: hostname, rank, pthread_id, file, op, offset, length,
@@ -82,99 +92,162 @@ def io_view(run: RunData) -> Table:
             "hostname", "rank", "pthread_id", "file", "op", "offset",
             "length", "start", "end", "duration",
         )})
-    rows = run.darshan.dxt_rows()
-    for row in rows:
-        row["duration"] = row["end"] - row["start"]
-    return Table.from_records(rows, columns=[
+    cols = columns_from_records(run.darshan.dxt_rows(), [
         "hostname", "rank", "pthread_id", "file", "op", "offset",
-        "length", "start", "end", "duration",
+        "length", "start", "end",
     ])
+    cols["duration"] = cols["end"].astype(float) - \
+        cols["start"].astype(float)
+    return Table(cols)
 
 
-def comm_view(run: RunData) -> Table:
+def build_comm_view(run: RunData) -> Table:
     """One row per incoming inter-worker transfer."""
-    rows = []
-    for e in run.events_of_type("communication"):
-        rows.append({
-            "key": e["key"], "src_worker": e["src_worker"],
-            "dst_worker": e["dst_worker"], "src_host": e["src_host"],
-            "dst_host": e["dst_host"], "nbytes": e["nbytes"],
-            "start": e["start"], "stop": e["stop"],
-            "duration": e["stop"] - e["start"],
-            "same_node": e["same_node"], "same_switch": e["same_switch"],
-        })
-    return Table.from_records(rows, columns=[
+    cols = run.store.columns("communication", [
         "key", "src_worker", "dst_worker", "src_host", "dst_host",
-        "nbytes", "start", "stop", "duration", "same_node", "same_switch",
+        "nbytes", "start", "stop", "same_node", "same_switch",
     ])
+    return Table({
+        "key": cols["key"], "src_worker": cols["src_worker"],
+        "dst_worker": cols["dst_worker"], "src_host": cols["src_host"],
+        "dst_host": cols["dst_host"], "nbytes": cols["nbytes"],
+        "start": cols["start"], "stop": cols["stop"],
+        "duration": cols["stop"].astype(float)
+        - cols["start"].astype(float),
+        "same_node": cols["same_node"],
+        "same_switch": cols["same_switch"],
+    })
 
 
-def warning_view(run: RunData) -> Table:
+def build_warning_view(run: RunData) -> Table:
     """One row per runtime warning (GC, unresponsive event loop)."""
-    rows = []
-    for e in run.events_of_type("warning"):
-        rows.append({
-            "source": e["source"], "hostname": e["hostname"],
-            "kind": e["kind"], "time": e["time"],
-            "duration": e["duration"], "message": e["message"],
-        })
-    return Table.from_records(rows, columns=[
+    return run.store.table("warning", [
         "source", "hostname", "kind", "time", "duration", "message",
     ])
 
 
-def spill_view(run: RunData) -> Table:
+def build_spill_view(run: RunData) -> Table:
     """One row per spill/unspill movement on any worker."""
-    rows = []
-    for e in run.events_of_type("spill"):
-        rows.append({
-            "worker": e["worker"], "hostname": e["hostname"],
-            "key": e["key"], "nbytes": e["nbytes"], "time": e["time"],
-            "direction": e["direction"],
-        })
-    return Table.from_records(rows, columns=[
+    return run.store.table("spill", [
         "worker", "hostname", "key", "nbytes", "time", "direction",
     ])
 
 
-def steal_view(run: RunData) -> Table:
+def build_steal_view(run: RunData) -> Table:
     """One row per work-stealing decision."""
-    rows = []
-    for e in run.events_of_type("steal"):
-        rows.append({
-            "key": e["key"], "victim": e["victim"], "thief": e["thief"],
-            "time": e["time"],
-            "victim_occupancy": e["victim_occupancy"],
-            "thief_occupancy": e["thief_occupancy"],
-        })
-    return Table.from_records(rows, columns=[
+    return run.store.table("steal", [
         "key", "victim", "thief", "time", "victim_occupancy",
         "thief_occupancy",
     ])
 
 
-def dependency_view(run: RunData) -> Table:
+def build_dependency_view(run: RunData) -> Table:
     """One row per task as registered at graph submission.
 
     Columns: key, group, prefix, deps (list), n_deps, graph_index,
     submitted_at.
     """
-    rows = []
-    for e in run.events_of_type("task_added"):
-        rows.append({
-            "key": e["key"], "group": e["group"], "prefix": e["prefix"],
-            "deps": list(e["deps"]), "n_deps": len(e["deps"]),
-            "graph_index": e["graph_index"],
-            "submitted_at": e["timestamp"],
-        })
-    return Table.from_records(rows, columns=[
-        "key", "group", "prefix", "deps", "n_deps", "graph_index",
-        "submitted_at",
+    records = run.store.records("task_added")
+    cols = run.store.columns("task_added", [
+        "key", "group", "prefix", "graph_index",
     ])
+    # Cells alias the events' dependency lists — safe because loaded
+    # runs are immutable (see RunData.store).
+    deps = [record["deps"] for record in records]
+    return Table({
+        "key": cols["key"], "group": cols["group"],
+        "prefix": cols["prefix"], "deps": deps,
+        "n_deps": [len(d) for d in deps],
+        "graph_index": cols["graph_index"],
+        "submitted_at": run.store.column("task_added", "timestamp"),
+    })
 
 
-def log_view(run: RunData) -> Table:
+def build_log_view(run: RunData) -> Table:
     """One row per free-text log line."""
-    return Table.from_records(run.logs, columns=[
+    return Table(columns_from_records(run.logs, [
         "source", "time", "level", "message",
-    ])
+    ]))
+
+
+#: View name → columnar builder; the AnalysisSession cache is keyed on
+#: these names, and ``session.view(name)`` accepts exactly this set.
+VIEW_BUILDERS = {
+    "task": build_task_view,
+    "transition": build_transition_view,
+    "io": build_io_view,
+    "comm": build_comm_view,
+    "warning": build_warning_view,
+    "spill": build_spill_view,
+    "steal": build_steal_view,
+    "dependency": build_dependency_view,
+    "log": build_log_view,
+}
+
+VIEW_NAMES = tuple(VIEW_BUILDERS)
+
+
+# ---------------------------------------------------------------------------
+# compatibility shims (the historical free-function API)
+# ---------------------------------------------------------------------------
+
+def _session_for(source, caller: str):
+    """Coerce a shim argument to a session, warning on bare RunData."""
+    from .session import AnalysisSession
+    if isinstance(source, AnalysisSession):
+        return source
+    if isinstance(source, RunData):
+        _warnings.warn(
+            f"{caller}(RunData) is deprecated; create an "
+            f"AnalysisSession (repro.core.AnalysisSession.of(run)) and "
+            f"use its cached views instead",
+            DeprecationWarning, stacklevel=3)
+        return AnalysisSession.of(source)
+    raise TypeError(
+        f"{caller}() expects a RunData or AnalysisSession, "
+        f"got {type(source).__name__!r}")
+
+
+def task_view(run) -> Table:
+    """Compatibility shim for :func:`build_task_view` (see above)."""
+    return _session_for(run, "task_view").view("task")
+
+
+def transition_view(run) -> Table:
+    """Compatibility shim for :func:`build_transition_view`."""
+    return _session_for(run, "transition_view").view("transition")
+
+
+def io_view(run) -> Table:
+    """Compatibility shim for :func:`build_io_view`."""
+    return _session_for(run, "io_view").view("io")
+
+
+def comm_view(run) -> Table:
+    """Compatibility shim for :func:`build_comm_view`."""
+    return _session_for(run, "comm_view").view("comm")
+
+
+def warning_view(run) -> Table:
+    """Compatibility shim for :func:`build_warning_view`."""
+    return _session_for(run, "warning_view").view("warning")
+
+
+def spill_view(run) -> Table:
+    """Compatibility shim for :func:`build_spill_view`."""
+    return _session_for(run, "spill_view").view("spill")
+
+
+def steal_view(run) -> Table:
+    """Compatibility shim for :func:`build_steal_view`."""
+    return _session_for(run, "steal_view").view("steal")
+
+
+def dependency_view(run) -> Table:
+    """Compatibility shim for :func:`build_dependency_view`."""
+    return _session_for(run, "dependency_view").view("dependency")
+
+
+def log_view(run) -> Table:
+    """Compatibility shim for :func:`build_log_view`."""
+    return _session_for(run, "log_view").view("log")

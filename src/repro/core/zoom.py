@@ -14,15 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .ingest import RunData
+from .session import AnalysisSession
 from .table import Table
-from .views import (
-    comm_view,
-    io_view,
-    task_view,
-    transition_view,
-    warning_view,
-)
 
 __all__ = ["WindowSummary", "zoom"]
 
@@ -59,15 +52,16 @@ class WindowSummary:
         return self.end - self.start
 
 
-def zoom(run: RunData, start: float, end: float) -> WindowSummary:
+def zoom(run, start: float, end: float) -> WindowSummary:
     """All records intersecting ``[start, end)`` plus summary stats."""
     if end <= start:
         raise ValueError("end must be after start")
-    tasks = task_view(run)
-    transitions = transition_view(run)
-    io = io_view(run)
-    comms = comm_view(run)
-    warnings = warning_view(run)
+    session = AnalysisSession.of(run)
+    tasks = session.task_view()
+    transitions = session.transition_view()
+    io = session.io_view()
+    comms = session.comm_view()
+    warnings = session.warning_view()
 
     w_tasks = tasks.filter(_overlap_mask(tasks, start, end, "start", "stop")) \
         if len(tasks) else tasks

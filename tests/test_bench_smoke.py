@@ -1,0 +1,23 @@
+"""The ingest benchmark's smoke mode runs green inside the suite.
+
+``bench_perfrecup_ingest.py --smoke`` checks columnar/legacy parity on
+a small synthetic compare workload, so running it here keeps the
+benchmark (and the legacy reference builders it carries) from rotting.
+"""
+
+import importlib.util
+import pathlib
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parents[1]
+              / "benchmarks" / "bench_perfrecup_ingest.py")
+
+
+def test_ingest_bench_smoke(capsys):
+    spec = importlib.util.spec_from_file_location(
+        "bench_perfrecup_ingest_smoke", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "parity: all nine views" in out
+    assert "speedup" in out

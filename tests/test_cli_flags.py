@@ -1,0 +1,50 @@
+"""Flag consistency across the analysis subcommands.
+
+Every analysis subcommand shares one parent parser, so ``--out``,
+``--format``, and ``--workers`` must parse identically everywhere —
+the satellite guarantee of the AnalysisSession API redesign.
+"""
+
+import pytest
+
+from repro.cli import ANALYSIS_COMMANDS, build_parser
+
+POSITIONAL = {
+    "analyze": ["some/run"],
+    "compare": ["some/runs"],
+    "figures": ["some/run"],
+    "zoom": ["some/run"],
+    "report": ["some/run"],
+}
+
+
+class TestSharedAnalysisFlags:
+    @pytest.mark.parametrize("command", ANALYSIS_COMMANDS)
+    def test_accepts_common_flags(self, command):
+        parser = build_parser()
+        args = parser.parse_args(
+            [command, *POSITIONAL[command],
+             "--out", "dest", "--format", "json", "--workers", "4"])
+        assert args.command == command
+        assert args.out == "dest"
+        assert args.format == "json"
+        assert args.workers == 4
+
+    @pytest.mark.parametrize("command", ANALYSIS_COMMANDS)
+    def test_defaults(self, command):
+        args = build_parser().parse_args([command, *POSITIONAL[command]])
+        assert args.out is None
+        assert args.format == "text"
+        assert args.workers is None
+
+    @pytest.mark.parametrize("command", ANALYSIS_COMMANDS)
+    def test_rejects_unknown_format(self, command, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [command, *POSITIONAL[command], "--format", "xml"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_run_takes_workers_too(self):
+        args = build_parser().parse_args(
+            ["run", "imageprocessing", "--workers", "2"])
+        assert args.workers == 2
