@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Overhead benchmark for the telemetry layer (metrics + spans).
+
+Workload: the same ImageProcessing repetition executed twice from one
+seed — bare, then with a full :class:`~repro.telemetry.Telemetry`
+bundle attached (periodic samplers on the engine monitor hook,
+scheduler/worker plugins building spans, Mofka flush observers).
+
+Two things are measured and reported:
+
+* **perturbation** — the recorded event streams must be *identical*
+  byte for byte; the samplers piggyback on the monitor hook and never
+  schedule simulation events, so observing a run cannot change it.
+  The benchmark asserts this before reporting any timing.
+* **wall-clock overhead** — telemetry-on time relative to bare time,
+  plus the volume it bought (metric rows, spans).  There is no hard
+  floor by default: the interesting number is the trajectory appended
+  to ``benchmarks/out/telemetry_overhead.txt``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.telemetry import Telemetry  # noqa: E402
+from repro.workflows import ImageProcessingWorkflow, run_workflow  # noqa: E402
+
+OUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "out", "telemetry_overhead.txt")
+
+
+def _time_run(scale: float, seed: int, telemetry=None):
+    gc.collect()
+    start = time.perf_counter()
+    result = run_workflow(ImageProcessingWorkflow(scale=scale), seed=seed,
+                          telemetry=telemetry)
+    return result, time.perf_counter() - start
+
+
+def run_bench(scale: float, seed: int, repeats: int) -> str:
+    bare_best = traced_best = float("inf")
+    bare = traced = telemetry = None
+    for _ in range(repeats):
+        bare, bare_wall = _time_run(scale, seed)
+        telemetry = Telemetry(interval=0.5, run_name="image_processing",
+                              seed=seed)
+        traced, traced_wall = _time_run(scale, seed, telemetry=telemetry)
+        bare_best = min(bare_best, bare_wall)
+        traced_best = min(traced_best, traced_wall)
+
+    if traced.data.events != bare.data.events:
+        raise AssertionError(
+            "telemetry perturbed the run: event streams differ")
+
+    records = telemetry.metrics_records()
+    overhead = (traced_best / bare_best - 1.0) * 100.0
+    lines = [
+        f"telemetry overhead @ ImageProcessing scale={scale} seed={seed} "
+        f"(best of {repeats})",
+        f"  events recorded : {len(bare.data.events)} "
+        "(identical with telemetry on)",
+        f"  bare            : {bare_best:.3f} s",
+        f"  telemetry on    : {traced_best:.3f} s",
+        f"  overhead: {overhead:+.1f}%",
+        f"  metric rows     : {len(records)} "
+        f"({len({r['metric'] for r in records})} metrics)",
+        f"  spans           : {len(telemetry.tracer.spans)}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="workflow scale factor (default 0.1)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed passes; best-of wins (default 3)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scale for CI: parity + volume checks, "
+                             "no artifact write")
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        help="fail if overhead exceeds this percentage "
+                             "(default: unchecked)")
+    args = parser.parse_args(argv)
+
+    scale = min(args.scale, 0.04) if args.smoke else args.scale
+    repeats = 1 if args.smoke else args.repeats
+
+    text = run_bench(scale, args.seed, repeats)
+    print(text)
+
+    if not args.smoke:
+        os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+        with open(OUT_PATH, "a", encoding="utf-8") as fh:
+            fh.write(text + "\n\n")
+        print(f"(appended to {OUT_PATH})")
+
+    if args.max_overhead is not None:
+        overhead = float(text.split("overhead: ")[1].split("%")[0])
+        if overhead > args.max_overhead:
+            print(f"FAIL: overhead {overhead:+.1f}% above the "
+                  f"{args.max_overhead:.1f}% ceiling", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,15 +72,13 @@ class EventOrderSanitizer:
 
     # ------------------------------------------------------------------
     def attach(self, env: Environment) -> "EventOrderSanitizer":
-        if env.monitor is not None:
-            raise RuntimeError("environment already has a monitor")
-        env.monitor = self
+        env.add_monitor(self)
         self._env = env
         return self
 
     def detach(self) -> None:
         if self._env is not None:
-            self._env.monitor = None
+            self._env.remove_monitor(self)
             self._env = None
 
     # -- hook surface (called by Environment) ---------------------------

@@ -331,6 +331,55 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _run_with_telemetry(args: argparse.Namespace):
+    """Shared driver of ``trace``/``metrics``: one instrumented run."""
+    from .telemetry import Telemetry
+    from .workflows import run_workflow
+
+    factory = _workflow_factory(args.workflow, args.scale)
+    telemetry = Telemetry(interval=args.interval,
+                          run_name=args.workflow, seed=args.seed)
+    run_workflow(factory(), seed=args.seed, telemetry=telemetry)
+    return telemetry
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one workflow and emit its span trace as Chrome trace JSON."""
+    telemetry = _run_with_telemetry(args)
+    document = telemetry.chrome_trace()
+    payload = json.dumps(document, indent=1)
+    if args.out:
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(args.out)
+    else:
+        print(payload)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one workflow and dump its sampled telemetry series."""
+    telemetry = _run_with_telemetry(args)
+    records = telemetry.metrics_records()
+
+    summary: dict[str, dict] = {}
+    for row in records:
+        entry = summary.setdefault(row["metric"], {
+            "metric": row["metric"], "kind": row["kind"],
+            "series": set(), "rows": 0, "last": 0.0,
+        })
+        entry["series"].add(row["labels"])
+        entry["rows"] += 1
+        entry["last"] = row["value"]
+    rows = [{**summary[name], "series": len(summary[name]["series"])}
+            for name in sorted(summary)]
+    text = format_records(
+        rows, title=f"{args.workflow}: {len(records)} sampled rows, "
+                    f"{len(rows)} metrics")
+    return _deliver(args, text, records)
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     for name in sorted(WORKFLOWS):
         print(name)
@@ -465,6 +514,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument("--format", choices=("text", "json"),
                        default="text")
     p_san.set_defaults(func=cmd_sanitize)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a workflow and emit a Chrome trace-event JSON")
+    p_trace.add_argument("workflow",
+                         help="imageprocessing|resnet152|xgboost")
+    p_trace.add_argument("--scale", type=float, default=0.05)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--interval", type=float, default=0.5,
+                         help="metric sampling interval (sim seconds)")
+    p_trace.add_argument("--out", default=None,
+                         help="write the trace here instead of stdout "
+                              "(open in chrome://tracing or Perfetto)")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_met = sub.add_parser(
+        "metrics",
+        help="run a workflow and dump its sampled telemetry series")
+    p_met.add_argument("workflow",
+                       help="imageprocessing|resnet152|xgboost")
+    p_met.add_argument("--scale", type=float, default=0.05)
+    p_met.add_argument("--seed", type=int, default=0)
+    p_met.add_argument("--interval", type=float, default=0.5,
+                       help="metric sampling interval (sim seconds)")
+    p_met.add_argument("--out", default=None,
+                       help="output file (default: stdout)")
+    p_met.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="per-metric summary (text) or the full row "
+                            "series (json)")
+    p_met.set_defaults(func=cmd_metrics)
 
     p_list = sub.add_parser("list-workflows", help="list workflow names")
     p_list.set_defaults(func=cmd_list)

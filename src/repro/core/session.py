@@ -125,6 +125,18 @@ class AnalysisSession:
     def log_view(self) -> Table:
         return self.view("log")
 
+    def metrics_view(self) -> Table:
+        """Sampled telemetry series (time/metric/kind/labels/value).
+
+        Empty when the run executed without a telemetry bundle.  Not
+        one of the nine canonical provenance views — telemetry is
+        optional — but cached with the same discipline.
+        """
+        return self.cached("metrics_view", lambda: Table.from_records(
+            self.run.metrics,
+            columns=("time", "metric", "kind", "labels", "value"),
+        ))
+
     def all_views(self, workers: Optional[int] = None) -> dict[str, Table]:
         """All nine views as ``{name: Table}`` (optionally prefetched
         by a thread pool — useful right after loading a large run)."""

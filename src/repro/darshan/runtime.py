@@ -91,6 +91,14 @@ class DarshanRuntime:
     def dxt_truncated(self) -> bool:
         return self._dxt.truncated
 
+    def live_stats(self) -> dict:
+        """Mid-run capture state (telemetry probe; no finalization)."""
+        return {
+            "posix_records": len(self._posix),
+            "dxt_segments": len(self._dxt.segments),
+            "dxt_truncated": self._dxt.truncated,
+        }
+
     # -- shutdown ------------------------------------------------------------
     def finalize(self) -> DarshanLog:
         """Produce the per-process log (idempotent)."""

@@ -178,10 +178,17 @@ class Scheduler:
             ts.occupancy_contrib = 0.0
             self._transition(ts, "released", "worker-failed")
             self._transition(ts, "waiting", "worker-failed")
-            ts.waiting_on = {
-                key_str(dep) for dep in ts.spec.deps
-                if self.tasks[key_str(dep)].state != "memory"
-            }
+            ts.waiting_on = set()
+            for dep in ts.spec.deps:
+                dep_ts = self.tasks[key_str(dep)]
+                if dep_ts.state == "memory" and dep_ts.who_has:
+                    continue
+                ts.waiting_on.add(dep_ts.name)
+                if dep_ts.state in ("memory", "released", "forgotten"):
+                    # "memory" with no replica left, or already freed:
+                    # either way the data is gone and must be rebuilt,
+                    # or this task waits forever on a key nobody runs.
+                    self._resubmit(dep_ts)
             if not ts.waiting_on and self.workers:
                 self._assign(ts, stimulus="worker-failed")
 
@@ -202,11 +209,13 @@ class Scheduler:
             dep_ts = self.tasks[key_str(dep)]
             # This task will consume its inputs once more.
             dep_ts.remaining_dependents += 1
-            if dep_ts.state == "memory":
+            if dep_ts.state == "memory" and dep_ts.who_has:
                 continue
             ts.waiting_on.add(dep_ts.name)
-            if dep_ts.state in ("released", "forgotten"):
-                # The input itself is gone: rebuild it too.
+            if dep_ts.state in ("memory", "released", "forgotten"):
+                # The input itself is gone ("memory" with an empty
+                # who_has means it was lost in this same failure event
+                # but sits later in iteration order): rebuild it too.
                 self._resubmit(dep_ts)
         # Downstream tasks still waiting must wait for this key again.
         for dep_name in ts.dependents:
@@ -418,6 +427,16 @@ class Scheduler:
         completed = yield proc
         if ts.compute_process is proc:
             ts.compute_process = None
+        if (completed is False and worker.failed
+                and worker.address in self.workers
+                and not self._monitoring):
+            # The worker died while (or before) running this task and no
+            # liveness monitor will ever notice: a cascading failure —
+            # e.g. an in-flight task reassigned by handle_worker_failure
+            # to a worker that then also crashed — would otherwise leave
+            # the task in "processing" forever.  When the monitor *is*
+            # running, detection stays heartbeat-driven.
+            self.handle_worker_failure(worker)
         return completed
 
     # ------------------------------------------------------------------

@@ -345,6 +345,13 @@ class Worker:
         Returns True if the task ran to completion here, False if it was
         stolen while queued.
         """
+        if self.failed:
+            # Dispatched to a process that already died (the scheduler
+            # has not detected the crash yet): refuse immediately so
+            # the dispatch return path can recover, instead of playing
+            # out a zombie execution that pollutes provenance records.
+            yield self.env.timeout(0.0)
+            return False
         self._transition(spec, "released", "waiting", "compute-task")
         has_remote = any(True for _ in spec.deps)
         if has_remote:

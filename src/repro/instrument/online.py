@@ -99,7 +99,7 @@ class OnlineMonitor:
     def __init__(self, env: Environment, service: MofkaService,
                  topics: tuple[str, ...], interval: float = 1.0,
                  on_snapshot: Optional[Callable[[MonitorSnapshot], None]]
-                 = None):
+                 = None, telemetry=None):
         self.env = env
         self.service = service
         self.interval = interval
@@ -108,6 +108,23 @@ class OnlineMonitor:
                                     name=f"monitor-{t}") for t in topics]
         self.snapshots: list[MonitorSnapshot] = []
         self._running = False
+
+        # Optional live metrics feed: accepts a Telemetry bundle or a
+        # bare MetricsRegistry; every poll publishes the running
+        # aggregates as gauges next to the sampled platform series.
+        registry = getattr(telemetry, "registry", telemetry)
+        self._gauges = None
+        if registry is not None:
+            self._gauges = {
+                "lag": registry.gauge(
+                    "monitor.lag", "events behind the stream heads"),
+                "events": registry.gauge(
+                    "monitor.events_ingested", "events consumed so far"),
+                "tasks": registry.gauge(
+                    "monitor.tasks_completed", "task_run events seen"),
+                "io_bytes": registry.gauge(
+                    "monitor.io_bytes", "bytes traced by DXT events seen"),
+            }
 
         # Running aggregates.
         self._n_events = 0
@@ -140,6 +157,11 @@ class OnlineMonitor:
                 self._ingest(event.metadata)
         snapshot = self.snapshot()
         self.snapshots.append(snapshot)
+        if self._gauges is not None:
+            self._gauges["lag"].set(snapshot.lag)
+            self._gauges["events"].set(snapshot.n_events)
+            self._gauges["tasks"].set(snapshot.tasks_completed)
+            self._gauges["io_bytes"].set(snapshot.io_bytes)
         if self.on_snapshot is not None:
             self.on_snapshot(snapshot)
         return snapshot

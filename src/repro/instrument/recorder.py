@@ -58,12 +58,17 @@ class InstrumentedRun:
                  mofka_partitions: int = 4,
                  online_darshan: bool = False,
                  adaptive_dxt: bool = False,
+                 telemetry=None,
                  run_index: int = 0, seed: int = 0):
         self.env = env
         self.cluster = cluster
         self.job = job
         self.run_index = run_index
         self.seed = seed
+        #: Optional :class:`~repro.telemetry.Telemetry` bundle.  When
+        #: absent nothing attaches — no engine monitor, no plugins —
+        #: so the disabled path is exactly the pre-telemetry run.
+        self.telemetry = telemetry
 
         self.mofka = bootstrap(env, BedrockConfig(
             topics=((PROVENANCE_TOPIC, mofka_partitions),),
@@ -125,6 +130,9 @@ class InstrumentedRun:
             plugin.attach(worker)
             self.worker_plugins.append(plugin)
 
+        if telemetry is not None:
+            telemetry.instrument_run(self)
+
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.dask.start()
@@ -177,4 +185,8 @@ class InstrumentedRun:
             write_log(log, os.path.join(
                 darshan_dir, f"worker-{log.rank:03d}.darshan.json.gz",
             ))
+
+        # Telemetry artifacts (only when a bundle was attached).
+        if self.telemetry is not None:
+            self.telemetry.persist(run_dir)
         return run_dir

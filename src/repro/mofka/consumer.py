@@ -44,16 +44,36 @@ class Consumer:
         )
 
     def pull(self, max_events: int = 1024):
-        """Simulation process: fetch up to ``max_events`` pending events."""
+        """Simulation process: fetch up to ``max_events`` pending events.
+
+        The per-partition quota is recomputed between rounds: a
+        partition that fills its share keeps the right to the budget
+        that *idle* partitions left unused, so a single hot partition
+        can be drained at the full ``max_events`` rate instead of being
+        capped at ``max_events / n_partitions`` while its lag grows.
+        """
         out: list[Event] = []
-        per_part = max(1, max_events // max(1, len(self._offsets)))
-        for index in sorted(self._offsets):
-            events = yield self.env.process(self.service.fetch(
-                self.topic_name, index, self._offsets[index], per_part,
-            ))
-            if events:
-                self._offsets[index] = events[-1].offset + 1
-                out.extend(events)
+        budget = max_events
+        # Partitions that may still hold unread events for us.
+        candidates = sorted(self._offsets)
+        while budget > 0 and candidates:
+            per_part = max(1, budget // len(candidates))
+            drained: list[int] = []
+            for index in candidates:
+                if budget <= 0:
+                    break
+                quota = min(per_part, budget)
+                events = yield self.env.process(self.service.fetch(
+                    self.topic_name, index, self._offsets[index], quota,
+                ))
+                if events:
+                    self._offsets[index] = events[-1].offset + 1
+                    out.extend(events)
+                    budget -= len(events)
+                if len(events) < quota:
+                    # Short read: nothing more pending right now.
+                    drained.append(index)
+            candidates = [i for i in candidates if i not in drained]
         out.sort(key=lambda e: (e.timestamp, e.partition, e.offset))
         return out
 

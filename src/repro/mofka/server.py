@@ -98,6 +98,14 @@ class MofkaService:
         )
         return events
 
+    # -- introspection (telemetry probes) -----------------------------------
+    def partition_depths(self) -> dict[str, list[int]]:
+        """Events stored per partition, keyed by topic name."""
+        return {
+            name: [len(part) for part in self.topics[name].partitions]
+            for name in sorted(self.topics)
+        }
+
     # -- persistence -------------------------------------------------------------
     def dump(self, directory: str) -> None:
         os.makedirs(directory, exist_ok=True)

@@ -90,6 +90,20 @@ class Network:
             return self.spec.intranode_bandwidth
         return min(src.spec.nic_bandwidth, dst.spec.nic_bandwidth)
 
+    # -- introspection (telemetry probes) ----------------------------------
+    def nic_utilization(self) -> dict[str, dict]:
+        """Per-node DMA channel occupancy and queue depths, by node name."""
+        out: dict[str, dict] = {}
+        for name in sorted(self.nodes):
+            node = self.nodes[name]
+            out[name] = {
+                "send_busy": node.nic_send.count,
+                "send_queued": len(node.nic_send.queue),
+                "recv_busy": node.nic_recv.count,
+                "recv_queued": len(node.nic_recv.queue),
+            }
+        return out
+
     # -- transfers ---------------------------------------------------------
     def transfer(self, src: Node, dst: Node, nbytes: int):
         """Simulation process performing one transfer; returns the record."""

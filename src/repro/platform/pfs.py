@@ -226,6 +226,19 @@ class ParallelFileSystem:
             start=start, stop=self.env.now,
         )
 
+    # -- introspection (telemetry probes) ----------------------------------
+    def ost_queue_depths(self) -> list[int]:
+        """Requests waiting (not yet served) per OST, by OST index."""
+        return [len(ost.queue) for ost in self._osts]
+
+    def ost_busy(self) -> list[int]:
+        """Service slots currently in use per OST, by OST index."""
+        return [ost.count for ost in self._osts]
+
+    def interference_levels(self) -> list[float]:
+        """Current external-load slowdown factor per OST."""
+        return list(self._interference)
+
     def describe(self) -> dict:
         """Metadata record for the provenance hardware layer (Fig. 1)."""
         return {

@@ -17,6 +17,7 @@ from .engine import (
     Environment,
     Event,
     Interrupt,
+    MonitorChain,
     Process,
     SimulationError,
     Timeout,
@@ -31,6 +32,7 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "MonitorChain",
     "Process",
     "RandomStreams",
     "Request",

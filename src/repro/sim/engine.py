@@ -38,6 +38,7 @@ __all__ = [
     "Interrupt",
     "AllOf",
     "AnyOf",
+    "MonitorChain",
     "SimulationError",
 ]
 
@@ -289,6 +290,32 @@ class AnyOf(Condition):
         super().__init__(env, events, lambda events, count: count >= 1)
 
 
+class MonitorChain:
+    """Composite engine observer: fans each hook out to its members.
+
+    The :class:`Environment` holds a single ``monitor`` slot so the hot
+    path stays one ``is None`` check.  When a second observer wants in
+    (e.g. the event-ordering sanitizer *and* a telemetry sampler),
+    :meth:`Environment.add_monitor` wraps both in a chain; members are
+    called in attachment order.
+    """
+
+    def __init__(self, *monitors):
+        self.monitors = list(monitors)
+
+    def on_schedule(self, event, when, priority, seq, now) -> None:
+        for monitor in self.monitors:
+            monitor.on_schedule(event, when, priority, seq, now)
+
+    def on_step(self, event, when, priority, seq) -> None:
+        for monitor in self.monitors:
+            monitor.on_step(event, when, priority, seq)
+
+    def before_callback(self, event, callback) -> None:
+        for monitor in self.monitors:
+            monitor.before_callback(event, callback)
+
+
 class Environment:
     """Execution environment: virtual clock plus the event queue."""
 
@@ -318,6 +345,38 @@ class Environment:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    # -- monitors --------------------------------------------------------
+    def add_monitor(self, monitor: Any) -> Any:
+        """Attach an engine observer, composing with any existing one.
+
+        The first observer occupies the ``monitor`` slot directly; a
+        second promotes the slot to a :class:`MonitorChain`.  Returns
+        ``monitor`` for chaining.
+        """
+        if self.monitor is None:
+            self.monitor = monitor
+        elif isinstance(self.monitor, MonitorChain):
+            self.monitor.monitors.append(monitor)
+        else:
+            self.monitor = MonitorChain(self.monitor, monitor)
+        return monitor
+
+    def remove_monitor(self, monitor: Any) -> None:
+        """Detach one observer added via :meth:`add_monitor`.
+
+        Collapses a single-member chain back to the bare observer;
+        removing an observer that is not attached raises ``ValueError``.
+        """
+        if self.monitor is monitor:
+            self.monitor = None
+            return
+        if isinstance(self.monitor, MonitorChain):
+            self.monitor.monitors.remove(monitor)
+            if len(self.monitor.monitors) == 1:
+                self.monitor = self.monitor.monitors[0]
+            return
+        raise ValueError(f"monitor {monitor!r} is not attached")
 
     # -- factories -------------------------------------------------------
     def event(self) -> Event:

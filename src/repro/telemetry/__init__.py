@@ -1,0 +1,130 @@
+"""Unified telemetry: metrics + spans joined to PERFRECUP provenance.
+
+The paper characterizes workflows by fusing observations from many
+layers on shared identifiers (task key, pthread ID, hostname, engine
+timestamps).  This package adds the *live* half of that story:
+
+* a labelled metrics registry (:mod:`~repro.telemetry.metrics`) fed by
+  periodic samplers hooked into the simulation engine's monitor
+  protocol (:mod:`~repro.telemetry.samplers`) — scheduler occupancy,
+  worker memory/spill state, Mofka producer buffers and broker
+  backlog, PFS OST queues, NIC utilization, live Darshan counts;
+* a span tracer (:mod:`~repro.telemetry.spans`) whose task spans carry
+  the same identifiers the Mofka provenance events carry, exported as
+  Chrome trace-event JSON (``perfrecup trace``).
+
+Everything is strictly opt-in: a run without a :class:`Telemetry`
+object attaches no monitor and no plugins, so the disabled path costs
+nothing and the recorded event streams are byte-identical either way
+(samplers never schedule simulation events — they piggyback on event
+pops).
+"""
+
+from __future__ import annotations
+
+from .exporters import (
+    chrome_trace,
+    metrics_table,
+    write_chrome_trace,
+    write_metrics,
+)
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .plugins import TelemetrySchedulerPlugin, TelemetryWorkerPlugin
+from .samplers import PeriodicSampler, install_run_probes
+from .spans import Span, SpanTracer, stable_span_id
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PeriodicSampler",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "TelemetrySchedulerPlugin",
+    "TelemetryWorkerPlugin",
+    "chrome_trace",
+    "install_run_probes",
+    "metrics_table",
+    "stable_span_id",
+    "write_chrome_trace",
+    "write_metrics",
+]
+
+
+class Telemetry:
+    """One run's telemetry bundle: registry + tracer + sampler.
+
+    Pass an instance to :func:`repro.workflows.run_workflow` (or
+    directly to :class:`~repro.instrument.recorder.InstrumentedRun`)
+    and the instrumentation layer wires everything up::
+
+        telemetry = Telemetry(interval=0.5)
+        result = run_workflow(workflow, telemetry=telemetry)
+        trace = telemetry.chrome_trace()        # Chrome trace JSON
+        table = telemetry.metrics_table()       # columnar series
+    """
+
+    def __init__(self, interval: float = 0.5, run_name: str = "run",
+                 seed: int = 0):
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer(run_name=run_name, seed=seed)
+        self.sampler = PeriodicSampler(self.registry, interval=interval)
+        self.scheduler_plugin: TelemetrySchedulerPlugin | None = None
+        self.worker_plugins: list[TelemetryWorkerPlugin] = []
+
+    # ------------------------------------------------------------------
+    def instrument_run(self, run) -> "Telemetry":
+        """Wire this bundle into one ``InstrumentedRun`` (called by it).
+
+        Attaches the periodic sampler to the engine, installs the
+        standard probes, rides the scheduler/worker plugin hooks, and
+        observes every Mofka producer's flushes.
+        """
+        self.sampler.attach(run.env)
+        install_run_probes(self.sampler, run)
+
+        self.scheduler_plugin = TelemetrySchedulerPlugin(self.registry)
+        self.scheduler_plugin.attach(run.dask.scheduler)
+        for worker in run.dask.workers:
+            plugin = TelemetryWorkerPlugin(self.registry, self.tracer,
+                                           worker.address)
+            plugin.attach(worker)
+            self.worker_plugins.append(plugin)
+
+        flush_latency = self.registry.histogram(
+            "mofka.flush_latency", "producer flush RPC durations")
+        flushed = self.registry.counter(
+            "mofka.flushed_events", "events flushed to the broker")
+        for producer in run.producers:
+            producer.on_flush = self._flush_observer(
+                producer.name, flush_latency, flushed)
+        return self
+
+    @staticmethod
+    def _flush_observer(name, flush_latency, flushed):
+        def observe(size: int, duration: float) -> None:
+            flush_latency.observe(duration, producer=name)
+            flushed.inc(size, producer=name)
+        return observe
+
+    # -- exports ---------------------------------------------------------
+    def chrome_trace(self) -> dict:
+        return chrome_trace(self.tracer)
+
+    def metrics_table(self):
+        return metrics_table(self.registry)
+
+    def metrics_records(self) -> list[dict]:
+        return self.registry.to_records()
+
+    def persist(self, run_dir: str) -> list[str]:
+        """Write ``telemetry/trace.json`` + ``telemetry/metrics.json``."""
+        import os
+        base = os.path.join(run_dir, "telemetry")
+        return [
+            write_chrome_trace(self.tracer, os.path.join(base, "trace.json")),
+            write_metrics(self.registry, os.path.join(base, "metrics.json")),
+        ]

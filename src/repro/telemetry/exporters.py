@@ -1,0 +1,53 @@
+"""Export telemetry as Chrome traces and PERFRECUP tables/files.
+
+Two output shapes:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the span trace as
+  a Chrome trace-event JSON document, loadable in ``chrome://tracing``
+  or Perfetto (the ``perfrecup trace`` subcommand).
+* :func:`metrics_table` / :func:`write_metrics` — the sampled metric
+  series as a :class:`~repro.core.table.Table` (or JSON records file),
+  the same columnar shape every other PERFRECUP view uses, so the
+  analysis session can slice telemetry next to provenance.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..core.table import Table
+from .metrics import MetricsRegistry
+from .spans import SpanTracer
+
+__all__ = ["chrome_trace", "write_chrome_trace", "metrics_table",
+           "write_metrics"]
+
+METRIC_COLUMNS = ("time", "metric", "kind", "labels", "value")
+
+
+def chrome_trace(tracer: SpanTracer) -> dict:
+    """The tracer's spans as a Chrome trace-event document."""
+    return tracer.to_chrome()
+
+
+def write_chrome_trace(tracer: SpanTracer, path: str) -> str:
+    """Write the Chrome trace JSON; returns ``path``."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(tracer), fh, indent=1)
+    return path
+
+
+def metrics_table(registry: MetricsRegistry) -> Table:
+    """The sampled series as a columnar table (time/metric/labels/value)."""
+    return Table.from_records(registry.to_records(),
+                              columns=METRIC_COLUMNS)
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> str:
+    """Write the sampled series as a JSON record list; returns ``path``."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(registry.to_records(), fh, indent=1)
+    return path

@@ -1,0 +1,226 @@
+"""Labelled metrics: counters, gauges, histograms, and their registry.
+
+The paper's characterization joins *sampled* platform state (queue
+depths, memory pressure, broker backlog) with *event* provenance; this
+module provides the sampled half.  A :class:`MetricsRegistry` hands out
+get-or-create metric instruments keyed by name; every instrument keeps
+one current value (or distribution) per *labelset*, and
+:meth:`MetricsRegistry.sample` appends a timestamped row per labelset
+to the registry's time series.
+
+Determinism: labelsets are canonicalized to sorted ``(key, value)``
+tuples, and every dump iterates metrics and labelsets in sorted order,
+so two runs with identical observations produce byte-identical tables
+regardless of insertion order or ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS"]
+
+#: Latency-oriented default bucket upper bounds (seconds).
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0,
+                   5.0, float("inf"))
+
+
+def _labels_key(labels: dict) -> tuple:
+    """Canonical, hash-order-independent form of a labelset."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _labels_text(key: tuple) -> str:
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+class _Metric:
+    """Shared name/help plumbing; subclasses define the value model."""
+
+    kind = "?"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+
+    def labelsets(self) -> list[tuple]:
+        """All labelsets observed so far, in sorted order."""
+        return sorted(self._series)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"{len(self._series)} labelset(s)>")
+
+
+class Counter(_Metric):
+    """Monotonically increasing count per labelset."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._series: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(amount={amount})")
+        key = _labels_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._series.get(_labels_key(labels), 0.0)
+
+    def sample_rows(self, now: float) -> Iterable[dict]:
+        for key in sorted(self._series):
+            yield {"time": now, "metric": self.name, "kind": self.kind,
+                   "labels": _labels_text(key), "value": self._series[key]}
+
+
+class Gauge(_Metric):
+    """Point-in-time value per labelset (can go up and down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._series: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._series[_labels_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _labels_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._series.get(_labels_key(labels), 0.0)
+
+    def sample_rows(self, now: float) -> Iterable[dict]:
+        for key in sorted(self._series):
+            yield {"time": now, "metric": self.name, "kind": self.kind,
+                   "labels": _labels_text(key), "value": self._series[key]}
+
+
+class Histogram(_Metric):
+    """Bucketed distribution per labelset (cumulative-bucket model)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: tuple = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        bounds = tuple(sorted(buckets))
+        if not bounds or bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        self.buckets = bounds
+        #: labelset -> [per-bucket counts..., total, sum]
+        self._series: dict[tuple, list] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _labels_key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = [0] * len(self.buckets) + [0, 0.0]
+            self._series[key] = state
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                state[i] += 1
+                break
+        state[-2] += 1
+        state[-1] += value
+
+    def count(self, **labels) -> int:
+        state = self._series.get(_labels_key(labels))
+        return state[-2] if state else 0
+
+    def total(self, **labels) -> float:
+        state = self._series.get(_labels_key(labels))
+        return state[-1] if state else 0.0
+
+    def bucket_counts(self, **labels) -> list[int]:
+        state = self._series.get(_labels_key(labels))
+        return list(state[:len(self.buckets)]) if state else \
+            [0] * len(self.buckets)
+
+    def sample_rows(self, now: float) -> Iterable[dict]:
+        for key in sorted(self._series):
+            state = self._series[key]
+            text = _labels_text(key)
+            yield {"time": now, "metric": f"{self.name}.count",
+                   "kind": self.kind, "labels": text,
+                   "value": float(state[-2])}
+            yield {"time": now, "metric": f"{self.name}.sum",
+                   "kind": self.kind, "labels": text, "value": state[-1]}
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument plus the sampled series."""
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+        self._rows: list[dict] = []
+        self.n_samples = 0
+
+    # -- instrument factories -------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"cannot re-register as {cls.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # -- time series -----------------------------------------------------
+    def sample(self, now: float) -> int:
+        """Append one row per (metric, labelset) at simulated time ``now``.
+
+        Returns the number of rows appended.
+        """
+        appended = 0
+        for name in sorted(self._metrics):
+            for row in self._metrics[name].sample_rows(now):
+                self._rows.append(row)
+                appended += 1
+        self.n_samples += 1
+        return appended
+
+    def to_records(self) -> list[dict]:
+        """The accumulated time series as a fresh list of row dicts."""
+        return list(self._rows)
+
+    def current(self) -> dict:
+        """Latest value of every (counter/gauge) labelset, no timestamps."""
+        out: dict[str, dict[str, float]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.kind == "histogram":
+                continue
+            out[name] = {
+                _labels_text(key): metric._series[key]
+                for key in sorted(metric._series)
+            }
+        return out

@@ -1,0 +1,122 @@
+"""WMS plugins turning lifecycle observations into spans and metrics.
+
+These subclasses of the instrumentation hook surface
+(:class:`~repro.instrument.plugins.BasePlugin`) ride alongside the
+Mofka plugins on the same scheduler/worker hook points — the telemetry
+layer sees exactly what the provenance layer sees, so every task span
+carries the *same* task key, pthread ID, and hostname that appear in
+the PERFRECUP provenance views.  Joining a Chrome trace row to its
+provenance record is a key lookup, not a heuristic.
+"""
+
+from __future__ import annotations
+
+from ..dasklike.records import (
+    CommRecord,
+    SpillRecord,
+    StealEvent,
+    TaskRun,
+    WarningRecord,
+)
+from ..dasklike.states import TransitionRecord
+from ..instrument.plugins import BasePlugin
+from .metrics import MetricsRegistry
+from .spans import SpanTracer
+
+__all__ = ["TelemetrySchedulerPlugin", "TelemetryWorkerPlugin"]
+
+
+class TelemetrySchedulerPlugin(BasePlugin):
+    """Counts scheduler-side lifecycle activity."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+        self._transitions = registry.counter(
+            "scheduler.transitions", "state transitions by finish state")
+        self._steals = registry.counter(
+            "scheduler.steals", "work-stealing decisions")
+        self._tasks_added = registry.counter(
+            "scheduler.tasks_added", "tasks inserted into the graph")
+
+    def attach(self, scheduler) -> None:
+        scheduler.plugins.append(self)
+
+    def transition(self, record: TransitionRecord) -> None:
+        self._transitions.inc(finish=record.finish_state)
+
+    def steal(self, record: StealEvent) -> None:
+        self._steals.inc()
+
+    def task_added(self, *, key: str, group: str, prefix: str,
+                   deps: list, graph_index: int, timestamp: float) -> None:
+        self._tasks_added.inc(prefix=prefix)
+
+
+class TelemetryWorkerPlugin(BasePlugin):
+    """Builds task/communication spans and worker-side metrics."""
+
+    def __init__(self, registry: MetricsRegistry, tracer: SpanTracer,
+                 worker_address: str):
+        self.registry = registry
+        self.tracer = tracer
+        self.worker_address = worker_address
+        self._tasks = registry.counter(
+            "worker.tasks_completed", "task executions finished")
+        self._task_seconds = registry.histogram(
+            "task.duration", "task execution durations by prefix")
+        self._comm_bytes = registry.counter(
+            "worker.comm_bytes", "dependency bytes received")
+        self._warnings = registry.counter(
+            "worker.warnings", "runtime health warnings by kind")
+        self._spill_bytes = registry.counter(
+            "worker.spill_bytes", "bytes moved to/from scratch")
+
+    def attach(self, worker) -> None:
+        worker.plugins.append(self)
+
+    # -- hooks -----------------------------------------------------------
+    def task_finished(self, record: TaskRun) -> None:
+        # pid/tid/key are the paper's shared identifiers: the same
+        # triple appears in the task_run provenance event, so trace and
+        # provenance join exactly.
+        self.tracer.add_complete(
+            name=record.prefix, cat="task",
+            start=record.start, stop=record.stop,
+            pid=record.hostname, tid=record.thread_id,
+            args={
+                "key": record.key,
+                "group": record.group,
+                "worker": record.worker,
+                "graph_index": record.graph_index,
+                "compute_time": record.compute_time,
+                "io_time": record.io_time,
+                "output_nbytes": record.output_nbytes,
+            },
+        )
+        self._tasks.inc(worker=record.worker)
+        self._task_seconds.observe(record.duration, prefix=record.prefix)
+
+    def communication(self, record: CommRecord) -> None:
+        self.tracer.add_complete(
+            name="transfer", cat="comm",
+            start=record.start, stop=record.stop,
+            pid=record.dst_host, tid=0,
+            args={
+                "key": record.key,
+                "src": record.src_worker,
+                "dst": record.dst_worker,
+                "nbytes": record.nbytes,
+                "same_node": record.same_node,
+                "same_switch": record.same_switch,
+            },
+        )
+        locality = "same_node" if record.same_node else (
+            "same_switch" if record.same_switch else "cross_switch")
+        self._comm_bytes.inc(record.nbytes, locality=locality)
+
+    def warning(self, record: WarningRecord) -> None:
+        self._warnings.inc(kind=record.kind, worker=record.source)
+
+    def spill_moved(self, record: SpillRecord) -> None:
+        self._spill_bytes.inc(record.nbytes, direction=record.direction,
+                              worker=record.worker)

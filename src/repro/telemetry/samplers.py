@@ -1,0 +1,209 @@
+"""Periodic state sampling driven from the engine's monitor hooks.
+
+:class:`PeriodicSampler` implements the :class:`~repro.sim.Environment`
+monitor protocol (``on_schedule``/``on_step``/``before_callback``) and
+fires its probes whenever the simulation clock crosses an interval
+boundary.  Crucially it schedules **no events of its own**: sampling
+piggybacks on event pops, so an instrumented run pops exactly the same
+event sequence as an uninstrumented one — recorded provenance streams
+stay byte-identical with telemetry on or off (the zero-perturbation
+property the overhead tests assert).
+
+:func:`install_run_probes` registers the standard probe set for one
+:class:`~repro.instrument.recorder.InstrumentedRun`: scheduler
+occupancy and task-state depths, worker memory/spill/queue state,
+Mofka producer buffers and broker partition backlog, PFS OST queues
+and interference, NIC utilization, and live Darshan record counts.
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry
+
+__all__ = ["PeriodicSampler", "install_run_probes"]
+
+
+class PeriodicSampler:
+    """Engine monitor sampling all probes every ``interval`` sim-seconds."""
+
+    def __init__(self, registry: MetricsRegistry, interval: float = 0.5,
+                 start: float = 0.0):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.registry = registry
+        self.interval = float(interval)
+        self._next = float(start) + self.interval
+        self._probes: list = []
+        self._env = None
+        self.n_ticks = 0
+
+    # ------------------------------------------------------------------
+    def add_probe(self, probe) -> "PeriodicSampler":
+        """Register ``probe(now)``, called once per sampling tick."""
+        self._probes.append(probe)
+        return self
+
+    def attach(self, env) -> "PeriodicSampler":
+        env.add_monitor(self)
+        self._env = env
+        return self
+
+    def detach(self) -> None:
+        if self._env is not None:
+            self._env.remove_monitor(self)
+            self._env = None
+
+    # -- engine monitor protocol ----------------------------------------
+    def on_schedule(self, event, when, priority, seq, now) -> None:
+        pass
+
+    def before_callback(self, event, callback) -> None:
+        pass
+
+    def on_step(self, event, when, priority, seq) -> None:
+        while when >= self._next:
+            tick = self._next
+            for probe in self._probes:
+                probe(tick)
+            self.registry.sample(tick)
+            self.n_ticks += 1
+            self._next += self.interval
+
+
+# ---------------------------------------------------------------------------
+# standard probes
+# ---------------------------------------------------------------------------
+
+def scheduler_probe(registry: MetricsRegistry, scheduler):
+    occupancy = registry.gauge(
+        "scheduler.occupancy", "estimated queued seconds per worker")
+    states = registry.gauge(
+        "scheduler.task_states", "tasks currently in each state")
+    n_workers = registry.gauge(
+        "scheduler.workers", "registered workers")
+
+    def probe(now: float) -> None:
+        for address in sorted(scheduler.occupancy):
+            occupancy.set(scheduler.occupancy[address], worker=address)
+        counts: dict[str, int] = {}
+        for ts in scheduler.tasks.values():
+            counts[ts.state] = counts.get(ts.state, 0) + 1
+        for state in sorted(counts):
+            states.set(counts[state], state=state)
+        n_workers.set(len(scheduler.workers))
+
+    return probe
+
+
+def worker_probe(registry: MetricsRegistry, workers):
+    managed = registry.gauge(
+        "worker.managed_bytes", "bytes of task results held in memory")
+    spilled = registry.gauge(
+        "worker.spilled_bytes", "bytes evicted to node-local scratch")
+    executing = registry.gauge(
+        "worker.executing", "tasks currently on a thread")
+    ready = registry.gauge(
+        "worker.ready", "tasks queued for a thread")
+
+    def probe(now: float) -> None:
+        for worker in workers:
+            addr = worker.address
+            managed.set(worker.managed_bytes, worker=addr)
+            spill_total = 0
+            for key in sorted(worker.spilled):
+                spill_total += worker.spilled[key]
+            spilled.set(spill_total, worker=addr)
+            executing.set(len(worker.executing), worker=addr)
+            ready.set(len(worker.ready), worker=addr)
+
+    return probe
+
+
+def mofka_probe(registry: MetricsRegistry, service, producers=()):
+    backlog = registry.gauge(
+        "mofka.partition_events", "events stored per broker partition")
+    buffered = registry.gauge(
+        "mofka.producer_buffer", "events waiting in a producer's batch")
+    ingested = registry.gauge(
+        "mofka.broker_events", "events ingested by the broker")
+
+    producers = list(producers)
+
+    def probe(now: float) -> None:
+        depths = service.partition_depths()
+        for topic in sorted(depths):
+            for index, depth in enumerate(depths[topic]):
+                backlog.set(depth, topic=topic, partition=index)
+        for producer in producers:
+            buffered.set(producer.buffer_depth, producer=producer.name)
+        ingested.set(service.n_events)
+
+    return probe
+
+
+def pfs_probe(registry: MetricsRegistry, pfs):
+    queued = registry.gauge(
+        "pfs.ost_queue", "requests waiting for an OST service slot")
+    busy = registry.gauge(
+        "pfs.ost_busy", "OST service slots in use")
+    interference = registry.gauge(
+        "pfs.ost_interference", "external-load slowdown factor per OST")
+
+    def probe(now: float) -> None:
+        for index, depth in enumerate(pfs.ost_queue_depths()):
+            queued.set(depth, ost=index)
+        for index, count in enumerate(pfs.ost_busy()):
+            busy.set(count, ost=index)
+        for index, level in enumerate(pfs.interference_levels()):
+            interference.set(level, ost=index)
+
+    return probe
+
+
+def network_probe(registry: MetricsRegistry, network):
+    send_busy = registry.gauge(
+        "net.nic_send_busy", "outbound DMA channels in use per node")
+    send_queued = registry.gauge(
+        "net.nic_send_queued", "transfers waiting for an outbound channel")
+    recv_busy = registry.gauge(
+        "net.nic_recv_busy", "inbound DMA channels in use per node")
+    recv_queued = registry.gauge(
+        "net.nic_recv_queued", "transfers waiting for an inbound channel")
+
+    def probe(now: float) -> None:
+        utilization = network.nic_utilization()
+        for node in sorted(utilization):
+            stats = utilization[node]
+            send_busy.set(stats["send_busy"], node=node)
+            send_queued.set(stats["send_queued"], node=node)
+            recv_busy.set(stats["recv_busy"], node=node)
+            recv_queued.set(stats["recv_queued"], node=node)
+
+    return probe
+
+
+def darshan_probe(registry: MetricsRegistry, runtimes):
+    records = registry.gauge(
+        "darshan.posix_records", "per-file POSIX records captured so far")
+    segments = registry.gauge(
+        "darshan.dxt_segments", "DXT trace segments buffered so far")
+
+    def probe(now: float) -> None:
+        for runtime in runtimes:
+            stats = runtime.live_stats()
+            records.set(stats["posix_records"], rank=runtime.rank)
+            segments.set(stats["dxt_segments"], rank=runtime.rank)
+
+    return probe
+
+
+def install_run_probes(sampler: PeriodicSampler, run) -> PeriodicSampler:
+    """Register the standard probe set for one ``InstrumentedRun``."""
+    registry = sampler.registry
+    sampler.add_probe(scheduler_probe(registry, run.dask.scheduler))
+    sampler.add_probe(worker_probe(registry, run.dask.workers))
+    sampler.add_probe(mofka_probe(registry, run.mofka, run.producers))
+    sampler.add_probe(pfs_probe(registry, run.cluster.pfs))
+    sampler.add_probe(network_probe(registry, run.cluster.network))
+    sampler.add_probe(darshan_probe(registry, run.darshan_runtimes))
+    return sampler

@@ -39,6 +39,9 @@ class RunResult:
     run_index: int
     wall_time: float
     run_dir: Optional[str] = None
+    #: The run's :class:`~repro.telemetry.Telemetry` bundle, if one was
+    #: passed to :func:`run_workflow` (``None`` otherwise).
+    telemetry: Optional[object] = None
 
 
 def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
@@ -48,12 +51,19 @@ def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
                  dxt_buffer_limit: Optional[int] = None,
                  persist_dir: Optional[str] = None,
                  monitor=None,
+                 telemetry=None,
                  **instrument_kwargs) -> RunResult:
     """Execute one instrumented repetition of ``workflow``.
 
     ``monitor`` is an optional engine observer (e.g. the event-ordering
     sanitizer from :mod:`repro.analysis`) attached to the environment
     for the whole run — the mechanism behind ``perfrecup sanitize``.
+
+    ``telemetry`` is an optional :class:`~repro.telemetry.Telemetry`
+    bundle; when given, the instrumentation stack attaches its periodic
+    samplers and span-building plugins (``perfrecup trace`` /
+    ``perfrecup metrics``).  Monitors compose: sanitizer and telemetry
+    can observe the same run.
     """
     env = Environment()
     if monitor is not None:
@@ -74,7 +84,7 @@ def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
 
     run = InstrumentedRun(env, cluster, job, config=config,
                           streams=streams, run_index=run_index,
-                          seed=seed, **kwargs)
+                          seed=seed, telemetry=telemetry, **kwargs)
     run.start()
     workflow.prepare(cluster, streams)
     client = run.client(name=f"client-{workflow.name}")
@@ -95,7 +105,8 @@ def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
 
     data = RunData.from_live(run, client)
     return RunResult(data=data, run_index=run_index,
-                     wall_time=data.wall_time, run_dir=run_dir)
+                     wall_time=data.wall_time, run_dir=run_dir,
+                     telemetry=telemetry)
 
 
 def run_many(workflow_factory, n_runs: int, seed: int = 0,

@@ -19,10 +19,28 @@ class TestAttachment:
         sanitizer.detach()
         assert env.monitor is None
 
-    def test_double_attach_rejected(self):
-        env, _ = attached()
-        with pytest.raises(RuntimeError):
-            EventOrderSanitizer().attach(env)
+    def test_second_monitor_composes(self):
+        """A second observer joins a MonitorChain instead of clobbering
+        (or being rejected by) the first — the sanitizer and the
+        telemetry sampler must be able to watch the same run."""
+        from repro.sim import MonitorChain
+
+        env, first = attached()
+        second = EventOrderSanitizer().attach(env)
+        assert isinstance(env.monitor, MonitorChain)
+        assert env.monitor.monitors == [first, second]
+
+        def chain():
+            yield env.timeout(0.1)
+
+        env.run(until=env.process(chain()))
+        assert first.events_processed > 0
+        assert second.events_processed == first.events_processed
+
+        second.detach()
+        assert env.monitor is first
+        first.detach()
+        assert env.monitor is None
 
 
 class TestCleanRuns:

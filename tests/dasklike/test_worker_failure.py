@@ -99,6 +99,116 @@ def test_heartbeat_based_detection():
     assert len(warnings) == 1
 
 
+def assert_converged(scheduler):
+    """No task may be left behind by failure recovery."""
+    for ts in scheduler.tasks.values():
+        assert not (ts.state == "waiting" and not ts.waiting_on), \
+            f"{ts.name} stuck in waiting with empty waiting_on"
+        assert ts.state in ("memory", "forgotten", "released"), \
+            f"{ts.name} stuck in {ts.state} (waiting_on={ts.waiting_on})"
+
+
+def run_with_cascading_failure(kill_at=0.5, monitor=False):
+    """First failure is handled, then the worker that received one of
+    the reassigned in-flight tasks dies silently — before any liveness
+    tick could notice."""
+    env, cluster, dask, client, job = make_wms()
+    scheduler = dask.scheduler
+    if monitor:
+        scheduler.start_liveness_monitor(misses=3)
+    results = []
+    victims = []
+
+    def killer():
+        yield env.timeout(kill_at)
+        victim1 = dask.workers[0]
+        victims.append(victim1)
+        inflight = [ts.name for ts in scheduler.tasks.values()
+                    if ts.processing_on is victim1]
+        if monitor:
+            victim1.fail()
+            # Wait for heartbeat-based detection of the first death.
+            while victim1.address in scheduler.workers:
+                yield env.timeout(0.05)
+        else:
+            scheduler.handle_worker_failure(victim1)
+        reassigned = [ts for ts in scheduler.tasks.values()
+                      if ts.name in inflight and ts.state == "processing"
+                      and ts.processing_on is not None]
+        if not reassigned:
+            return
+        victim2 = reassigned[0].processing_on
+        victims.append(victim2)
+        victim2.fail()  # silent: nobody tells the scheduler
+
+    def driver():
+        yield env.process(client.connect())
+        result = yield env.process(
+            client.compute(pipeline_graph(token="cascade1"), optimize=False))
+        results.append(result)
+        scheduler.stop_liveness_monitor()
+
+    env.process(killer())
+    env.run(until=env.process(driver()))
+    return env, dask, victims, results
+
+
+class TestCascadingFailure:
+    def test_cascade_without_monitor_completes(self):
+        """The dispatch return path must recover a task whose *second*
+        worker died silently, with no liveness monitor running.
+        (Before the fix this deadlocked: the task sat in "processing"
+        on the dead worker forever.)"""
+        env, dask, victims, results = run_with_cascading_failure()
+        assert len(victims) == 2, "cascade did not trigger"
+        (index, values), = results
+        assert "final-cascade1" in values
+        assert_converged(dask.scheduler)
+
+    def test_cascade_with_monitor_completes(self):
+        """Heartbeat detection of the second death also converges."""
+        env, dask, victims, results = run_with_cascading_failure(
+            monitor=True, kill_at=0.3)
+        (index, values), = results
+        assert "final-cascade1" in values
+        assert_converged(dask.scheduler)
+
+    def test_cascade_removes_both_workers(self):
+        env, dask, victims, results = run_with_cascading_failure()
+        for victim in victims:
+            assert victim.address not in dask.scheduler.workers
+            assert victim.data == {}
+
+    def test_cascade_final_reaches_memory_once(self):
+        env, dask, victims, results = run_with_cascading_failure()
+        final_memory = [
+            t for t in dask.scheduler.transitions
+            if t.key == "final-cascade1" and t.finish_state == "memory"
+        ]
+        assert len(final_memory) == 1
+
+    def test_dead_worker_refuses_dispatch(self):
+        """A task dispatched to an already-dead worker bails out without
+        recording zombie lifecycle transitions on that worker."""
+        env, cluster, dask, client, job = make_wms()
+        victim = dask.workers[0]
+        before = len(victim.transitions)
+        victim.fail()
+        done = []
+
+        def probe():
+            from repro.dasklike import TaskSpec
+            spec = TaskSpec(key="probe-task", compute_time=0.1,
+                            output_nbytes=16)
+            ok = yield env.process(
+                victim.compute_task(spec, {}, {}, graph_index=0))
+            done.append(ok)
+
+        env.run(until=env.process(probe()))
+        assert done == [False]
+        assert len(victim.transitions) == before
+
+
 def test_healthy_run_has_no_failure_logs():
     env, cluster, dask, client, job = make_wms()
     dask.scheduler.start_liveness_monitor()

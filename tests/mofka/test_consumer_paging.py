@@ -78,3 +78,75 @@ class TestPaging:
         service = MofkaService(env)
         with pytest.raises(KeyError):
             Consumer(env, service, "ghost")
+
+
+class TestHotPartitionQuota:
+    """Unused quota must flow to hot partitions within one pull.
+
+    Regression: ``pull`` used a static ``max_events // n_partitions``
+    quota, so an in-situ consumer facing one hot partition and several
+    idle ones was capped at a fraction of its budget and its lag grew
+    without bound.
+    """
+
+    @staticmethod
+    def hot_service(env, hot_events=100, n_partitions=4, hot_index=0):
+        service = MofkaService(env)
+        topic = service.create_topic("t", n_partitions)
+        for i in range(hot_events):
+            topic.partitions[hot_index].append({"i": i}, b"", float(i))
+        return service
+
+    def pull_once(self, env, consumer, max_events):
+        got = []
+
+        def proc():
+            events = yield env.process(consumer.pull(max_events=max_events))
+            got.extend(events)
+
+        env.run(until=env.process(proc()))
+        return got
+
+    def test_one_hot_many_idle_uses_full_budget(self):
+        env = Environment()
+        service = self.hot_service(env, hot_events=100, n_partitions=4)
+        consumer = Consumer(env, service, "t")
+        got = self.pull_once(env, consumer, max_events=40)
+        # Static quota would cap this at 40 // 4 == 10 events.
+        assert len(got) == 40
+        assert [e.metadata["i"] for e in got] == list(range(40))
+        assert consumer.lag == 60
+
+    def test_hot_partition_drains_in_bounded_pulls(self):
+        env = Environment()
+        service = self.hot_service(env, hot_events=90, n_partitions=8)
+        consumer = Consumer(env, service, "t")
+        pulls = 0
+        while consumer.lag:
+            assert len(self.pull_once(env, consumer, max_events=30)) > 0
+            pulls += 1
+        assert pulls == 3  # ceil(90 / 30), not ceil(90 / (30 // 8))
+
+    def test_skewed_load_respects_budget(self):
+        env = Environment()
+        service = MofkaService(env)
+        topic = service.create_topic("t", 3)
+        for i in range(50):
+            topic.partitions[0].append({"i": i}, b"", float(i))
+        for i in range(3):
+            topic.partitions[2].append({"i": 100 + i}, b"", float(i))
+        consumer = Consumer(env, service, "t")
+        got = self.pull_once(env, consumer, max_events=20)
+        assert len(got) == 20  # budget never exceeded, never wasted
+        assert consumer.lag == 33
+
+    def test_even_load_unchanged(self):
+        env = Environment()
+        service = MofkaService(env)
+        topic = service.create_topic("t", 2)
+        for i in range(16):
+            topic.partitions[i % 2].append({"i": i}, b"", float(i))
+        consumer = Consumer(env, service, "t")
+        got = self.pull_once(env, consumer, max_events=8)
+        assert len(got) == 8
+        assert consumer.lag == 8

@@ -1,0 +1,141 @@
+"""Registry label handling, instrument semantics, sampled series."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, metrics_table
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests", "help text")
+        b = registry.counter("requests")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("zeta")
+        registry.counter("alpha")
+        assert registry.names() == ["alpha", "zeta"]
+
+
+class TestLabels:
+    def test_label_order_is_canonicalized(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(1, worker="w0", state="ready")
+        counter.inc(2, state="ready", worker="w0")
+        assert counter.value(worker="w0", state="ready") == 3.0
+
+    def test_distinct_labelsets_are_independent(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(5, ost=0)
+        gauge.set(7, ost=1)
+        assert gauge.value(ost=0) == 5.0
+        assert gauge.value(ost=1) == 7.0
+        assert gauge.value(ost=2) == 0.0
+
+    def test_label_values_stringified(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(1, partition=3)
+        assert gauge.value(partition="3") == 1.0
+
+    def test_labelsets_listed_sorted(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(1, k="z")
+        counter.inc(1, k="a")
+        assert counter.labelsets() == [(("k", "a"),), (("k", "z"),)]
+
+
+class TestInstruments:
+    def test_counter_is_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.dec(4)
+        gauge.inc(1)
+        assert gauge.value() == 7.0
+
+    def test_histogram_buckets_and_totals(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count() == 4
+        assert hist.total() == pytest.approx(6.05)
+        assert hist.bucket_counts() == [1, 2, 1]  # <=0.1, <=1.0, <=inf
+
+    def test_histogram_always_has_inf_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0,))
+        assert hist.buckets[-1] == float("inf")
+
+
+class TestSampledSeries:
+    def test_sample_appends_one_row_per_labelset(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue")
+        gauge.set(3, ost=0)
+        gauge.set(1, ost=1)
+        appended = registry.sample(now=2.5)
+        assert appended == 2
+        records = registry.to_records()
+        assert [r["value"] for r in records] == [3.0, 1.0]
+        assert all(r["time"] == 2.5 for r in records)
+        assert all(r["metric"] == "queue" for r in records)
+
+    def test_rows_ordered_by_metric_then_labels(self):
+        registry = MetricsRegistry()
+        registry.gauge("b").set(1, k="y")
+        registry.gauge("b").set(2, k="x")
+        registry.gauge("a").set(3)
+        registry.sample(now=0.0)
+        names = [(r["metric"], r["labels"])
+                 for r in registry.to_records()]
+        assert names == [("a", ""), ("b", "k=x"), ("b", "k=y")]
+
+    def test_histogram_samples_count_and_sum(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        hist.observe(0.2, producer="p0")
+        hist.observe(0.3, producer="p0")
+        registry.sample(now=1.0)
+        rows = {r["metric"]: r["value"] for r in registry.to_records()}
+        assert rows["lat.count"] == 2.0
+        assert rows["lat.sum"] == pytest.approx(0.5)
+
+    def test_metrics_table_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1, w="a")
+        registry.sample(now=0.5)
+        registry.counter("c").inc(1, w="a")
+        registry.sample(now=1.0)
+        table = metrics_table(registry)
+        assert len(table) == 2
+        assert table.column_names == ["time", "metric", "kind",
+                                      "labels", "value"]
+        assert list(table["value"]) == [1.0, 2.0]
+
+    def test_current_skips_histograms(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(4)
+        registry.histogram("h").observe(1.0)
+        current = registry.current()
+        assert current == {"g": {"": 4.0}}

@@ -1,0 +1,85 @@
+"""Telemetry overhead guard: observing a run must not perturb it.
+
+The whole point of the zero-perturbation design (samplers piggyback on
+the engine's monitor hook instead of scheduling their own events) is
+that a run with telemetry attached records *exactly* the provenance a
+bare run records.  These tests pin that down for ImageProcessing, plus
+the provenance join (§III-E3): every task span carries the task key,
+pthread ID, and hostname of a provenance ``task_run`` event.
+"""
+
+import time
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.workflows import ImageProcessingWorkflow, run_workflow
+
+SCALE = 0.04
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    start = time.perf_counter()
+    result = run_workflow(ImageProcessingWorkflow(scale=SCALE), seed=SEED)
+    return result, time.perf_counter() - start
+
+
+@pytest.fixture(scope="module")
+def traced():
+    telemetry = Telemetry(interval=0.5, run_name="image_processing",
+                          seed=SEED)
+    start = time.perf_counter()
+    result = run_workflow(ImageProcessingWorkflow(scale=SCALE), seed=SEED,
+                          telemetry=telemetry)
+    return result, time.perf_counter() - start
+
+
+class TestZeroPerturbation:
+    def test_event_stream_identical(self, baseline, traced):
+        off, _ = baseline
+        on, _ = traced
+        assert on.data.events == off.data.events
+
+    def test_task_level_provenance_identical(self, baseline, traced):
+        off, _ = baseline
+        on, _ = traced
+        assert on.data.events_of_type("task_run") == \
+            off.data.events_of_type("task_run")
+
+    def test_wall_clock_overhead_bounded(self, baseline, traced):
+        # Generous bound: telemetry may cost something, but not blow up
+        # the run.  Guard against O(events) pathologies, not noise.
+        _, off_wall = baseline
+        _, on_wall = traced
+        assert on_wall < max(5.0 * off_wall, off_wall + 2.0)
+
+
+class TestCoverage:
+    def test_metric_families_nonempty(self, traced):
+        result, _ = traced
+        metrics = {r["metric"]
+                   for r in result.telemetry.metrics_records()}
+        for family in ("scheduler.", "worker.", "mofka.", "pfs."):
+            assert any(m.startswith(family) for m in metrics), family
+
+    def test_spans_join_provenance_identifiers(self, traced):
+        result, _ = traced
+        prov = {(e["key"], e["thread_id"], e["hostname"])
+                for e in result.data.events_of_type("task_run")}
+        task_spans = [s for s in result.telemetry.tracer.spans
+                      if s.cat == "task"]
+        assert len(task_spans) == len(prov)
+        for span in task_spans:
+            assert (span.args["key"], span.tid, span.pid) in prov
+
+    def test_chrome_trace_covers_all_tasks(self, traced):
+        result, _ = traced
+        doc = result.telemetry.chrome_trace()
+        xs = [e for e in doc["traceEvents"]
+              if e["ph"] == "X" and e["cat"] == "task"]
+        assert len(xs) == len(result.data.events_of_type("task_run"))
+        for event in xs:
+            assert event["dur"] >= 0
+            assert "span_id" in event["args"]

@@ -1,0 +1,108 @@
+"""Span tracer: nesting, deterministic IDs, Chrome export."""
+
+import pytest
+
+from repro.telemetry import SpanTracer, chrome_trace
+
+
+class TestCompleteSpans:
+    def test_add_complete_records_identifiers(self):
+        tracer = SpanTracer(run_name="r", seed=1)
+        span = tracer.add_complete(
+            "imread", start=1.0, stop=2.5, pid="nid00001",
+            tid=0x7F0000001000, cat="task", args={"key": "('imread', 0)"})
+        assert span.pid == "nid00001"
+        assert span.tid == 0x7F0000001000
+        assert span.duration == pytest.approx(1.5)
+        assert span.trace_id == tracer.trace_id
+        assert span.args["key"] == "('imread', 0)"
+
+    def test_span_ids_unique_within_trace(self):
+        tracer = SpanTracer()
+        ids = {tracer.add_complete("t", 0.0, 1.0).span_id
+               for _ in range(50)}
+        assert len(ids) == 50
+
+
+class TestNesting:
+    def test_begin_end_nests_per_track(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("graph", start=0.0, pid="h0", tid=1)
+        inner = tracer.begin("task", start=0.5, pid="h0", tid=1)
+        assert tracer.open_depth(pid="h0", tid=1) == 2
+        assert inner.parent_id == outer.span_id
+
+        closed_inner = tracer.end(stop=1.0, pid="h0", tid=1)
+        closed_outer = tracer.end(stop=2.0, pid="h0", tid=1)
+        assert closed_inner is inner
+        assert closed_outer is outer
+        assert inner.stop == 1.0 and outer.stop == 2.0
+        assert tracer.open_depth(pid="h0", tid=1) == 0
+
+    def test_tracks_are_independent(self):
+        tracer = SpanTracer()
+        tracer.begin("a", start=0.0, pid="h0", tid=1)
+        b = tracer.begin("b", start=0.0, pid="h1", tid=2)
+        assert b.parent_id == ""  # different track, no nesting
+        with pytest.raises(ValueError):
+            tracer.end(stop=1.0, pid="h9", tid=9)
+
+    def test_complete_span_nests_under_open_span(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("phase", start=0.0, pid="h0", tid=1)
+        leaf = tracer.add_complete("io", start=0.2, stop=0.4,
+                                   pid="h0", tid=1)
+        assert leaf.parent_id == outer.span_id
+
+
+class TestDeterminism:
+    def test_same_inputs_same_ids(self):
+        def build():
+            tracer = SpanTracer(run_name="wf", seed=7)
+            tracer.add_complete("a", 0.0, 1.0, pid="h0", tid=1)
+            tracer.add_complete("b", 1.0, 2.0, pid="h1", tid=2)
+            return tracer
+
+        one, two = build(), build()
+        assert one.trace_id == two.trace_id
+        assert [s.span_id for s in one.spans] == \
+            [s.span_id for s in two.spans]
+
+    def test_different_seed_different_trace(self):
+        assert SpanTracer(seed=0).trace_id != SpanTracer(seed=1).trace_id
+
+
+class TestChromeExport:
+    def test_document_shape(self):
+        tracer = SpanTracer(run_name="wf", seed=0)
+        tracer.add_complete("t", 1.0, 3.0, pid="h0", tid=42, cat="task",
+                            args={"key": "k"})
+        doc = chrome_trace(tracer)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["otherData"]["trace_id"] == tracer.trace_id
+
+        events = doc["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(metas) == 1 and len(xs) == 1
+        span = xs[0]
+        assert span["ts"] == pytest.approx(1.0e6)
+        assert span["dur"] == pytest.approx(2.0e6)
+        assert span["pid"] == "h0" and span["tid"] == 42
+        assert span["args"]["key"] == "k"
+        assert span["args"]["trace_id"] == tracer.trace_id
+
+    def test_events_sorted_by_start(self):
+        tracer = SpanTracer()
+        tracer.add_complete("late", 5.0, 6.0, pid="h", tid=1)
+        tracer.add_complete("early", 1.0, 2.0, pid="h", tid=1)
+        xs = [e for e in chrome_trace(tracer)["traceEvents"]
+              if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == ["early", "late"]
+
+    def test_json_serializable(self):
+        import json
+        tracer = SpanTracer()
+        tracer.add_complete("t", 0.0, 1.0, pid="h", tid=1,
+                            args={"n": 3, "flag": True})
+        json.dumps(chrome_trace(tracer))

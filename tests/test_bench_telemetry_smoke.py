@@ -1,0 +1,25 @@
+"""The telemetry overhead benchmark's smoke mode runs green.
+
+``bench_telemetry_overhead.py --smoke`` re-checks the zero-perturbation
+contract (identical event streams with telemetry on/off) on a tiny
+ImageProcessing run, so running it here keeps the benchmark from
+rotting alongside the telemetry layer.
+"""
+
+import importlib.util
+import pathlib
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parents[1]
+              / "benchmarks" / "bench_telemetry_overhead.py")
+
+
+def test_telemetry_bench_smoke(capsys):
+    spec = importlib.util.spec_from_file_location(
+        "bench_telemetry_overhead_smoke", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "identical with telemetry on" in out
+    assert "overhead:" in out
+    assert "spans" in out
