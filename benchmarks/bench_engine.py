@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Simulation-kernel benchmark: event throughput and repetition scaling.
+
+Two tiers, mirroring how the engine is actually exercised:
+
+* **micro** — synthetic event storms hammering the kernel's two hot
+  paths in isolation:
+
+  - ``timeout_ring``: many processes sleeping on positive-delay
+    timeouts (binary-heap traffic);
+  - ``zero_delay``: producer/consumer pairs over a :class:`Store`
+    whose puts/gets succeed immediately (the zero-delay fast lane:
+    ``succeed()``/``Initialize`` traffic that never needs the heap);
+  - ``mixed``: a 50/50 interleaving of both, closest to what a real
+    workflow run generates.
+
+  Throughput is reported as *scheduled events per second* (the
+  engine's ``_seq`` counter over wall time).
+
+* **run_many** — end-to-end repetition fan-out across the three paper
+  workflows, serial vs. thread pool vs. process pool, asserting the
+  event streams stay identical per ``run_index`` regardless of the
+  executor (the determinism contract parallelism must not break).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke
+    PYTHONPATH=src python benchmarks/bench_engine.py --json BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.sim import Environment, Store  # noqa: E402
+
+OUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "out", "engine.txt")
+
+
+# ---------------------------------------------------------------------------
+# micro workloads
+# ---------------------------------------------------------------------------
+
+def _timeout_ring(n_procs: int, n_steps: int) -> Environment:
+    """Heap-dominated storm: every event is a positive-delay timeout."""
+    env = Environment()
+
+    def sleeper(delay):
+        for _ in range(n_steps):
+            yield env.timeout(delay)
+
+    for i in range(n_procs):
+        env.process(sleeper(0.5 + 0.01 * i))
+    return env
+
+def _zero_delay(n_pairs: int, n_items: int) -> Environment:
+    """Fast-lane storm: immediate Store put/get succeed() traffic."""
+    env = Environment()
+
+    def producer(store):
+        for i in range(n_items):
+            yield store.put(i)
+
+    def consumer(store):
+        for _ in range(n_items):
+            yield store.get()
+
+    for _ in range(n_pairs):
+        store = Store(env)
+        env.process(producer(store))
+        env.process(consumer(store))
+    return env
+
+def _mixed(n_procs: int, n_steps: int) -> Environment:
+    """Alternating timeout / immediate-event traffic."""
+    env = Environment()
+
+    def worker(delay):
+        for i in range(n_steps):
+            yield env.timeout(delay)
+            done = env.event()
+            done.succeed(i)
+            yield done
+
+    for i in range(n_procs):
+        env.process(worker(0.25 + 0.01 * i))
+    return env
+
+
+MICRO_WORKLOADS = {
+    "timeout_ring": _timeout_ring,
+    "zero_delay": _zero_delay,
+    "mixed": _mixed,
+}
+
+
+def run_micro(repeats: int, scale: int) -> dict:
+    """Best-of-``repeats`` throughput for each micro workload."""
+    results: dict[str, dict] = {}
+    for name, build in MICRO_WORKLOADS.items():
+        best = float("inf")
+        events = 0
+        for _ in range(repeats):
+            env = build(50, scale)
+            gc.collect()
+            start = time.perf_counter()
+            env.run()
+            elapsed = time.perf_counter() - start
+            events = env._seq
+            best = min(best, elapsed)
+        results[name] = {
+            "events": events,
+            "seconds": round(best, 4),
+            "events_per_s": round(events / best),
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# end-to-end run_many scaling
+# ---------------------------------------------------------------------------
+
+def run_scaling(scale: float, n_runs: int, workers: int,
+                workflows: list[str]) -> dict:
+    from functools import partial
+
+    from repro.workflows import (
+        ImageProcessingWorkflow,
+        ResNet152Workflow,
+        XGBoostWorkflow,
+        run_many,
+    )
+
+    factories = {
+        "ImageProcessing": ImageProcessingWorkflow,
+        "ResNet152": ResNet152Workflow,
+        "XGBOOST": XGBoostWorkflow,
+    }
+
+    results: dict[str, dict] = {}
+    for name in workflows:
+        factory = partial(factories[name], scale=scale)
+        timings: dict[str, float] = {}
+        streams: dict[str, list] = {}
+        for executor in ("serial", "thread", "process"):
+            gc.collect()
+            start = time.perf_counter()
+            runs = run_many(factory, n_runs=n_runs, seed=1,
+                            workers=workers, executor=executor)
+            timings[executor] = time.perf_counter() - start
+            streams[executor] = [r.data.events for r in runs]
+        if not (streams["serial"] == streams["thread"]
+                == streams["process"]):
+            raise AssertionError(
+                f"{name}: event streams differ across executors")
+        results[name] = {
+            "n_runs": n_runs,
+            "workers": workers,
+            "serial_s": round(timings["serial"], 3),
+            "thread_s": round(timings["thread"], 3),
+            "process_s": round(timings["process"], 3),
+            "speedup_thread": round(
+                timings["serial"] / timings["thread"], 2),
+            "speedup_process": round(
+                timings["serial"] / timings["process"], 2),
+        }
+    return results
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+def render(document: dict) -> str:
+    lines = [f"engine benchmark (python {document['meta']['python']}, "
+             f"{document['meta']['cpus']} cpu(s))"]
+    lines.append("\nmicro (events/second, best of "
+                 f"{document['meta']['repeats']}):")
+    for name, row in document["micro"].items():
+        lines.append(f"  {name:<14} {row['events']:>9} events  "
+                     f"{row['seconds']:>8.4f} s  "
+                     f"{row['events_per_s']:>10,} ev/s")
+    for name, row in document.get("run_many", {}).items():
+        lines.append(
+            f"\nrun_many {name}: n_runs={row['n_runs']} "
+            f"workers={row['workers']}\n"
+            f"  serial  {row['serial_s']:>7.3f} s\n"
+            f"  thread  {row['thread_s']:>7.3f} s "
+            f"({row['speedup_thread']:.2f}x)\n"
+            f"  process {row['process_s']:>7.3f} s "
+            f"({row['speedup_process']:.2f}x)\n"
+            f"  event streams identical across executors: yes")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed passes per micro workload (default 3)")
+    parser.add_argument("--micro-scale", type=int, default=2000,
+                        help="steps per process in micro workloads")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="workflow scale for the run_many tier")
+    parser.add_argument("--runs", type=int, default=8,
+                        help="repetitions in the run_many tier (default 8)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool width in the run_many tier (default 4)")
+    parser.add_argument("--workflows", default="ImageProcessing",
+                        help="comma-separated subset of "
+                             "ImageProcessing,ResNet152,XGBOOST "
+                             "(default: ImageProcessing; 'all' for all)")
+    parser.add_argument("--micro-only", action="store_true",
+                        help="skip the end-to-end run_many tier")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI: correctness + plumbing, "
+                             "no artifact write")
+    parser.add_argument("--json", default=None,
+                        help="also write the result document to this path")
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.smoke else args.repeats
+    micro_scale = 200 if args.smoke else args.micro_scale
+
+    document = {
+        "meta": {
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+            "repeats": repeats,
+        },
+        "micro": run_micro(repeats, micro_scale),
+    }
+    if not args.micro_only:
+        names = (["ImageProcessing", "ResNet152", "XGBOOST"]
+                 if args.workflows == "all"
+                 else [w.strip() for w in args.workflows.split(",")])
+        n_runs = 2 if args.smoke else args.runs
+        workers = 2 if args.smoke else args.workers
+        scale = min(args.scale, 0.03) if args.smoke else args.scale
+        document["run_many"] = run_scaling(scale, n_runs, workers, names)
+
+    text = render(document)
+    print(text)
+
+    if not args.smoke:
+        os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+        with open(OUT_PATH, "a", encoding="utf-8") as fh:
+            fh.write(text + "\n\n")
+        print(f"(appended to {OUT_PATH})")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        print(f"(wrote {args.json})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

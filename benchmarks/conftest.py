@@ -13,8 +13,14 @@ Scaling knobs (environment):
   10/10/50 repetitions).  Expect tens of minutes.
 * ``REPRO_SCALE=x`` — dataset/task scale factor (default 0.08).
 * ``REPRO_RUNS=n``  — repetitions per workflow (default 3).
+* ``REPRO_WORKERS=n`` — fan repetitions out over ``n`` workers
+  (default: serial).
+* ``REPRO_EXECUTOR=serial|thread|process|auto`` — repetition backend
+  when ``REPRO_WORKERS`` is set (default auto; only the process pool
+  reduces wall time for this pure-Python workload).
 """
 
+import functools
 import os
 
 import pytest
@@ -43,6 +49,9 @@ class BenchEnv:
         default_runs = "10" if self.full else "3"
         self.runs = int(os.environ.get("REPRO_RUNS", default_runs))
         self.seed = int(os.environ.get("REPRO_SEED", "1"))
+        workers = os.environ.get("REPRO_WORKERS")
+        self.workers = int(workers) if workers else None
+        self.executor = os.environ.get("REPRO_EXECUTOR", "auto")
         self._cache = {}
 
     def runs_of(self, workflow_name: str, n_runs: int | None = None):
@@ -55,8 +64,9 @@ class BenchEnv:
         key = (workflow_name, n_runs)
         if key not in self._cache:
             self._cache[key] = run_many(
-                lambda: factory_cls(scale=self.scale),
+                functools.partial(factory_cls, scale=self.scale),
                 n_runs=n_runs, seed=self.seed,
+                workers=self.workers, executor=self.executor,
             )
         return self._cache[key]
 

@@ -48,6 +48,8 @@ WORKFLOWS = {
 
 
 def _workflow_factory(name: str, scale: float):
+    import functools
+
     from . import workflows as wf_module
     try:
         cls = getattr(wf_module, WORKFLOWS[name.lower()])
@@ -55,7 +57,9 @@ def _workflow_factory(name: str, scale: float):
         raise SystemExit(
             f"unknown workflow {name!r}; choose from {sorted(WORKFLOWS)}"
         )
-    return lambda: cls(scale=scale)
+    # partial, not a lambda: the factory must pickle for the process
+    # executor of ``run_many``.
+    return functools.partial(cls, scale=scale)
 
 
 def _deliver(args: argparse.Namespace, text: str, document) -> int:
@@ -93,7 +97,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     from .workflows import run_many
     factory = _workflow_factory(args.workflow, args.scale)
     results = run_many(factory, n_runs=args.runs, seed=args.seed,
-                       persist_dir=args.out, workers=args.workers)
+                       persist_dir=args.out, workers=args.workers,
+                       executor=args.executor)
     rows = []
     for result in results:
         breakdown = phase_breakdown(result.data)
@@ -442,7 +447,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist run directories under this path")
     p_run.add_argument("--workers", type=int, default=None,
                        help="run repetitions concurrently on this many "
-                            "threads")
+                            "workers")
+    p_run.add_argument("--executor",
+                       choices=("serial", "thread", "process", "auto"),
+                       default="auto",
+                       help="repetition backend for --workers: process "
+                            "pool (real parallelism), thread pool, "
+                            "serial, or auto (default: process when "
+                            "viable)")
     p_run.set_defaults(func=cmd_run)
 
     p_an = sub.add_parser("analyze", parents=[common],

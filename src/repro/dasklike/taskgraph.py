@@ -94,6 +94,7 @@ class TaskGraph:
     def __init__(self, tasks: Iterable[TaskSpec] = (), name: str = "graph"):
         self.name = name
         self._tasks: dict[str, TaskSpec] = {}
+        self._toposort_cache: Optional[list[str]] = None
         for task in tasks:
             self.add(task)
 
@@ -102,6 +103,7 @@ class TaskGraph:
         if name in self._tasks:
             raise GraphError(f"duplicate task key {name}")
         self._tasks[name] = task
+        self._toposort_cache = None
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -148,7 +150,15 @@ class TaskGraph:
         self.toposort()
 
     def toposort(self) -> list[str]:
-        """Kahn's algorithm; raises :class:`GraphError` on cycles."""
+        """Kahn's algorithm; raises :class:`GraphError` on cycles.
+
+        Memoized: the same graph is sorted by :meth:`validate` and
+        again by the scheduler on submission, so the order is computed
+        once and invalidated whenever :meth:`add` mutates the graph.
+        A *copy* is returned so callers cannot corrupt the cache.
+        """
+        if self._toposort_cache is not None:
+            return list(self._toposort_cache)
         indegree = {name: 0 for name in self._tasks}
         dependents = self.dependents()
         for name, task in self._tasks.items():
@@ -166,7 +176,8 @@ class TaskGraph:
                     ready.append(dependent)
         if len(order) != len(self._tasks):
             raise GraphError("task graph contains a cycle")
-        return order
+        self._toposort_cache = order
+        return list(order)
 
     def roots(self) -> list[str]:
         """Tasks with no in-graph dependencies."""

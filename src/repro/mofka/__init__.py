@@ -9,7 +9,7 @@ with topics, partitions, batching producers, and pull consumers.
 
 from .bedrock import BedrockConfig, bootstrap
 from .consumer import Consumer
-from .event import Event
+from .event import Event, stream_order, stream_sorted
 from .producer import Producer
 from .server import MofkaService
 from .ssg import Member, SSGGroup
@@ -30,4 +30,6 @@ __all__ = [
     "WarabiStore",
     "YokanStore",
     "bootstrap",
+    "stream_order",
+    "stream_sorted",
 ]

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim import Environment
-from .event import Event
+from .event import Event, stream_order
 from .server import MofkaService
 
 __all__ = ["Consumer"]
@@ -74,7 +74,7 @@ class Consumer:
                     # Short read: nothing more pending right now.
                     drained.append(index)
             candidates = [i for i in candidates if i not in drained]
-        out.sort(key=lambda e: (e.timestamp, e.partition, e.offset))
+        out.sort(key=stream_order)
         return out
 
     def fetch_all(self) -> list[Event]:

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Optional
+from functools import cached_property
+from typing import Iterable, Optional
 
-__all__ = ["Event"]
+__all__ = ["Event", "stream_order", "stream_sorted"]
 
 
 @dataclass(frozen=True)
@@ -48,7 +49,32 @@ class Event:
             metadata=raw["metadata"], data=data,
         )
 
-    @property
+    @cached_property
     def nbytes(self) -> int:
-        """Approximate wire size: JSON metadata plus raw payload."""
+        """Approximate wire size: JSON metadata plus raw payload.
+
+        Computed on first access and cached (``cached_property``
+        side-steps the frozen ``__setattr__`` via ``__dict__``):
+        producers and partitions consult the size repeatedly for
+        batching decisions, and re-serialising the metadata each time
+        was measurable on the hot path.
+        """
         return len(json.dumps(self.metadata)) + len(self.data)
+
+
+def stream_order(event: Event) -> tuple[float, int, int]:
+    """Canonical global ordering key of the event stream.
+
+    Events merge across partitions by timestamp; ties break by
+    ``(partition, offset)`` so the merged order is total and
+    deterministic.  Every reader producing a cross-partition view
+    (:meth:`Topic.events`, :meth:`Consumer.pull`) must sort with this
+    one key, or downstream time-ordered analyses disagree about tie
+    order.
+    """
+    return (event.timestamp, event.partition, event.offset)
+
+
+def stream_sorted(events: Iterable[Event]) -> list[Event]:
+    """Events merged into canonical stream order (a fresh list)."""
+    return sorted(events, key=stream_order)

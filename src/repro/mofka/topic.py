@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 from typing import Iterator, Optional
 
-from .event import Event
+from .event import Event, stream_order
 from .warabi import WarabiStore
 from .yokan import YokanStore
 
@@ -103,7 +103,7 @@ class Topic:
         out: list[Event] = []
         for part in self.partitions:
             out.extend(part.read_range(0))
-        out.sort(key=lambda e: (e.timestamp, e.partition, e.offset))
+        out.sort(key=stream_order)
         return out
 
     def dump(self, directory: str) -> None:

@@ -23,11 +23,32 @@ Design notes
   Dask futures.
 * ``Interrupt`` support allows the work-stealing and fault-detection
   models to cancel in-flight waits.
+
+Hot-path layout
+---------------
+The kernel is the innermost loop of every benchmark and repetition in
+this repository, so the queue is split into three lanes that together
+realise the exact ``(time, priority, sequence)`` heap order at a
+fraction of the cost (see ``docs/performance.md``):
+
+* a binary heap for positive-delay timeouts and exotic priorities;
+* one FIFO deque for zero-delay, priority-0 schedules (``succeed()`` /
+  ``fail()`` / process completion — the bulk of all traffic);
+* one FIFO deque for zero-delay, priority ``-1`` schedules
+  (:class:`Initialize`, interrupts).
+
+Because the clock never moves backwards and the sequence number only
+grows, each deque is already sorted by the global key; ``step`` merges
+the three lane heads with two tuple comparisons instead of paying
+``heappush``/``heappop`` per event.  All event classes declare
+``__slots__``, and the monitor-free ``run()`` loop is inlined with the
+lanes hoisted into locals.
 """
 
 from __future__ import annotations
 
-import heapq
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -71,6 +92,8 @@ class Event:
     the event's value (or have the failure exception thrown in).
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -103,22 +126,32 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, delay=0.0)
+        # Inlined ``env._schedule(self, delay=0.0)``: the zero-delay,
+        # priority-0 fast lane, minus a method call.
+        env = self.env
+        env._seq = seq = env._seq + 1
+        env._fast0.append((env._now, 0, seq, self))
+        if env.monitor is not None:
+            env.monitor.on_schedule(self, env._now, 0, seq, env._now)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.env._schedule(self, delay=0.0)
+        env = self.env
+        env._seq = seq = env._seq + 1
+        env._fast0.append((env._now, 0, seq, self))
+        if env.monitor is not None:
+            env.monitor.on_schedule(self, env._now, 0, seq, env._now)
         return self
 
     def defuse(self) -> None:
@@ -139,14 +172,28 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Inlined ``Event.__init__`` (timeouts are the heap's hot path).
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        env._schedule(self, delay=delay)
+        # Inlined ``env._schedule(self, delay=delay)``.
+        env._seq = seq = env._seq + 1
+        if delay == 0.0:
+            env._fast0.append((env._now, 0, seq, self))
+            when = env._now
+        else:
+            when = env._now + delay
+            heappush(env._queue, (when, 0, seq, self))
+        if env.monitor is not None:
+            env.monitor.on_schedule(self, when, 0, seq, env._now)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout({self.delay}) at {id(self):#x}>"
@@ -155,16 +202,24 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
-        env._schedule(self, delay=0.0, priority=-1)
+        self.callbacks.append(process._resume_cb)
+        # Inlined ``env._schedule(self, delay=0.0, priority=-1)``.
+        env._seq = seq = env._seq + 1
+        env._fastneg.append((env._now, -1, seq, self))
+        if env.monitor is not None:
+            env.monitor.on_schedule(self, env._now, -1, seq, env._now)
 
 
 class Process(Event):
     """A running generator; also an event that fires when it finishes."""
+
+    __slots__ = ("_generator", "name", "_target", "_resume_cb")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         super().__init__(env)
@@ -173,6 +228,10 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        #: The bound ``_resume`` method, created once — it is appended
+        #: to a callback list on every wait, and binding it per yield
+        #: would allocate a fresh method object each time.
+        self._resume_cb = self._resume
         Initialize(env, self)
 
     @property
@@ -189,49 +248,64 @@ class Process(Event):
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         self.env._schedule(event, delay=0.0, priority=-1)
         # Detach from the old target: when the old event fires we must not
         # resume a second time.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._target = None
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        generator = self._generator
+        send = generator.send
         while True:
             try:
                 if event._ok:
-                    result = self._generator.send(event._value)
+                    result = send(event._value)
                 else:
                     event._defused = True
-                    result = self._generator.throw(event._value)
+                    result = generator.throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self, delay=0.0)
+                env._seq = seq = env._seq + 1
+                env._fast0.append((env._now, 0, seq, self))
+                if env.monitor is not None:
+                    env.monitor.on_schedule(self, env._now, 0, seq,
+                                            env._now)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self, delay=0.0)
+                env._seq = seq = env._seq + 1
+                env._fast0.append((env._now, 0, seq, self))
+                if env.monitor is not None:
+                    env.monitor.on_schedule(self, env._now, 0, seq,
+                                            env._now)
                 break
 
-            if not isinstance(result, Event):
+            # ``result.callbacks`` doubles as the is-it-an-event check:
+            # anything without the attribute was not a yieldable event.
+            try:
+                callbacks = result.callbacks
+            except AttributeError:
                 raise SimulationError(
                     f"process {self.name!r} yielded a non-event: {result!r}"
-                )
-            if result.callbacks is not None:
+                ) from None
+            if callbacks is not None:
                 # Not yet processed: wait for it.
-                result.callbacks.append(self._resume)
+                callbacks.append(self._resume_cb)
                 self._target = result
                 break
             # Already processed: continue immediately with its value.
             event = result
-        self.env._active_process = None
+        env._active_process = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Process {self.name!r}>"
@@ -239,6 +313,8 @@ class Process(Event):
 
 class Condition(Event):
     """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_evaluate", "_count")
 
     def __init__(self, env: "Environment", events: Iterable[Event],
                  evaluate: Callable[[list[Event], int], bool]):
@@ -252,11 +328,12 @@ class Condition(Event):
         if not self.events:
             self.succeed(self._collect())
             return
+        check = self._check
         for event in self.events:
             if event.callbacks is None:
-                self._check(event)
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
     def _collect(self) -> dict:
         return {
@@ -279,12 +356,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires once every component event has fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda events, count: count >= len(events))
 
 
 class AnyOf(Condition):
     """Fires once any component event has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, events, lambda events, count: count >= 1)
@@ -319,9 +400,19 @@ class MonitorChain:
 class Environment:
     """Execution environment: virtual clock plus the event queue."""
 
+    __slots__ = ("_now", "_queue", "_fast0", "_fastneg", "_seq",
+                 "_active_process", "monitor")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
+        #: Binary heap: positive-delay timeouts and exotic priorities.
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: Zero-delay fast lanes; see the module docstring.  Each holds
+        #: ``(when, priority, seq)``-sorted entries by construction
+        #: (the clock never rewinds, ``seq`` only grows), so a FIFO
+        #: deque replaces the heap for the dominant traffic.
+        self._fast0: deque[tuple[float, int, int, Event]] = deque()
+        self._fastneg: deque[tuple[float, int, int, Event]] = deque()
         self._seq = 0
         self._active_process: Optional[Process] = None
         #: Optional observer (e.g. the event-ordering sanitizer in
@@ -396,22 +487,71 @@ class Environment:
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = 0) -> None:
-        self._seq += 1
-        when = self._now + delay
-        heapq.heappush(self._queue, (when, priority, self._seq, event))
+        self._seq = seq = self._seq + 1
+        now = self._now
+        if delay == 0.0:
+            # Zero-delay fast lanes: appending keeps each deque sorted
+            # by the global (when, priority, seq) key, so these events
+            # never pay heappush/heappop.
+            if priority == 0:
+                self._fast0.append((now, 0, seq, event))
+            elif priority == -1:
+                self._fastneg.append((now, -1, seq, event))
+            else:
+                heappush(self._queue, (now, priority, seq, event))
+            when = now
+        else:
+            when = now + delay
+            heappush(self._queue, (when, priority, seq, event))
         if self.monitor is not None:
-            self.monitor.on_schedule(event, when, priority, self._seq,
-                                     self._now)
+            self.monitor.on_schedule(event, when, priority, seq, now)
+
+    def _pop_next(self) -> Optional[tuple[float, int, int, Event]]:
+        """Remove and return the globally next entry, or ``None``.
+
+        Merges the three lane heads by their ``(when, priority, seq)``
+        prefix — ``seq`` is unique, so the comparison never reaches the
+        event object.
+        """
+        queue = self._queue
+        fast0 = self._fast0
+        fastneg = self._fastneg
+        if fastneg:
+            cand = fastneg
+            if fast0 and fast0[0] < fastneg[0]:
+                cand = fast0
+        elif fast0:
+            cand = fast0
+        else:
+            cand = None
+        if queue:
+            if cand is None or queue[0] < cand[0]:
+                return heappop(queue)
+            return cand.popleft()
+        if cand is None:
+            return None
+        return cand.popleft()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        best = float("inf")
+        if self._queue:
+            best = self._queue[0][0]
+        if self._fast0 and self._fast0[0][0] < best:
+            best = self._fast0[0][0]
+        if self._fastneg and self._fastneg[0][0] < best:
+            best = self._fastneg[0][0]
+        return best
+
+    def _pending(self) -> bool:
+        return bool(self._queue or self._fast0 or self._fastneg)
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        entry = self._pop_next()
+        if entry is None:
             raise SimulationError("no scheduled events")
-        when, prio, seq, event = heapq.heappop(self._queue)
+        when, prio, seq, event = entry
         self._now = when
         monitor = self.monitor
         if monitor is not None:
@@ -429,6 +569,81 @@ class Environment:
             # an uncaught exception in a real run.
             raise event._value
 
+    def _run_inline(self, stop: Optional[Event]) -> None:
+        """Monitor-free hot loop: lane merge + callback dispatch inlined.
+
+        Behaviourally identical to calling :meth:`step` until ``stop``
+        is processed (or forever when ``stop`` is ``None``), but with
+        the lanes hoisted into locals so the common case does no
+        per-event attribute lookups.  Only entered when ``monitor is
+        None``; a monitor attached mid-run takes effect from the next
+        ``run()``/``step()`` call.
+        """
+        queue = self._queue
+        fast0 = self._fast0
+        fastneg = self._fastneg
+        pop = heappop
+        if stop is None:
+            while True:
+                if fastneg:
+                    cand = fastneg
+                    if fast0 and fast0[0] < fastneg[0]:
+                        cand = fast0
+                elif fast0:
+                    cand = fast0
+                else:
+                    cand = None
+                if queue:
+                    if cand is None or queue[0] < cand[0]:
+                        best = pop(queue)
+                    else:
+                        best = cand.popleft()
+                elif cand is None:
+                    return
+                else:
+                    best = cand.popleft()
+                event = best[3]
+                self._now = best[0]
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok is False and not event._defused:
+                    # An unhandled failure terminates the simulation
+                    # loudly, like an uncaught exception in a real run.
+                    raise event._value
+            return
+        while stop.callbacks is not None:
+            if fastneg:
+                cand = fastneg
+                if fast0 and fast0[0] < fastneg[0]:
+                    cand = fast0
+            elif fast0:
+                cand = fast0
+            else:
+                cand = None
+            if queue:
+                if cand is None or queue[0] < cand[0]:
+                    best = pop(queue)
+                else:
+                    best = cand.popleft()
+            elif cand is None:
+                raise SimulationError(
+                    f"deadlock: event {stop!r} will never fire"
+                )
+            else:
+                best = cand.popleft()
+            event = best[3]
+            self._now = best[0]
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if event._ok is False and not event._defused:
+                # An unhandled failure terminates the simulation loudly,
+                # like an uncaught exception in a real run.
+                raise event._value
+
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (a time, an event, or exhaustion).
 
@@ -438,17 +653,23 @@ class Environment:
           its value (raising if it failed).
         """
         if until is None:
-            while self._queue:
-                self.step()
+            if self.monitor is None:
+                self._run_inline(None)
+            else:
+                while self._pending():
+                    self.step()
             return None
         if isinstance(until, Event):
             stop = until
-            while not stop.processed:
-                if not self._queue:
-                    raise SimulationError(
-                        f"deadlock: event {stop!r} will never fire"
-                    )
-                self.step()
+            if self.monitor is None:
+                self._run_inline(stop)
+            else:
+                while not stop.processed:
+                    if not self._pending():
+                        raise SimulationError(
+                            f"deadlock: event {stop!r} will never fire"
+                        )
+                    self.step()
             if stop._ok:
                 return stop._value
             stop._defused = True
@@ -456,7 +677,7 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise ValueError(f"until={horizon} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
+        while self.peek() <= horizon:
             self.step()
         self._now = horizon
         return None

@@ -28,6 +28,8 @@ __all__ = ["Resource", "Request", "Store", "Container"]
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -95,12 +97,16 @@ class Resource:
 
 
 class StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
 
 
 class StoreGet(Event):
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
         super().__init__(store.env)
 
@@ -171,6 +177,8 @@ class Store:
 
 
 class ContainerEvent(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         super().__init__(container.env)
         self.amount = amount

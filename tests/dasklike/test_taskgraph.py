@@ -150,3 +150,36 @@ class TestFusion:
     def test_fusion_keeps_graph_valid(self):
         fused = fuse_linear_chains(simple_chain())
         fused.validate()
+
+
+class TestToposortMemo:
+    def chain(self, n=4):
+        graph = TaskGraph()
+        prev = None
+        for i in range(n):
+            deps = (prev,) if prev is not None else ()
+            graph.add(TaskSpec(key=f"t{i}", deps=deps))
+            prev = f"t{i}"
+        return graph
+
+    def test_repeated_toposort_is_cached(self):
+        graph = self.chain()
+        first = graph.toposort()
+        assert graph._toposort_cache is not None
+        assert graph.toposort() == first
+
+    def test_add_invalidates_cache(self):
+        graph = self.chain()
+        first = graph.toposort()
+        graph.add(TaskSpec(key="extra", deps=("t3",)))
+        assert graph._toposort_cache is None
+        second = graph.toposort()
+        assert second != first
+        assert "extra" in second
+
+    def test_callers_cannot_corrupt_cache(self):
+        graph = self.chain()
+        original = graph.toposort()
+        mutated = graph.toposort()
+        mutated.reverse()
+        assert graph.toposort() == original

@@ -1,0 +1,61 @@
+"""Regression: the fast log serializer emits the exact bytes of old one.
+
+``persist`` used to render each log entry with ``json.dumps(asdict(...))``;
+``asdict`` recursively deep-copies every row, which was measurable across
+thousands of entries.  The shallow replacement must not change a single
+byte of ``logs.jsonl``, or historical run directories and new ones would
+diverge under diffing.
+"""
+
+import json
+from dataclasses import asdict
+
+from repro.dasklike.records import LogEntry, SpillRecord, WarningRecord
+from repro.instrument.recorder import _log_entry_line
+
+ENTRIES = [
+    LogEntry(source="scheduler", time=0.0, level="INFO",
+             message="Clear task state"),
+    LogEntry(source="10.0.0.7:34567", time=12.25, level="WARNING",
+             message="unresponsive event loop — 3.02s"),
+    LogEntry(source="client", time=1e-9, level="ERROR",
+             message='quotes " and \\ backslashes\nand newlines'),
+    LogEntry(source="worker", time=float(10**20), level="INFO", message=""),
+]
+
+
+def test_lines_byte_identical_to_asdict_form():
+    for entry in ENTRIES:
+        assert _log_entry_line(entry) == json.dumps(asdict(entry))
+
+
+def test_other_flat_record_types_supported():
+    records = [
+        WarningRecord(source="s", hostname="n1", kind="gc_collect",
+                      time=3.5, duration=0.25, message="gc"),
+        SpillRecord(worker="w", hostname="n2", key="('x', 0)",
+                    nbytes=1024, time=9.0, direction="spill"),
+    ]
+    for record in records:
+        assert _log_entry_line(record) == json.dumps(asdict(record))
+
+
+def test_field_cache_reused_across_calls():
+    from repro.instrument import recorder
+
+    _log_entry_line(ENTRIES[0])
+    assert LogEntry in recorder._FLAT_FIELDS_CACHE
+    names = recorder._FLAT_FIELDS_CACHE[LogEntry]
+    _log_entry_line(ENTRIES[1])
+    assert recorder._FLAT_FIELDS_CACHE[LogEntry] is names
+    assert names == ("source", "time", "level", "message")
+
+
+def test_jsonl_round_trips(tmp_path):
+    path = tmp_path / "logs.jsonl"
+    with open(path, "w") as fh:
+        for entry in ENTRIES:
+            fh.write(_log_entry_line(entry) + "\n")
+    with open(path) as fh:
+        parsed = [json.loads(line) for line in fh]
+    assert parsed == [asdict(entry) for entry in ENTRIES]

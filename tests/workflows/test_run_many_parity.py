@@ -1,0 +1,101 @@
+"""Executor parity: repetition fan-out must never change the data.
+
+The paper's repetition protocol multiplies engine cost, so ``run_many``
+fans repetitions out over thread or process pools — but every number in
+the evaluation flows from the event streams, so the parity contract is
+strict: for the same ``(seed, run_index)``, serial, threaded, and
+process execution must produce byte-identical event streams.  The
+process backend uses a fork context precisely so children inherit the
+parent's hash randomization (set-iteration order feeds scheduler tie
+order), keeping cross-executor streams identical without pinning
+``PYTHONHASHSEED``.
+"""
+
+import functools
+import json
+import warnings
+
+import pytest
+
+from repro.workflows import ImageProcessingWorkflow, run_many
+from repro.workflows.runner import EXECUTORS, _chunk_indices
+
+SCALE = 0.03
+N_RUNS = 3
+
+
+def _factory():
+    return functools.partial(ImageProcessingWorkflow, scale=SCALE)
+
+
+def _stream_bytes(result) -> bytes:
+    return json.dumps(result.data.events, sort_keys=True).encode()
+
+
+@pytest.fixture(scope="module")
+def serial_runs():
+    return run_many(_factory(), n_runs=N_RUNS, seed=7, executor="serial")
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_streams_identical_across_executors(serial_runs, executor):
+    runs = run_many(_factory(), n_runs=N_RUNS, seed=7,
+                    workers=2, executor=executor)
+    assert [r.run_index for r in runs] == list(range(N_RUNS))
+    for serial, parallel in zip(serial_runs, runs):
+        assert _stream_bytes(serial) == _stream_bytes(parallel)
+        assert serial.data.logs == parallel.data.logs
+
+
+def test_auto_prefers_process_when_viable(serial_runs):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # no fallback warning expected
+        runs = run_many(_factory(), n_runs=N_RUNS, seed=7,
+                        workers=2, executor="auto")
+    for serial, parallel in zip(serial_runs, runs):
+        assert _stream_bytes(serial) == _stream_bytes(parallel)
+
+
+def test_process_falls_back_to_threads_for_unpicklable_factory():
+    factory = lambda: ImageProcessingWorkflow(scale=SCALE)  # noqa: E731
+    with pytest.warns(RuntimeWarning, match="falling back to threads"):
+        runs = run_many(factory, n_runs=2, seed=7,
+                        workers=2, executor="process")
+    assert [r.run_index for r in runs] == [0, 1]
+
+
+def test_process_falls_back_when_observers_present():
+    class Monitor:
+        def attach(self, env):
+            env.add_monitor(self)
+
+        def on_schedule(self, *a):
+            pass
+
+        def on_step(self, *a):
+            pass
+
+        def before_callback(self, *a):
+            pass
+
+    with pytest.warns(RuntimeWarning, match="falling back to threads"):
+        runs = run_many(_factory(), n_runs=2, seed=7, workers=2,
+                        executor="process", monitor=Monitor())
+    assert len(runs) == 2
+
+
+def test_unknown_executor_rejected():
+    with pytest.raises(ValueError, match="executor must be one of"):
+        run_many(_factory(), n_runs=1, executor="mpi")
+    assert set(EXECUTORS) == {"serial", "thread", "process", "auto"}
+
+
+def test_chunk_indices_cover_all_runs_in_order():
+    for n_runs in (1, 2, 7, 8, 9):
+        for workers in (1, 2, 3, 4, 16):
+            chunks = _chunk_indices(n_runs, workers)
+            assert len(chunks) == min(workers, n_runs)
+            flat = [i for chunk in chunks for i in chunk]
+            assert flat == list(range(n_runs))
+            sizes = [len(c) for c in chunks]
+            assert max(sizes) - min(sizes) <= 1
