@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Overhead benchmark for the fault-injection layer.
+
+Workload: the same ImageProcessing repetition executed twice from one
+seed — bare, then with an *idle* :class:`~repro.faults.FaultInjector`
+attached (an empty :class:`~repro.faults.FaultSchedule`).
+
+Two things are measured and reported:
+
+* **perturbation** — with nothing scheduled, the injector must attach
+  no simulation processes and leave the recorded event stream
+  *identical* byte for byte.  The benchmark asserts this before
+  reporting any timing, so a regression that makes the idle injector
+  touch the run fails loudly.
+* **wall-clock overhead** — idle-injector time relative to bare time.
+  There is no hard floor by default: the interesting number is the
+  trajectory appended to ``benchmarks/out/faults_overhead.txt``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_faults_overhead.py
+    PYTHONPATH=src python benchmarks/bench_faults_overhead.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.faults import FaultSchedule  # noqa: E402
+from repro.workflows import ImageProcessingWorkflow, run_workflow  # noqa: E402
+
+OUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "out", "faults_overhead.txt")
+
+
+def _time_run(scale: float, seed: int, faults=None):
+    gc.collect()
+    start = time.perf_counter()
+    result = run_workflow(ImageProcessingWorkflow(scale=scale), seed=seed,
+                          faults=faults)
+    return result, time.perf_counter() - start
+
+
+def run_bench(scale: float, seed: int, repeats: int) -> str:
+    bare_best = idle_best = float("inf")
+    bare = idle = None
+    for _ in range(repeats):
+        bare, bare_wall = _time_run(scale, seed)
+        idle, idle_wall = _time_run(scale, seed, faults=FaultSchedule([]))
+        bare_best = min(bare_best, bare_wall)
+        idle_best = min(idle_best, idle_wall)
+
+    if idle.data.events != bare.data.events:
+        raise AssertionError(
+            "idle fault injector perturbed the run: event streams differ")
+    if idle.fault_records:
+        raise AssertionError(
+            "idle fault injector produced fault records")
+
+    overhead = (idle_best / bare_best - 1.0) * 100.0
+    lines = [
+        f"fault-injector overhead @ ImageProcessing scale={scale} "
+        f"seed={seed} (best of {repeats})",
+        f"  events recorded : {len(bare.data.events)} "
+        "(identical with idle injector attached)",
+        f"  bare            : {bare_best:.3f} s",
+        f"  idle injector   : {idle_best:.3f} s",
+        f"  overhead: {overhead:+.1f}%",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="workflow scale factor (default 0.1)")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed passes; best-of wins (default 3)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scale for CI: parity check only, "
+                             "no artifact write")
+    parser.add_argument("--max-overhead", type=float, default=None,
+                        help="fail if overhead exceeds this percentage "
+                             "(default: unchecked)")
+    args = parser.parse_args(argv)
+
+    scale = min(args.scale, 0.04) if args.smoke else args.scale
+    repeats = 1 if args.smoke else args.repeats
+
+    text = run_bench(scale, args.seed, repeats)
+    print(text)
+
+    if not args.smoke:
+        os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+        with open(OUT_PATH, "a", encoding="utf-8") as fh:
+            fh.write(text + "\n\n")
+        print(f"(appended to {OUT_PATH})")
+
+    if args.max_overhead is not None:
+        overhead = float(text.split("overhead: ")[1].split("%")[0])
+        if overhead > args.max_overhead:
+            print(f"FAIL: overhead {overhead:+.1f}% above the "
+                  f"{args.max_overhead:.1f}% ceiling", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,7 @@ EVENT_REQUIREMENTS: dict[str, set[str]] = {
     "spill": {"key", "worker", "hostname", "timestamp"},
     "task_added": {"key", "timestamp"},
     "dxt_segment": {"hostname", "thread", "timestamp"},
+    "fault": {"worker", "hostname", "timestamp"},
 }
 
 _record_fields_cache: Optional[dict[str, frozenset[str]]] = None

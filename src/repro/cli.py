@@ -336,6 +336,53 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run one workflow under a fault schedule; print the recovery story."""
+    from .faults import FaultSchedule
+    from .workflows import run_workflow
+
+    factory = _workflow_factory(args.workflow, args.scale)
+    try:
+        schedule = FaultSchedule.from_specs(args.fault or [])
+    except ValueError as exc:
+        print(f"bad --fault spec: {exc}", file=sys.stderr)
+        return 2
+    result = run_workflow(factory(), seed=args.seed, faults=schedule)
+    session = AnalysisSession.of(result.data)
+    report = session.resilience_report()
+
+    document = {
+        "workflow": args.workflow,
+        "seed": args.seed,
+        "schedule": schedule.describe(),
+        "wall_time_s": round(result.wall_time, 3),
+        **{key: report[key] for key in (
+            "n_faults", "faults", "recomputed_tasks", "retried_tasks",
+            "total_retries", "retry_histogram", "recovery",
+            "fault_warnings")},
+    }
+    lines = [
+        f"{args.workflow}: {report['n_faults']} fault(s) fired, "
+        f"wall time {result.wall_time:.2f}s",
+        f"recomputed tasks: {report['recomputed_tasks']}  "
+        f"retried tasks: {report['retried_tasks']} "
+        f"({report['total_retries']} retries)",
+    ]
+    rows = [{
+        "fault": f"{entry['kind']}@{entry['time']:.1f}",
+        "target": entry["target"],
+        "detected_s": "-" if entry["detected_after"] is None
+        else f"{entry['detected_after']:.2f}",
+        "recovered_s": "-" if entry["recovered_after"] is None
+        else f"{entry['recovered_after']:.2f}",
+        "warnings": window["n_warnings"],
+    } for entry, window in zip(report["recovery"],
+                               report["fault_warnings"])]
+    if rows:
+        lines.append(format_records(rows, title="recovery per fault"))
+    return _deliver(args, "\n".join(lines), document)
+
+
 def _run_with_telemetry(args: argparse.Namespace):
     """Shared driver of ``trace``/``metrics``: one instrumented run."""
     from .telemetry import Telemetry
@@ -526,6 +573,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument("--format", choices=("text", "json"),
                        default="text")
     p_san.set_defaults(func=cmd_sanitize)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="run a workflow under an injected fault schedule")
+    p_faults.add_argument("workflow",
+                          help="imageprocessing|resnet152|xgboost")
+    p_faults.add_argument("--scale", type=float, default=0.05)
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument(
+        "--fault", action="append", metavar="SPEC",
+        help="fault spec kind@time[:target][+duration][xMAG] "
+             "(repeatable; e.g. worker_crash@5 or "
+             "pfs_ost_slowdown@2:0+10x8)")
+    p_faults.add_argument("--out", default=None,
+                          help="output file (default: stdout)")
+    p_faults.add_argument("--format", choices=("text", "json"),
+                          default="text",
+                          help="recovery summary (text) or the full "
+                               "report (json)")
+    p_faults.set_defaults(func=cmd_faults)
 
     p_trace = sub.add_parser(
         "trace",

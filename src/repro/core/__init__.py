@@ -55,6 +55,11 @@ from .parallel_coords import (
 from .phases import PhaseBreakdown, phase_breakdown
 from .provenance import render_provenance, task_provenance
 from .report import format_bar, format_records, format_table
+from .resilience import (
+    RECOVERY_STIMULI,
+    resilience_report,
+    resilience_view,
+)
 from .scheduling import compare_runs, order_distance, placement_agreement
 from .table import Table
 from .timeline import IOPhase, detect_phases, io_timeline
@@ -163,7 +168,10 @@ __all__ = [
     "phase_variability",
     "placement_agreement",
     "prefix_duration_variability",
+    "RECOVERY_STIMULI",
     "render_provenance",
+    "resilience_report",
+    "resilience_view",
     "shared_identifiers",
     "slow_small_messages",
     "spill_view",

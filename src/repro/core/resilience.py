@@ -1,0 +1,152 @@
+"""Resilience analysis: what failed, what it cost, how the WMS recovered.
+
+The paper's provenance machinery explains *healthy* runs; this module
+is its failure-mode counterpart, closing the loop Souza et al. argue
+for — provenance must capture failure and recovery, not just success.
+Injected faults (see :mod:`repro.faults`) arrive in the event stream as
+``fault`` events carrying the same shared identifiers as every other
+record, so they join against transitions and warnings like any other
+source:
+
+* :func:`resilience_view` — the fault events as a uniform
+  :class:`~repro.core.table.Table` (one row per injection);
+* :func:`resilience_report` — recovery economics: recomputed-task
+  counts, retry histograms, per-fault time-to-recovery, and the
+  fault→warning correlation via :mod:`~repro.core.warnings_analysis`.
+
+Both are session-aware: pass an :class:`AnalysisSession` (or anything
+``AnalysisSession.of`` accepts) and results are memoized per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .table import Table
+from .warnings_analysis import warnings_in_window
+
+__all__ = ["RECOVERY_STIMULI", "resilience_view", "resilience_report"]
+
+#: Transition stimuli that only failure handling produces.
+RECOVERY_STIMULI = (
+    "worker-failed",
+    "recompute",
+    "retry",
+    "data-lost",
+    "task-timeout",
+    "upstream-erred",
+    "no-workers",
+)
+
+_VIEW_COLUMNS = ("fault_id", "kind", "target", "worker", "hostname",
+                 "timestamp", "duration", "magnitude")
+
+
+def _session(source):
+    from .session import AnalysisSession
+    return AnalysisSession.of(source)
+
+
+def resilience_view(source) -> Table:
+    """One row per injected fault, joinable on worker/hostname/timestamp.
+
+    Columns: fault_id, kind, target, worker, hostname, timestamp,
+    duration, magnitude.  Empty (with stable columns) for a run without
+    injected faults.
+    """
+    session = _session(source)
+    return session.cached("resilience_view", lambda: _build_view(session))
+
+
+def _build_view(session) -> Table:
+    events = session.run.events_of_type("fault")
+    if not events:
+        return Table({name: [] for name in _VIEW_COLUMNS})
+    return Table.from_records(events, columns=_VIEW_COLUMNS)
+
+
+def resilience_report(source) -> dict:
+    """Aggregate recovery statistics for one run.
+
+    Keys:
+
+    ``n_faults`` / ``faults``
+        Count and flat records of every injected fault.
+    ``recomputed_tasks`` / ``recomputed_keys``
+        Work redone because its output was lost (transitions with the
+        ``recompute`` stimulus).
+    ``retried_tasks`` / ``total_retries`` / ``retry_histogram``
+        Tasks that consumed retry budget; the histogram maps number of
+        attempts to how many tasks needed that many.
+    ``recovery``
+        Per fault: seconds from injection to the first recovery
+        transition (``detected_after``) and to the last one
+        (``recovered_after``); ``None`` when the fault triggered no
+        recovery (e.g. a blackout shorter than the detection deadline).
+    ``fault_warnings``
+        Per fault: warnings landing inside the fault window — the
+        fault→symptom correlation of the Fig.-7 analysis.
+    """
+    session = _session(source)
+    return session.cached("resilience_report",
+                          lambda: _build_report(session))
+
+
+def _build_report(session) -> dict:
+    faults = resilience_view(session)
+    transitions = session.transition_view()
+    stimuli = transitions["stimulus"]
+    timestamps = transitions["timestamp"].astype(float)
+    keys = transitions["key"]
+    finish = transitions["finish_state"]
+
+    recompute_mask = (stimuli == "recompute") & (finish == "waiting")
+    recomputed_keys = sorted(set(keys[recompute_mask]))
+
+    # One ``released`` transition with the ``retry`` stimulus per
+    # consumed retry: count attempts per key.
+    retry_mask = (stimuli == "retry") & (finish == "released")
+    retry_counts: dict[str, int] = {}
+    for key in keys[retry_mask]:
+        retry_counts[key] = retry_counts.get(key, 0) + 1
+    retry_histogram: dict[int, int] = {}
+    for attempts in retry_counts.values():
+        retry_histogram[attempts] = retry_histogram.get(attempts, 0) + 1
+
+    recovery_mask = np.isin(stimuli, RECOVERY_STIMULI)
+    recovery_times = timestamps[recovery_mask]
+
+    fault_rows = faults.to_records() if len(faults) else []
+    recovery = []
+    fault_warnings = []
+    warnings_table = session.warning_view()
+    for row in fault_rows:
+        t0 = float(row["timestamp"])
+        after = recovery_times[recovery_times >= t0]
+        recovery.append({
+            "fault_id": row["fault_id"],
+            "kind": row["kind"],
+            "target": row["target"],
+            "time": t0,
+            "detected_after": float(after.min() - t0) if len(after) else None,
+            "recovered_after": float(after.max() - t0) if len(after) else None,
+        })
+        window_end = t0 + max(float(row["duration"]), 1e-9)
+        fault_warnings.append({
+            "fault_id": row["fault_id"],
+            "kind": row["kind"],
+            "window": (t0, window_end),
+            "n_warnings": warnings_in_window(warnings_table, t0, window_end),
+        })
+
+    return {
+        "n_faults": len(fault_rows),
+        "faults": fault_rows,
+        "recomputed_tasks": int(recompute_mask.sum()),
+        "recomputed_keys": recomputed_keys,
+        "retried_tasks": len(retry_counts),
+        "total_retries": int(retry_mask.sum()),
+        "retry_histogram": retry_histogram,
+        "recovery": recovery,
+        "fault_warnings": fault_warnings,
+    }

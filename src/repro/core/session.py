@@ -137,6 +137,21 @@ class AnalysisSession:
             columns=("time", "metric", "kind", "labels", "value"),
         ))
 
+    def resilience_view(self) -> Table:
+        """Injected-fault rows (fault_id/kind/target/worker/...).
+
+        Empty when the run executed without a fault schedule.  Like
+        :meth:`metrics_view`, not one of the nine canonical views —
+        fault injection is optional — but cached identically.
+        """
+        from .resilience import resilience_view
+        return resilience_view(self)
+
+    def resilience_report(self) -> dict:
+        """Cached recovery statistics (retries, recomputes, TTR)."""
+        from .resilience import resilience_report
+        return resilience_report(self)
+
     def all_views(self, workers: Optional[int] = None) -> dict[str, Table]:
         """All nine views as ``{name: Table}`` (optionally prefetched
         by a thread pool — useful right after loading a large run)."""

@@ -74,6 +74,20 @@ class DaskConfig:
     #: stop-the-world pauses, which trigger unresponsive-loop warnings).
     gc_pause_sigma: float = 1.1
 
+    # -- resilience -----------------------------------------------------------
+    #: Default retry budget for tasks that do not set
+    #: :attr:`~repro.dasklike.taskgraph.TaskSpec.retries` themselves
+    #: (Dask's ``client.submit(..., retries=)`` default of 0: first
+    #: error fails the future).
+    task_retries: int = 0
+    #: First retry waits this long, seconds (exponential backoff base).
+    retry_backoff_base: float = 0.5
+    #: Backoff multiplier: attempt *n* waits ``base * factor**(n-1)``.
+    retry_backoff_factor: float = 2.0
+    #: Per-task wall-clock limit, seconds; 0 disables enforcement.
+    #: Overridden per task by :attr:`TaskSpec.timeout`.
+    task_timeout: float = 0.0
+
     # -- communication --------------------------------------------------------
     #: Fixed control-plane message latency (scheduler <-> worker RPC).
     control_latency: float = 1.0e-3
@@ -103,4 +117,10 @@ class DaskConfig:
             "distributed.worker.heartbeat": self.heartbeat_interval,
             "distributed.worker.memory.limit": self.memory_limit,
             "distributed.comm.timeouts.connect": self.connect_timeout,
+            "distributed.scheduler.task-retries": self.task_retries,
+            "distributed.scheduler.retry-backoff-base":
+                self.retry_backoff_base,
+            "distributed.scheduler.retry-backoff-factor":
+                self.retry_backoff_factor,
+            "distributed.scheduler.task-timeout": self.task_timeout,
         }

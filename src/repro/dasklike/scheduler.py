@@ -31,7 +31,7 @@ from .config import DaskConfig
 from .records import LogEntry, StealEvent
 from .states import TransitionRecord, key_str, validate_transition
 from .taskgraph import TaskGraph, TaskSpec
-from .worker import Worker
+from .worker import DataLostError, Worker
 
 __all__ = ["Scheduler", "SchedulerTaskState"]
 
@@ -62,6 +62,14 @@ class SchedulerTaskState:
     compute_process: Optional[object] = None
     #: Exact amount this task added to its worker's occupancy estimate.
     occupancy_contrib: float = 0.0
+    #: Failed attempts so far (drives the exponential backoff).
+    retry_count: int = 0
+    #: Remaining retry budget; ``None`` until the first failure, when it
+    #: is seeded from the task spec or the config default.
+    retries_left: Optional[int] = None
+    #: True while a backoff timer owns the task (state ``released``);
+    #: failure recovery must leave it to the timer.
+    retry_pending: bool = False
 
     @property
     def name(self) -> str:
@@ -137,14 +145,25 @@ class Scheduler:
         interval = self.config.heartbeat_interval
         while self._monitoring:
             yield self.env.timeout(interval)
+            if not self._monitoring:
+                # stop_liveness_monitor() ran while we were mid-yield:
+                # without this re-check the loop body would execute one
+                # more time and could fail (and re-recover) workers the
+                # caller explicitly stopped watching.
+                return
             deadline = self.env.now - misses * interval
             for address in list(self.workers):
+                worker = self.workers.get(address)
+                if worker is None:
+                    # Removed by a recovery pass triggered earlier in
+                    # this same sweep (cascading failure).
+                    continue
                 last = self._last_heartbeat.get(address)
                 if last is not None and last < deadline:
                     self.log("WARNING",
                              f"Worker {address} failed heartbeat check; "
                              "removing and recovering its work")
-                    self.handle_worker_failure(self.workers[address])
+                    self.handle_worker_failure(worker)
 
     def handle_worker_failure(self, worker: Worker) -> None:
         """Recover from a dead worker: recompute lost keys, reassign
@@ -164,9 +183,16 @@ class Scheduler:
             if ts.state == "processing" and ts.processing_on is worker:
                 inflight.append(ts)
 
+        # One deduplication set per recovery pass: with diamond
+        # dependencies the recursive _resubmit walk can reach the same
+        # key along several edges, and a second full visit would
+        # double-increment its dependencies' ``remaining_dependents``
+        # (the key then never drops to zero and is never released).
+        seen: set = set()
+
         for ts in lost:
             if ts.wanted or ts.remaining_dependents > 0 or ts.dependents:
-                self._resubmit(ts)
+                self._resubmit(ts, seen)
             else:
                 self._transition(ts, "released", "worker-failed")
                 self._transition(ts, "forgotten", "gc")
@@ -181,19 +207,39 @@ class Scheduler:
             ts.waiting_on = set()
             for dep in ts.spec.deps:
                 dep_ts = self.tasks[key_str(dep)]
-                if dep_ts.state == "memory" and dep_ts.who_has:
+                if dep_ts.state == "memory" and any(
+                        not w.failed for w in dep_ts.who_has.values()):
                     continue
                 ts.waiting_on.add(dep_ts.name)
                 if dep_ts.state in ("memory", "released", "forgotten"):
                     # "memory" with no replica left, or already freed:
                     # either way the data is gone and must be rebuilt,
                     # or this task waits forever on a key nobody runs.
-                    self._resubmit(dep_ts)
+                    self._resubmit(dep_ts, seen)
             if not ts.waiting_on and self.workers:
                 self._assign(ts, stimulus="worker-failed")
 
-    def _resubmit(self, ts: SchedulerTaskState) -> None:
-        """Recompute a lost key (and, recursively, lost inputs)."""
+        if not self.workers:
+            self._degrade_no_workers()
+
+    def _resubmit(self, ts: SchedulerTaskState,
+                  seen: Optional[set] = None) -> None:
+        """Recompute a lost key (and, recursively, lost inputs).
+
+        ``seen`` is the per-recovery-pass deduplication set threaded
+        down from :meth:`handle_worker_failure`; a key already visited
+        in this pass is never resubmitted twice, whatever state an
+        earlier visit left it in.
+        """
+        if seen is not None:
+            if ts.name in seen:
+                return
+            seen.add(ts.name)
+        if ts.retry_pending:
+            # A retry timer owns this task; it re-resolves lost inputs
+            # itself when it fires.  Resubmitting here as well would
+            # double-count its dependency consumption.
+            return
         if ts.state == "memory":
             self._transition(ts, "released", "worker-failed")
         elif ts.state == "forgotten":
@@ -209,14 +255,15 @@ class Scheduler:
             dep_ts = self.tasks[key_str(dep)]
             # This task will consume its inputs once more.
             dep_ts.remaining_dependents += 1
-            if dep_ts.state == "memory" and dep_ts.who_has:
+            if dep_ts.state == "memory" and any(
+                    not w.failed for w in dep_ts.who_has.values()):
                 continue
             ts.waiting_on.add(dep_ts.name)
             if dep_ts.state in ("memory", "released", "forgotten"):
                 # The input itself is gone ("memory" with an empty
                 # who_has means it was lost in this same failure event
                 # but sits later in iteration order): rebuild it too.
-                self._resubmit(dep_ts)
+                self._resubmit(dep_ts, seen)
         # Downstream tasks still waiting must wait for this key again.
         for dep_name in ts.dependents:
             dep_ts = self.tasks[dep_name]
@@ -224,6 +271,27 @@ class Scheduler:
                 dep_ts.waiting_on.add(ts.name)
         if not ts.waiting_on and self.workers:
             self._assign(ts, stimulus="recompute")
+
+    def _degrade_no_workers(self) -> None:
+        """Graceful degradation: the last worker is gone.
+
+        Nothing can ever run again, so instead of leaving clients
+        parked forever on wanted events, fail every non-terminal task's
+        future with a clear diagnosis (Dask's ``KilledWorker``-style
+        surfacing).
+        """
+        exc = RuntimeError(
+            "all workers are gone; pending keys cannot be recovered")
+        self.log("ERROR", "All workers lost; failing pending wanted keys")
+        for ts in self.tasks.values():
+            if ts.state in ("waiting", "released", "no-worker",
+                            "processing"):
+                if ts.state == "released":
+                    self._transition(ts, "waiting", "no-workers")
+                if ts.state in ("waiting", "no-worker"):
+                    self._transition(ts, "processing", "no-workers")
+                self._transition(ts, "erred", "no-workers")
+                self._fail_wanted(ts, exc)
 
     def log(self, level: str, message: str) -> None:
         self.logs.append(LogEntry(
@@ -424,7 +492,29 @@ class Scheduler:
             name=f"compute-{ts.name}",
         )
         ts.compute_process = proc
-        completed = yield proc
+        limit = self.task_timeout(ts.spec)
+        if limit > 0:
+            timer = self.env.timeout(limit)
+            yield proc | timer
+            if (not proc.triggered and ts.compute_process is proc
+                    and ts.processing_on is worker):
+                # The attempt overran its budget and nothing else (a
+                # steal, a failure recovery) claimed it meanwhile: cut
+                # it down and hand the decision back to the scheduler.
+                proc.interrupt("timeout")
+                completed = yield proc
+                if ts.compute_process is proc:
+                    ts.compute_process = None
+                self.task_timed_out(ts, worker, limit)
+                return completed
+            if not proc.triggered:
+                # Stolen/recovered while we watched the timer: wait out
+                # the (already interrupted) process for its value.
+                completed = yield proc
+            else:
+                completed = proc.value
+        else:
+            completed = yield proc
         if ts.compute_process is proc:
             ts.compute_process = None
         if (completed is False and worker.failed
@@ -484,12 +574,15 @@ class Scheduler:
 
     def task_erred(self, worker: Worker, name: str,
                    exception: BaseException) -> None:
-        """A task raised on its worker: err it and poison dependents.
+        """A task raised on its worker: retry it or err it.
 
-        Mirrors Dask: the failing task transitions to ``erred``, every
-        transitive dependent that can no longer run is erred as well
-        (stimulus ``upstream-erred``), and clients waiting on any of
-        those keys see the original exception.
+        Mirrors Dask: while the task has retry budget (``retries=`` on
+        the spec, or the config-wide ``task_retries``) a failed attempt
+        is rescheduled after an exponential backoff.  Once the budget is
+        exhausted the task transitions to ``erred``, every transitive
+        dependent that can no longer run is erred as well (stimulus
+        ``upstream-erred``), and clients waiting on any of those keys
+        see the original exception.
         """
         if worker.address not in self.workers:
             return
@@ -500,12 +593,27 @@ class Scheduler:
             0.0, self.occupancy[worker.address] - ts.occupancy_contrib)
         ts.occupancy_contrib = 0.0
         ts.worker_process = None
+        if isinstance(exception, DataLostError):
+            # Not the task's fault: a dependency replica vanished under
+            # it (its holder crashed after assignment).  Reschedule with
+            # fresh ``who_has`` without spending user retry budget —
+            # Dask likewise retries gather failures rather than erring.
+            self.log("WARNING",
+                     f"Task {name} lost an input replica ({exception}); "
+                     f"rescheduling")
+            self._reschedule(ts, stimulus="data-lost")
+            return
+        if self._maybe_retry(ts, exception):
+            return
         self._transition(ts, "erred", "task-erred")
         self.log("ERROR", f"Task {name} marked as failed because of "
                           f"{type(exception).__name__}: {exception}")
         self._fail_wanted(ts, exception)
+        self._poison_dependents(ts, exception)
 
-        # Poison the transitive dependents that are now unrunnable.
+    def _poison_dependents(self, ts: SchedulerTaskState,
+                           exception: BaseException) -> None:
+        """Err the transitive dependents that are now unrunnable."""
         stack = sorted(ts.dependents)
         seen = set()
         while stack:
@@ -525,11 +633,116 @@ class Scheduler:
             self._fail_wanted(dep_ts, exception)
             stack.extend(sorted(dep_ts.dependents))
 
+    # ------------------------------------------------------------------
+    # retries, backoff, timeouts
+    # ------------------------------------------------------------------
+    def retry_budget(self, ts: SchedulerTaskState) -> int:
+        """Remaining retries (spec ``retries=`` overrides the config)."""
+        if ts.retries_left is None:
+            spec_retries = ts.spec.retries
+            ts.retries_left = (spec_retries if spec_retries is not None
+                               else self.config.task_retries)
+        return ts.retries_left
+
+    def task_timeout(self, spec: TaskSpec) -> float:
+        """Effective per-task timeout; 0 disables enforcement."""
+        if spec.timeout is not None:
+            return spec.timeout
+        return self.config.task_timeout
+
+    def _maybe_retry(self, ts: SchedulerTaskState,
+                     exception: BaseException) -> bool:
+        """Consume one retry and schedule the re-attempt; False when the
+        budget is exhausted (caller proceeds down the erred path)."""
+        if self.retry_budget(ts) <= 0:
+            return False
+        ts.retries_left -= 1
+        ts.retry_count += 1
+        delay = (self.config.retry_backoff_base
+                 * self.config.retry_backoff_factor ** (ts.retry_count - 1))
+        self._transition(ts, "released", "retry")
+        ts.processing_on = None
+        ts.compute_process = None
+        ts.retry_pending = True
+        self.log("WARNING",
+                 f"Task {ts.name} attempt {ts.retry_count} failed with "
+                 f"{type(exception).__name__}: {exception}; retrying in "
+                 f"{delay:.3f}s ({ts.retries_left} retries left)")
+        self.env.process(self._retry_later(ts, delay),
+                         name=f"retry-{ts.name}")
+        return True
+
+    def _retry_later(self, ts: SchedulerTaskState, delay: float):
+        """Process: exponential-backoff pause, then re-assignment."""
+        yield self.env.timeout(delay)
+        ts.retry_pending = False
+        if ts.state != "released":
+            return  # something else (recovery, release) moved the task on
+        self._reschedule(ts, stimulus="retry")
+
+    def _reschedule(self, ts: SchedulerTaskState, stimulus: str) -> None:
+        """Put a ``processing``/``released`` task back on the runnable
+        path, re-resolving dependencies that were lost meanwhile."""
+        if ts.state == "processing":
+            self._transition(ts, "released", stimulus)
+            ts.processing_on = None
+            ts.compute_process = None
+        if ts.state != "released":
+            return
+        self._transition(ts, "waiting", stimulus)
+        ts.waiting_on = set()
+        for dep in ts.spec.deps:
+            dep_ts = self.tasks[key_str(dep)]
+            # A replica on a silently crashed worker (not yet noticed by
+            # the liveness monitor) does not count: treating it as live
+            # would re-dispatch into the same DataLostError forever.
+            if dep_ts.state == "memory" and any(
+                    not w.failed for w in dep_ts.who_has.values()):
+                continue
+            ts.waiting_on.add(dep_ts.name)
+            if dep_ts.state in ("memory", "released", "forgotten"):
+                # An input was lost while this task waited: rebuild it.
+                # No remaining_dependents adjustment — the failed
+                # attempt never consumed it, so its claim still counts.
+                self._resubmit(dep_ts, set())
+        if not ts.waiting_on:
+            if self.workers:
+                self._assign(ts, stimulus=stimulus)
+            else:
+                self._degrade_no_workers()
+
+    def task_timed_out(self, ts: SchedulerTaskState, worker: Worker,
+                       limit: float) -> None:
+        """The per-task timeout elapsed: the attempt was interrupted on
+        its worker; retry or err exactly like a raised exception."""
+        if ts.state != "processing" or ts.processing_on is not worker:
+            return
+        self.occupancy[worker.address] = max(
+            0.0, self.occupancy[worker.address] - ts.occupancy_contrib)
+        ts.occupancy_contrib = 0.0
+        ts.worker_process = None
+        exception = TimeoutError(
+            f"task {ts.name} exceeded its {limit:g}s timeout on "
+            f"{worker.address}")
+        if self._maybe_retry(ts, exception):
+            return
+        self._transition(ts, "erred", "task-timeout")
+        self.log("ERROR", f"Task {ts.name} marked as failed because of "
+                          f"TimeoutError: {exception}")
+        self._fail_wanted(ts, exception)
+        self._poison_dependents(ts, exception)
+
     def _fail_wanted(self, ts: SchedulerTaskState,
                      exception: BaseException) -> None:
         event = self._wanted_events.get(ts.name)
         if event is not None and not event.triggered:
             event.fail(exception)
+            # Delivery is best-effort: when one recovery pass fails
+            # several wanted keys, the client's all_of consumes only
+            # the first failure — the rest would crash the simulation
+            # as unhandled.  Defused failures still raise in any
+            # process that yields on the event.
+            event._defused = True
 
     def _maybe_release(self, ts: SchedulerTaskState) -> None:
         if ts.state != "memory":

@@ -53,7 +53,13 @@ class WorkStealing:
     def balance(self) -> int:
         """One balancing round; returns the number of tasks moved."""
         sched = self.scheduler
-        workers = list(sched.workers.values())
+        # A worker can be dead (``failed``) yet still registered: a
+        # silent crash is only noticed at the next heartbeat deadline.
+        # Inside that window its occupancy reads 0.0, which would make
+        # it the preferred thief — stealing work *onto* a corpse — or a
+        # victim whose compute processes handle_worker_failure already
+        # tore down.  Balance only among live workers.
+        workers = [w for w in sched.workers.values() if not w.failed]
         if len(workers) < 2:
             return 0
         by_occ = sorted(workers, key=lambda w: sched.occupancy[w.address])
@@ -75,6 +81,13 @@ class WorkStealing:
 
     def _steal(self, name: str, victim, thief) -> bool:
         sched = self.scheduler
+        if victim.failed or thief.failed:
+            # Either endpoint died between candidate selection and the
+            # steal (or balance was driven externally): interrupting a
+            # dead victim's compute process — already torn down by
+            # handle_worker_failure — or occupying a dead thief would
+            # corrupt the occupancy accounting.
+            return False
         ts = sched.tasks.get(name)
         if ts is None or ts.state != "processing":
             return False

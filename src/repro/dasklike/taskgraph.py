@@ -71,6 +71,12 @@ class TaskSpec:
     reads: tuple[IOOp, ...] = ()
     writes: tuple[IOOp, ...] = ()
     output_nbytes: int = 0
+    #: Per-task retry budget (Dask's ``submit(..., retries=)``); None
+    #: defers to :attr:`DaskConfig.task_retries`.
+    retries: Optional[int] = None
+    #: Per-task wall-clock limit, seconds; None defers to
+    #: :attr:`DaskConfig.task_timeout`, 0 disables enforcement.
+    timeout: Optional[float] = None
 
     @property
     def name(self) -> str:
@@ -267,6 +273,8 @@ def fuse_linear_chains(graph: TaskGraph, name: Optional[str] = None) -> TaskGrap
             new_key = (f"{fused_prefix}-{token}",) + tuple(head_task.key[1:])
         else:
             new_key = f"{fused_prefix}-{token}"
+        member_retries = [m.retries for m in members if m.retries is not None]
+        member_timeouts = [m.timeout for m in members if m.timeout is not None]
         fused = TaskSpec(
             key=new_key,
             deps=tuple(
@@ -276,6 +284,11 @@ def fuse_linear_chains(graph: TaskGraph, name: Optional[str] = None) -> TaskGrap
             reads=tuple(op for m in members for op in m.reads),
             writes=tuple(op for m in members for op in m.writes),
             output_nbytes=tail_task.output_nbytes,
+            # A fused node runs every member's work in one attempt: it
+            # keeps the most generous member retry budget and the sum of
+            # the member time limits.
+            retries=max(member_retries) if member_retries else None,
+            timeout=sum(member_timeouts) if member_timeouts else None,
         )
         for member in chain:
             replaced[member] = new_key

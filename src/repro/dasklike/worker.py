@@ -34,7 +34,17 @@ from .records import (
 from .states import TransitionRecord
 from .taskgraph import TaskSpec
 
-__all__ = ["Worker", "PassthroughIO"]
+__all__ = ["Worker", "PassthroughIO", "DataLostError"]
+
+
+class DataLostError(RuntimeError):
+    """A dependency replica vanished before it could be fetched.
+
+    Raised by the gather path when every recorded holder of an input is
+    dead or gone.  The scheduler treats it as a *reschedule* signal —
+    recompute the input, re-run the task — rather than a task error, so
+    it never consumes user retry budget (mirrors Dask's handling of
+    ``gather_dep`` failures)."""
 
 
 class PassthroughIO:
@@ -115,6 +125,11 @@ class Worker:
         self._closed = False
         #: Set by :meth:`fail`: the process died (crash/OOM/node loss).
         self.failed = False
+        #: Heartbeats are suppressed (not sent) while ``env.now`` is
+        #: below this mark — the fault injector's "blackout" fault: the
+        #: process is alive but its control channel is, from the
+        #: scheduler's point of view, indistinguishable from a crash.
+        self.blackout_until = 0.0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -153,6 +168,8 @@ class Worker:
             yield self.env.timeout(interval)
             if self.failed or self.scheduler is None:
                 return
+            if self.env.now < self.blackout_until:
+                continue
             self.scheduler.heartbeat(self)
 
     @property
@@ -314,10 +331,21 @@ class Worker:
                 continue
             inflight = self._inflight_fetch.get(dep_name)
             if inflight is None:
-                sources = who_has.get(dep_name, [])
+                # The who_has snapshot was taken at dispatch time; any
+                # of its holders may have died since.  Filter corpses,
+                # then fall back to the scheduler's *current* replica
+                # map (another copy may exist) before giving up.
+                sources = [w for w in who_has.get(dep_name, ())
+                           if not w.failed]
+                if not sources and self.scheduler is not None:
+                    dep_ts = self.scheduler.tasks.get(dep_name)
+                    if dep_ts is not None:
+                        sources = [w for w in dep_ts.who_has.values()
+                                   if not w.failed]
                 if not sources:
-                    raise RuntimeError(
-                        f"{self.address}: no source for dependency {dep_name}"
+                    raise DataLostError(
+                        f"{self.address}: no live source for dependency "
+                        f"{dep_name}"
                     )
                 inflight = self.env.process(
                     self._fetch_one(dep_name, sources, sizes[dep_name]),
@@ -356,7 +384,28 @@ class Worker:
         has_remote = any(True for _ in spec.deps)
         if has_remote:
             self._transition(spec, "waiting", "fetch", "ensure-communicating")
-            yield self.env.process(self._gather(spec, who_has, sizes))
+            try:
+                yield self.env.process(self._gather(spec, who_has, sizes))
+            except Interrupt as exc:
+                # Scheduler-side timeout fired while we were still
+                # fetching inputs; in-flight fetches finish on their
+                # own (and cache their result for any retry).
+                self._transition(spec, "fetch", "released",
+                                 str(exc.cause or "timeout"))
+                return False
+            except (OSError, ValueError, RuntimeError) as exc:
+                if self.failed:
+                    return False
+                self._transition(spec, "fetch", "erred", "task-erred")
+                self.log("ERROR",
+                         f"Gather Failed. Key: {spec.name}, "
+                         f"Exception: {type(exc).__name__}: {exc}")
+                try:
+                    yield self.env.timeout(self.config.control_latency)
+                except Interrupt:
+                    pass  # timeout raced the error report; report anyway
+                self.scheduler.task_erred(self, spec.name, exc)
+                return True
         self._transition(spec, "fetch" if has_remote else "waiting",
                          "ready", "all-deps-local")
 
@@ -365,14 +414,15 @@ class Worker:
         self.ready[spec.name] = get_event
         try:
             thread_id = yield get_event
-        except Interrupt:
-            # Stolen: withdraw our claim on the thread pool.
+        except Interrupt as exc:
+            # Stolen or timed out: withdraw our claim on the thread pool.
             self.ready.pop(spec.name, None)
             if get_event.triggered:
                 self.threads.put(get_event.value)
             else:
                 self.threads.cancel(get_event)
-            self._transition(spec, "ready", "released", "steal")
+            self._transition(spec, "ready", "released",
+                             str(exc.cause or "steal"))
             return False
         self.ready.pop(spec.name, None)
 
@@ -387,6 +437,7 @@ class Worker:
         self.managed_bytes += spec.output_nbytes
         materialised = False
         failure: Optional[BaseException] = None
+        interrupted: Optional[str] = None
         try:
             # Per-task coordination overhead: deserialization, GIL,
             # executor hand-off.  Not computation, not I/O.
@@ -421,11 +472,20 @@ class Worker:
             # the worker, as a raised exception inside a real Dask task
             # would.
             failure = exc
+        except Interrupt as exc:
+            # Scheduler-side per-task timeout: abandon the execution.
+            # The finally block rolls back the result reservation and
+            # returns the thread; the scheduler errs/retries the task.
+            interrupted = str(exc.cause or "timeout")
         finally:
             if not materialised:
                 self.managed_bytes -= spec.output_nbytes
             self.executing.discard(spec.name)
             self.threads.put(thread_id)
+
+        if interrupted is not None:
+            self._transition(spec, "executing", "released", interrupted)
+            return False
 
         if self.failed:
             # The process died while this task ran: nothing to report;
@@ -437,7 +497,10 @@ class Worker:
             self.log("ERROR",
                      f"Compute Failed. Key: {spec.name}, "
                      f"Exception: {type(failure).__name__}: {failure}")
-            yield self.env.timeout(self.config.control_latency)
+            try:
+                yield self.env.timeout(self.config.control_latency)
+            except Interrupt:
+                pass  # timeout raced the error report; report anyway
             self.scheduler.task_erred(self, spec.name, failure)
             return True
 
@@ -459,8 +522,13 @@ class Worker:
         for plugin in self.plugins:
             plugin.task_finished(run)
 
-        # Report back to the scheduler after a control-plane hop.
-        yield self.env.timeout(self.config.control_latency)
+        # Report back to the scheduler after a control-plane hop.  A
+        # timeout interrupt racing this hop loses: the work is done and
+        # the result registered, so completion wins the race.
+        try:
+            yield self.env.timeout(self.config.control_latency)
+        except Interrupt:
+            pass
         self.scheduler.task_finished(self, spec.name, spec.output_nbytes,
                                      exec_start, self.env.now)
         return True

@@ -1,0 +1,27 @@
+"""Deterministic fault injection and resilience (the robustness pillar).
+
+The paper characterizes *healthy* runs, but its warning-distribution
+and provenance-lineage analyses (§IV) exist to explain anomalies — and
+provenance that only captures success cannot explain failure.  This
+package drives seeded, reproducible faults through the simulation
+stack (worker crashes, stragglers, heartbeat blackouts, network
+degradation/partitions, PFS OST slowdowns, Mofka partition outages)
+and emits every injection as a provenance/telemetry event carrying the
+paper's shared identifiers, so injected faults are first-class rows in
+PERFRECUP views.
+
+Entry points:
+
+* :class:`FaultSpec` / :class:`FaultSchedule` — declarative, picklable
+  descriptions of *what* fails *when* (``FaultSchedule.from_specs``
+  parses the ``kind@time[:target][+duration][xMAG]`` CLI syntax).
+* :class:`FaultInjector` — attaches a schedule to one instrumented
+  run; an injector with an empty schedule attaches nothing at all, so
+  the healthy event stream stays byte-identical.
+* ``run_workflow(faults=...)`` / ``perfrecup faults`` — the wiring.
+"""
+
+from .injector import FaultInjector
+from .schedule import FAULT_KINDS, FaultSchedule, FaultSpec
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultSchedule", "FaultInjector"]

@@ -1,0 +1,252 @@
+"""The fault driver: replays a schedule against one instrumented run.
+
+Design constraints, in order of importance:
+
+1. **Determinism** — a fixed seed and schedule must reproduce the run
+   byte for byte.  Victim selection draws from per-fault named streams
+   (``faults.target.<id>``), which perturbs no other stream; all fault
+   windows are measured in simulation time.
+2. **Zero-footprint when idle** — an injector attached with an empty
+   schedule starts no process and creates no producer, so the healthy
+   event stream is *exactly* the uninstrumented one (asserted by
+   ``benchmarks/bench_faults_overhead.py``).
+3. **Observability** — every injection emits (a) a ``fault`` provenance
+   event with the paper's shared identifiers (worker, hostname,
+   timestamp), (b) a ``warning`` event so faults land in the Fig.-7
+   warning histogram next to the symptoms they cause, and (c) a
+   scheduler log line in ``logs.jsonl``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..instrument import PROVENANCE_TOPIC
+from ..mofka import Producer
+from ..sim import RandomStreams
+from .schedule import FaultSchedule, FaultSpec
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Fires a :class:`FaultSchedule` into an :class:`InstrumentedRun`."""
+
+    def __init__(self, schedule: FaultSchedule,
+                 streams: Optional[RandomStreams] = None):
+        if not isinstance(schedule, FaultSchedule):
+            schedule = FaultSchedule(schedule)
+        self.schedule = schedule
+        self.streams = streams or RandomStreams()
+        #: Flat picklable record per fired fault (→ ``RunResult``).
+        self.records: list[dict] = []
+        self.run = None
+        self.env = None
+        self._producer: Optional[Producer] = None
+
+    # ------------------------------------------------------------------
+    def attach(self, run) -> None:
+        """Hook the schedule into ``run``; a no-op for empty schedules."""
+        self.run = run
+        self.env = run.env
+        if not self.schedule:
+            return
+        if self.schedule.kinds & {"worker_crash", "heartbeat_blackout"}:
+            # Crash detection is heartbeat-driven: these kinds only
+            # matter if somebody is watching the heartbeats.
+            run.dask.scheduler.start_liveness_monitor()
+        self.env.process(self._driver(), name="fault-injector")
+
+    def _driver(self):
+        # Fault times are relative to attach (i.e. to cluster start),
+        # not absolute simulation time: the batch system's queue delay
+        # precedes the run, and "crash a worker 20 s in" should mean 20
+        # seconds into the *workflow*, whatever the queue did.
+        t0 = self.env.now
+        for fault_id, fault in enumerate(self.schedule):
+            delay = t0 + fault.time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._fire(fault_id, fault)
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def _fire(self, fault_id: int, fault: FaultSpec) -> None:
+        handler = getattr(self, f"_inject_{fault.kind}")
+        target, worker, hostname = handler(fault_id, fault)
+        self._record(fault_id, fault, target, worker, hostname)
+
+    def _live_workers(self) -> list:
+        return [w for w in self.run.dask.workers if not w.failed]
+
+    def _pick_worker(self, fault_id: int, fault: FaultSpec):
+        """Resolve the target worker (by address, name, or seeded pick)."""
+        candidates = self._live_workers()
+        if not candidates:
+            return None
+        if fault.target is not None:
+            for worker in candidates:
+                if fault.target in (worker.address, worker.name):
+                    return worker
+            return None  # named target already dead or unknown
+        return self.streams.choice(
+            f"faults.target.{fault_id}", candidates)
+
+    def _pick_index(self, fault_id: int, fault: FaultSpec,
+                    n: int) -> Optional[int]:
+        if fault.target is not None:
+            index = int(fault.target)
+            return index if 0 <= index < n else None
+        return int(self.streams.integers(f"faults.target.{fault_id}", 0, n))
+
+    # -- worker kinds ---------------------------------------------------
+    def _inject_worker_crash(self, fault_id: int, fault: FaultSpec):
+        worker = self._pick_worker(fault_id, fault)
+        if worker is None:
+            return None, None, None
+        worker._warn(
+            "fault_worker_crash", 0.0,
+            f"fault-injector: killing worker process at {worker.address}")
+        worker.fail()  # silent: the liveness monitor must notice
+        return worker.address, worker.address, worker.node.name
+
+    def _inject_worker_slowdown(self, fault_id: int, fault: FaultSpec):
+        worker = self._pick_worker(fault_id, fault)
+        if worker is None:
+            return None, None, None
+        node = worker.node
+        original = node.speed
+        node.speed = original / fault.magnitude
+        worker._warn(
+            "fault_worker_slowdown", fault.duration,
+            f"fault-injector: {node.name} degraded to "
+            f"{1.0 / fault.magnitude:.2f}x speed for {fault.duration:g}s")
+        self.env.process(self._heal_speed(node, original, fault.duration),
+                         name=f"fault-heal-{fault_id}")
+        return worker.address, worker.address, node.name
+
+    def _heal_speed(self, node, original: float, duration: float):
+        yield self.env.timeout(duration)
+        # Exact restore (not a multiply) so repeated faults cannot
+        # accumulate floating-point drift on the node's speed.
+        node.speed = original
+
+    def _inject_heartbeat_blackout(self, fault_id: int, fault: FaultSpec):
+        worker = self._pick_worker(fault_id, fault)
+        if worker is None:
+            return None, None, None
+        worker.blackout_until = max(
+            worker.blackout_until, self.env.now + fault.duration)
+        worker._warn(
+            "fault_heartbeat_blackout", fault.duration,
+            f"fault-injector: suppressing heartbeats from "
+            f"{worker.address} for {fault.duration:g}s")
+        return worker.address, worker.address, worker.node.name
+
+    # -- platform kinds -------------------------------------------------
+    def _inject_network_degrade(self, fault_id: int, fault: FaultSpec):
+        network = self.run.cluster.network
+        network.degrade(fault.magnitude, self.env.now + fault.duration)
+        return "fabric", None, None
+
+    def _inject_network_partition(self, fault_id: int, fault: FaultSpec):
+        network = self.run.cluster.network
+        if fault.target is not None:
+            node_name = fault.target
+        else:
+            names = sorted({w.node.name for w in self._live_workers()})
+            if not names:
+                return None, None, None
+            node_name = self.streams.choice(
+                f"faults.target.{fault_id}", names)
+        network.partition([node_name], self.env.now + fault.duration)
+        return node_name, None, node_name
+
+    def _inject_pfs_ost_slowdown(self, fault_id: int, fault: FaultSpec):
+        pfs = self.run.cluster.pfs
+        index = self._pick_index(fault_id, fault, pfs.spec.num_osts)
+        if index is None:
+            return None, None, None
+        pfs.inject_ost_slowdown(
+            index, fault.magnitude, self.env.now + fault.duration)
+        return f"ost{index}", None, None
+
+    def _inject_mofka_partition_outage(self, fault_id: int,
+                                       fault: FaultSpec):
+        service = self.run.mofka
+        n = len(service.topic(PROVENANCE_TOPIC).partitions)
+        index = self._pick_index(fault_id, fault, n)
+        if index is None:
+            return None, None, None
+        service.partition_outage(
+            PROVENANCE_TOPIC, index, self.env.now + fault.duration)
+        return f"{PROVENANCE_TOPIC}/{index}", None, None
+
+    # ------------------------------------------------------------------
+    # emission
+    # ------------------------------------------------------------------
+    def _ensure_producer(self) -> Producer:
+        if self._producer is None:
+            # Created lazily at the first fired fault, never for an
+            # idle schedule; appended to run.producers so the run's
+            # drain() flushes it with everything else.
+            self._producer = Producer(
+                self.env, self.run.mofka, PROVENANCE_TOPIC,
+                name="producer-faults",
+            )
+            self.run.producers.append(self._producer)
+        return self._producer
+
+    def _record(self, fault_id: int, fault: FaultSpec,
+                target, worker, hostname) -> None:
+        now = self.env.now
+        record = {
+            "fault_id": fault_id,
+            "kind": fault.kind,
+            "target": target,
+            "worker": worker,
+            "hostname": hostname,
+            "time": now,
+            "duration": fault.duration,
+            "magnitude": fault.magnitude,
+            "fired": target is not None,
+        }
+        self.records.append(record)
+        if target is None:
+            self.run.dask.scheduler.log(
+                "WARNING",
+                f"fault-injector: {fault.kind} fault {fault_id} had no "
+                f"eligible target ({fault.target!r}); skipped")
+            return
+        producer = self._ensure_producer()
+        producer.push({
+            "type": "fault",
+            "fault_id": fault_id,
+            "kind": fault.kind,
+            "target": str(target),
+            "worker": worker or "",
+            "hostname": hostname or "",
+            "timestamp": now,
+            "duration": fault.duration,
+            "magnitude": fault.magnitude,
+        })
+        if worker is None:
+            # Platform-level faults have no worker to warn through;
+            # emit the warning event directly so they still appear in
+            # the warning histogram next to the symptoms they cause.
+            producer.push({
+                "type": "warning",
+                "source": "fault-injector",
+                "hostname": hostname or "",
+                "kind": f"fault_{fault.kind}",
+                "time": now,
+                "duration": fault.duration,
+                "message": f"fault-injector: {fault.kind} on {target} "
+                           f"(x{fault.magnitude:g}, {fault.duration:g}s)",
+            })
+        self.run.dask.scheduler.log(
+            "WARNING",
+            f"fault-injector: injected {fault.kind} on {target} at "
+            f"{now:.3f}s (duration {fault.duration:g}s, "
+            f"magnitude {fault.magnitude:g})")

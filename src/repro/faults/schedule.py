@@ -1,0 +1,152 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is plain data — frozen specs in a tuple — so
+it pickles across the ``run_many`` process pool and serialises into
+provenance.  All randomness (picking an unspecified target, generating
+a random schedule) flows through the run's named
+:class:`~repro.sim.RandomStreams`, keeping fault runs exactly as
+reproducible as healthy ones: same seed, same schedule, same victim,
+same event stream.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultSchedule"]
+
+#: Every fault kind the injector knows how to fire.
+FAULT_KINDS = (
+    "worker_crash",
+    "worker_slowdown",
+    "heartbeat_blackout",
+    "network_degrade",
+    "network_partition",
+    "pfs_ost_slowdown",
+    "mofka_partition_outage",
+)
+
+#: Kinds whose effect spans a window (``duration`` matters).
+TRANSIENT_KINDS = frozenset(FAULT_KINDS) - {"worker_crash"}
+
+#: CLI spec syntax: ``kind@time[:target][+duration][xMAG]``.
+_SPEC_RE = re.compile(
+    r"^(?P<kind>[a-z_]+)@(?P<time>[0-9]*\.?[0-9]+)"
+    r"(?::(?P<target>[^+x][^+]*?))?"
+    r"(?:\+(?P<duration>[0-9]*\.?[0-9]+))?"
+    r"(?:x(?P<magnitude>[0-9]*\.?[0-9]+))?$"
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    time:
+        Injection time in seconds *after the injector attaches* (i.e.
+        after the cluster starts, excluding batch queue delay).
+    target:
+        What to hit — a worker address or name for worker kinds, a node
+        name for ``network_partition``, an OST index for
+        ``pfs_ost_slowdown``, a partition index for
+        ``mofka_partition_outage``.  ``None`` lets the injector pick a
+        victim from a dedicated seeded stream.
+    duration:
+        Length of the fault window for transient kinds, seconds.
+    magnitude:
+        Slowdown/degradation factor for the ``*_slowdown`` /
+        ``network_degrade`` kinds.
+    """
+
+    kind: str
+    time: float
+    target: Optional[str] = None
+    duration: float = 5.0
+    magnitude: float = 4.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {', '.join(FAULT_KINDS)}")
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.duration < 0:
+            raise ValueError("fault duration must be non-negative")
+        if self.magnitude <= 0:
+            raise ValueError("fault magnitude must be positive")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSpec":
+        """Parse one ``kind@time[:target][+duration][xMAG]`` string."""
+        match = _SPEC_RE.match(spec.strip())
+        if match is None:
+            raise ValueError(
+                f"malformed fault spec {spec!r}; expected "
+                f"kind@time[:target][+duration][xMAG] "
+                f"(e.g. worker_crash@20 or pfs_ost_slowdown@10:3+30x8)")
+        fields: dict = {
+            "kind": match.group("kind"),
+            "time": float(match.group("time")),
+        }
+        if match.group("target") is not None:
+            fields["target"] = match.group("target")
+        if match.group("duration") is not None:
+            fields["duration"] = float(match.group("duration"))
+        if match.group("magnitude") is not None:
+            fields["magnitude"] = float(match.group("magnitude"))
+        return cls(**fields)
+
+    def describe(self) -> dict:
+        """Flat picklable record (provenance / CLI / RunResult)."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "target": self.target,
+            "duration": self.duration,
+            "magnitude": self.magnitude,
+        }
+
+
+class FaultSchedule:
+    """An ordered, immutable collection of :class:`FaultSpec`."""
+
+    def __init__(self, faults: Iterable[FaultSpec] = ()):
+        self.faults: tuple[FaultSpec, ...] = tuple(sorted(
+            faults, key=lambda f: (f.time, f.kind, str(f.target))))
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FaultSchedule)
+                and self.faults == other.faults)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{f.kind}@{f.time:g}" for f in self.faults)
+        return f"FaultSchedule([{inner}])"
+
+    @property
+    def kinds(self) -> set:
+        return {f.kind for f in self.faults}
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[str]) -> "FaultSchedule":
+        """Build a schedule from CLI-style spec strings."""
+        return cls(FaultSpec.parse(spec) for spec in specs)
+
+    def describe(self) -> list:
+        return [f.describe() for f in self.faults]

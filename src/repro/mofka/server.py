@@ -42,6 +42,23 @@ class MofkaService:
         self.n_produce_rpcs = 0
         self.n_events = 0
         self.bytes_ingested = 0
+        # Fault-injection state (see repro.faults): (topic, partition)
+        # -> heal time.  RPCs addressed to a partition in outage stall
+        # until it heals (the client-side retry loop a real Mofka
+        # deployment would run).  Empty dict = healthy path untouched.
+        self._outages: dict[tuple[str, int], float] = {}
+
+    # -- fault injection ----------------------------------------------------
+    def partition_outage(self, topic_name: str, partition: int,
+                         until: float) -> None:
+        """Partition ``partition`` of ``topic_name`` is down until
+        ``until``; produce/fetch RPCs touching it stall meanwhile."""
+        key = (topic_name, partition)
+        self._outages[key] = max(self._outages.get(key, 0.0), until)
+
+    def _outage_heal(self, topic_name: str, partitions) -> float:
+        return max((self._outages.get((topic_name, p), 0.0)
+                    for p in partitions), default=0.0)
 
     # -- admin -------------------------------------------------------------
     def create_topic(self, name: str, n_partitions: int = 4) -> Topic:
@@ -71,12 +88,21 @@ class MofkaService:
         nbytes = sum(
             len(str(metadata)) + len(data) for metadata, data in batch
         )
+        indexes = [
+            topic.partition_for(partition_key, counter + i)
+            for i in range(len(batch))
+        ]
+        if self._outages:
+            heal = self._outage_heal(topic_name, set(indexes))
+            if heal > self.env.now:
+                # A target partition is down: the produce RPC blocks
+                # (client retry loop) until the partition heals.
+                yield self.env.timeout(heal - self.env.now)
         yield self.env.timeout(
             self.RPC_LATENCY + nbytes / self.INGEST_BANDWIDTH
         )
         events = []
-        for i, (metadata, data) in enumerate(batch):
-            index = topic.partition_for(partition_key, counter + i)
+        for index, (metadata, data) in zip(indexes, batch):
             events.append(topic.partitions[index].append(
                 metadata, data, timestamp=self.env.now,
             ))
@@ -89,6 +115,10 @@ class MofkaService:
               max_events: int = 1024):
         """Simulation process: serve a consumer pull."""
         topic = self.topic(topic_name)
+        if self._outages:
+            heal = self._outages.get((topic_name, partition), 0.0)
+            if heal > self.env.now:
+                yield self.env.timeout(heal - self.env.now)
         events = list(topic.partitions[partition].read_range(
             start, start + max_events
         ))

@@ -75,6 +75,13 @@ class Network:
         self.spec = spec or NetworkSpec()
         self.streams = streams or RandomStreams()
         self.records: list[TransferRecord] = []
+        # Fault-injection state (see repro.faults).  Inactive defaults:
+        # the checks below compare env.now against 0.0 and consult an
+        # empty dict, so a run without faults takes the exact same code
+        # path (and draws the exact same random variates) as before.
+        self._fault_factor = 1.0
+        self._fault_until = 0.0
+        self._partitioned: dict[str, float] = {}  # node name -> heal time
 
     # -- static cost model ------------------------------------------------
     def latency(self, src: Node, dst: Node) -> float:
@@ -104,6 +111,29 @@ class Network:
             }
         return out
 
+    # -- fault injection ----------------------------------------------------
+    def degrade(self, factor: float, until: float) -> None:
+        """All transfers started before ``until`` take ``factor×`` longer."""
+        self._fault_factor = factor
+        self._fault_until = until
+
+    def partition(self, node_names, until: float) -> None:
+        """Links touching ``node_names`` are down until ``until``.
+
+        Transfers to or from a partitioned node stall until the
+        partition heals, then proceed normally — the TCP-reconnect view
+        of a transient link failure.
+        """
+        for name in node_names:
+            self._partitioned[name] = max(
+                self._partitioned.get(name, 0.0), until)
+
+    def _heal_time(self, src: Node, dst: Node) -> float:
+        if not self._partitioned:
+            return 0.0
+        return max(self._partitioned.get(src.name, 0.0),
+                   self._partitioned.get(dst.name, 0.0))
+
     # -- transfers ---------------------------------------------------------
     def transfer(self, src: Node, dst: Node, nbytes: int):
         """Simulation process performing one transfer; returns the record."""
@@ -128,6 +158,13 @@ class Network:
                 < self.spec.congestion_probability
             ):
                 duration *= self.spec.congestion_factor
+            if not same_node:
+                heal = self._heal_time(src, dst)
+                if heal > self.env.now:
+                    # Link partitioned: stall until it heals.
+                    yield self.env.timeout(heal - self.env.now)
+            if self.env.now < self._fault_until:
+                duration *= self._fault_factor
             yield self.env.timeout(duration)
         finally:
             if not same_node:

@@ -99,6 +99,21 @@ class ParallelFileSystem:
         self._files: dict[str, FileMeta] = {}
         self._next_ost = 0
         self._interference_started = False
+        # Fault-injection state (see repro.faults): per-OST slowdown
+        # factor active while env.now < the matching deadline.  The
+        # inactive default (deadline 0.0) keeps the healthy service-time
+        # arithmetic bit-for-bit unchanged.
+        self._fault_factor = [1.0] * self.spec.num_osts
+        self._fault_until = [0.0] * self.spec.num_osts
+
+    # -- fault injection ----------------------------------------------------
+    def inject_ost_slowdown(self, ost_index: int, factor: float,
+                            until: float) -> None:
+        """Requests served by OST ``ost_index`` before ``until`` take
+        ``factor×`` longer (a degraded/rebuilding storage target)."""
+        self._fault_factor[ost_index] = factor
+        self._fault_until[ost_index] = max(
+            self._fault_until[ost_index], until)
 
     # -- interference ------------------------------------------------------
     def start_interference(self) -> None:
@@ -179,6 +194,8 @@ class ParallelFileSystem:
                 f"pfs.jitter.{ost_index}", self.spec.jitter_sigma
             )
             slowdown = self._interference[ost_index]
+            if self.env.now < self._fault_until[ost_index]:
+                slowdown *= self._fault_factor[ost_index]
             service = (
                 self.spec.request_latency
                 + nbytes / self.spec.ost_bandwidth * slowdown

@@ -47,6 +47,10 @@ class RunResult:
     #: The run's :class:`~repro.telemetry.Telemetry` bundle, if one was
     #: passed to :func:`run_workflow` (``None`` otherwise).
     telemetry: Optional[object] = None
+    #: Flat records of every fault the injector fired (empty when the
+    #: run had no ``faults=`` schedule).  Plain dicts, so results stay
+    #: picklable across the ``run_many`` process pool.
+    fault_records: list = field(default_factory=list)
 
 
 def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
@@ -57,6 +61,7 @@ def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
                  persist_dir: Optional[str] = None,
                  monitor=None,
                  telemetry=None,
+                 faults=None,
                  **instrument_kwargs) -> RunResult:
     """Execute one instrumented repetition of ``workflow``.
 
@@ -69,6 +74,13 @@ def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
     samplers and span-building plugins (``perfrecup trace`` /
     ``perfrecup metrics``).  Monitors compose: sanitizer and telemetry
     can observe the same run.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultSchedule` (or
+    iterable of :class:`~repro.faults.FaultSpec`); when given, a
+    :class:`~repro.faults.FaultInjector` replays it against the run and
+    the fired faults come back in ``RunResult.fault_records``.  An
+    empty schedule attaches nothing and leaves the event stream
+    byte-identical to a run without ``faults``.
     """
     env = Environment()
     if monitor is not None:
@@ -91,6 +103,11 @@ def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
                           streams=streams, run_index=run_index,
                           seed=seed, telemetry=telemetry, **kwargs)
     run.start()
+    injector = None
+    if faults is not None:
+        from ..faults import FaultInjector
+        injector = FaultInjector(faults, streams)
+        injector.attach(run)
     workflow.prepare(cluster, streams)
     client = run.client(name=f"client-{workflow.name}")
 
@@ -111,7 +128,8 @@ def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
     data = RunData.from_live(run, client)
     return RunResult(data=data, run_index=run_index,
                      wall_time=data.wall_time, run_dir=run_dir,
-                     telemetry=telemetry)
+                     telemetry=telemetry,
+                     fault_records=injector.records if injector else [])
 
 
 def _run_repetition_chunk(payload: bytes) -> list[RunResult]:

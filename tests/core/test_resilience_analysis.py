@@ -1,0 +1,175 @@
+"""resilience_view/resilience_report units + warning-window boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalysisSession,
+    RunData,
+    Table,
+    resilience_report,
+    resilience_view,
+    warning_histogram,
+    warnings_in_window,
+)
+
+
+def transition(key, start, finish, timestamp, stimulus, worker="w0"):
+    return {"type": "transition", "key": key, "group": key,
+            "prefix": key.split("-")[0], "start_state": start,
+            "finish_state": finish, "timestamp": timestamp,
+            "stimulus": stimulus, "worker": worker, "source": "scheduler"}
+
+
+def fault(fault_id, kind, timestamp, target="t", worker="w0",
+          hostname="nid0", duration=5.0, magnitude=4.0):
+    return {"type": "fault", "fault_id": fault_id, "kind": kind,
+            "target": target, "worker": worker, "hostname": hostname,
+            "timestamp": timestamp, "duration": duration,
+            "magnitude": magnitude}
+
+
+def warning(kind, time, source="worker-w0", hostname="nid0",
+            duration=0.1):
+    return {"type": "warning", "source": source, "hostname": hostname,
+            "kind": kind, "time": time, "duration": duration,
+            "message": kind}
+
+
+@pytest.fixture()
+def synthetic_run():
+    events = [
+        # task a: one consumed retry (released+retry, waiting+retry).
+        transition("a-1", "processing", "released", 1.0, "retry"),
+        transition("a-1", "released", "waiting", 1.5, "retry"),
+        transition("a-1", "waiting", "processing", 1.5, "retry"),
+        transition("a-1", "processing", "memory", 2.0, "task-finished"),
+        # task b: two consumed retries.
+        transition("b-1", "processing", "released", 1.2, "retry"),
+        transition("b-1", "released", "waiting", 1.7, "retry"),
+        transition("b-1", "processing", "released", 2.2, "retry"),
+        transition("b-1", "released", "waiting", 3.2, "retry"),
+        # task c: recomputed after a crash at t=3.0.
+        transition("c-1", "memory", "released", 3.0, "worker-failed"),
+        transition("c-1", "released", "waiting", 3.0, "recompute"),
+        transition("c-1", "waiting", "processing", 3.0, "recompute"),
+        transition("c-1", "processing", "memory", 4.0, "task-finished"),
+        fault(0, "worker_crash", 3.0, duration=2.0),
+        warning("fault_worker_crash", 3.0),
+        warning("gc_pause", 4.0),
+        warning("gc_pause", 9.0),  # outside the fault window
+    ]
+    return RunData(events=events)
+
+
+class TestResilienceView:
+    def test_one_row_per_fault(self, synthetic_run):
+        view = resilience_view(synthetic_run)
+        assert len(view) == 1
+        assert view["kind"][0] == "worker_crash"
+        assert view["worker"][0] == "w0"
+
+    def test_empty_run_keeps_columns(self):
+        view = resilience_view(RunData(events=[]))
+        assert len(view) == 0
+        assert "fault_id" in view.column_names
+        assert "timestamp" in view.column_names
+
+    def test_cached_per_session(self, synthetic_run):
+        session = AnalysisSession.of(synthetic_run)
+        assert session.resilience_view() is session.resilience_view()
+        assert resilience_view(session) is session.resilience_view()
+
+
+class TestResilienceReport:
+    def test_retry_histogram(self, synthetic_run):
+        report = resilience_report(synthetic_run)
+        assert report["retried_tasks"] == 2
+        assert report["total_retries"] == 3
+        # one task took 1 retry, one took 2.
+        assert report["retry_histogram"] == {1: 1, 2: 1}
+
+    def test_recompute_counts(self, synthetic_run):
+        report = resilience_report(synthetic_run)
+        assert report["recomputed_tasks"] == 1
+        assert report["recomputed_keys"] == ["c-1"]
+
+    def test_time_to_recovery(self, synthetic_run):
+        report = resilience_report(synthetic_run)
+        (recovery,) = report["recovery"]
+        assert recovery["kind"] == "worker_crash"
+        # First recovery transition at the fault instant itself; the
+        # last recovery stimulus after t0 is b-1's retry at t=3.2.
+        assert recovery["detected_after"] == 0.0
+        assert recovery["recovered_after"] == pytest.approx(0.2)
+
+    def test_fault_warning_correlation(self, synthetic_run):
+        report = resilience_report(synthetic_run)
+        (correlation,) = report["fault_warnings"]
+        # fault_worker_crash@3.0 and gc_pause@4.0 sit inside [3, 5);
+        # gc_pause@9.0 does not.
+        assert correlation["n_warnings"] == 2
+
+    def test_quiet_run(self):
+        events = [transition("a-1", "waiting", "processing", 0.0,
+                             "ready"),
+                  transition("a-1", "processing", "memory", 1.0,
+                             "task-finished")]
+        report = resilience_report(RunData(events=events))
+        assert report["n_faults"] == 0
+        assert report["recovery"] == []
+        assert report["retry_histogram"] == {}
+
+
+class TestWarningWindowBoundaries:
+    """Satellite: pin the half-open [start, end) window semantics."""
+
+    def table(self, times, kinds=None):
+        n = len(times)
+        kinds = kinds or ["k"] * n
+        return Table({"source": ["s"] * n, "hostname": ["h"] * n,
+                      "kind": kinds, "time": times,
+                      "duration": [0.0] * n, "message": ["m"] * n})
+
+    def test_start_inclusive_end_exclusive(self):
+        warnings = self.table([1.0, 2.0, 3.0])
+        assert warnings_in_window(warnings, 1.0, 3.0) == 2
+        assert warnings_in_window(warnings, 1.0, 3.0 + 1e-9) == 3
+        assert warnings_in_window(warnings, 3.0, 3.0) == 0
+
+    def test_kind_filter(self):
+        warnings = self.table([1.0, 1.5], kinds=["a", "b"])
+        assert warnings_in_window(warnings, 0.0, 2.0, kind="a") == 1
+        assert warnings_in_window(warnings, 0.0, 2.0, kind="zz") == 0
+
+    def test_empty_table_counts_zero(self):
+        empty = self.table([])
+        assert warnings_in_window(empty, 0.0, 100.0) == 0
+
+    def test_histogram_floors_negative_times(self):
+        """Bucketing floors toward -inf, so clock-skewed (negative)
+        timestamps land in a negative bucket, not bucket 0."""
+        warnings = self.table([-0.5, 0.5, 99.9, 100.0])
+        histogram = warning_histogram(warnings, bucket=100.0)
+        starts = sorted(histogram["bucket_start"].astype(float))
+        assert starts == [-100.0, 0.0, 100.0]
+        by_bucket = {float(b): int(c) for b, c in
+                     zip(histogram["bucket_start"], histogram["count"])}
+        assert by_bucket == {-100.0: 1, 0.0: 2, 100.0: 1}
+
+    def test_histogram_empty_table_dtype_stable(self):
+        histogram = warning_histogram(self.table([]))
+        assert len(histogram) == 0
+        assert histogram.column_names == ["bucket_start", "kind",
+                                          "count"]
+        # Numeric reductions on the empty columns must not raise.
+        assert float(np.sum(histogram["count"])) == 0.0
+        assert float(np.sum(histogram["bucket_start"].astype(float))) \
+            == 0.0
+
+    def test_histogram_bucket_edges_half_open(self):
+        warnings = self.table([0.0, 99.999, 100.0])
+        histogram = warning_histogram(warnings, bucket=100.0)
+        by_bucket = {float(b): int(c) for b, c in
+                     zip(histogram["bucket_start"], histogram["count"])}
+        assert by_bucket == {0.0: 2, 100.0: 1}

@@ -1,0 +1,113 @@
+"""The chaos matrix: every fault kind against every paper workflow.
+
+For each (fault kind x workflow) cell the acceptance bar is:
+
+* the run converges and the client's results are intact — exactly the
+  keys the healthy run materialized reach ``memory``, and no key ends
+  in a mid-flight state;
+* the injection is observable: a ``fault`` event in the stream, a row
+  in ``resilience_view()``, and a ``fault_*`` entry in the warning
+  histogram;
+* the run is deterministic: the same seed and schedule reproduce the
+  event stream exactly (asserted byte-for-byte on ``logs.jsonl`` for a
+  representative cell).
+"""
+
+import pytest
+
+from repro.core import AnalysisSession, warning_histogram
+from repro.faults import FAULT_KINDS, FaultSchedule, FaultSpec
+from repro.workflows import (
+    ImageProcessingWorkflow,
+    ResNet152Workflow,
+    XGBoostWorkflow,
+    run_workflow,
+)
+
+#: (workflow factory, fault time, fault duration).  Times sit mid-run
+#: at these scales; the blackout duration exceeds the default liveness
+#: deadline (4 missed 0.5 s heartbeats) so detection is exercised.
+MATRIX_WORKFLOWS = {
+    "image_processing": (lambda: ImageProcessingWorkflow(scale=0.05),
+                         0.8, 3.0),
+    "resnet152": (lambda: ResNet152Workflow(scale=0.03), 0.7, 3.0),
+    "xgboost_trip": (lambda: XGBoostWorkflow(scale=0.05), 20.0, 10.0),
+}
+
+SEED = 11
+
+
+def final_states(data):
+    """Last state per key, ordered by timestamp (the stream interleaves
+    buffered events out of time order during Mofka outages)."""
+    tv = AnalysisSession.of(data).transition_view()
+    last = {}
+    for _, _, key, state in sorted(
+            zip(tv["timestamp"].astype(float), range(len(tv)),
+                tv["key"], tv["finish_state"])):
+        last[key] = state
+    return last
+
+
+def memory_keys(data):
+    tv = AnalysisSession.of(data).transition_view()
+    return {k for k, f in zip(tv["key"], tv["finish_state"])
+            if f == "memory"}
+
+
+@pytest.fixture(scope="module")
+def healthy_keys():
+    return {
+        name: memory_keys(run_workflow(factory(), seed=SEED).data)
+        for name, (factory, _, _) in MATRIX_WORKFLOWS.items()
+    }
+
+
+@pytest.mark.parametrize("workflow", sorted(MATRIX_WORKFLOWS))
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_chaos_cell(kind, workflow, healthy_keys):
+    factory, fault_time, duration = MATRIX_WORKFLOWS[workflow]
+    schedule = FaultSchedule(
+        [FaultSpec(kind, fault_time, duration=duration)])
+    result = run_workflow(factory(), seed=SEED, faults=schedule)
+
+    # The fault fired and is first-class in the provenance stream.
+    assert len(result.fault_records) == 1
+    assert result.fault_records[0]["fired"] is True
+    (event,) = result.data.events_of_type("fault")
+    assert event["kind"] == kind
+
+    # Convergence with correct results: the same keys reach memory as
+    # in the healthy run, and nothing is stranded mid-flight.
+    assert memory_keys(result.data) == healthy_keys[workflow]
+    for key, state in final_states(result.data).items():
+        assert state in ("memory", "released", "forgotten"), \
+            f"{key} stranded in {state} after {kind}"
+
+    # Observable in the analysis layer.
+    session = AnalysisSession.of(result.data)
+    view = session.resilience_view()
+    assert list(view["kind"]) == [kind]
+    histogram = warning_histogram(session.warning_view(), bucket=1000.0)
+    assert f"fault_{kind}" in set(histogram["kind"])
+
+    # Deterministic: an identical second run yields an identical
+    # event stream.
+    again = run_workflow(factory(), seed=SEED, faults=schedule)
+    assert again.data.events == result.data.events
+
+
+def test_representative_cell_persists_byte_identically(tmp_path):
+    """Full logs.jsonl byte-identity for one crash cell."""
+    factory, fault_time, duration = MATRIX_WORKFLOWS["image_processing"]
+    schedule = FaultSchedule(
+        [FaultSpec("worker_crash", fault_time, duration=duration)])
+    payloads = []
+    for attempt in ("one", "two"):
+        run_workflow(factory(), seed=SEED, faults=schedule,
+                     persist_dir=str(tmp_path / attempt))
+        log_path = (tmp_path / attempt / "imageprocessing" / "run0000"
+                    / "logs.jsonl")
+        payloads.append(log_path.read_bytes())
+    assert payloads[0] == payloads[1]
+    assert b"fault-injector: injected worker_crash" in payloads[0]

@@ -1,0 +1,98 @@
+"""FaultSpec/FaultSchedule: parsing, validation, ordering, pickling."""
+
+import pickle
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultSchedule, FaultSpec
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec("worker_crash", 5.0)
+        assert spec.target is None
+        assert spec.duration == 5.0
+        assert spec.magnitude == 4.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("cosmic_ray", 1.0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("time", -1.0), ("duration", -0.1), ("magnitude", 0.0),
+    ])
+    def test_invalid_numbers_rejected(self, field, value):
+        kwargs = {"kind": "worker_slowdown", "time": 1.0, field: value}
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+    def test_parse_minimal(self):
+        spec = FaultSpec.parse("worker_crash@20")
+        assert spec.kind == "worker_crash"
+        assert spec.time == 20.0
+        assert spec.target is None
+
+    def test_parse_full(self):
+        spec = FaultSpec.parse("pfs_ost_slowdown@10:3+30x8")
+        assert (spec.kind, spec.time) == ("pfs_ost_slowdown", 10.0)
+        assert spec.target == "3"
+        assert spec.duration == 30.0
+        assert spec.magnitude == 8.0
+
+    def test_parse_worker_address_target(self):
+        spec = FaultSpec.parse("heartbeat_blackout@2.5:10.0.1.1:40000+4")
+        assert spec.target == "10.0.1.1:40000"
+        assert spec.duration == 4.0
+
+    @pytest.mark.parametrize("bad", [
+        "worker_crash", "@5", "worker_crash@", "worker_crash@-3",
+        "nope@1", "worker_crash@1+x",
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(bad)
+
+    def test_describe_roundtrips_fields(self):
+        spec = FaultSpec("network_degrade", 3.0, duration=2.0,
+                         magnitude=6.0)
+        assert FaultSpec(**spec.describe()) == spec
+
+
+class TestFaultSchedule:
+    def test_sorted_by_time(self):
+        schedule = FaultSchedule([
+            FaultSpec("worker_crash", 9.0),
+            FaultSpec("network_degrade", 1.0),
+            FaultSpec("pfs_ost_slowdown", 4.0),
+        ])
+        assert [f.time for f in schedule] == [1.0, 4.0, 9.0]
+
+    def test_len_bool_eq(self):
+        empty = FaultSchedule()
+        assert len(empty) == 0 and not empty
+        one = FaultSchedule([FaultSpec("worker_crash", 1.0)])
+        assert len(one) == 1 and one
+        assert one == FaultSchedule([FaultSpec("worker_crash", 1.0)])
+        assert one != empty
+
+    def test_kinds(self):
+        schedule = FaultSchedule.from_specs(
+            ["worker_crash@1", "worker_crash@2", "network_degrade@3"])
+        assert schedule.kinds == {"worker_crash", "network_degrade"}
+
+    def test_from_specs_propagates_errors(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.from_specs(["worker_crash@1", "bogus@2"])
+
+    def test_pickles(self):
+        """Plain data: must survive the run_many process pool."""
+        schedule = FaultSchedule(
+            [FaultSpec(kind, 1.0) for kind in FAULT_KINDS])
+        clone = pickle.loads(pickle.dumps(schedule))
+        assert clone == schedule
+
+    def test_describe(self):
+        schedule = FaultSchedule.from_specs(["worker_crash@1"])
+        (record,) = schedule.describe()
+        assert record["kind"] == "worker_crash"
+        assert record["time"] == 1.0

@@ -1,0 +1,24 @@
+"""The fault-injector overhead benchmark's smoke mode runs green.
+
+``bench_faults_overhead.py --smoke`` re-checks the zero-idle-footprint
+contract (identical event streams with an empty schedule attached) on a
+tiny ImageProcessing run, so running it here keeps the benchmark from
+rotting alongside the faults subsystem.
+"""
+
+import importlib.util
+import pathlib
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parents[1]
+              / "benchmarks" / "bench_faults_overhead.py")
+
+
+def test_faults_bench_smoke(capsys):
+    spec = importlib.util.spec_from_file_location(
+        "bench_faults_overhead_smoke", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "identical with idle injector attached" in out
+    assert "overhead:" in out

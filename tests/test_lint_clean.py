@@ -25,7 +25,7 @@ class TestTreeIsClean:
     def test_lint_simulated_paths_explicitly(self, capsys):
         paths = [os.path.join(PACKAGE_DIR, sub) for sub in
                  ("sim", "dasklike", "mofka", "darshan", "workflows",
-                  "instrument", "telemetry")]
+                  "instrument", "telemetry", "faults")]
         assert main(["lint", *paths]) == 0
 
 
