@@ -1,17 +1,32 @@
 """Correctness tooling: static analysis and runtime sanitizing.
 
-Three pass families guard the properties the whole analysis chain
-depends on:
+The static side is a whole-program analysis engine: per-module AST
+rules plus project rules that run over a cross-module symbol table,
+call graph (:mod:`repro.analysis.callgraph`) and intraprocedural
+dataflow core (:mod:`repro.analysis.dataflow`).  Five pass families
+guard the properties the whole analysis chain depends on:
 
-* **Determinism lint** (:mod:`repro.analysis.determinism`) — AST rules
+* **Determinism** (:mod:`repro.analysis.determinism`) — AST rules
   flagging nondeterminism hazards (wall clocks, unseeded RNGs,
   unordered iteration, ``id()`` keys, float accumulation) in simulated
   code paths.
-* **Provenance-schema lint** (:mod:`repro.analysis.schema`) — verifies
+* **Provenance schema** (:mod:`repro.analysis.schema`) — verifies
   every Mofka emission site supplies the shared identifiers declared
   in :mod:`repro.core.fair`, so records stay joinable.
-* **Event-ordering sanitizer** (:mod:`repro.analysis.sanitizer`) — a
-  runtime race detector for the discrete-event kernel.
+* **Concurrency** (:mod:`repro.analysis.concurrency`) — logical races
+  in the cooperative kernel: stale loop guards across yields,
+  cross-context state mutation without revalidation, monitor hooks
+  that perturb the event stream.
+* **Hot path** (:mod:`repro.analysis.hotpath`) — linear scans and
+  copies of unbounded collections inside per-event-transition code,
+  found via the project call graph.
+* **Provenance flow** (:mod:`repro.analysis.provflow`) — the schema
+  contract enforced one dataflow step deeper: identifiers tracked
+  through assignments, helper returns and ``**kwargs`` merges to each
+  emission site.
+
+Plus the **event-ordering sanitizer** (:mod:`repro.analysis.sanitizer`),
+a runtime race detector for the discrete-event kernel.
 
 CLI front ends: ``perfrecup lint`` and ``perfrecup sanitize``; see
 ``docs/static_analysis.md``.
@@ -20,9 +35,11 @@ CLI front ends: ``perfrecup lint`` and ``perfrecup sanitize``; see
 from .engine import (
     LintEngine,
     ModuleSource,
+    ProjectRule,
     Rule,
     fingerprint,
     load_baseline,
+    prune_baseline,
     register,
     registered_rules,
     rules_for,
@@ -48,9 +65,11 @@ __all__ = [
     "LintEngine",
     "LintReport",
     "ModuleSource",
+    "ProjectRule",
     "Rule",
     "fingerprint",
     "load_baseline",
+    "prune_baseline",
     "register",
     "registered_rules",
     "rules_for",

@@ -1,0 +1,315 @@
+"""Concurrency lint: cross-context races inside the cooperative kernel.
+
+The discrete-event kernel is single-threaded, but *logical* races are
+real: a generator parks at a ``yield`` and arbitrary other callbacks
+run before it resumes, so every invariant it checked before the yield
+may be gone after it.  Every one of PR 5's failure-window bugs — and
+PR 3's cascading-failure convergence bug — was this pattern in
+``dasklike/``: an interval loop (stealing, liveness, heartbeat) acting
+on component state that event handlers mutated mid-yield.  These rules
+catch the pattern statically:
+
+``conc-stale-loop-guard``
+    A guarded interval loop (``while self._running: yield ...``) whose
+    body keeps working after the yield without re-reading any guard
+    attribute.  ``stop()`` flips the guard mid-yield and the body still
+    runs one full round against a component that asked it to stop.
+``conc-cross-context-mutation``
+    Component state mutated both from an interval-loop context and
+    from an event-handler context, where the loop-side mutation is not
+    preceded by an early-exit revalidation guard.  This is the PR 5
+    bug class: the stealing loop and the completion path both touch
+    ``occupancy``/task state, and only a guard (or routing through the
+    event queue) makes the pair safe.
+``conc-monitor-mutation``
+    A monitor hook (``on_schedule``/``on_step``/``before_callback``)
+    that creates engine events or writes to the observed event: PR 3's
+    zero-perturbation contract says monitors observe, never perturb —
+    an instrumented run must pop the identical event sequence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from . import dataflow
+from .engine import ModuleSource, ProjectRule, Rule, register
+from .findings import Finding
+
+__all__ = ["EVENT_CREATING_CALLS", "MONITOR_HOOKS", "loop_guard_attrs"]
+
+#: Methods that schedule or resolve engine events.  A monitor hook
+#: calling any of these perturbs the event stream it is observing.
+EVENT_CREATING_CALLS = frozenset({
+    "process", "timeout", "event", "schedule", "_schedule",
+    "succeed", "fail", "interrupt",
+})
+
+MONITOR_HOOKS = frozenset({"on_schedule", "on_step", "before_callback"})
+
+#: Call-graph depth from a loop driver that still counts as "the loop
+#: acting": the driver body, its direct helpers, and their helpers
+#: (``_loop -> balance -> _steal``).  Beyond that the shared machinery
+#: (transitions, logging) is the same code event handlers run, and
+#: classifying it as loop-side would drown the signal.
+LOOP_CONTEXT_DEPTH = 2
+
+
+def loop_guard_attrs(loop: ast.While) -> set[str]:
+    """``self.<attr>`` names the loop condition reads."""
+    return dataflow.self_attrs_in(loop.test)
+
+
+def _top_level_yields(loop: ast.While) -> list[tuple[int, ast.stmt]]:
+    """(index, stmt) for loop-body statements that are bare yields."""
+    out = []
+    for index, stmt in enumerate(loop.body):
+        value = None
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+        elif isinstance(stmt, ast.Assign):
+            value = stmt.value
+        if isinstance(value, (ast.Yield, ast.YieldFrom)):
+            out.append((index, stmt))
+    return out
+
+
+@register
+class StaleLoopGuardRule(Rule):
+    name = "conc-stale-loop-guard"
+    family = "concurrency"
+    description = ("interval loop keeps working after a yield without "
+                   "re-reading its guard attribute")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        dataflow.attach_parents(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not dataflow.is_generator(node):
+                continue
+            for loop in dataflow.while_loops_of(node):
+                yield from self._check_loop(module, loop)
+
+    def _check_loop(self, module: ModuleSource,
+                    loop: ast.While) -> Iterable[Finding]:
+        guards = loop_guard_attrs(loop)
+        if not guards:
+            return  # `while True` walkers and local-variable loops
+        yields = _top_level_yields(loop)
+        if not yields:
+            return  # yields only on conditional paths: not the pattern
+        index, stmt = yields[0]
+        trailing = loop.body[index + 1:]
+        if not trailing:
+            return  # the yield is the whole body; the test re-runs next
+        read_after = set()
+        for later in trailing:
+            read_after |= dataflow.self_attrs_in(later)
+        if guards & read_after:
+            return
+        guard_list = ", ".join(f"self.{g}" for g in sorted(guards))
+        yield self.finding(
+            module, stmt,
+            f"loop guarded by {guard_list} does work after this yield "
+            f"without re-reading the guard; a stop() during the yield "
+            f"still runs one full round — re-check the guard (or return) "
+            f"right after resuming")
+
+
+@register
+class MonitorMutationRule(Rule):
+    name = "conc-monitor-mutation"
+    family = "concurrency"
+    description = ("monitor hook creates events or mutates the observed "
+                   "event (must be observe-only)")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        dataflow.attach_parents(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            hooks = [stmt for stmt in node.body
+                     if isinstance(stmt, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef))
+                     and stmt.name in MONITOR_HOOKS]
+            if len(hooks) < 2:
+                continue  # not a monitor implementation
+            for hook in hooks:
+                yield from self._check_hook(module, hook)
+
+    def _check_hook(self, module: ModuleSource,
+                    hook: ast.AST) -> Iterable[Finding]:
+        params = {arg.arg for arg in hook.args.args if arg.arg != "self"}
+        for node in dataflow.own_nodes(hook):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in EVENT_CREATING_CALLS and \
+                    node.func.attr not in MONITOR_HOOKS:
+                yield self.finding(
+                    module, node,
+                    f"monitor hook {hook.name}() calls "
+                    f".{node.func.attr}(): creating or resolving engine "
+                    f"events from a monitor perturbs the event stream "
+                    f"(zero-perturbation contract)")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    base = target
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    if isinstance(base, ast.Attribute) and \
+                            isinstance(base.value, ast.Name) and \
+                            base.value.id in params:
+                        yield self.finding(
+                            module, node,
+                            f"monitor hook {hook.name}() writes to "
+                            f"observed argument "
+                            f"{base.value.id}.{base.attr}; hooks must "
+                            f"not mutate simulation state")
+
+
+# ---------------------------------------------------------------------------
+# cross-context mutation (whole-program)
+# ---------------------------------------------------------------------------
+
+def _early_exit_guards(func: ast.AST) -> list[int]:
+    """Line numbers of early-exit ``if`` statements in ``func``.
+
+    An early-exit guard is an ``if`` whose body bails out (return /
+    continue / break / raise) — the PR 5 fix shape: re-validate the
+    world, leave if it moved on, only then mutate.
+    """
+    linenos = []
+    for node in dataflow.own_nodes(func):
+        if isinstance(node, ast.If) and any(
+                isinstance(stmt, (ast.Return, ast.Continue, ast.Break,
+                                  ast.Raise))
+                for stmt in node.body):
+            linenos.append(node.lineno)
+    return linenos
+
+
+@register
+class CrossContextMutationRule(ProjectRule):
+    name = "conc-cross-context-mutation"
+    family = "concurrency"
+    description = ("state mutated from both an interval-loop context and "
+                   "an event-handler context without a revalidation guard")
+
+    def check_project(self, project) -> Iterable[Finding]:
+        drivers = {info.qualname for info in project.loop_drivers()}
+        loop_ctx = self._bounded_closure(project, drivers,
+                                         LOOP_CONTEXT_DEPTH)
+        # Only classes that actually hand generators to the engine are
+        # "components" whose state lives across callbacks; a Gauge or a
+        # Resource mutated from many places is ordinary call-stack
+        # serialization, not a cross-context race.
+        component_classes = {info.class_name
+                             for info in project.spawned_generators()
+                             if info.class_name is not None}
+
+        # attr -> [(FunctionInfo, Mutation), ...]
+        sites: dict[str, list] = {}
+        for qual in sorted(project.functions):
+            info = project.functions[qual]
+            if info.name in ("__init__", "__post_init__", "__new__"):
+                continue
+            for mutation in dataflow.attribute_mutations(info.node):
+                sites.setdefault(mutation.attr, []).append((info, mutation))
+
+        for attr in sorted(sites):
+            entries = sites[attr]
+            loop_entries = [(i, m) for i, m in entries
+                            if i.qualname in loop_ctx]
+            event_entries = [(i, m) for i, m in entries
+                             if i.qualname not in loop_ctx]
+            if not loop_entries or not event_entries:
+                continue
+            for info, mutation in loop_entries:
+                owner = info.class_name if mutation.self_owned else None
+                if owner is not None and owner not in component_classes:
+                    continue
+                # The race needs *different* code mutating the *same*
+                # object's state on the two sides: a shared funnel is
+                # serialization, and `Client.logs` vs `Scheduler.logs`
+                # are different state that merely share an attr name.
+                rivals = sorted({
+                    i.qualname for i, m in event_entries
+                    if i.qualname != info.qualname
+                    and (owner is None
+                         or not m.self_owned
+                         or i.class_name == owner)})
+                if not rivals:
+                    continue
+                if self._guard_exempt(project, info, mutation, loop_ctx):
+                    continue
+                yield self.finding(
+                    info.module, mutation.node,
+                    f"'{attr}' is mutated here on the interval-loop path "
+                    f"({info.qualname}) and independently by event-side "
+                    f"code ({', '.join(rivals[:3])}); the loop resumed "
+                    f"from a yield may act on state that moved on — add "
+                    f"an early-exit revalidation guard before mutating, "
+                    f"or route the mutation through the event queue")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bounded_closure(project, roots: set[str], depth: int) -> set[str]:
+        frontier = set(roots)
+        seen = set(roots)
+        for _ in range(depth):
+            nxt = set()
+            for qual in sorted(frontier):
+                nxt.update(project.calls.get(qual, ()))
+            frontier = nxt - seen
+            seen |= frontier
+        return seen
+
+    def _guard_exempt(self, project, info, mutation,
+                      loop_ctx: set[str]) -> bool:
+        """A mutation is safe when revalidation precedes it.
+
+        Either the mutating function itself early-exits before the
+        mutation, or (for helpers the loop calls) every loop-side
+        caller revalidates before the call — the shape PR 5 left
+        ``handle_worker_failure`` → ``remove_worker`` in.
+        """
+        mut_line = getattr(mutation.node, "lineno", 0)
+        if any(g < mut_line for g in _early_exit_guards(info.node)):
+            return True
+        callers = self._loop_side_callers(project, info, loop_ctx)
+        if not callers:
+            return False
+        for caller in callers:
+            if not self._calls_after_guard(caller, info.name):
+                return False
+        return True
+
+    @staticmethod
+    def _loop_side_callers(project, info, loop_ctx: set[str]) -> list:
+        out = []
+        for qual in sorted(loop_ctx):
+            caller = project.functions.get(qual)
+            if caller is None or caller.qualname == info.qualname:
+                continue
+            if info.qualname in project.calls.get(qual, ()):
+                out.append(caller)
+        return out
+
+    @staticmethod
+    def _calls_after_guard(caller, callee_name: str) -> bool:
+        guards = _early_exit_guards(caller.node)
+        if not guards:
+            return False
+        first_guard = min(guards)
+        for node in dataflow.own_nodes(caller.node):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = func.attr if isinstance(func, ast.Attribute) \
+                    else getattr(func, "id", "")
+                if name == callee_name and node.lineno < first_guard:
+                    return False
+        return True

@@ -33,6 +33,7 @@ import hashlib
 import json
 import os
 import re
+import threading
 import tokenize
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
@@ -48,16 +49,25 @@ from .findings import (
 __all__ = [
     "ModuleSource",
     "Rule",
+    "ProjectRule",
     "register",
     "registered_rules",
     "rules_for",
     "LintEngine",
     "load_baseline",
     "write_baseline",
+    "prune_baseline",
     "fingerprint",
 ]
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+# CPython 3.11's C-AST-to-Python conversion keeps its recursion-depth
+# bookkeeping in interpreter-wide module state, so concurrent
+# ``ast.parse`` calls race and raise ``SystemError: AST constructor
+# recursion depth mismatch``.  ``--jobs`` therefore only overlaps file
+# I/O; the parse itself is serialized through this lock.
+_AST_PARSE_LOCK = threading.Lock()
 
 
 @dataclass
@@ -74,7 +84,8 @@ class ModuleSource:
         if source is None:
             with tokenize.open(path) as fh:
                 source = fh.read()
-        tree = ast.parse(source, filename=path)
+        with _AST_PARSE_LOCK:
+            tree = ast.parse(source, filename=path)
         return cls(path=path, source=source, tree=tree,
                    lines=source.splitlines())
 
@@ -84,16 +95,32 @@ class ModuleSource:
             return self.lines[lineno - 1]
         return ""
 
-    def allowed_rules(self, lineno: int) -> set[str]:
-        """Rule names suppressed at ``lineno`` (``*`` = everything)."""
+    def allowed_rules(self, lineno: int, end_lineno: int = 0) -> set[str]:
+        """Rule names suppressed at ``lineno`` (``*`` = everything).
+
+        The scan covers the full flagged span (``lineno`` through
+        ``end_lineno``, so a comment inside a parenthesized multi-line
+        expression counts), plus the line above the span — skipping
+        upward past decorator lines so a suppression above a decorated
+        function still reaches the ``def`` the finding anchors to.
+        """
         allowed: set[str] = set()
-        for candidate in (self.line(lineno), self.line(lineno - 1)):
-            match = _ALLOW_RE.search(candidate)
-            if match:
-                allowed.update(
-                    token.strip() for token in match.group(1).split(",")
-                    if token.strip())
+        for ln in range(lineno, max(lineno, end_lineno) + 1):
+            self._collect_allow(self.line(ln), allowed)
+        above = lineno - 1
+        while above >= 1 and self.line(above).lstrip().startswith("@"):
+            self._collect_allow(self.line(above), allowed)
+            above -= 1
+        self._collect_allow(self.line(above), allowed)
         return allowed
+
+    @staticmethod
+    def _collect_allow(candidate: str, allowed: set[str]) -> None:
+        match = _ALLOW_RE.search(candidate)
+        if match:
+            allowed.update(
+                token.strip() for token in match.group(1).split(",")
+                if token.strip())
 
 
 class Rule:
@@ -113,8 +140,26 @@ class Rule:
         return Finding(
             rule=self.name, message=message, path=module.path,
             line=lineno, col=getattr(node, "col_offset", 0),
+            end_line=getattr(node, "end_lineno", None) or lineno,
             snippet=module.line(lineno),
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole parsed project, not one module.
+
+    Subclasses implement :meth:`check_project`; the engine builds one
+    :class:`~repro.analysis.callgraph.Project` per run and hands it to
+    every registered project rule after the per-module rules finish.
+    Findings still anchor to a concrete module/line, so suppressions
+    and baselines work unchanged.
+    """
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project) -> Iterable[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, Rule] = {}
@@ -133,7 +178,13 @@ def register(rule_cls: type) -> type:
 
 def registered_rules() -> dict[str, Rule]:
     # Importing the rule modules populates the registry on first use.
-    from . import determinism, schema  # noqa: F401
+    from . import (  # noqa: F401
+        concurrency,
+        determinism,
+        hotpath,
+        provflow,
+        schema,
+    )
     return dict(_REGISTRY)
 
 
@@ -187,6 +238,24 @@ def write_baseline(report: LintReport, path: str, root: str) -> int:
     return len(entries)
 
 
+def prune_baseline(report: LintReport, path: str,
+                   root: str) -> tuple[int, int]:
+    """Drop baseline entries no current finding matches.
+
+    Returns ``(kept, dropped)``.  A finding of any status counts as a
+    match: an entry only goes stale when the flagged code is gone (or
+    now rewritten), not when an inline suppression also covers it —
+    pruning twice is therefore idempotent.
+    """
+    baseline = load_baseline(path)
+    current = {fingerprint(f, root) for f in report.findings}
+    kept = sorted(baseline & current)
+    with open(path, "w") as fh:
+        json.dump({"version": 1, "entries": kept}, fh, indent=2)
+        fh.write("\n")
+    return len(kept), len(baseline) - len(kept)
+
+
 # ---------------------------------------------------------------------------
 # engine
 # ---------------------------------------------------------------------------
@@ -232,7 +301,7 @@ class LintEngine:
         return findings
 
     def _classify(self, module: ModuleSource, finding: Finding) -> None:
-        allowed = module.allowed_rules(finding.line)
+        allowed = module.allowed_rules(finding.line, finding.end_line)
         if finding.rule in allowed or "*" in allowed:
             finding.status = STATUS_SUPPRESSED
         elif fingerprint(finding, self.root) in self.baseline:
@@ -241,10 +310,45 @@ class LintEngine:
             finding.status = STATUS_ACTIVE
 
     # ------------------------------------------------------------------
-    def run(self, paths: Iterable[str]) -> LintReport:
+    def parse_all(self, paths: Iterable[str],
+                  jobs: int = 1) -> list[ModuleSource]:
+        """Parse every discovered file, optionally on a thread pool.
+
+        ``jobs > 1`` overlaps the file reads (the ``ast.parse`` call
+        itself is serialized behind ``_AST_PARSE_LOCK`` — see its
+        comment) while ``pool.map`` preserves the sorted input order,
+        so the finding order (and therefore the report) stays
+        deterministic.
+        """
+        files = self.discover(paths)
+        if jobs > 1 and len(files) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                return list(pool.map(ModuleSource.parse, files))
+        return [ModuleSource.parse(path) for path in files]
+
+    def run(self, paths: Iterable[str], jobs: int = 1) -> LintReport:
         report = LintReport(rules_run=[r.name for r in self.rules])
-        for path in self.discover(paths):
-            module = ModuleSource.parse(path)
+        modules = self.parse_all(paths, jobs=jobs)
+        for module in modules:
             report.extend(self.check_module(module))
             report.files_checked += 1
+
+        project_rules = [r for r in self.rules if isinstance(r, ProjectRule)]
+        if project_rules:
+            from .callgraph import Project
+            project = Project(modules)
+            by_path = {m.path: m for m in modules}
+            for rule in project_rules:
+                for finding in rule.check_project(project):
+                    module = by_path.get(finding.path)
+                    if module is not None:
+                        self._classify(module, finding)
+                    report.findings.append(finding)
+
+        if self.baseline:
+            seen = {fingerprint(f, self.root) for f in report.findings}
+            stale = len(self.baseline - seen)
+            if stale:
+                report.stats["stale_baseline_entries"] = stale
         return report

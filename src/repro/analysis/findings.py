@@ -47,6 +47,8 @@ class Finding:
     path: str = "<runtime>"
     line: int = 0
     col: int = 0
+    #: Last line of the flagged expression (multi-line suppressions).
+    end_line: int = 0
     #: Simulated timestamp, for sanitizer findings only.
     time: float | None = None
     #: The offending source line (static) or event detail (runtime).

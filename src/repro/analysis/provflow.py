@@ -1,0 +1,226 @@
+"""Provenance-flow lint: identifier tracking through dataflow.
+
+The schema family (:mod:`repro.analysis.schema`) checks emission sites
+whose payload is a dict literal at the call; anything built up across
+statements, returned from a helper, or merged via ``**kwargs`` falls
+through as ``prov-untyped-emission`` and relies on a human suppressing
+the funnel.  This family picks up exactly those sites and runs the
+intraprocedural dict-key dataflow (:mod:`repro.analysis.dataflow`) plus
+project-level helper-return resolution over them, so the FAIR
+identifier contract of :mod:`repro.core.fair` is enforced as *flow*,
+not syntax — the Souza et al. data-observability requirement that
+identifier propagation into provenance events be verifiable.
+
+``flow-missing-identifier``
+    The resolved payload provably lacks a required identifier for its
+    event type (same contract as ``prov-missing-identifier``, one
+    dataflow step deeper).
+``flow-unknown-event-type``
+    The resolved payload's ``type`` is a constant with no
+    :data:`~repro.analysis.schema.EVENT_REQUIREMENTS` entry.
+``flow-unresolved-emission``
+    Dataflow could not resolve the payload either (dynamic keys, an
+    opaque helper, a parameter): suppress at generic funnels, next to
+    the matching ``prov-untyped-emission`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from . import dataflow
+from .engine import ProjectRule, register
+from .findings import Finding
+from .schema import (
+    EVENT_REQUIREMENTS,
+    _emission_sites,
+    required_columns,
+    satisfied_identifiers,
+)
+
+__all__ = ["resolve_emission"]
+
+#: Recursion budget for helper-return resolution (helper calling a
+#: helper); beyond this the site reports as unresolved.
+_MAX_HELPER_DEPTH = 2
+
+
+class _HelperReturnResolver:
+    """Resolve ``payload = make_event(...)`` through the project index.
+
+    A helper's contribution is the *intersection* of the key sets of
+    its dict-shaped returns (a key present on every path is provably
+    supplied); one unresolvable return poisons the helper.
+    """
+
+    def __init__(self, project):
+        self.project = project
+        self._cache: dict[str, Optional[dataflow.DictState]] = {}
+        self._depth = 0
+
+    def __call__(self, call: ast.Call) -> Optional[dataflow.DictState]:
+        name = self._callee_name(call)
+        if not name:
+            return None
+        candidates = self.project.by_name.get(name, ())
+        if not candidates or self._depth >= _MAX_HELPER_DEPTH:
+            return None
+        states = []
+        self._depth += 1
+        try:
+            for info in candidates:
+                state = self._return_state(info)
+                if state is None:
+                    return None
+                states.append(state)
+        finally:
+            self._depth -= 1
+        merged = states[0].copy()
+        for state in states[1:]:
+            merged.keys &= state.keys
+            if state.type_value != merged.type_value:
+                merged.type_value = None
+        return merged
+
+    @staticmethod
+    def _callee_name(call: ast.Call) -> str:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return ""
+
+    def _return_state(self, info) -> Optional[dataflow.DictState]:
+        cached = self._cache.get(info.qualname, False)
+        if cached is not False:
+            return cached
+        flow = dataflow.DictKeyFlow(info.node, resolve_call=self)
+        states = []
+        for node in dataflow.own_nodes(info.node):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            if isinstance(node.value, ast.Name):
+                state = flow.state_at(node.value.id, node)
+            else:
+                state = flow.eval_at(node.value, node)
+            if state is None:
+                states = None
+                break
+            states.append(state)
+        if not states:
+            result = None
+        else:
+            result = states[0].copy()
+            for state in states[1:]:
+                result.keys &= state.keys
+                if state.type_value != result.type_value:
+                    result.type_value = None
+        self._cache[info.qualname] = result
+        return result
+
+
+def resolve_emission(call: ast.Call, enclosing: Optional[ast.AST],
+                     resolver) -> Optional[dataflow.DictState]:
+    """Dict state reaching one ``push``/``_push`` payload, or None."""
+    attr = call.func.attr  # caller guarantees Attribute func
+    payload = call.args[0] if attr == "push" else call.args[1]
+    if enclosing is None:
+        return None
+    flow = dataflow.DictKeyFlow(enclosing, resolve_call=resolver)
+    if isinstance(payload, ast.Name):
+        return flow.state_at(payload.id, call)
+    # Dict-with-unpack and helper-call payloads evaluate inline against
+    # the environment built up before the emission statement.
+    return flow.eval_at(payload, call)
+
+
+def _untyped_sites(module):
+    """Emission calls the schema family could not resolve."""
+    seen = set()
+    for node, kind, _message in _emission_sites(module):
+        # AST-node identity keys never leave this single lint run.
+        # repro: allow[det-id-key]
+        if kind == "prov-untyped-emission" and id(node) not in seen:
+            seen.add(id(node))  # repro: allow[det-id-key]
+            yield node
+
+
+class _FlowRule(ProjectRule):
+    """Shared driver: each concrete rule keeps its own diagnostics."""
+
+    family = "provflow"
+
+    def check_project(self, project) -> Iterable[Finding]:
+        resolver = _HelperReturnResolver(project)
+        for module in project.modules:
+            dataflow.attach_parents(module.tree)
+            for call in _untyped_sites(module):
+                for kind, message in self._diagnose(call, resolver):
+                    if kind == self.name:
+                        yield self.finding(module, call, message)
+
+    def _diagnose(self, call: ast.Call, resolver):
+        attr = call.func.attr
+        enclosing = dataflow.enclosing_function(call)
+        state = resolve_emission(call, enclosing, resolver)
+        if state is None:
+            yield ("flow-unresolved-emission",
+                   f"{attr}() payload could not be resolved by dataflow "
+                   f"(dynamic keys or an opaque helper); verify the "
+                   f"identifier contract manually and suppress at the "
+                   f"funnel")
+            return
+        if attr == "_push":
+            type_arg = call.args[0]
+            event_type = type_arg.value \
+                if isinstance(type_arg, ast.Constant) else None
+        else:
+            event_type = state.type_value
+        if event_type is None:
+            if "type" in state.keys:
+                yield ("flow-unresolved-emission",
+                       f"{attr}() payload resolves, but its 'type' value "
+                       f"is dynamic; the schema cannot be selected "
+                       f"statically — suppress at generic funnels")
+            else:
+                yield ("flow-missing-identifier",
+                       f"{attr}() payload resolves to keys without a "
+                       f"'type'; consumers cannot route the event")
+            return
+        if event_type not in EVENT_REQUIREMENTS:
+            yield ("flow-unknown-event-type",
+                   f"event type {event_type!r} (resolved through "
+                   f"dataflow) has no EVENT_REQUIREMENTS entry")
+            return
+        _present, missing = satisfied_identifiers(event_type, state.keys)
+        for ident in sorted(missing):
+            acceptable = ", ".join(
+                sorted(required_columns(event_type)[ident]))
+            yield ("flow-missing-identifier",
+                   f"{event_type!r} emission payload, resolved through "
+                   f"dataflow, lacks the {ident!r} identifier (need one "
+                   f"of: {acceptable}); downstream joins will produce "
+                   f"nulls")
+
+
+@register
+class FlowMissingIdentifierRule(_FlowRule):
+    name = "flow-missing-identifier"
+    description = ("dataflow-resolved emission payload lacks a required "
+                   "identifier")
+
+
+@register
+class FlowUnknownEventTypeRule(_FlowRule):
+    name = "flow-unknown-event-type"
+    description = ("dataflow-resolved event type absent from "
+                   "EVENT_REQUIREMENTS")
+
+
+@register
+class FlowUnresolvedEmissionRule(_FlowRule):
+    name = "flow-unresolved-emission"
+    description = ("emission payload unresolvable even through dataflow; "
+                   "suppress at generic funnels")

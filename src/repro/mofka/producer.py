@@ -107,7 +107,10 @@ class Producer:
         # One RPC carries at most ``batch_size`` events; a backlog takes
         # several round trips (that is the knob the A3 ablation sweeps).
         batch = self._buffer[:self.batch_size]
-        self._buffer = self._buffer[self.batch_size:]
+        # Safe against concurrent push(): the slice-and-reassign pair
+        # completes before the RPC yield below, so appends landing
+        # during the transfer go to the already-drained list.
+        self._buffer = self._buffer[self.batch_size:]  # repro: allow[conc-cross-context-mutation]
         start = self.env.now
         yield self.env.process(self.service.produce_batch(
             self.topic, batch, counter=self._counter,

@@ -89,6 +89,11 @@ class SSGGroup:
     def _monitor(self):
         while self._monitoring:
             yield self.env.timeout(self.heartbeat_period)
+            if not self._monitoring:
+                # stop_monitor() flipped the guard mid-sleep; marking
+                # members suspect/dead now would fire callbacks after
+                # the group was torn down.
+                return
             now = self.env.now
             for member in self.members.values():
                 if member.status in ("dead", "left"):

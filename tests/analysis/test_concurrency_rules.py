@@ -1,0 +1,265 @@
+"""Concurrency-family rules on seeded-bug fixtures.
+
+Each fixture reconstructs a bug class this repo actually shipped and
+fixed: the stale-guard interval loops (stealing/ssg/monitor), the PR 5
+failure-window race between the work-stealing loop and the completion
+path, and the monitor zero-perturbation contract from the telemetry
+work.
+"""
+
+import textwrap
+
+from repro.analysis import LintEngine, rules_for
+
+
+def lint_sources(tmp_path, sources, selectors=("concurrency",)):
+    for name, code in sources.items():
+        (tmp_path / name).write_text(textwrap.dedent(code).lstrip("\n"))
+    engine = LintEngine(rules=rules_for(list(selectors)),
+                        root=str(tmp_path))
+    report = engine.run([str(tmp_path)])
+    return [f for f in report.findings if f.active]
+
+
+def rule_names(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestStaleLoopGuard:
+    def test_trailing_work_after_yield_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {"stealer.py": """
+            class Stealer:
+                def _loop(self):
+                    while self._running:
+                        yield self.env.timeout(1.0)
+                        self.balance()
+        """})
+        assert rule_names(findings) == ["conc-stale-loop-guard"]
+        assert "self._running" in findings[0].message
+
+    def test_post_yield_recheck_clean(self, tmp_path):
+        assert lint_sources(tmp_path, {"stealer.py": """
+            class Stealer:
+                def _loop(self):
+                    while self._running:
+                        yield self.env.timeout(1.0)
+                        if not self._running:
+                            return
+                        self.balance()
+        """}) == []
+
+    def test_yield_only_body_clean(self, tmp_path):
+        # The while-test itself re-reads the guard before the next round.
+        assert lint_sources(tmp_path, {"beat.py": """
+            class Beacon:
+                def _loop(self):
+                    while self._running:
+                        yield self.env.timeout(1.0)
+        """}) == []
+
+    def test_while_true_not_flagged(self, tmp_path):
+        # No guard attribute to go stale.
+        assert lint_sources(tmp_path, {"walk.py": """
+            class Walker:
+                def _loop(self):
+                    while True:
+                        yield self.env.timeout(1.0)
+                        self.step()
+        """}) == []
+
+    def test_any_guard_read_counts(self, tmp_path):
+        # Reading the guard in a conditional (not only `return`) is a
+        # revalidation too.
+        assert lint_sources(tmp_path, {"gc.py": """
+            class Collector:
+                def _loop(self):
+                    while not self._closed:
+                        yield self.env.timeout(1.0)
+                        if not self._closed:
+                            self.collect()
+        """}) == []
+
+    def test_suppression_honoured(self, tmp_path):
+        assert lint_sources(tmp_path, {"spill.py": """
+            class Spiller:
+                def _loop(self):
+                    while self._active:
+                        # repro: allow[conc-stale-loop-guard]
+                        yield self.env.timeout(1.0)
+                        self.evict()
+        """}) == []
+
+
+class TestCrossContextMutation:
+    #: Pre-PR-5 work stealing, reconstructed: the interval loop steals a
+    #: task with no revalidation, while the completion handler
+    #: independently retires the same task state / occupancy entries.
+    PR5_RACE = """
+        class Scheduler:
+            def task_finished(self, worker, key):
+                ts = self.tasks[key]
+                ts.state = "memory"
+                self.occupancy[worker] = 0.0
+
+        class WorkStealing:
+            def start(self):
+                self._running = True
+                self.env.process(self._loop())
+
+            def _loop(self):
+                while self._running:
+                    yield self.env.timeout(1.0)
+                    if not self._running:
+                        return
+                    self.balance()
+
+            def balance(self):
+                for key in self.pending:
+                    self._steal(key)
+
+            def _steal(self, key):
+                ts = self.scheduler.tasks[key]
+                ts.state = "stolen"
+                self.scheduler.occupancy[key] = 0.0
+    """
+
+    def test_pr5_failure_window_race_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {"dask.py": self.PR5_RACE})
+        names = rule_names(findings)
+        assert "conc-cross-context-mutation" in names
+        # Both racing attributes are reported, anchored in _steal.
+        attrs = {f.message.split("'")[1] for f in findings}
+        assert attrs == {"state", "occupancy"}
+        assert all("_steal" in f.message for f in findings)
+
+    def test_pr5_fix_shape_exempt(self, tmp_path):
+        # The shipped fix: revalidate, bail out if the task moved on,
+        # only then mutate.  Same call graph, no findings.
+        fixed = self.PR5_RACE.replace(
+            """def _steal(self, key):
+                ts = self.scheduler.tasks[key]
+                ts.state = "stolen\"""",
+            """def _steal(self, key):
+                ts = self.scheduler.tasks.get(key)
+                if ts is None or ts.state != "processing":
+                    return
+                ts.state = "stolen\"""")
+        assert fixed != self.PR5_RACE
+        assert lint_sources(tmp_path, {"dask.py": fixed}) == []
+
+    def test_guarded_caller_exempts_helper(self, tmp_path):
+        # handle_worker_failure-shape: the loop-side caller revalidates
+        # before delegating, so the helper's own mutations are safe.
+        assert lint_sources(tmp_path, {"liveness.py": """
+            class Scheduler:
+                def start(self):
+                    self._monitoring = True
+                    self.env.process(self._liveness_loop())
+
+                def _liveness_loop(self):
+                    while self._monitoring:
+                        yield self.env.timeout(1.0)
+                        if not self._monitoring:
+                            return
+                        for address in self.stale():
+                            self.handle_worker_failure(address)
+
+                def handle_worker_failure(self, address):
+                    if address not in self.workers:
+                        return
+                    self.remove_worker(address)
+
+                def remove_worker(self, address):
+                    self.workers.pop(address, None)
+
+                def add_worker(self, address, worker):
+                    self.workers[address] = worker
+        """}) == []
+
+    def test_shared_funnel_not_flagged(self, tmp_path):
+        # One function reached from both contexts is serialization,
+        # not a race: the rule needs different code on the two sides.
+        assert lint_sources(tmp_path, {"log.py": """
+            class Component:
+                def start(self):
+                    self._running = True
+                    self.env.process(self._loop())
+
+                def _loop(self):
+                    while self._running:
+                        yield self.env.timeout(1.0)
+                        if not self._running:
+                            return
+                        self.log("tick")
+
+                def log(self, message):
+                    self.logs.append(message)
+        """}) == []
+
+    def test_same_attr_different_class_not_flagged(self, tmp_path):
+        # `Client.logs` and `Stealer.seen` sharing an attr name with
+        # unrelated classes must not pair up into a phantom race.
+        assert lint_sources(tmp_path, {"two.py": """
+            class Stealer:
+                def start(self):
+                    self._running = True
+                    self.env.process(self._loop())
+
+                def _loop(self):
+                    while self._running:
+                        yield self.env.timeout(1.0)
+                        if not self._running:
+                            return
+                        self.scan()
+
+                def scan(self):
+                    self.seen = {}
+
+            class Client:
+                def submit(self, graph):
+                    self.seen = {"graph": graph}
+        """}) == []
+
+
+class TestMonitorMutation:
+    def test_event_creating_call_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {"mon.py": """
+            class Probe:
+                def on_schedule(self, event):
+                    self.env.schedule(event)
+
+                def on_step(self, event):
+                    self.count += 1
+        """})
+        assert rule_names(findings) == ["conc-monitor-mutation"]
+        assert ".schedule" in findings[0].message
+
+    def test_observed_event_write_flagged(self, tmp_path):
+        findings = lint_sources(tmp_path, {"mon.py": """
+            class Probe:
+                def on_step(self, event):
+                    event.time = 0.0
+
+                def before_callback(self, event):
+                    self.count += 1
+        """})
+        assert rule_names(findings) == ["conc-monitor-mutation"]
+        assert "event.time" in findings[0].message
+
+    def test_observe_only_clean(self, tmp_path):
+        assert lint_sources(tmp_path, {"mon.py": """
+            class Probe:
+                def on_schedule(self, event):
+                    self.scheduled += 1
+
+                def on_step(self, event):
+                    self.samples.append(event.time)
+        """}) == []
+
+    def test_single_hook_class_ignored(self, tmp_path):
+        # One hook-like method on an unrelated class is not a monitor.
+        assert lint_sources(tmp_path, {"other.py": """
+            class Driver:
+                def on_step(self, event):
+                    self.env.schedule(event)
+        """}) == []

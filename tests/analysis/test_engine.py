@@ -10,6 +10,7 @@ from repro.analysis import (
     LintEngine,
     ModuleSource,
     load_baseline,
+    prune_baseline,
     registered_rules,
     rules_for,
     write_baseline,
@@ -87,6 +88,50 @@ class TestSuppression:
                             root=str(tmp_path)).run([path])
         assert [f.rule for f in report.active] == ["det-wallclock"]
 
+    def test_multi_rule_list_covers_distinct_findings_on_one_line(
+            self, tmp_path):
+        # One allow list, two different rules anchored to the same line.
+        path = write(tmp_path, "m.py", """
+            import time
+            import random
+            x = time.time() + random.random()  # repro: allow[det-wallclock, det-unseeded-random]
+        """)
+        report = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path)).run([path])
+        assert report.active == []
+        assert len(report.suppressed) == 2
+
+    def test_comment_above_decorators_reaches_the_def(self, tmp_path):
+        # A suppression placed above a decorator stack applies to a
+        # finding anchored at the decorated `def` line.
+        module = ModuleSource.parse("m.py", textwrap.dedent("""
+            # repro: allow[conc-stale-loop-guard]
+            @retries(3)
+            @traced
+            def _loop(self):
+                pass
+        """).lstrip("\n"))
+        def_line = module.tree.body[0].lineno
+        assert module.line(def_line).startswith("def _loop")
+        assert "conc-stale-loop-guard" in module.allowed_rules(def_line)
+
+    def test_comment_inside_multiline_expression_counts(self, tmp_path):
+        # The flagged node spans several lines; a comment on any of
+        # them (here: deep inside the parenthesized payload) works.
+        path = write(tmp_path, "m.py", """
+            def emit(producer, env):
+                producer.push({
+                    "type": "dxt_segment",
+                    "hostname": "nid0",
+                    "start": env.now,  # repro: allow[prov-missing-identifier]
+                    "end": env.now,
+                })
+        """)
+        report = LintEngine(rules=rules_for(["provenance"]),
+                            root=str(tmp_path)).run([path])
+        assert report.active == []
+        assert len(report.suppressed) == 1
+
 
 class TestBaseline:
     def test_roundtrip_marks_baselined(self, tmp_path):
@@ -152,12 +197,22 @@ class TestSelection:
     def test_families_and_names(self):
         rules = registered_rules()
         assert {r.family for r in rules.values()} == \
-            {"determinism", "provenance"}
+            {"determinism", "provenance", "concurrency", "hotpath",
+             "provflow"}
         assert [r.name for r in rules_for(["det-wallclock"])] == \
             ["det-wallclock"]
         det = rules_for(["determinism"])
         assert all(r.family == "determinism" for r in det)
         assert len(det) >= 5
+        conc = rules_for(["concurrency"])
+        assert {r.name for r in conc} == {
+            "conc-stale-loop-guard", "conc-cross-context-mutation",
+            "conc-monitor-mutation"}
+        assert {r.name for r in rules_for(["hotpath"])} == {
+            "hot-linear-scan", "hot-collection-copy"}
+        assert {r.name for r in rules_for(["provflow"])} == {
+            "flow-missing-identifier", "flow-unknown-event-type",
+            "flow-unresolved-emission"}
 
     def test_unknown_selector_raises(self):
         with pytest.raises(KeyError):
@@ -184,3 +239,99 @@ class TestReportRendering:
         text = report.render_text()
         assert "m.py:4" in text
         assert "1 finding(s)" in text
+
+
+class TestParallelParse:
+    def _tree(self, tmp_path, n=12):
+        for i in range(n):
+            write(tmp_path, f"mod_{i:02d}.py", f"""
+                import time
+
+                def stamp_{i}():
+                    return time.time()
+            """)
+        return str(tmp_path)
+
+    def test_jobs_preserve_finding_order(self, tmp_path):
+        root = self._tree(tmp_path)
+        engine = LintEngine(rules=rules_for(["determinism"]), root=root)
+        serial = engine.run([root])
+        threaded = engine.run([root], jobs=4)
+        assert serial.render_json() == threaded.render_json()
+        assert len(serial.active) == 12
+
+    def test_jobs_cover_project_rules_too(self, tmp_path):
+        write(tmp_path, "sched.py", """
+            class Scheduler:
+                def submit(self, spec):
+                    self.env.process(self._dispatch(spec))
+
+                def _dispatch(self, spec):
+                    candidates = dict(self.workers)
+                    yield self.env.timeout(0.0)
+        """)
+        engine = LintEngine(rules=rules_for(["hotpath"]),
+                            root=str(tmp_path))
+        report = engine.run([str(tmp_path)], jobs=4)
+        assert [f.rule for f in report.active] == ["hot-collection-copy"]
+
+
+class TestBaselineMaintenance:
+    def test_stale_entries_reported_in_stats(self, tmp_path):
+        path = write(tmp_path, "m.py", DIRTY)
+        engine = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path))
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(engine.run([path]), baseline_path, str(tmp_path))
+
+        # The flagged code goes away; the baseline entry is now stale.
+        write(tmp_path, "m.py", "x = 1\n")
+        engine2 = LintEngine(rules=rules_for(["determinism"]),
+                             baseline=load_baseline(baseline_path),
+                             root=str(tmp_path))
+        report = engine2.run([path])
+        assert report.stats["stale_baseline_entries"] == 1
+        assert report.exit_code == 0
+
+    def test_prune_drops_only_stale_entries(self, tmp_path):
+        keep = write(tmp_path, "keep.py", DIRTY)
+        gone = write(tmp_path, "gone.py", """
+            import random
+            r = random.random()
+        """)
+        engine = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path))
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(engine.run([keep, gone]), baseline_path,
+                       str(tmp_path))
+        assert len(load_baseline(baseline_path)) == 2
+
+        write(tmp_path, "gone.py", "x = 1\n")
+        report = engine.run([keep, gone])
+        kept, dropped = prune_baseline(report, baseline_path,
+                                       str(tmp_path))
+        assert (kept, dropped) == (1, 1)
+        remaining = load_baseline(baseline_path)
+        assert len(remaining) == 1
+        assert all("keep.py" in entry for entry in remaining)
+
+    def test_prune_keeps_suppressed_matches(self, tmp_path):
+        # An entry whose code is now also inline-suppressed is not
+        # stale: pruning must stay idempotent, not fight suppressions.
+        path = write(tmp_path, "m.py", DIRTY)
+        engine = LintEngine(rules=rules_for(["determinism"]),
+                            root=str(tmp_path))
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(engine.run([path]), baseline_path, str(tmp_path))
+
+        write(tmp_path, "m.py", """
+            import time
+
+            def stamp():
+                # repro: allow[det-wallclock]
+                return time.time()
+        """)
+        report = engine.run([path])
+        kept, dropped = prune_baseline(report, baseline_path,
+                                       str(tmp_path))
+        assert (kept, dropped) == (1, 0)

@@ -1,0 +1,183 @@
+"""Provflow-family rules: identifier contracts enforced through dataflow.
+
+Every fixture here is a payload the syntax-level schema family cannot
+resolve (built across statements, returned from a helper, merged via
+``**``): provflow either proves the identifier contract holds, pins
+down exactly which identifier is missing, or reports the site as
+unresolvable for a human to suppress at the funnel.
+"""
+
+import textwrap
+
+from repro.analysis import LintEngine, rules_for
+
+
+def lint_source(tmp_path, code, selectors=("provflow",)):
+    (tmp_path / "fixture.py").write_text(
+        textwrap.dedent(code).lstrip("\n"))
+    engine = LintEngine(rules=rules_for(list(selectors)),
+                        root=str(tmp_path))
+    report = engine.run([str(tmp_path)])
+    return [f for f in report.findings if f.active]
+
+
+def rule_names(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestBuiltAcrossStatements:
+    def test_incomplete_payload_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def emit(producer, env, key):
+                payload = {"type": "steal", "key": key}
+                payload["extra"] = 1
+                producer.push(payload)
+        """)
+        assert set(rule_names(findings)) == {"flow-missing-identifier"}
+        missing = {f.message.split("lacks the '")[1].split("'")[0]
+                   for f in findings}
+        assert missing == {"worker", "timestamp"}
+
+    def test_complete_payload_clean(self, tmp_path):
+        assert lint_source(tmp_path, """
+            def emit(producer, env, key, worker):
+                payload = {"type": "steal", "key": key}
+                payload["worker"] = worker
+                payload["time"] = env.now
+                producer.push(payload)
+        """) == []
+
+    def test_keys_removed_again_flagged(self, tmp_path):
+        # The flow is line-ordered: a popped identifier is gone.
+        findings = lint_source(tmp_path, """
+            def emit(producer, env, key, worker):
+                payload = {"type": "steal", "key": key,
+                           "worker": worker, "time": env.now}
+                payload.pop("worker")
+                producer.push(payload)
+        """)
+        assert rule_names(findings) == ["flow-missing-identifier"]
+        assert "'worker'" in findings[0].message
+
+
+class TestHelperReturns:
+    def test_helper_built_payload_resolved(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def _make_event(key):
+                return {"type": "steal", "key": key}
+
+            def emit(producer, key):
+                payload = _make_event(key)
+                producer.push(payload)
+        """)
+        assert set(rule_names(findings)) == {"flow-missing-identifier"}
+
+    def test_helper_completing_payload_clean(self, tmp_path):
+        assert lint_source(tmp_path, """
+            def _make_event(key, worker, now):
+                payload = {"type": "steal", "key": key}
+                payload["worker"] = worker
+                payload["timestamp"] = now
+                return payload
+
+            def emit(producer, env, key, worker):
+                payload = _make_event(key, worker, env.now)
+                producer.push(payload)
+        """) == []
+
+    def test_opaque_helper_unresolved(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def emit(producer, key):
+                payload = make_somewhere_else(key)
+                producer.push(payload)
+        """)
+        assert rule_names(findings) == ["flow-unresolved-emission"]
+
+
+class TestUnpackMerges:
+    def test_resolvable_unpack_clean(self, tmp_path):
+        assert lint_source(tmp_path, """
+            def emit(producer, env, key):
+                base = {"type": "task_added", "key": key}
+                payload = {**base, "timestamp": env.now}
+                producer.push(payload)
+        """) == []
+
+    def test_parameter_unpack_unresolved(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def emit(producer, env, base):
+                payload = {**base, "timestamp": env.now}
+                producer.push(payload)
+        """)
+        assert rule_names(findings) == ["flow-unresolved-emission"]
+
+    def test_update_from_parameter_unresolved(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def emit(producer, extra):
+                payload = {"type": "fault"}
+                payload.update(extra)
+                producer.push(payload)
+        """)
+        assert rule_names(findings) == ["flow-unresolved-emission"]
+
+
+class TestEventTypes:
+    def test_unknown_type_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def emit(producer, env):
+                payload = {"type": "bogus_event"}
+                payload["time"] = env.now
+                producer.push(payload)
+        """)
+        assert rule_names(findings) == ["flow-unknown-event-type"]
+        assert "bogus_event" in findings[0].message
+
+    def test_dynamic_type_unresolved(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def emit(producer, env, event_type):
+                payload = {"type": event_type}
+                payload["time"] = env.now
+                producer.push(payload)
+        """)
+        assert rule_names(findings) == ["flow-unresolved-emission"]
+
+    def test_missing_type_key_flagged(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def emit(producer, env, key):
+                payload = {"key": key}
+                payload["time"] = env.now
+                producer.push(payload)
+        """)
+        assert rule_names(findings) == ["flow-missing-identifier"]
+        assert "'type'" in findings[0].message
+
+
+class TestPushHelper:
+    def test_typed_push_payload_resolved(self, tmp_path):
+        findings = lint_source(tmp_path, """
+            def emit(plugin, env, key):
+                payload = {"key": key, "start": env.now}
+                plugin._push("task_run", payload)
+        """)
+        assert set(rule_names(findings)) == {"flow-missing-identifier"}
+        missing = {f.message.split("lacks the '")[1].split("'")[0]
+                   for f in findings}
+        assert missing == {"worker", "hostname", "thread"}
+
+    def test_complete_push_payload_clean(self, tmp_path):
+        assert lint_source(tmp_path, """
+            def emit(plugin, env, key, worker, host):
+                payload = {"key": key, "start": env.now}
+                payload["worker"] = worker
+                payload["hostname"] = host
+                payload["thread_id"] = 0
+                plugin._push("task_run", payload)
+        """) == []
+
+
+class TestSuppression:
+    def test_funnel_suppression_honoured(self, tmp_path):
+        assert lint_source(tmp_path, """
+            def forward(producer, metadata):
+                producer.push(metadata)  # repro: allow[flow-unresolved-emission]
+        """) == []

@@ -1,0 +1,37 @@
+"""The lint benchmark's smoke mode runs green and under budget.
+
+``bench_lint.py --smoke`` is the wall-time guard on the static
+analysis itself: the whole-program passes (call graph + dataflow) run
+inside the tier-1 lint gate, so a superlinear slowdown there would tax
+every CI round.  Running the smoke tier here keeps the benchmark — and
+the budget assertion inside it — from rotting.
+"""
+
+import importlib.util
+import pathlib
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parents[1]
+              / "benchmarks" / "bench_lint.py")
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location(
+        "bench_lint_smoke", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_lint_bench_smoke(capsys):
+    module = _load()
+    assert module.main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "lint benchmark (smoke)" in out
+    assert "within budget" in out
+
+
+def test_lint_bench_budget_enforced(capsys):
+    # An absurd budget must actually fail: the guard is not decorative.
+    module = _load()
+    assert module.main(["--smoke", "--budget", "0.000001"]) == 1
+    assert "over the" in capsys.readouterr().err
