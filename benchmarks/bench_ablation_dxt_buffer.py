@@ -8,7 +8,7 @@ DXT segment budgets, reporting observed vs actual operation counts and
 the number of dropped segments.
 """
 
-from repro.core import format_records, io_view
+from repro.core import AnalysisSession, format_records
 from repro.workflows import ResNet152Workflow, run_workflow
 
 from conftest import emit
@@ -34,7 +34,7 @@ def test_ablation_dxt_buffer_limit(bench_env, benchmark):
     rows = []
     for limit in limits:
         report = results[limit].data.darshan
-        observed = len(io_view(results[limit].data))
+        observed = len(AnalysisSession.of(results[limit].data).io_view())
         rows.append({
             "dxt_buffer_per_process": limit,
             "observed_io_ops": observed,

@@ -10,7 +10,7 @@ the locality/balance trade the objective encodes.
 
 import numpy as np
 
-from repro.core import comm_view, format_records, task_view
+from repro.core import AnalysisSession, format_records
 from repro.dasklike import DaskConfig
 from repro.workflows import ImageProcessingWorkflow, run_workflow
 
@@ -36,7 +36,7 @@ def test_ablation_locality_weight(bench_env, benchmark):
     rows = []
     for weight in weights:
         result = results[weight]
-        comms = comm_view(result.data)
+        comms = AnalysisSession.of(result.data).comm_view()
         rows.append({
             "locality_weight": weight,
             "n_comms": len(comms),
@@ -44,7 +44,7 @@ def test_ablation_locality_weight(bench_env, benchmark):
                 float(np.sum(comms["nbytes"])) / 2**20, 1)
             if len(comms) else 0.0,
             "wall_s": round(result.wall_time, 2),
-            "n_tasks": len(task_view(result.data)),
+            "n_tasks": len(AnalysisSession.of(result.data).task_view()),
         })
     text = format_records(rows, title="Locality-weight ablation "
                                       f"(ImageProcessing, scale={scale})")

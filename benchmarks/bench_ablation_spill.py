@@ -9,7 +9,7 @@ limits with spilling enabled and reports spill traffic and wall time.
 
 import numpy as np
 
-from repro.core import format_records, spill_view, task_view
+from repro.core import AnalysisSession, format_records
 from repro.dasklike import DaskConfig
 from repro.workflows import XGBoostWorkflow, run_workflow
 
@@ -42,7 +42,7 @@ def test_ablation_memory_spill(bench_env, benchmark):
     rows = []
     for fraction in fractions:
         result = results[fraction]
-        spills = spill_view(result.data)
+        spills = AnalysisSession.of(result.data).spill_view()
         out = spills.filter(
             np.array([d == "spill" for d in spills["direction"]])) \
             if len(spills) else spills
@@ -53,7 +53,7 @@ def test_ablation_memory_spill(bench_env, benchmark):
                 float(np.sum(out["nbytes"])) / 2**20, 1)
             if len(out) else 0.0,
             "wall_s": round(result.wall_time, 2),
-            "n_tasks": len(task_view(result.data)),
+            "n_tasks": len(AnalysisSession.of(result.data).task_view()),
         })
     text = format_records(rows, title="Memory-limit/spill ablation "
                                       f"(XGBOOST, scale={scale})")

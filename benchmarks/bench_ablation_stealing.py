@@ -9,7 +9,7 @@ volume, and steal counts — quantifying the trade the paper describes.
 
 import numpy as np
 
-from repro.core import comm_view, format_records, steal_view, task_view
+from repro.core import AnalysisSession, format_records
 from repro.dasklike import DaskConfig
 from repro.workflows import ImageProcessingWorkflow, run_workflow
 
@@ -31,8 +31,8 @@ def test_ablation_work_stealing(bench_env, benchmark):
 
     rows = []
     for label, result in (("stealing ON", on), ("stealing OFF", off)):
-        comms = comm_view(result.data)
-        steals = steal_view(result.data)
+        comms = AnalysisSession.of(result.data).comm_view()
+        steals = AnalysisSession.of(result.data).steal_view()
         rows.append({
             "config": label,
             "wall_s": round(result.wall_time, 2),
@@ -41,7 +41,7 @@ def test_ablation_work_stealing(bench_env, benchmark):
                 float(np.sum(comms["nbytes"])) / 2**20, 1)
             if len(comms) else 0.0,
             "n_steals": len(steals),
-            "n_tasks": len(task_view(result.data)),
+            "n_tasks": len(AnalysisSession.of(result.data).task_view()),
         })
     text = format_records(rows, title="Work-stealing ablation "
                                       f"(ImageProcessing, scale={scale})")

@@ -12,7 +12,7 @@ variability, unchanged task structure.
 
 import numpy as np
 
-from repro.core import comm_view, format_records, io_view, phase_breakdown, task_view
+from repro.core import AnalysisSession, format_records, phase_breakdown
 from repro.platform import COMMODITY_CLUSTER, POLARIS_LIKE
 from repro.workflows import ImageProcessingWorkflow, run_workflow
 
@@ -35,14 +35,14 @@ def test_cross_platform_comparison(bench_env, benchmark):
     for label, result in (("polaris-like", polaris),
                           ("commodity", commodity)):
         breakdown = phase_breakdown(result.data)
-        comms = comm_view(result.data)
-        io = io_view(result.data)
+        comms = AnalysisSession.of(result.data).comm_view()
+        io = AnalysisSession.of(result.data).io_view()
         rows.append({
             "platform": label,
             "wall_s": round(result.wall_time, 2),
             "io_time_s": round(breakdown.io, 2),
             "comm_time_s": round(breakdown.communication, 3),
-            "n_tasks": len(task_view(result.data)),
+            "n_tasks": len(AnalysisSession.of(result.data).task_view()),
             "n_io_ops": len(io),
             "n_comms": len(comms),
             "mean_read_ms": round(1e3 * float(np.mean(

@@ -10,11 +10,11 @@ operations, 10-25 per image.
 import numpy as np
 
 from repro.core import (
+    AnalysisSession,
     detect_phases,
     fig4_svg,
     format_records,
     io_timeline,
-    io_view,
     write_svg,
 )
 
@@ -23,7 +23,7 @@ from conftest import OUT_DIR, emit
 
 def test_fig4_per_thread_io_timeline(bench_env, benchmark):
     result = bench_env.one_run("ImageProcessing")
-    io = io_view(result.data)
+    io = AnalysisSession.of(result.data).io_view()
     timeline = benchmark.pedantic(io_timeline, args=(io,),
                                   rounds=1, iterations=1)
 

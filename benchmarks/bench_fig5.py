@@ -9,13 +9,13 @@ workflow, split between intra- and inter-node endpoints.
 import numpy as np
 
 from repro.core import (
+    AnalysisSession,
     comm_scatter,
-    fig5_svg,
-    write_svg,
     comm_summary,
-    comm_view,
+    fig5_svg,
     format_records,
     slow_small_messages,
+    write_svg,
 )
 
 from conftest import OUT_DIR, emit
@@ -23,7 +23,7 @@ from conftest import OUT_DIR, emit
 
 def test_fig5_communication_scatter(bench_env, benchmark):
     result = bench_env.one_run("ResNet152")
-    comms = comm_view(result.data)
+    comms = AnalysisSession.of(result.data).comm_view()
     scatter = benchmark.pedantic(comm_scatter, args=(comms,),
                                  rounds=1, iterations=1)
 

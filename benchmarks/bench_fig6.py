@@ -10,14 +10,14 @@ developers.
 import numpy as np
 
 from repro.core import (
-    RECOMMENDED_CHUNK_BYTES,
+    AnalysisSession,
     fig6_svg,
-    write_svg,
     format_records,
     longest_categories,
     oversized_tasks,
     parallel_coordinates,
-    task_view,
+    RECOMMENDED_CHUNK_BYTES,
+    write_svg,
 )
 
 from conftest import OUT_DIR, emit
@@ -25,7 +25,7 @@ from conftest import OUT_DIR, emit
 
 def test_fig6_parallel_coordinates(bench_env, benchmark):
     result = bench_env.one_run("XGBOOST")
-    tasks = task_view(result.data)
+    tasks = AnalysisSession.of(result.data).task_view()
     coords = benchmark.pedantic(parallel_coordinates, args=(tasks,),
                                 rounds=1, iterations=1)
 

@@ -9,13 +9,12 @@ read_parquet-fused-assign tasks".
 import numpy as np
 
 from repro.core import (
+    AnalysisSession,
     correlate_warnings_with_tasks,
     fig7_svg,
-    write_svg,
     format_records,
-    task_view,
     warning_histogram,
-    warning_view,
+    write_svg,
 )
 
 from conftest import OUT_DIR, emit
@@ -23,18 +22,18 @@ from conftest import OUT_DIR, emit
 
 def test_fig7_warning_distribution(bench_env, benchmark):
     result = bench_env.one_run("XGBOOST")
-    warnings = warning_view(result.data)
+    warnings = AnalysisSession.of(result.data).warning_view()
     bucket = max(5.0, result.wall_time / 20)
     hist = benchmark.pedantic(warning_histogram, args=(warnings,),
                               kwargs={"bucket": bucket},
                               rounds=1, iterations=1)
 
     correlation = correlate_warnings_with_tasks(
-        warnings, task_view(result.data), "read_parquet-fused-assign",
+        warnings, AnalysisSession.of(result.data).task_view(), "read_parquet-fused-assign",
         kind="unresponsive_event_loop",
     )
     corr_gc = correlate_warnings_with_tasks(
-        warnings, task_view(result.data), "read_parquet-fused-assign",
+        warnings, AnalysisSession.of(result.data).task_view(), "read_parquet-fused-assign",
         kind="gc_collect",
     )
 

@@ -10,14 +10,14 @@ and the fused high-fidelity I/O records.
 
 import numpy as np
 
-from repro.core import render_provenance, task_provenance, task_view
+from repro.core import AnalysisSession, render_provenance, task_provenance
 
 from conftest import emit
 
 
 def test_fig8_task_provenance(bench_env, benchmark):
     result = bench_env.one_run("XGBOOST")
-    tasks = task_view(result.data)
+    tasks = AnalysisSession.of(result.data).task_view()
 
     # The paper's example is a getitem task from the second task graph.
     getitems = tasks.filter(np.array(

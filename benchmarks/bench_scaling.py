@@ -8,7 +8,7 @@ compute/I-O phases but inflate communication and leave the coordination
 floor untouched, so efficiency decays for this short workflow.
 """
 
-from repro.core import comm_view, phase_breakdown, format_records, task_view
+from repro.core import AnalysisSession, format_records, phase_breakdown
 from repro.jobs import JobSpec
 from repro.workflows import ImageProcessingWorkflow, run_workflow
 
@@ -47,7 +47,7 @@ def test_scaling_worker_nodes(bench_env, benchmark):
             "speedup": round(base_wall / result.wall_time, 2),
             "efficiency": round(
                 base_wall / result.wall_time / nodes, 2),
-            "n_comms": len(comm_view(result.data)),
+            "n_comms": len(AnalysisSession.of(result.data).comm_view()),
             "io_s": round(breakdown.io, 2),
             "compute_s": round(breakdown.computation, 2),
         })
@@ -56,7 +56,7 @@ def test_scaling_worker_nodes(bench_env, benchmark):
     emit("scaling_worker_nodes", text)
 
     # Same work at every size.
-    tasks = {len(task_view(results[n].data)) for n in node_counts}
+    tasks = {len(AnalysisSession.of(results[n].data).task_view()) for n in node_counts}
     assert len(tasks) == 1
     # More nodes never slow the workflow down dramatically...
     assert results[4].wall_time < 1.5 * results[1].wall_time

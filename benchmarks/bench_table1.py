@@ -6,7 +6,7 @@ the communication range over runs.  Paper values are printed alongside
 for direct comparison (EXPERIMENTS.md records the deltas).
 """
 
-from repro.core import comm_view, format_records, io_view, task_view
+from repro.core import AnalysisSession, format_records
 
 from conftest import emit
 
@@ -25,12 +25,12 @@ def characterize(results):
     graphs, tasks, files = set(), set(), set()
     io_counts, comm_counts = [], []
     for result in results:
-        tv = task_view(result.data)
+        tv = AnalysisSession.of(result.data).task_view()
         graphs.add(len(set(tv.unique("graph_index"))))
         tasks.add(len(tv))
         files.add(len(result.data.darshan.distinct_files()))
-        io_counts.append(len(io_view(result.data)))
-        comm_counts.append(len(comm_view(result.data)))
+        io_counts.append(len(AnalysisSession.of(result.data).io_view()))
+        comm_counts.append(len(AnalysisSession.of(result.data).comm_view()))
     def span(values):
         lo, hi = min(values), max(values)
         return str(lo) if lo == hi else f"{lo}-{hi}"

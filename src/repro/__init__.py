@@ -25,13 +25,49 @@ Subpackages
 ``repro.core``
     PERFRECUP: the multisource tabular analysis and visualization
     engine.
+``repro.lake``
+    The provenance data lake: sharded multi-run catalog, LRU session
+    cache, and the ``perfrecup serve`` query daemon.
 ``repro.workflows``
     The three evaluation workflows and the multi-run experiment runner.
 
-Entry points: the ``perfrecup`` CLI (``repro.cli``) and the experiment
-registry (``repro.experiments``).
+Entry points: :func:`open_run` / :func:`open_catalog` below, the
+``perfrecup`` CLI (``repro.cli``), and the experiment registry
+(``repro.experiments``).
+
+The accepted-source matrix of :func:`open_run` (one dispatcher,
+:meth:`repro.core.RunData.load`, behind every entry)::
+
+    open_run("./results/xgboost/run0000")   # persisted run directory
+    open_run("lake://./mylake/<run_id>")    # catalog URI
+    open_run(result)                        # RunResult from run_many
+    open_run(result.data)                   # bare RunData
+    open_run(session)                       # pass-through
+    open_run(instrumented_run)              # live InstrumentedRun
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "open_run", "open_catalog"]
+
+
+def open_run(source, client=None):
+    """The :class:`~repro.core.session.AnalysisSession` of any source.
+
+    The single front door to single-run analysis — see the source
+    matrix in the module docstring.  Imports lazily so ``import
+    repro`` stays cheap.
+    """
+    from .core import AnalysisSession
+    return AnalysisSession.of(source, client=client)
+
+
+def open_catalog(root, **knobs):
+    """Open (creating on first use) the run catalog rooted at ``root``.
+
+    ``knobs`` are the capacity settings of
+    :meth:`repro.lake.Catalog.open` (``max_sessions``,
+    ``max_cached_events``, ``wall_bucket_s``).
+    """
+    from .lake import Catalog
+    return Catalog.open(root, **knobs)

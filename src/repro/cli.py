@@ -346,10 +346,8 @@ def cmd_sanitize(args: argparse.Namespace) -> int:
     sanitizer = EventOrderSanitizer()
     run_workflow(factory(), seed=args.seed, monitor=sanitizer)
     report = sanitizer.report()
-    if args.format == "json":
-        print(report.render_json())
-    else:
-        print(report.render_text())
+    _deliver(args, report.render_text(),
+             json.loads(report.render_json()))
     return report.exit_code
 
 
@@ -416,15 +414,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """Run one workflow and emit its span trace as Chrome trace JSON."""
     telemetry = _run_with_telemetry(args)
     document = telemetry.chrome_trace()
-    payload = json.dumps(document, indent=1)
-    if args.out:
-        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
-        with open(args.out, "w", encoding="utf-8") as fh:
-            fh.write(payload + "\n")
-        print(args.out)
-    else:
-        print(payload)
-    return 0
+    text = (f"{args.workflow}: {len(document['traceEvents'])} trace "
+            f"events (use --format json, or --out, for the Chrome "
+            f"trace itself)")
+    return _deliver(args, text, document)
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -447,6 +440,120 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         rows, title=f"{args.workflow}: {len(records)} sampled rows, "
                     f"{len(rows)} metrics")
     return _deliver(args, text, records)
+
+
+def _open_catalog_from_args(args: argparse.Namespace):
+    from .lake import Catalog
+    knobs = {}
+    if getattr(args, "cache_sessions", None) is not None:
+        knobs["max_sessions"] = args.cache_sessions
+    if getattr(args, "cache_events", None) is not None:
+        knobs["max_cached_events"] = args.cache_events
+    if getattr(args, "wall_bucket", None) is not None:
+        knobs["wall_bucket_s"] = args.wall_bucket
+    return Catalog.open(args.catalog_root, **knobs)
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Register new run directories into a catalog (incremental)."""
+    catalog = _open_catalog_from_args(args)
+    entries = []
+    for runs_dir in args.runs_dirs:
+        entries += catalog.ingest(runs_dir, date=args.date,
+                                  workers=args.workers)
+    rows = [{
+        "run_id": e.run_id, "workflow": e.workflow, "date": e.date,
+        "wall_s": round(e.wall_time, 2), "n_events": e.n_events,
+    } for e in entries]
+    text = format_records(
+        rows, title=f"ingested {len(entries)} new run(s) into "
+                    f"{catalog.root}") if rows else \
+        f"ingested 0 new run(s) into {catalog.root} (all up to date)"
+    document = {
+        "catalog": catalog.root,
+        "registered": len(entries),
+        "runs": [e.as_dict() for e in entries],
+    }
+    return _deliver(args, text, document)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """One catalog query, in-process or against a serve daemon.
+
+    ``target`` is either a catalog root directory (query runs
+    in-process) or a daemon base URL (``http://host:port``); the
+    payload bytes are identical either way.
+    """
+    from .lake import Catalog, LakeQueryError, http_query
+
+    try:
+        if args.target.startswith(("http://", "https://")):
+            payload = http_query(args.target, args.query)
+        else:
+            payload = Catalog.open(args.target).query_json(args.query)
+    except LakeQueryError as exc:
+        print(f"query failed ({exc.status}): {exc.message}",
+              file=sys.stderr)
+        return 1
+    document = json.loads(payload.decode("utf-8"))
+
+    if args.format == "json" and not args.out:
+        # The canonical payload, byte-for-byte (what the daemon sent).
+        sys.stdout.write(payload.decode("utf-8"))
+        return 0
+    if isinstance(document, dict) and "runs" in document \
+            and document.get("runs") and \
+            isinstance(document["runs"][0], dict):
+        rows = [{k: run[k] for k in (
+            "run_id", "workflow", "date", "config_hash",
+            "fault_signature", "wall_time", "n_tasks")}
+            for run in document["runs"]]
+        text = format_records(
+            rows, title=f"{document['n_runs']} matching run(s)")
+    elif isinstance(document, dict) and "by_prefix" in document:
+        sections = [format_records(
+            [document["phases"][p]
+             for p in ("io", "communication", "computation", "total")],
+            title=f"Phase variability over {document['n_runs']} runs")]
+        sections.append(format_records(
+            document["by_prefix"],
+            title="Task categories by cross-run variability"))
+        text = "\n\n".join(sections)
+    else:
+        text = json.dumps(document, indent=2, default=str)
+    return _deliver(args, text, document)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived analysis daemon over one catalog."""
+    from .lake import serve
+
+    catalog = _open_catalog_from_args(args)
+    for runs_dir in args.ingest or ():
+        catalog.ingest(runs_dir, workers=args.workers)
+    server = serve(catalog, host=args.host, port=args.port,
+                   verbose=args.verbose)
+    n_runs = len(catalog.indexes.run_shards)
+    line = (f"serving catalog {catalog.root} ({n_runs} run(s)) "
+            f"at {server.address}")
+    if args.format == "json":
+        line = json.dumps({"address": server.address,
+                           "catalog": catalog.root, "n_runs": n_runs})
+    if args.out:
+        # Just the address: scripts poll this file to find the
+        # ephemeral port, so keep it machine-readable.
+        os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(server.address + "\n")
+    print(line, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -472,21 +579,42 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Subcommands sharing the analysis option set (``--out`` / ``--format``
-#: / ``--workers``), asserted consistent by the CLI tests.
-ANALYSIS_COMMANDS = ("analyze", "compare", "figures", "zoom", "report")
+#: Subcommands sharing the full analysis option set (``--out`` /
+#: ``--format`` / ``--workers``), asserted consistent by the CLI tests.
+ANALYSIS_COMMANDS = ("analyze", "compare", "figures", "zoom", "report",
+                     "ingest", "query", "serve")
+
+#: Subcommands sharing the output pair (``--out`` / ``--format``) but
+#: not ``--workers`` — single-run drivers with nothing to fan out.
+OUTPUT_COMMANDS = ("faults", "metrics", "trace", "sanitize")
 
 
-def _analysis_parent() -> argparse.ArgumentParser:
-    """The option set every analysis subcommand shares."""
+def _output_parent(format_default: str = "text") \
+        -> argparse.ArgumentParser:
+    """The output option pair shared by every reporting subcommand.
+
+    One definition site: no subcommand declares ``--out``/``--format``
+    ad hoc, so they parse (and read in help) identically everywhere.
+    A subcommand whose product *is* a JSON document (``trace``) asks
+    for its own parent instance with ``format_default="json"`` —
+    argparse shares action objects between subparsers built from one
+    parent, so mutating a shared default would leak to siblings.
+    """
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
         "--out", default=None,
         help="output destination (file, or directory for figures; "
              "default: stdout / a path under the run directory)")
     parent.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="render as human-readable text (default) or JSON")
+        "--format", choices=("text", "json"), default=format_default,
+        help="render as human-readable text or JSON "
+             f"(default: {format_default})")
+    return parent
+
+
+def _analysis_parent() -> argparse.ArgumentParser:
+    """The option set every analysis subcommand shares."""
+    parent = _output_parent()
     parent.add_argument(
         "--workers", type=int, default=None,
         help="thread fan-out for view building and multi-run loading")
@@ -501,6 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     common = _analysis_parent()
+    output = _output_parent()
 
     p_run = sub.add_parser("run", help="run an instrumented workflow")
     p_run.add_argument("workflow", help="imageprocessing|resnet152|xgboost")
@@ -589,18 +718,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.set_defaults(func=cmd_lint)
 
     p_san = sub.add_parser(
-        "sanitize",
+        "sanitize", parents=[output],
         help="run a workflow under the event-ordering sanitizer")
     p_san.add_argument("workflow",
                        help="imageprocessing|resnet152|xgboost")
     p_san.add_argument("--scale", type=float, default=0.05)
     p_san.add_argument("--seed", type=int, default=0)
-    p_san.add_argument("--format", choices=("text", "json"),
-                       default="text")
     p_san.set_defaults(func=cmd_sanitize)
 
     p_faults = sub.add_parser(
-        "faults",
+        "faults", parents=[output],
         help="run a workflow under an injected fault schedule")
     p_faults.add_argument("workflow",
                           help="imageprocessing|resnet152|xgboost")
@@ -611,16 +738,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault spec kind@time[:target][+duration][xMAG] "
              "(repeatable; e.g. worker_crash@5 or "
              "pfs_ost_slowdown@2:0+10x8)")
-    p_faults.add_argument("--out", default=None,
-                          help="output file (default: stdout)")
-    p_faults.add_argument("--format", choices=("text", "json"),
-                          default="text",
-                          help="recovery summary (text) or the full "
-                               "report (json)")
     p_faults.set_defaults(func=cmd_faults)
 
+    # The Chrome trace is the product: default to the JSON document
+    # (open in chrome://tracing or Perfetto).
     p_trace = sub.add_parser(
-        "trace",
+        "trace", parents=[_output_parent(format_default="json")],
         help="run a workflow and emit a Chrome trace-event JSON")
     p_trace.add_argument("workflow",
                          help="imageprocessing|resnet152|xgboost")
@@ -628,13 +751,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--interval", type=float, default=0.5,
                          help="metric sampling interval (sim seconds)")
-    p_trace.add_argument("--out", default=None,
-                         help="write the trace here instead of stdout "
-                              "(open in chrome://tracing or Perfetto)")
     p_trace.set_defaults(func=cmd_trace)
 
     p_met = sub.add_parser(
-        "metrics",
+        "metrics", parents=[output],
         help="run a workflow and dump its sampled telemetry series")
     p_met.add_argument("workflow",
                        help="imageprocessing|resnet152|xgboost")
@@ -642,13 +762,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_met.add_argument("--seed", type=int, default=0)
     p_met.add_argument("--interval", type=float, default=0.5,
                        help="metric sampling interval (sim seconds)")
-    p_met.add_argument("--out", default=None,
-                       help="output file (default: stdout)")
-    p_met.add_argument("--format", choices=("text", "json"),
-                       default="text",
-                       help="per-metric summary (text) or the full row "
-                            "series (json)")
     p_met.set_defaults(func=cmd_metrics)
+
+    p_ing = sub.add_parser(
+        "ingest", parents=[common],
+        help="register new runs into a provenance data lake catalog")
+    p_ing.add_argument("catalog_root",
+                       help="catalog root directory (created on first "
+                            "use)")
+    p_ing.add_argument("runs_dirs", nargs="+", metavar="runs_dir",
+                       help="directories scanned recursively for "
+                            "persisted run dirs (provenance.json)")
+    p_ing.add_argument("--date", default=None,
+                       help="partition label for runs without one "
+                            "(default: 'undated')")
+    p_ing.set_defaults(func=cmd_ingest)
+
+    p_query = sub.add_parser(
+        "query", parents=[common],
+        help="query a catalog (in-process) or a serve daemon (HTTP)")
+    p_query.add_argument("target",
+                         help="catalog root directory, or daemon base "
+                              "URL (http://host:port)")
+    p_query.add_argument("query",
+                         help="route with query string, e.g. "
+                              "'/runs?workflow=xgboost' or "
+                              "'/reports/variability?workflow=xgboost'")
+    p_query.set_defaults(func=cmd_query)
+
+    p_srv = sub.add_parser(
+        "serve", parents=[common],
+        help="long-lived JSON-over-HTTP daemon over one catalog")
+    p_srv.add_argument("catalog_root", help="catalog root directory")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: ephemeral; the bound "
+                            "address is printed at startup)")
+    p_srv.add_argument("--ingest", action="append", metavar="RUNS_DIR",
+                       help="ingest this directory before serving "
+                            "(repeatable)")
+    p_srv.add_argument("--cache-sessions", type=int, default=None,
+                       help="LRU session-cache entry cap")
+    p_srv.add_argument("--cache-events", type=int, default=None,
+                       help="LRU session-cache size cap (total cached "
+                            "event/log/metric records)")
+    p_srv.add_argument("--wall-bucket", type=float, default=None,
+                       help="wall-time index bucket width in seconds")
+    p_srv.add_argument("--verbose", action="store_true",
+                       help="log each request to stderr")
+    p_srv.set_defaults(func=cmd_serve)
 
     p_list = sub.add_parser("list-workflows", help="list workflow names")
     p_list.set_defaults(func=cmd_list)

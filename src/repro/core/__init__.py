@@ -22,8 +22,9 @@ workloads out over ``concurrent.futures``::
     session = AnalysisSession.of(result.data)   # or a run-dir path
     tasks = session.task_view()                 # built once, cached
 
-The ``task_view(run)``-style free functions remain as deprecated
-compatibility shims over the session API.
+The ``task_view(run)``-style free functions completed their
+deprecation cycle and were removed; every view is reached through a
+session (``AnalysisSession.of(source).view(name)``).
 """
 
 from .categories import (
@@ -75,18 +76,7 @@ from .variability import (
     summarize_metric,
     variability_report,
 )
-from .views import (
-    VIEW_NAMES,
-    comm_view,
-    spill_view,
-    dependency_view,
-    io_view,
-    log_view,
-    steal_view,
-    task_view,
-    transition_view,
-    warning_view,
-)
+from .views import VIEW_NAMES
 from .warnings_analysis import (
     correlate_warnings_with_tasks,
     warning_histogram,
@@ -146,10 +136,8 @@ __all__ = [
     "check_interoperability",
     "comm_scatter",
     "comm_summary",
-    "comm_view",
     "compare_runs",
     "correlate_warnings_with_tasks",
-    "dependency_view",
     "detect_phases",
     "format_bar",
     "format_records",
@@ -157,8 +145,6 @@ __all__ = [
     "fuse_io_with_tasks",
     "identifier_coverage",
     "io_timeline",
-    "io_view",
-    "log_view",
     "longest_categories",
     "order_distance",
     "oversized_tasks",
@@ -174,14 +160,9 @@ __all__ = [
     "resilience_view",
     "shared_identifiers",
     "slow_small_messages",
-    "spill_view",
-    "steal_view",
     "summarize_metric",
     "task_provenance",
-    "task_view",
-    "transition_view",
     "unattributed_io",
     "warning_histogram",
-    "warning_view",
     "warnings_in_window",
 ]

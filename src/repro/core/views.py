@@ -12,33 +12,23 @@ make the views joinable (§V).
 Builders are **columnar**: they pull whole NumPy columns out of the
 run's :class:`~repro.core.eventstore.EventStore` partition and compute
 derived columns (``duration``, ``n_deps``) by array math — no per-row
-dicts on the hot path.  The documented entry point is
+dicts on the hot path.  The entry point is
 :class:`~repro.core.session.AnalysisSession`, which memoizes every view
-per run; the module-level free functions (``task_view(run)``-style)
-remain as compatibility shims that delegate to a session and emit a
-:class:`DeprecationWarning` when handed a bare
-:class:`~repro.core.ingest.RunData`.
+per run: ``AnalysisSession.of(source).task_view()`` (or
+``.view("task")``).  The historical module-level free functions
+(``task_view(run)``-style) completed their deprecation cycle and are
+gone.
 """
 
 from __future__ import annotations
-
-import warnings as _warnings
 
 from .eventstore import columns_from_records
 from .ingest import RunData
 from .table import Table
 
 __all__ = [
+    "VIEW_BUILDERS",
     "VIEW_NAMES",
-    "task_view",
-    "transition_view",
-    "io_view",
-    "comm_view",
-    "warning_view",
-    "spill_view",
-    "steal_view",
-    "dependency_view",
-    "log_view",
 ]
 
 
@@ -185,69 +175,3 @@ VIEW_BUILDERS = {
 }
 
 VIEW_NAMES = tuple(VIEW_BUILDERS)
-
-
-# ---------------------------------------------------------------------------
-# compatibility shims (the historical free-function API)
-# ---------------------------------------------------------------------------
-
-def _session_for(source, caller: str):
-    """Coerce a shim argument to a session, warning on bare RunData."""
-    from .session import AnalysisSession
-    if isinstance(source, AnalysisSession):
-        return source
-    if isinstance(source, RunData):
-        _warnings.warn(
-            f"{caller}(RunData) is deprecated; create an "
-            f"AnalysisSession (repro.core.AnalysisSession.of(run)) and "
-            f"use its cached views instead",
-            DeprecationWarning, stacklevel=3)
-        return AnalysisSession.of(source)
-    raise TypeError(
-        f"{caller}() expects a RunData or AnalysisSession, "
-        f"got {type(source).__name__!r}")
-
-
-def task_view(run) -> Table:
-    """Compatibility shim for :func:`build_task_view` (see above)."""
-    return _session_for(run, "task_view").view("task")
-
-
-def transition_view(run) -> Table:
-    """Compatibility shim for :func:`build_transition_view`."""
-    return _session_for(run, "transition_view").view("transition")
-
-
-def io_view(run) -> Table:
-    """Compatibility shim for :func:`build_io_view`."""
-    return _session_for(run, "io_view").view("io")
-
-
-def comm_view(run) -> Table:
-    """Compatibility shim for :func:`build_comm_view`."""
-    return _session_for(run, "comm_view").view("comm")
-
-
-def warning_view(run) -> Table:
-    """Compatibility shim for :func:`build_warning_view`."""
-    return _session_for(run, "warning_view").view("warning")
-
-
-def spill_view(run) -> Table:
-    """Compatibility shim for :func:`build_spill_view`."""
-    return _session_for(run, "spill_view").view("spill")
-
-
-def steal_view(run) -> Table:
-    """Compatibility shim for :func:`build_steal_view`."""
-    return _session_for(run, "steal_view").view("steal")
-
-
-def dependency_view(run) -> Table:
-    """Compatibility shim for :func:`build_dependency_view`."""
-    return _session_for(run, "dependency_view").view("dependency")
-
-
-def log_view(run) -> Table:
-    """Compatibility shim for :func:`build_log_view`."""
-    return _session_for(run, "log_view").view("log")

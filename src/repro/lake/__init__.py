@@ -1,0 +1,57 @@
+"""repro.lake — the provenance data lake.
+
+Multi-run, multi-workflow, query-at-scale provenance management: a
+sharded, append-only columnar **run catalog** over the analysis stack
+(:class:`Catalog`), a bounded LRU **session cache**
+(:class:`SessionCache`), and a long-lived **serve daemon**
+(:class:`LakeServer` / :func:`serve`) whose HTTP answers are
+byte-identical to the in-process query path.
+
+The one front door::
+
+    import repro
+    catalog = repro.open_catalog("./lake")       # Catalog.open(root)
+    catalog.ingest("./results")                  # incremental
+    catalog.query(workflow="xgboost")            # pruned, no parsing
+    catalog.variability_document(workflow="xgboost")
+    session = repro.open_run(catalog.uri(run_id))  # lake:// URI
+
+See ``docs/data_lake.md`` for the on-disk layout, the query API
+reference, and the capacity knobs.
+"""
+
+from .cache import SessionCache, session_cost
+from .catalog import (
+    Catalog,
+    LakeQueryError,
+    config_hash_of,
+    parse_lake_uri,
+    resolve_uri,
+)
+from .indexes import SecondaryIndexes, wall_bucket
+from .manifest import RunEntry, ShardManifest
+from .server import LakeServer, http_query, serve
+from .shards import build_block, read_block, safe_name
+from .synthetic import synthetic_run, synthetic_runs
+
+__all__ = [
+    "Catalog",
+    "LakeQueryError",
+    "LakeServer",
+    "RunEntry",
+    "SecondaryIndexes",
+    "SessionCache",
+    "ShardManifest",
+    "build_block",
+    "config_hash_of",
+    "http_query",
+    "parse_lake_uri",
+    "read_block",
+    "resolve_uri",
+    "safe_name",
+    "serve",
+    "session_cost",
+    "synthetic_run",
+    "synthetic_runs",
+    "wall_bucket",
+]

@@ -1,0 +1,143 @@
+"""Bounded, thread-safe LRU cache of :class:`AnalysisSession` objects.
+
+The serve daemon (and any long-lived in-process :class:`Catalog`) must
+answer per-run view queries for thousands of runs without holding
+thousands of parsed event streams in memory.  :class:`SessionCache`
+bounds that working set two ways:
+
+* **count** — at most ``max_sessions`` live sessions, and
+* **size** — the summed *cost* of cached sessions stays under
+  ``max_events``, where a session's cost is the number of event/log
+  records its run holds (the dominant memory term; the derived NumPy
+  columns are proportional to it).
+
+Eviction is least-recently-used on both triggers.  Loads are
+single-flight: concurrent requests for the same run block on one
+loader instead of parsing the run once per thread, while requests for
+*different* runs proceed in parallel (the lock guards only dictionary
+bookkeeping, never a load).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Optional
+
+__all__ = ["SessionCache", "session_cost"]
+
+#: Default capacity knobs (see docs/data_lake.md "capacity knobs").
+DEFAULT_MAX_SESSIONS = 32
+DEFAULT_MAX_EVENTS = 2_000_000
+
+
+def session_cost(session) -> int:
+    """Approximate memory cost of one session, in record units."""
+    run = session.run
+    return 1 + len(run.events) + len(run.logs) + len(run.metrics)
+
+
+class SessionCache:
+    """LRU of ``run_id -> AnalysisSession`` with count and size caps."""
+
+    def __init__(self,
+                 max_sessions: int = DEFAULT_MAX_SESSIONS,
+                 max_events: int = DEFAULT_MAX_EVENTS):
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1")
+        if max_events < 1:
+            raise ValueError("max_events must be at least 1")
+        self.max_sessions = int(max_sessions)
+        self.max_events = int(max_events)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple] = OrderedDict()
+        self._inflight: dict[str, threading.Event] = {}
+        self._cost_total = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- core --------------------------------------------------------------
+    def get(self, run_id: str, loader: Callable[[], object]):
+        """The cached session for ``run_id``, loading it on first use.
+
+        ``loader`` runs at most once per concurrent miss burst
+        (single-flight); every waiter receives the same session
+        object.  A failed load propagates to the leader and releases
+        the waiters to retry.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(run_id)
+                if entry is not None:
+                    self._entries.move_to_end(run_id)
+                    self._hits += 1
+                    return entry[0]
+                gate = self._inflight.get(run_id)
+                if gate is None:
+                    gate = threading.Event()
+                    self._inflight[run_id] = gate
+                    break  # this thread is the loading leader
+            gate.wait()
+            # Loop: either the leader inserted the session (hit on the
+            # next pass) or it failed (this thread becomes the leader).
+        try:
+            session = loader()
+            cost = session_cost(session)
+            with self._lock:
+                self._misses += 1
+                self._entries[run_id] = (session, cost)
+                self._cost_total += cost
+                self._evict_locked(keep=run_id)
+            return session
+        finally:
+            with self._lock:
+                del self._inflight[run_id]
+                gate.set()
+
+    def peek(self, run_id: str):
+        """The cached session, or ``None`` — no load, no LRU touch."""
+        with self._lock:
+            entry = self._entries.get(run_id)
+            return entry[0] if entry is not None else None
+
+    def _evict_locked(self, keep: Optional[str] = None) -> None:
+        """Drop LRU entries until both caps hold (``keep`` survives).
+
+        An over-budget single entry is allowed to remain: the cache
+        caps steady-state occupancy, it never refuses to serve a run.
+        """
+        while len(self._entries) > 1 and (
+                len(self._entries) > self.max_sessions
+                or self._cost_total > self.max_events):
+            victim = next(iter(self._entries))
+            if victim == keep:
+                victim = next(iter(list(self._entries)[1:]))
+            _, cost = self._entries.pop(victim)
+            self._cost_total -= cost
+            self._evictions += 1
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """Occupancy and hit-rate counters (all monotonic but resets)."""
+        with self._lock:
+            lookups = self._hits + self._misses
+            return {
+                "sessions": len(self._entries),
+                "max_sessions": self.max_sessions,
+                "events_cost": self._cost_total,
+                "max_events": self.max_events,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "hit_rate": (self._hits / lookups) if lookups else 0.0,
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._cost_total = 0

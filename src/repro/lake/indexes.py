@@ -1,0 +1,161 @@
+"""Cross-run secondary indexes: predicate → shard pruning.
+
+The primary partitioning (``workflow``/``date``) prunes shards by key
+alone.  Everything else a query can filter on — configuration hash,
+fault signature, wall-time bucket — is covered by the secondary
+indexes here, which map predicate values to run ids and run ids back
+to their shard.  A query therefore opens only the manifests of shards
+that can possibly contribute a match, and never parses any event
+stream.
+
+The index file also carries the **source map** (absolute run-directory
+path → run id) that makes directory ingest incremental: a second
+``Catalog.ingest`` over the same results tree skips every
+already-registered directory without reading a byte of it.
+
+Indexes are derived state: they can always be rebuilt from the shard
+manifests (:meth:`SecondaryIndexes.rebuild`), so a corrupted or
+missing ``indexes.json`` degrades to a rebuild, never to data loss.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Iterable, Optional
+
+from .manifest import RunEntry, atomic_write_json, read_json
+
+__all__ = ["SecondaryIndexes", "wall_bucket", "INDEX_VERSION"]
+
+INDEX_VERSION = 1
+
+#: Default wall-time bucket width (seconds) for the coarse runtime
+#: index; override per catalog via ``Catalog.open(wall_bucket_s=...)``.
+DEFAULT_WALL_BUCKET_S = 60.0
+
+
+def wall_bucket(wall_time: float, width: float) -> int:
+    """The coarse runtime bucket a wall time falls into."""
+    if width <= 0:
+        raise ValueError(f"wall bucket width must be positive, "
+                         f"got {width!r}")
+    return int(math.floor(float(wall_time) / width))
+
+
+class SecondaryIndexes:
+    """In-memory mirror of ``indexes.json``; updated on every append."""
+
+    def __init__(self, wall_bucket_s: float = DEFAULT_WALL_BUCKET_S):
+        self.wall_bucket_s = float(wall_bucket_s)
+        self.by_workflow: dict[str, list[str]] = {}
+        self.by_config: dict[str, list[str]] = {}
+        self.by_fault: dict[str, list[str]] = {}
+        self.by_wall_bucket: dict[str, list[str]] = {}
+        #: run_id -> [workflow, date] (its shard key).
+        self.run_shards: dict[str, list[str]] = {}
+        #: absolute source path -> run_id (the incremental-ingest map).
+        self.sources: dict[str, str] = {}
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, entry: RunEntry) -> None:
+        if entry.run_id in self.run_shards:
+            raise ValueError(f"run {entry.run_id!r} already indexed")
+        self.by_workflow.setdefault(entry.workflow, []) \
+            .append(entry.run_id)
+        self.by_config.setdefault(entry.config_hash, []) \
+            .append(entry.run_id)
+        self.by_fault.setdefault(entry.fault_signature, []) \
+            .append(entry.run_id)
+        bucket = wall_bucket(entry.wall_time, self.wall_bucket_s)
+        self.by_wall_bucket.setdefault(str(bucket), []) \
+            .append(entry.run_id)
+        self.run_shards[entry.run_id] = [entry.workflow, entry.date]
+        if entry.source:
+            self.sources[os.path.abspath(entry.source)] = entry.run_id
+
+    def rebuild(self, entries: Iterable[RunEntry]) -> "SecondaryIndexes":
+        """Recompute every index from scratch (derived-state recovery)."""
+        fresh = SecondaryIndexes(wall_bucket_s=self.wall_bucket_s)
+        for entry in entries:
+            fresh.add(entry)
+        self.__dict__.update(fresh.__dict__)
+        return self
+
+    # -- pruning -----------------------------------------------------------
+    def candidate_ids(self, config_hash: Optional[str] = None,
+                      fault: Optional[str] = None,
+                      min_wall: Optional[float] = None,
+                      max_wall: Optional[float] = None
+                      ) -> Optional[set[str]]:
+        """Run ids that can possibly match the secondary predicates.
+
+        Returns ``None`` when no secondary predicate was given (i.e.
+        nothing to prune on beyond the shard key).  The wall-time
+        bounds prune at bucket granularity — a superset of the exact
+        answer, which the query layer then filters precisely.
+        """
+        sets: list[set[str]] = []
+        if config_hash is not None:
+            sets.append(set(self.by_config.get(config_hash, ())))
+        if fault is not None:
+            sets.append(set(self.by_fault.get(fault, ())))
+        if min_wall is not None or max_wall is not None:
+            lo = 0 if min_wall is None else \
+                wall_bucket(min_wall, self.wall_bucket_s)
+            buckets = sorted(int(b) for b in self.by_wall_bucket)
+            hi = buckets[-1] if max_wall is None else \
+                wall_bucket(max_wall, self.wall_bucket_s)
+            matched: set[str] = set()
+            for bucket in buckets:
+                if lo <= bucket <= hi:
+                    matched.update(self.by_wall_bucket[str(bucket)])
+            sets.append(matched)
+        if not sets:
+            return None
+        out = sets[0]
+        for other in sets[1:]:
+            out &= other
+        return out
+
+    def shard_keys_of(self, run_ids: Iterable[str]) -> set[tuple[str, str]]:
+        keys: set[tuple[str, str]] = set()
+        for run_id in run_ids:
+            shard = self.run_shards.get(run_id)
+            if shard is not None:
+                keys.add((shard[0], shard[1]))
+        return keys
+
+    # -- persistence -------------------------------------------------------
+    def to_document(self) -> dict:
+        return {
+            "version": INDEX_VERSION,
+            "wall_bucket_s": self.wall_bucket_s,
+            "by_workflow": self.by_workflow,
+            "by_config": self.by_config,
+            "by_fault": self.by_fault,
+            "by_wall_bucket": self.by_wall_bucket,
+            "run_shards": self.run_shards,
+            "sources": self.sources,
+        }
+
+    @classmethod
+    def from_document(cls, document: dict) -> "SecondaryIndexes":
+        version = document.get("version")
+        if version != INDEX_VERSION:
+            raise ValueError(
+                f"unsupported index version {version!r} "
+                f"(this build reads version {INDEX_VERSION})")
+        indexes = cls(wall_bucket_s=document.get(
+            "wall_bucket_s", DEFAULT_WALL_BUCKET_S))
+        for name in ("by_workflow", "by_config", "by_fault",
+                     "by_wall_bucket", "run_shards", "sources"):
+            setattr(indexes, name, dict(document.get(name, {})))
+        return indexes
+
+    def save(self, path: str) -> str:
+        return atomic_write_json(path, self.to_document())
+
+    @classmethod
+    def load(cls, path: str) -> "SecondaryIndexes":
+        return cls.from_document(read_json(path))

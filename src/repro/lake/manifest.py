@@ -1,0 +1,158 @@
+"""Shard manifests: the append-only bookkeeping of the run catalog.
+
+A catalog partitions registered runs into **shards** keyed by
+``(workflow, date)``; each shard directory carries one
+``manifest.json`` listing its runs as :class:`RunEntry` records.  The
+manifest is logically append-only: entries are immutable once written
+and are never removed — re-ingesting a run the catalog already knows
+is a no-op, and corrections happen by registering a new run, never by
+rewriting history.  (The file itself is rewritten atomically on each
+append; the *log* it encodes only ever grows, which is what keeps
+incremental ingest and the cross-run indexes trivially consistent.)
+
+Every entry carries the columns the query layer prunes on — workflow,
+date, config hash, fault signature, wall time — so listing and
+variability queries never touch the underlying event streams.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+__all__ = ["RunEntry", "ShardManifest", "MANIFEST_VERSION",
+           "atomic_write_json", "read_json"]
+
+#: Manifest-format version, checked on load so a future layout change
+#: can migrate instead of misparse.
+MANIFEST_VERSION = 1
+
+
+def atomic_write_json(path: str, document: dict) -> str:
+    """Write ``document`` to ``path`` via a same-directory temp rename.
+
+    Readers (including a live ``perfrecup serve`` daemon in another
+    process) therefore always see either the previous complete file or
+    the new complete file, never a torn write.
+    """
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_json(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@dataclass(frozen=True)
+class RunEntry:
+    """One registered run: the catalog's row about it.
+
+    ``seq`` is the catalog-wide append sequence number — a logical
+    clock (the catalog never consults a wall clock) that makes listing
+    order deterministic and records ingest order durably.
+    """
+
+    run_id: str
+    workflow: str
+    date: str
+    seq: int
+    run_index: int = 0
+    seed: int = 0
+    config_hash: str = ""
+    #: Sorted ``+``-joined fault kinds observed in the run's event
+    #: stream (``"none"`` when the run saw no injected faults).
+    fault_signature: str = "none"
+    wall_time: float = 0.0
+    n_events: int = 0
+    n_tasks: int = 0
+    #: Absolute run-directory path for persisted runs; ``None`` for
+    #: runs registered from in-memory ``RunData`` (their events live
+    #: only as long as the session cache keeps them).
+    source: Optional[str] = None
+
+    @property
+    def shard_key(self) -> tuple[str, str]:
+        return (self.workflow, self.date)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "RunEntry":
+        return cls(**row)
+
+
+@dataclass
+class ShardManifest:
+    """The runs of one ``(workflow, date)`` shard, in append order."""
+
+    workflow: str
+    date: str
+    entries: list = field(default_factory=list)
+
+    def __post_init__(self):
+        self._by_id = {entry.run_id: entry for entry in self.entries}
+
+    # -- append-only mutation ---------------------------------------------
+    def append(self, entry: RunEntry) -> RunEntry:
+        """Add one run; duplicate run_ids are rejected, never replaced."""
+        if entry.shard_key != (self.workflow, self.date):
+            raise ValueError(
+                f"entry {entry.run_id!r} belongs to shard "
+                f"{entry.shard_key}, not ({self.workflow!r}, "
+                f"{self.date!r})")
+        if entry.run_id in self._by_id:
+            raise ValueError(
+                f"run {entry.run_id!r} already registered in shard "
+                f"({self.workflow!r}, {self.date!r}); manifests are "
+                f"append-only")
+        self.entries.append(entry)
+        self._by_id[entry.run_id] = entry
+        return entry
+
+    def get(self, run_id: str) -> Optional[RunEntry]:
+        return self._by_id.get(run_id)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, run_id: str) -> bool:
+        return run_id in self._by_id
+
+    # -- persistence -------------------------------------------------------
+    def to_document(self) -> dict:
+        return {
+            "version": MANIFEST_VERSION,
+            "workflow": self.workflow,
+            "date": self.date,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+
+    @classmethod
+    def from_document(cls, document: dict) -> "ShardManifest":
+        version = document.get("version")
+        if version != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {version!r} "
+                f"(this build reads version {MANIFEST_VERSION})")
+        return cls(
+            workflow=document["workflow"],
+            date=document["date"],
+            entries=[RunEntry.from_dict(row)
+                     for row in document["entries"]],
+        )
+
+    def save(self, path: str) -> str:
+        return atomic_write_json(path, self.to_document())
+
+    @classmethod
+    def load(cls, path: str) -> "ShardManifest":
+        return cls.from_document(read_json(path))

@@ -1,0 +1,116 @@
+"""``perfrecup serve``: the long-lived analysis daemon.
+
+A deliberately thin shell: every request is routed through
+:meth:`Catalog.query_json`, the same function in-process callers use,
+so the daemon cannot drift from the library — the byte payload a
+client receives over HTTP is identical to the bytes
+``Catalog.open(root).query_json(target)`` returns locally (asserted by
+the end-to-end tests and ``bench_catalog.py``).
+
+Concurrency comes from :class:`ThreadingHTTPServer` (one thread per
+in-flight request, daemonized) on top of the catalog's own thread
+safety: the session LRU is lock-guarded with single-flight loads, so
+``N`` clients asking for the same cold run trigger one parse, and
+memory stays bounded by the cache caps whatever the client count.
+
+Routes (all ``GET``, all ``application/json``)::
+
+    /runs?workflow=&date=&config_hash=&fault=&min_wall=&max_wall=
+    /runs/<run_id>
+    /runs/<run_id>/views/<task|io|comm|...>
+    /reports/variability?workflow=...      (same predicates as /runs)
+    /stats
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+from .catalog import Catalog, LakeQueryError
+
+__all__ = ["LakeServer", "serve", "http_query", "DEFAULT_HOST"]
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+class _LakeRequestHandler(BaseHTTPRequestHandler):
+    """GET-only JSON handler delegating to the owning catalog."""
+
+    server_version = "perfrecup-lake/1"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        try:
+            payload = self.server.catalog.query_json(self.path)
+            status = 200
+        except LakeQueryError as exc:
+            payload = (json.dumps(
+                {"error": exc.message, "status": exc.status},
+                sort_keys=True, separators=(",", ":")) + "\n"
+            ).encode("utf-8")
+            status = exc.status
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format, *args):  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class LakeServer(ThreadingHTTPServer):
+    """A bound (not yet serving) query daemon over one catalog."""
+
+    daemon_threads = True
+
+    def __init__(self, catalog: Catalog, host: str = DEFAULT_HOST,
+                 port: int = 0, verbose: bool = False):
+        super().__init__((host, port), _LakeRequestHandler)
+        self.catalog = catalog
+        self.verbose = verbose
+
+    @property
+    def address(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve(catalog: Catalog, host: str = DEFAULT_HOST, port: int = 0,
+          verbose: bool = False) -> LakeServer:
+    """Bind a daemon for ``catalog``; caller drives ``serve_forever``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.address``) — the pattern the tests and benchmark use.
+    """
+    return LakeServer(catalog, host=host, port=port, verbose=verbose)
+
+
+def http_query(base_url: str, target: str,
+               timeout: float = 30.0) -> bytes:
+    """Fetch one query payload from a running daemon.
+
+    ``target`` is the same path-with-query string
+    :meth:`Catalog.query_json` accepts (e.g. ``/runs?workflow=x``).
+    Query errors come back as :class:`~repro.lake.catalog.LakeQueryError`
+    with the daemon's status and message, mirroring the in-process
+    behaviour.
+    """
+    if not target.startswith("/"):
+        target = "/" + target
+    url = base_url.rstrip("/") + target
+    try:
+        with urlopen(url, timeout=timeout) as response:
+            return response.read()
+    except HTTPError as exc:
+        body = exc.read()
+        try:
+            message = json.loads(body.decode("utf-8"))["error"]
+        except Exception:
+            message = body.decode("utf-8", "replace").strip() \
+                or exc.reason
+        raise LakeQueryError(exc.code, message) from None

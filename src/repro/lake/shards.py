@@ -1,0 +1,145 @@
+"""Shard layout and per-run column blocks.
+
+On disk a catalog root looks like::
+
+    <root>/
+        catalog.json                       # version, seq counter, knobs
+        indexes.json                       # cross-run secondary indexes
+        shards/<workflow>/<date>/
+            manifest.json                  # RunEntry rows (append-only)
+            blocks/<run_id>.json           # cached column block per run
+
+A **column block** is the columnar digest extracted from a run's event
+stream exactly once, at ingest: phase sums, per-prefix task-duration
+totals, and counts.  Every cross-run query (listing, variability,
+wall-time statistics) is answered from blocks alone — the event stream
+is re-parsed only when a caller asks for a full per-run view, and
+predicates prune shards before even the manifests of non-matching
+partitions are opened.
+
+Blocks store the *same floats* the live analysis computes: they are
+produced by the same :class:`~repro.core.session.AnalysisSession`
+builders (phase breakdown, task-view prefix grouping), so a report
+assembled from blocks is numerically identical to one assembled from
+freshly loaded runs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import numpy as np
+
+from .manifest import atomic_write_json, read_json
+
+__all__ = ["shard_dir", "manifest_path", "block_path", "build_block",
+           "write_block", "read_block", "safe_name", "BLOCK_VERSION"]
+
+BLOCK_VERSION = 1
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def safe_name(name: str) -> str:
+    """A filesystem-safe single path segment for a partition label."""
+    cleaned = _UNSAFE.sub("_", str(name)).strip("._")
+    return cleaned or "default"
+
+
+def shard_dir(root: str, workflow: str, date: str) -> str:
+    return os.path.join(root, "shards", safe_name(workflow),
+                        safe_name(date))
+
+
+def manifest_path(shard: str) -> str:
+    return os.path.join(shard, "manifest.json")
+
+
+def block_path(shard: str, run_id: str) -> str:
+    return os.path.join(shard, "blocks", f"{safe_name(run_id)}.json")
+
+
+def events_path(shard: str, run_id: str) -> str:
+    return os.path.join(shard, "events",
+                        f"{safe_name(run_id)}.run.json")
+
+
+def build_block(session) -> dict:
+    """The columnar digest of one run, parsed from its events once.
+
+    ``session`` is an :class:`~repro.core.session.AnalysisSession`;
+    using the session's own cached builders guarantees the stored
+    numbers match what a live analysis of the same run would compute.
+    """
+    breakdown = session.phase_breakdown()
+    tasks = session.task_view()
+    prefix_durations: dict[str, float] = {}
+    if len(tasks):
+        for prefix, indices in tasks.group_indices("prefix").items():
+            prefix_durations[str(prefix)] = float(
+                np.sum(tasks["duration"][indices]))
+    run = session.run
+    return {
+        "version": BLOCK_VERSION,
+        "wall_time": float(run.wall_time),
+        "phases": breakdown.as_dict(),
+        "prefix_durations": prefix_durations,
+        "counts": {
+            "events": len(run.events),
+            "tasks": len(tasks),
+            "warnings": len(session.warning_view()),
+            "logs": len(run.logs),
+        },
+    }
+
+
+def write_block(path: str, block: dict) -> str:
+    return atomic_write_json(path, block)
+
+
+def read_block(path: str) -> dict:
+    block = read_json(path)
+    version = block.get("version")
+    if version != BLOCK_VERSION:
+        raise ValueError(
+            f"unsupported column-block version {version!r} at {path} "
+            f"(this build reads version {BLOCK_VERSION})")
+    return block
+
+
+def write_rundata(path: str, data) -> str:
+    """Persist an in-memory :class:`RunData` into the shard.
+
+    Used for runs registered without a run directory (live results,
+    synthetic runs) so the daemon can still serve their full views
+    after the session cache evicts them.  Only Darshan-free runs can
+    round-trip this way — runs carrying a ``DarshanReport`` should be
+    persisted through ``InstrumentedRun.persist`` and registered by
+    directory instead.
+    """
+    if data.darshan is not None:
+        raise ValueError(
+            "cannot serialize a RunData with a DarshanReport; persist "
+            "the run directory and register its path instead")
+    return atomic_write_json(path, {
+        "version": BLOCK_VERSION,
+        "events": data.events,
+        "logs": data.logs,
+        "provenance": data.provenance,
+        "job": data.job,
+        "metrics": data.metrics,
+        "run_index": data.run_index,
+    })
+
+
+def read_rundata(path: str):
+    """Reload a :func:`write_rundata` file as a fresh ``RunData``."""
+    from ..core.ingest import RunData
+    document = read_json(path)
+    return RunData(
+        events=document["events"], darshan=None,
+        logs=document["logs"], provenance=document["provenance"],
+        job=document["job"], metrics=document.get("metrics", []),
+        run_index=document.get("run_index", 0),
+    )

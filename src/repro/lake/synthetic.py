@@ -1,0 +1,133 @@
+"""Synthetic fast-profile runs: catalog-scale data without simulation.
+
+Ingesting a catalog of 1000+ runs in a test or benchmark cannot afford
+1000 full simulated executions.  :func:`synthetic_run` fabricates an
+in-memory :class:`~repro.core.ingest.RunData` whose event stream
+carries every record type the nine PERFRECUP views read — seeded, so
+the same ``(seed, run_index)`` always yields the byte-identical run —
+and :func:`synthetic_runs` produces a repetition series the way
+``run_many`` would.
+
+The generator exists for the data-lake test/benchmark tier
+(``tests/lake/``, ``benchmarks/bench_catalog.py``); real workloads
+register persisted run directories or live ``RunResult`` objects
+instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.ingest import RunData
+
+__all__ = ["synthetic_run", "synthetic_runs"]
+
+_WORKERS = tuple(f"tcp://10.0.0.{n}:9000" for n in range(1, 9))
+_HOSTS = tuple(f"nid{n:05d}" for n in range(1, 9))
+_PREFIXES = ("read_parquet", "normalize", "train", "getitem", "stats")
+
+
+def _provenance(workflow: str, run_index: int, seed: int,
+                config: dict) -> dict:
+    """The slice of the Fig.-1 document the catalog reads."""
+    return {
+        "run_index": run_index,
+        "seed": seed,
+        "layers": {
+            "application": {
+                "wms": {"config": dict(config)},
+                "workflow": {"name": workflow, "scale": 0.05},
+            },
+        },
+    }
+
+
+def synthetic_run(workflow: str = "synthetic", n_tasks: int = 40,
+                  run_index: int = 0, seed: int = 7,
+                  config: Optional[dict] = None,
+                  fault_kinds: Sequence[str] = ()) -> RunData:
+    """One fabricated run with every event type the views consume."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence((seed, run_index, len(workflow))))
+    config = config if config is not None else {"profile": "fast"}
+    events: list[dict] = []
+    logs: list[dict] = []
+    clock = 0.0
+    for i in range(n_tasks):
+        prefix = _PREFIXES[i % len(_PREFIXES)]
+        key = f"{prefix}-{run_index:02d}{i:06d}"
+        group = f"{prefix}-{run_index:02d}"
+        worker = _WORKERS[i % len(_WORKERS)]
+        hostname = _HOSTS[i % len(_HOSTS)]
+        deps = ([f"{_PREFIXES[(i - 1) % len(_PREFIXES)]}"
+                 f"-{run_index:02d}{i - 1:06d}"] if i else [])
+        events.append({
+            "type": "task_added", "key": key, "group": group,
+            "prefix": prefix, "deps": deps, "graph_index": 0,
+            "timestamp": clock,
+        })
+        duration = float(rng.uniform(0.05, 0.6)) * (1 + i % 3)
+        start = clock + float(rng.uniform(0.0, 0.05))
+        events.append({
+            "type": "transition", "key": key, "group": group,
+            "prefix": prefix, "start_state": "waiting",
+            "finish_state": "processing", "timestamp": start,
+            "stimulus": "ready", "worker": worker,
+            "source": "scheduler",
+        })
+        events.append({
+            "type": "task_run", "key": key, "group": group,
+            "prefix": prefix, "worker": worker, "hostname": hostname,
+            "thread_id": 1000 + (i % 4), "start": start,
+            "stop": start + duration,
+            "output_nbytes": int(rng.integers(1024, 1 << 20)),
+            "graph_index": 0, "compute_time": duration * 0.8,
+            "io_time": duration * 0.2,
+            "n_reads": int(rng.integers(0, 4)),
+            "n_writes": int(rng.integers(0, 2)),
+        })
+        if i and i % 4 == 0:
+            events.append({
+                "type": "communication", "key": key,
+                "src_worker": _WORKERS[(i - 1) % len(_WORKERS)],
+                "dst_worker": worker,
+                "src_host": _HOSTS[(i - 1) % len(_HOSTS)],
+                "dst_host": hostname,
+                "nbytes": int(rng.integers(1024, 1 << 18)),
+                "start": start, "stop": start + duration * 0.1,
+                "same_node": False, "same_switch": True,
+            })
+        if i % 11 == 0:
+            events.append({
+                "type": "warning", "source": "worker",
+                "hostname": hostname, "kind": "gc",
+                "time": start, "duration": 0.01,
+                "message": "gc pause",
+            })
+        logs.append({"source": "scheduler", "time": clock,
+                     "level": "info", "message": f"submitted {key}"})
+        clock = start + duration
+    for offset, kind in enumerate(fault_kinds):
+        events.append({
+            "type": "fault", "fault_id": f"fault-{offset}",
+            "kind": kind, "target": "0", "worker": _WORKERS[0],
+            "hostname": _HOSTS[0], "timestamp": clock * 0.5 + offset,
+            "duration": 1.0, "magnitude": 1.0,
+        })
+    events.sort(key=lambda e: e.get("timestamp", e.get("start", 0.0)))
+    return RunData(
+        events=events, darshan=None, logs=logs,
+        provenance=_provenance(workflow, run_index, seed, config),
+        job={"name": workflow}, run_index=run_index,
+    )
+
+
+def synthetic_runs(n_runs: int, workflow: str = "synthetic",
+                   n_tasks: int = 40, seed: int = 7,
+                   config: Optional[dict] = None) -> list[RunData]:
+    """A seeded repetition series, one run per run_index."""
+    return [synthetic_run(workflow=workflow, n_tasks=n_tasks,
+                          run_index=index, seed=seed, config=config)
+            for index in range(n_runs)]

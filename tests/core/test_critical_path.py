@@ -4,12 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    RunData,
-    Table,
+    AnalysisSession,
     critical_path,
     critical_path_summary,
     overall_utilization,
-    task_view,
+    RunData,
+    Table,
     utilization_timeline,
     worker_utilization,
 )
@@ -112,7 +112,7 @@ class TestUtilization:
 
     def test_low_utilization_for_short_workflow(self, chain_run):
         """The coordination-dominated chain leaves threads idle."""
-        tasks = task_view(chain_run)
+        tasks = AnalysisSession.of(chain_run).task_view()
         value = overall_utilization(tasks, n_threads_total=16,
                                     wall_time=chain_run.wall_time)
         assert 0 < value < 0.5

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core import RunData, Table, heatmap_similarity, io_hotspots, io_view
+from repro.core import (
+    AnalysisSession,
+    heatmap_similarity,
+    io_hotspots,
+    RunData,
+    Table,
+)
 from repro.darshan import HeatmapModule
 from repro.workflows import ImageProcessingWorkflow, run_many
 
@@ -42,7 +48,7 @@ class TestHotspots:
     def test_real_runs_produce_hotspots(self):
         results = run_many(lambda: ImageProcessingWorkflow(scale=0.04),
                            n_runs=2, seed=71)
-        table = io_hotspots([io_view(r.data) for r in results])
+        table = io_hotspots([AnalysisSession.of(r.data).io_view() for r in results])
         assert len(table) > 0
         assert all(table["n_runs"] == 2)
         assert all(table["mean_io_time"].astype(float) > 0)

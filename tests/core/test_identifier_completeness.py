@@ -11,7 +11,7 @@ import math
 
 import pytest
 
-from repro.core import RunData, comm_view, io_view, task_view, warning_view
+from repro.core import AnalysisSession, RunData
 from repro.core.correlate import fuse_io_with_tasks
 from repro.core.fair import IDENTIFIER_COLUMNS, IDENTIFIER_REGISTRY
 from repro.workflows import ImageProcessingWorkflow, run_workflow
@@ -46,14 +46,9 @@ def identifier_columns_of(view, view_name):
     return sorted(physical & set(view.column_names))
 
 
-@pytest.mark.parametrize("builder,view_name", [
-    (task_view, "task"),
-    (io_view, "io"),
-    (comm_view, "comm"),
-    (warning_view, "warning"),
-])
-def test_view_identifier_cells_non_null(run_data, builder, view_name):
-    view = builder(run_data)
+@pytest.mark.parametrize("view_name", ["task", "io", "comm", "warning"])
+def test_view_identifier_cells_non_null(run_data, view_name):
+    view = AnalysisSession.of(run_data).view(view_name)
     assert len(view) > 0, f"{view_name} view is empty; nothing verified"
     columns = identifier_columns_of(view, view_name)
     assert columns, f"{view_name} view carries no identifier columns"
@@ -63,8 +58,8 @@ def test_view_identifier_cells_non_null(run_data, builder, view_name):
 def test_joined_table_identifier_cells_non_null(run_data):
     """The paper's key join (DXT segments ↔ task windows) yields rows
     whose identifier cells are all populated for attributed I/O."""
-    tasks = task_view(run_data)
-    fused = fuse_io_with_tasks(tasks, io_view(run_data))
+    tasks = AnalysisSession.of(run_data).task_view()
+    fused = fuse_io_with_tasks(tasks, AnalysisSession.of(run_data).io_view())
     attributed = [i for i in range(len(fused))
                   if fused["key"][i] is not None]
     assert attributed, "no I/O was attributed to any task"

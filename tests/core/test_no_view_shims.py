@@ -1,0 +1,35 @@
+"""Guard: the deprecated free-function view builders stay deleted.
+
+The PR-2 API redesign shipped ``task_view(run)``-style compatibility
+shims with a ``DeprecationWarning``; the data-lake PR completed that
+cycle and removed them.  This test keeps them from creeping back —
+the one public spelling is ``AnalysisSession.of(source).task_view()``
+(or ``.view(name)``), and ``repro.core.views`` exposes only the
+columnar ``build_*`` functions that the session dispatches to.
+"""
+
+import repro.core
+import repro.core.views as views_module
+from repro.core import VIEW_NAMES
+
+REMOVED = tuple(f"{name}_view" for name in VIEW_NAMES)
+
+
+def test_free_view_functions_are_gone_from_core():
+    for name in REMOVED:
+        assert not hasattr(repro.core, name), (
+            f"repro.core.{name} resurfaced; views are session methods")
+        assert name not in repro.core.__all__
+
+
+def test_free_view_functions_are_gone_from_views_module():
+    for name in REMOVED:
+        assert not hasattr(views_module, name)
+    assert "_session_for" not in vars(views_module)
+
+
+def test_builders_still_cover_every_view_name():
+    for name in VIEW_NAMES:
+        builder = getattr(views_module, f"build_{name}_view")
+        assert callable(builder)
+        assert views_module.VIEW_BUILDERS[name] is builder

@@ -4,30 +4,25 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    RunData,
+    AnalysisSession,
     check_interoperability,
     comm_scatter,
     comm_summary,
-    comm_view,
     compare_runs,
-    dependency_view,
     detect_phases,
     fuse_io_with_tasks,
     identifier_coverage,
     io_timeline,
-    io_view,
     longest_categories,
     parallel_coordinates,
     per_task_io,
     phase_breakdown,
     phase_variability,
     render_provenance,
+    RunData,
     task_provenance,
-    task_view,
-    transition_view,
     unattributed_io,
     warning_histogram,
-    warning_view,
 )
 from repro.dasklike import IOOp, TaskGraph, TaskSpec
 
@@ -69,46 +64,46 @@ def run_data():
 
 class TestViews:
     def test_task_view_complete(self, run_data):
-        tasks = task_view(run_data)
+        tasks = AnalysisSession.of(run_data).task_view()
         assert len(tasks) == 9
         assert all(tasks["stop"] >= tasks["start"])
         assert set(tasks.unique("prefix")) == {"imread", "normalize",
                                                "stats"}
 
     def test_transition_view_has_both_sides(self, run_data):
-        transitions = transition_view(run_data)
+        transitions = AnalysisSession.of(run_data).transition_view()
         sources = set(transitions.unique("source"))
         assert "scheduler" in sources
         assert len(sources) > 1
 
     def test_io_view_matches_darshan(self, run_data):
-        io = io_view(run_data)
+        io = AnalysisSession.of(run_data).io_view()
         assert len(io) == 32  # 4 files x 8 reads
         assert set(io.unique("op")) == {"read"}
 
     def test_dependency_view(self, run_data):
-        deps = dependency_view(run_data)
+        deps = AnalysisSession.of(run_data).dependency_view()
         stats_row = deps.filter(
             np.array([k == "stats-cafe0001" for k in deps["key"]]))
         assert stats_row["n_deps"][0] == 4
 
     def test_warning_and_comm_views_load(self, run_data):
         # These may be sparse in a short run but must have the schema.
-        warnings = warning_view(run_data)
-        comms = comm_view(run_data)
+        warnings = AnalysisSession.of(run_data).warning_view()
+        comms = AnalysisSession.of(run_data).comm_view()
         assert "kind" in warnings.column_names
         assert "same_node" in comms.column_names
 
 
 class TestCorrelation:
     def test_all_io_attributed_to_imread(self, run_data):
-        fused = fuse_io_with_tasks(task_view(run_data), io_view(run_data))
+        fused = fuse_io_with_tasks(AnalysisSession.of(run_data).task_view(), AnalysisSession.of(run_data).io_view())
         assert len(unattributed_io(fused)) == 0
         prefixes = {p for p in fused["prefix"]}
         assert prefixes == {"imread"}
 
     def test_per_task_io_totals(self, run_data):
-        fused = fuse_io_with_tasks(task_view(run_data), io_view(run_data))
+        fused = fuse_io_with_tasks(AnalysisSession.of(run_data).task_view(), AnalysisSession.of(run_data).io_view())
         per_task = per_task_io(fused)
         assert len(per_task) == 4
         assert all(per_task["n_reads"] == 8)
@@ -116,8 +111,8 @@ class TestCorrelation:
         assert all(per_task["io_time"].astype(float) > 0)
 
     def test_io_time_consistent_with_task_records(self, run_data):
-        tasks = task_view(run_data)
-        fused = fuse_io_with_tasks(tasks, io_view(run_data))
+        tasks = AnalysisSession.of(run_data).task_view()
+        fused = fuse_io_with_tasks(tasks, AnalysisSession.of(run_data).io_view())
         per_task = per_task_io(fused)
         joined = per_task.join(tasks.select(["key", "io_time"]),
                                on=["key"], suffix="_task")
@@ -143,19 +138,19 @@ class TestPhases:
 
 class TestFigureAnalyses:
     def test_io_timeline_series(self, run_data):
-        timeline = io_timeline(io_view(run_data))
+        timeline = io_timeline(AnalysisSession.of(run_data).io_view())
         assert len(timeline) == 32
         assert all(0 <= r <= 1 for r in timeline["rel_size"])
         starts = list(timeline["start"])
         assert starts == sorted(starts)
 
     def test_detect_phases_finds_reads(self, run_data):
-        phases = detect_phases(io_view(run_data), gap=5.0, min_ops=2)
+        phases = detect_phases(AnalysisSession.of(run_data).io_view(), gap=5.0, min_ops=2)
         assert phases
         assert phases[0].op == "read"
 
     def test_comm_scatter_and_summary(self, run_data):
-        comms = comm_view(run_data)
+        comms = AnalysisSession.of(run_data).comm_view()
         scatter = comm_scatter(comms)
         assert set(scatter.column_names) == {
             "nbytes", "duration", "same_node", "same_switch", "start"}
@@ -163,13 +158,13 @@ class TestFigureAnalyses:
         assert summary["n_total"] == len(comms)
 
     def test_parallel_coordinates(self, run_data):
-        coords = parallel_coordinates(task_view(run_data))
+        coords = parallel_coordinates(AnalysisSession.of(run_data).task_view())
         assert len(coords) == 9
-        top = longest_categories(task_view(run_data), top=2)
+        top = longest_categories(AnalysisSession.of(run_data).task_view(), top=2)
         assert len(top) == 2
 
     def test_warning_histogram_schema(self, run_data):
-        hist = warning_histogram(warning_view(run_data), bucket=10.0)
+        hist = warning_histogram(AnalysisSession.of(run_data).warning_view(), bucket=10.0)
         assert set(hist.column_names) == {"bucket_start", "kind", "count"}
 
 
@@ -209,9 +204,9 @@ class TestFAIR:
         assert io_task["strong"]
 
     def test_identifier_coverage_on_real_views(self, run_data):
-        coverage = identifier_coverage(task_view(run_data), "task")
+        coverage = identifier_coverage(AnalysisSession.of(run_data).task_view(), "task")
         assert all(coverage.values())
-        coverage_io = identifier_coverage(io_view(run_data), "io")
+        coverage_io = identifier_coverage(AnalysisSession.of(run_data).io_view(), "io")
         assert coverage_io["thread"] and coverage_io["hostname"]
 
 
@@ -224,7 +219,7 @@ class TestCrossRun:
                 env, run, io_workload(cluster), optimize=False)
             data = RunData.from_live(run, client)
             breakdowns.append(phase_breakdown(data))
-            views.append(task_view(data))
+            views.append(AnalysisSession.of(data).task_view())
         stats = phase_variability(breakdowns)
         assert stats["total"].n == 3
         assert stats["total"].mean > 0

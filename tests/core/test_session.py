@@ -10,7 +10,6 @@ working as deprecated shims over the session.
 
 import importlib.util
 import pathlib
-import warnings
 
 import pytest
 
@@ -175,26 +174,6 @@ class TestCacheSemantics:
             assert threaded[name] is serial[name]
         info = session.cache_info()
         assert sorted(info["views_built"]) == sorted(VIEW_NAMES)
-
-
-class TestDeprecatedShims:
-    @pytest.mark.parametrize("name", VIEW_NAMES)
-    def test_free_function_warns_on_bare_rundata(self, run_data, name):
-        shim = getattr(views_module, f"{name}_view")
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            table = shim(run_data)
-        assert table is AnalysisSession.of(run_data).view(name)
-
-    def test_no_warning_with_session(self, run_data):
-        session = AnalysisSession.of(run_data)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            table = views_module.task_view(session)
-        assert table is session.task_view()
-
-    def test_type_error_on_garbage(self):
-        with pytest.raises(TypeError):
-            views_module.task_view(42)
 
 
 class TestLoadDispatch:

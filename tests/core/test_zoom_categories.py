@@ -4,12 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    RunData,
+    AnalysisSession,
     category_across_runs,
     category_io_profile,
     category_profile,
-    io_view,
-    task_view,
+    RunData,
     zoom,
 )
 from repro.dasklike import IOOp, TaskGraph, TaskSpec
@@ -48,7 +47,7 @@ class TestZoom:
         assert summary.stats["io_bytes"] == 8 * 2**20
 
     def test_narrow_window_filters(self, run_data):
-        tasks = task_view(run_data)
+        tasks = AnalysisSession.of(run_data).task_view()
         loads = tasks.filter(np.array(
             [p == "load" for p in tasks["prefix"]]))
         load_end = float(np.max(loads["stop"]))
@@ -65,7 +64,7 @@ class TestZoom:
 
     def test_overlapping_tasks_included(self, run_data):
         """A task spanning the window boundary still counts."""
-        tasks = task_view(run_data)
+        tasks = AnalysisSession.of(run_data).task_view()
         mid_task = tasks.sort_by("start").row(5)
         mid = (mid_task["start"] + mid_task["stop"]) / 2
         summary = zoom(run_data, mid, mid + 1e-4)
@@ -85,7 +84,7 @@ class TestZoom:
 
 class TestCategoryProfile:
     def test_profile_columns_and_order(self, run_data):
-        profile = category_profile(task_view(run_data))
+        profile = category_profile(AnalysisSession.of(run_data).task_view())
         assert len(profile) == 3
         totals = list(profile["total_duration"])
         assert totals == sorted(totals, reverse=True)
@@ -94,8 +93,8 @@ class TestCategoryProfile:
         assert row["proc"]["p95"] >= row["proc"]["p50"]
 
     def test_io_profile_attributes_to_load(self, run_data):
-        profile = category_io_profile(task_view(run_data),
-                                      io_view(run_data))
+        profile = category_io_profile(AnalysisSession.of(run_data).task_view(),
+                                      AnalysisSession.of(run_data).io_view())
         assert len(profile) == 1
         row = profile.row(0)
         assert row["category"] == "load"
@@ -114,7 +113,7 @@ class TestCategoryProfile:
             ])
             client, _ = drive_instrumented(env, run, graph,
                                            optimize=False)
-            views.append(task_view(RunData.from_live(run, client)))
+            views.append(AnalysisSession.of(RunData.from_live(run, client)).task_view())
         table = category_across_runs(views)
         row = table.row(0)
         assert row["category"] == "work"

@@ -1,0 +1,155 @@
+"""SessionCache: LRU eviction, both capacity caps, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.lake import SessionCache, session_cost, synthetic_run
+from repro.core import AnalysisSession
+
+
+def fake_session(n_events=10, n_logs=0):
+    """A stand-in with just the attributes session_cost reads."""
+    class Run:
+        events = [{}] * n_events
+        logs = [{}] * n_logs
+        metrics = []
+
+    class Session:
+        run = Run()
+
+    return Session()
+
+
+class TestBasics:
+    def test_loader_runs_once_then_hits(self):
+        cache = SessionCache(max_sessions=4)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return fake_session()
+
+        first = cache.get("r1", loader)
+        second = cache.get("r1", loader)
+        assert first is second
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_session_cost_counts_records(self):
+        session = AnalysisSession.of(synthetic_run(n_tasks=5))
+        run = session.run
+        assert session_cost(session) == \
+            1 + len(run.events) + len(run.logs) + len(run.metrics)
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(ValueError):
+            SessionCache(max_sessions=0)
+        with pytest.raises(ValueError):
+            SessionCache(max_events=0)
+
+    def test_failed_load_propagates_and_allows_retry(self):
+        cache = SessionCache(max_sessions=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            cache.get("r1", lambda: (_ for _ in ()).throw(
+                RuntimeError("boom")))
+        session = cache.get("r1", fake_session)
+        assert cache.peek("r1") is session
+
+
+class TestEviction:
+    def test_count_cap_evicts_least_recently_used(self):
+        cache = SessionCache(max_sessions=2)
+        s1 = cache.get("r1", fake_session)
+        cache.get("r2", fake_session)
+        cache.get("r1", lambda: pytest.fail("r1 must be cached"))
+        cache.get("r3", fake_session)  # evicts r2, the LRU entry
+        assert cache.peek("r2") is None
+        assert cache.peek("r1") is s1
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+
+    def test_size_cap_bounds_total_cost(self):
+        cache = SessionCache(max_sessions=100, max_events=50)
+        for index in range(10):
+            cache.get(f"r{index}", lambda: fake_session(n_events=20))
+        stats = cache.stats()
+        assert stats["events_cost"] <= 50
+        assert stats["sessions"] <= 2
+
+    def test_single_oversized_entry_is_still_served(self):
+        cache = SessionCache(max_sessions=4, max_events=10)
+        big = cache.get("big", lambda: fake_session(n_events=100))
+        assert cache.peek("big") is big
+        assert len(cache) == 1
+
+    def test_peek_does_not_refresh_lru_order(self):
+        cache = SessionCache(max_sessions=2)
+        cache.get("r1", fake_session)
+        cache.get("r2", fake_session)
+        cache.peek("r1")               # must NOT promote r1
+        cache.get("r3", fake_session)  # so r1 is the victim
+        assert cache.peek("r1") is None
+        assert cache.peek("r2") is not None
+
+    def test_clear_resets_occupancy(self):
+        cache = SessionCache(max_sessions=4)
+        cache.get("r1", fake_session)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["events_cost"] == 0
+
+
+class TestThreadSafety:
+    def test_concurrent_misses_are_single_flight(self):
+        cache = SessionCache(max_sessions=8)
+        calls = []
+        gate = threading.Barrier(8)
+        results = []
+
+        def loader():
+            calls.append(1)
+            return fake_session()
+
+        def worker():
+            gate.wait()
+            results.append(cache.get("same", loader))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(r is results[0] for r in results)
+
+    def test_hammer_many_threads_many_keys_stays_bounded(self):
+        cache = SessionCache(max_sessions=5, max_events=200)
+        errors = []
+
+        def worker(offset):
+            try:
+                for step in range(50):
+                    key = f"r{(offset * 7 + step) % 20}"
+                    session = cache.get(
+                        key, lambda: fake_session(n_events=9))
+                    assert session is not None
+                    stats = cache.stats()
+                    assert stats["sessions"] <= cache.max_sessions
+                    assert stats["events_cost"] <= \
+                        cache.max_events + 10  # one in-flight insert
+            except Exception as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats["sessions"] <= 5
+        assert stats["hits"] + stats["misses"] == 8 * 50

@@ -1,0 +1,281 @@
+"""Catalog semantics: incremental ingest, pruning, URIs, documents.
+
+Synthetic in-memory runs cover the sharding/pruning/idempotency logic
+cheaply; one real persisted workflow tree (module-scoped, small scale)
+proves the directory-ingest path end to end.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.core import AnalysisSession, variability_report
+from repro.lake import (
+    Catalog,
+    LakeQueryError,
+    config_hash_of,
+    parse_lake_uri,
+    synthetic_run,
+    synthetic_runs,
+)
+
+
+@pytest.fixture()
+def catalog(tmp_path):
+    return Catalog.open(str(tmp_path / "lake"))
+
+
+def fill(catalog, n_alpha=3, n_beta=2):
+    """alpha runs on date d1, beta runs on d2 (two shards)."""
+    entries = []
+    for data in synthetic_runs(n_alpha, workflow="alpha", n_tasks=20):
+        entries.append(catalog.register(data, date="d1"))
+    for data in synthetic_runs(n_beta, workflow="beta", n_tasks=20,
+                               config={"profile": "slow"}):
+        entries.append(catalog.register(data, date="d2"))
+    return entries
+
+
+class TestRegistration:
+    def test_in_memory_registration_is_idempotent(self, catalog):
+        data = synthetic_run(workflow="alpha", n_tasks=10)
+        first = catalog.register(data)
+        again = catalog.register(synthetic_run(workflow="alpha",
+                                               n_tasks=10))
+        assert again.run_id == first.run_id
+        assert len(catalog.query()) == 1
+
+    def test_distinct_configs_get_distinct_ids(self, catalog):
+        a = catalog.register(synthetic_run(config={"profile": "fast"}))
+        b = catalog.register(synthetic_run(config={"profile": "slow"}))
+        assert a.run_id != b.run_id
+        assert a.config_hash != b.config_hash
+
+    def test_entry_columns_come_from_the_run(self, catalog):
+        data = synthetic_run(workflow="Alpha", n_tasks=12, seed=5,
+                             run_index=3,
+                             fault_kinds=("worker_crash", "net_slow"))
+        entry = catalog.register(data, date="d9")
+        assert entry.workflow == "alpha"  # normalized
+        assert entry.date == "d9"
+        assert entry.seed == 5 and entry.run_index == 3
+        assert entry.fault_signature == "net_slow+worker_crash"
+        assert entry.n_tasks == 12
+        assert entry.n_events == len(data.events)
+        assert entry.config_hash == config_hash_of(
+            {"profile": "fast"})
+
+    def test_unsupported_source_type_raises(self, catalog):
+        with pytest.raises(TypeError, match="cannot register"):
+            catalog.register(42)
+
+
+class TestIncrementalIngest:
+    @pytest.fixture(scope="class")
+    def runs_tree(self, tmp_path_factory):
+        from repro.workflows import ImageProcessingWorkflow, run_many
+        out = str(tmp_path_factory.mktemp("runs"))
+        run_many(lambda: ImageProcessingWorkflow(scale=0.02),
+                 n_runs=2, seed=3, persist_dir=out)
+        return out
+
+    def test_ingest_registers_each_run_dir_once(self, tmp_path,
+                                                runs_tree):
+        catalog = Catalog.open(str(tmp_path / "lake"))
+        first = catalog.ingest(runs_tree)
+        assert len(first) == 2
+        assert all(e.workflow == "imageprocessing" for e in first)
+        assert all(e.source and os.path.isdir(e.source)
+                   for e in first)
+
+        again = catalog.ingest(runs_tree)
+        assert again == []
+        assert len(catalog.query()) == 2
+
+    def test_reingest_skips_known_dirs_even_cold(self, tmp_path,
+                                                 runs_tree):
+        root = str(tmp_path / "lake")
+        Catalog.open(root).ingest(runs_tree)
+        # A brand-new Catalog object: the source map must survive the
+        # round-trip through indexes.json.
+        cold = Catalog.open(root)
+        assert cold.ingest(runs_tree) == []
+
+    def test_ingest_only_new_runs_after_tree_grows(self, tmp_path,
+                                                   runs_tree):
+        from repro.workflows import ImageProcessingWorkflow, run_many
+        grown = str(tmp_path / "grown")
+        os.makedirs(grown)
+        for name in sorted(os.listdir(runs_tree)):
+            os.symlink(os.path.join(runs_tree, name),
+                       os.path.join(grown, name))
+        catalog = Catalog.open(str(tmp_path / "lake"))
+        assert len(catalog.ingest(grown)) == 2
+        run_many(lambda: ImageProcessingWorkflow(scale=0.02),
+                 n_runs=1, seed=11, persist_dir=os.path.join(
+                     grown, "extra"))
+        fresh = catalog.ingest(grown)
+        assert len(fresh) == 1  # only the new run was parsed
+
+    def test_ingested_run_loads_by_lake_uri(self, tmp_path, runs_tree):
+        catalog = Catalog.open(str(tmp_path / "lake"))
+        entry = catalog.ingest(runs_tree)[0]
+        session = repro.open_run(catalog.uri(entry.run_id))
+        direct = AnalysisSession.of(entry.source)
+        assert len(session.task_view()) == len(direct.task_view())
+
+    def test_catalog_variability_matches_live_report(self, tmp_path,
+                                                     runs_tree):
+        catalog = Catalog.open(str(tmp_path / "lake"))
+        entries = catalog.ingest(runs_tree)
+        doc = catalog.variability_document(workflow="imageprocessing")
+        live = variability_report([e.source for e in entries])
+        for phase in ("io", "communication", "computation", "total"):
+            assert doc["phases"][phase]["mean"] == pytest.approx(
+                live["phases"][phase].mean)
+            assert doc["phases"][phase]["cv"] == pytest.approx(
+                live["phases"][phase].cv)
+
+
+class TestPruning:
+    def test_pruned_and_full_scan_agree(self, catalog):
+        fill(catalog)
+        for predicates in ({}, {"workflow": "alpha"}, {"date": "d2"},
+                           {"workflow": "beta", "date": "d2"},
+                           {"fault": "none"}, {"min_wall": 0.0}):
+            pruned = catalog.query(**predicates)
+            full = catalog.query(prune=False, **predicates)
+            assert [e.run_id for e in pruned] == \
+                [e.run_id for e in full], predicates
+
+    def test_workflow_predicate_opens_only_matching_manifests(
+            self, catalog):
+        fill(catalog)
+        catalog.flush()
+        cold = Catalog(catalog.root)
+        hits = cold.query(workflow="beta")
+        assert len(hits) == 2
+        assert cold.manifests_opened == 1  # alpha shard never touched
+
+    def test_config_hash_prunes_via_secondary_index(self, catalog):
+        fill(catalog)
+        catalog.flush()
+        slow_hash = config_hash_of({"profile": "slow"})
+        cold = Catalog(catalog.root)
+        hits = cold.query(config_hash=slow_hash)
+        assert {e.workflow for e in hits} == {"beta"}
+        assert cold.manifests_opened == 1
+
+    def test_full_scan_opens_everything(self, catalog):
+        fill(catalog)
+        catalog.flush()
+        cold = Catalog(catalog.root)
+        cold.query(workflow="beta", prune=False)
+        assert cold.manifests_opened == 2
+
+    def test_wall_bucket_prune_keeps_exactness(self, catalog):
+        fill(catalog)
+        walls = sorted(e.wall_time for e in catalog.query())
+        cut = walls[len(walls) // 2]
+        hits = catalog.query(min_wall=cut)
+        assert all(e.wall_time >= cut for e in hits)
+        assert len(hits) == sum(1 for w in walls if w >= cut)
+
+
+class TestDurability:
+    def test_cold_reopen_answers_identically(self, catalog):
+        fill(catalog)
+        warm = catalog.query_json("/runs?workflow=alpha")
+        cold = Catalog(catalog.root).query_json("/runs?workflow=alpha")
+        assert warm == cold
+
+    def test_in_memory_run_survives_eviction(self, tmp_path):
+        catalog = Catalog.open(str(tmp_path / "lake"), max_sessions=1)
+        entries = [catalog.register(data) for data in
+                   synthetic_runs(3, workflow="alpha", n_tasks=15)]
+        # max_sessions=1 means the first two runs were evicted; their
+        # views must still be answerable from the durable payload.
+        doc = catalog.view_document(entries[0].run_id, "task")
+        assert doc["n_rows"] == 15
+
+    def test_rebuild_indexes_recovers_lost_index_file(self, catalog):
+        fill(catalog)
+        expected = [e.run_id for e in catalog.query()]
+        os.remove(os.path.join(catalog.root, "indexes.json"))
+        recovered = Catalog(catalog.root)
+        assert recovered.query() == []  # indexes gone
+        recovered.rebuild_indexes()
+        assert [e.run_id for e in recovered.query()] == expected
+
+
+class TestQuerySurface:
+    def test_run_document_carries_block_and_uri(self, catalog):
+        entry = fill(catalog)[0]
+        doc = catalog.run_document(entry.run_id)
+        assert doc["uri"] == catalog.uri(entry.run_id)
+        assert doc["block"]["counts"]["tasks"] == entry.n_tasks
+        assert "task" in doc["views"]
+
+    def test_view_document_matches_session_table(self, catalog):
+        entry = fill(catalog)[0]
+        doc = catalog.view_document(entry.run_id, "task")
+        table = catalog.session(entry.run_id).task_view()
+        assert doc["n_rows"] == len(table)
+        assert doc["columns"] == list(table.column_names)
+        json.dumps(doc)  # numpy scalars were coerced
+
+    def test_unknown_run_view_and_route_map_to_404(self, catalog):
+        fill(catalog)
+        for target in ("/runs/ghost", "/runs/ghost/views/task",
+                       "/nonsense"):
+            with pytest.raises(LakeQueryError) as err:
+                catalog.query_json(target)
+            assert err.value.status == 404
+        entry = catalog.query()[0]
+        with pytest.raises(LakeQueryError, match="unknown view"):
+            catalog.view_document(entry.run_id, "bogus")
+
+    def test_bad_parameters_map_to_400(self, catalog):
+        fill(catalog)
+        with pytest.raises(LakeQueryError) as err:
+            catalog.query_json("/runs?bogus=1")
+        assert err.value.status == 400
+        with pytest.raises(LakeQueryError) as err:
+            catalog.query_json("/runs?min_wall=abc")
+        assert err.value.status == 400
+
+    def test_query_json_is_canonical(self, catalog):
+        fill(catalog)
+        payload = catalog.query_json("/runs?workflow=alpha")
+        document = json.loads(payload.decode("utf-8"))
+        recanonical = (json.dumps(document, sort_keys=True,
+                                  separators=(",", ":")) + "\n"
+                       ).encode("utf-8")
+        assert payload == recanonical
+
+    def test_variability_document_sorts_prefixes_by_cv(self, catalog):
+        fill(catalog)
+        doc = catalog.variability_document(workflow="alpha")
+        cvs = [row["cv"] for row in doc["by_prefix"]]
+        assert cvs == sorted(cvs, reverse=True)
+        assert doc["n_runs"] == 3
+
+
+class TestUris:
+    def test_parse_lake_uri(self):
+        assert parse_lake_uri("lake:///tmp/lake/run-1") == \
+            ("/tmp/lake", "run-1")
+
+    @pytest.mark.parametrize("bad", [
+        "lake://", "lake://nosep", "http://x/y", "./plain/path"])
+    def test_malformed_uris_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_lake_uri(bad)
+
+    def test_open_catalog_front_door(self, tmp_path):
+        catalog = repro.open_catalog(str(tmp_path / "lake"),
+                                     max_sessions=2)
+        assert isinstance(catalog, Catalog)
+        assert catalog.sessions.max_sessions == 2

@@ -1,0 +1,70 @@
+"""Shard manifests: round-trip fidelity and the append-only contract."""
+
+import pytest
+
+from repro.lake import RunEntry, ShardManifest
+from repro.lake.manifest import MANIFEST_VERSION, read_json
+
+
+def entry(run_id="r1", workflow="wf", date="d1", seq=0, **extra):
+    return RunEntry(run_id=run_id, workflow=workflow, date=date,
+                    seq=seq, **extra)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_every_column(self, tmp_path):
+        manifest = ShardManifest(workflow="wf", date="d1")
+        original = entry(
+            run_id="wf-d1-s3-r0007-abcd1234", seq=42, run_index=7,
+            seed=3, config_hash="cafe01", wall_time=12.5,
+            fault_signature="worker_crash", n_events=1234, n_tasks=99,
+            source="/results/run0007")
+        manifest.append(original)
+        path = manifest.save(str(tmp_path / "manifest.json"))
+
+        reloaded = ShardManifest.load(path)
+        assert reloaded.workflow == "wf" and reloaded.date == "d1"
+        assert len(reloaded) == 1
+        assert reloaded.get(original.run_id) == original
+
+    def test_document_is_versioned(self, tmp_path):
+        path = ShardManifest(workflow="wf", date="d1").save(
+            str(tmp_path / "manifest.json"))
+        assert read_json(path)["version"] == MANIFEST_VERSION
+
+    def test_future_version_is_rejected_not_misparsed(self, tmp_path):
+        manifest = ShardManifest(workflow="wf", date="d1")
+        document = manifest.to_document()
+        document["version"] = MANIFEST_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            ShardManifest.from_document(document)
+
+    def test_entries_keep_append_order(self, tmp_path):
+        manifest = ShardManifest(workflow="wf", date="d1")
+        for seq in (5, 2, 9):  # append order, not seq order
+            manifest.append(entry(run_id=f"r{seq}", seq=seq))
+        path = manifest.save(str(tmp_path / "manifest.json"))
+        reloaded = ShardManifest.load(path)
+        assert [e.seq for e in reloaded.entries] == [5, 2, 9]
+
+
+class TestAppendOnly:
+    def test_duplicate_run_id_is_rejected(self):
+        manifest = ShardManifest(workflow="wf", date="d1")
+        manifest.append(entry())
+        with pytest.raises(ValueError, match="append-only"):
+            manifest.append(entry(seq=1))
+
+    def test_wrong_shard_key_is_rejected(self):
+        manifest = ShardManifest(workflow="wf", date="d1")
+        with pytest.raises(ValueError, match="belongs to shard"):
+            manifest.append(entry(workflow="other"))
+        with pytest.raises(ValueError, match="belongs to shard"):
+            manifest.append(entry(date="d2"))
+
+    def test_membership_and_lookup(self):
+        manifest = ShardManifest(workflow="wf", date="d1")
+        added = manifest.append(entry())
+        assert added.run_id in manifest
+        assert "ghost" not in manifest
+        assert manifest.get("ghost") is None

@@ -1,0 +1,131 @@
+"""The serve daemon: ephemeral port, concurrency, byte-identity.
+
+The contract under test: a payload fetched over HTTP from the daemon
+is byte-for-byte the payload ``Catalog.query_json`` returns in
+process, for every route, including under concurrent clients.
+"""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.lake import (
+    Catalog,
+    LakeQueryError,
+    http_query,
+    serve,
+    synthetic_runs,
+)
+
+
+@pytest.fixture(scope="module")
+def lake(tmp_path_factory):
+    catalog = Catalog.open(str(tmp_path_factory.mktemp("lake")),
+                           max_sessions=4)
+    for data in synthetic_runs(4, workflow="alpha", n_tasks=15):
+        catalog.register(data, date="d1")
+    for data in synthetic_runs(2, workflow="beta", n_tasks=15,
+                               config={"profile": "slow"}):
+        catalog.register(data, date="d2")
+    return catalog
+
+
+@pytest.fixture(scope="module")
+def daemon(lake):
+    server = serve(lake)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def test_binds_an_ephemeral_port(daemon):
+    assert daemon.address.startswith("http://127.0.0.1:")
+    port = int(daemon.address.rsplit(":", 1)[1])
+    assert port > 0
+
+
+@pytest.mark.parametrize("target", [
+    "/runs",
+    "/runs?workflow=alpha",
+    "/runs?workflow=beta&date=d2",
+    "/reports/variability?workflow=alpha",
+    "/stats",
+])
+def test_http_payload_matches_in_process_bytes(lake, daemon, target):
+    expected = lake.query_json(target)
+    got = http_query(daemon.address, target)
+    if "stats" in target:
+        # /stats carries live cache counters; compare the stable part.
+        a, b = (json.loads(p.decode("utf-8")) for p in (expected, got))
+        assert a["n_runs"] == b["n_runs"]
+        assert a["n_shards"] == b["n_shards"]
+    else:
+        assert got == expected
+
+
+def test_view_route_round_trips_over_http(lake, daemon):
+    run_id = lake.query(workflow="alpha")[0].run_id
+    target = f"/runs/{run_id}/views/task"
+    assert http_query(daemon.address, target) == \
+        lake.query_json(target)
+
+
+def test_error_statuses_propagate(daemon):
+    with pytest.raises(LakeQueryError) as err:
+        http_query(daemon.address, "/runs/ghost")
+    assert err.value.status == 404
+    with pytest.raises(LakeQueryError) as err:
+        http_query(daemon.address, "/runs?bogus=1")
+    assert err.value.status == 400
+    assert "bogus" in err.value.message
+
+
+def test_eight_concurrent_clients_get_identical_bytes(lake, daemon):
+    """The ISSUE acceptance bar: >=8 concurrent clients, all answers
+    byte-identical to the in-process path, cache stays bounded."""
+    targets = ["/runs?workflow=alpha",
+               "/reports/variability?workflow=alpha",
+               "/runs?workflow=beta&date=d2"]
+    run_ids = [e.run_id for e in lake.query(workflow="alpha")]
+    targets += [f"/runs/{rid}/views/task" for rid in run_ids[:3]]
+    expected = {t: lake.query_json(t) for t in targets}
+
+    def client(step):
+        target = targets[step % len(targets)]
+        return target, http_query(daemon.address, target)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        for target, payload in pool.map(client, range(32)):
+            assert payload == expected[target], target
+
+    stats = lake.sessions.stats()
+    assert stats["sessions"] <= stats["max_sessions"]
+
+
+def test_concurrent_cold_views_stay_within_session_cap(tmp_path):
+    """Distinct cold runs loaded through the daemon under concurrency
+    never push the cache past max_sessions."""
+    catalog = Catalog.open(str(tmp_path / "lake"), max_sessions=2)
+    entries = [catalog.register(data) for data in
+               synthetic_runs(6, workflow="alpha", n_tasks=10)]
+    server = serve(catalog)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        catalog.sessions.clear()
+        targets = [f"/runs/{e.run_id}/views/task" for e in entries]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            payloads = list(pool.map(
+                lambda t: http_query(server.address, t), targets))
+        for target, payload in zip(targets, payloads):
+            assert payload == catalog.query_json(target)
+        assert catalog.sessions.stats()["sessions"] <= 2
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)

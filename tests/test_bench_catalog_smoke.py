@@ -1,0 +1,30 @@
+"""The catalog benchmark's smoke mode runs green inside the suite.
+
+``bench_catalog.py --smoke`` registers a small synthetic population
+and asserts the data lake's contract end to end: the catalog answer
+is numerically identical to the naive per-run report, the cold query
+beats the naive loop, the warm query beats the cold one, the session
+cache stays within capacity, and 8 concurrent daemon clients get
+byte-identical payloads.  Running it here keeps the benchmark (and
+those guarantees) from rotting.
+"""
+
+import importlib.util
+import pathlib
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parents[1]
+              / "benchmarks" / "bench_catalog.py")
+
+
+def test_catalog_bench_smoke(capsys):
+    spec = importlib.util.spec_from_file_location(
+        "bench_catalog_smoke", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "parity: catalog variability matches naive report" in out
+    assert "speedup vs naive" in out
+    assert "speedup vs cold" in out
+    assert "byte-identical to in-process" in out
+    assert "peak sessions" in out

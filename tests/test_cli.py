@@ -71,9 +71,9 @@ class TestProvenance:
         assert "longest task" in out
 
     def test_provenance_explicit_key(self, capsys, persisted_run):
-        from repro.core import RunData, task_view
+        from repro.core import AnalysisSession, RunData
         data = RunData.from_directory(persisted_run)
-        key = task_view(data)["key"][0]
+        key = AnalysisSession.of(data).task_view()["key"][0]
         assert main(["provenance", persisted_run, "--key", key]) == 0
         out = capsys.readouterr().out
         assert "execution" in out

@@ -1,13 +1,16 @@
-"""Flag consistency across the analysis subcommands.
+"""Flag consistency across the perfrecup subcommands.
 
 Every analysis subcommand shares one parent parser, so ``--out``,
 ``--format``, and ``--workers`` must parse identically everywhere —
-the satellite guarantee of the AnalysisSession API redesign.
+the satellite guarantee of the AnalysisSession API redesign, extended
+to the data-lake commands (``ingest``/``query``/``serve``).  The
+workflow-output commands (``faults``/``metrics``/``trace``/
+``sanitize``) share the ``--out``/``--format`` half of that parent.
 """
 
 import pytest
 
-from repro.cli import ANALYSIS_COMMANDS, build_parser
+from repro.cli import ANALYSIS_COMMANDS, OUTPUT_COMMANDS, build_parser
 
 POSITIONAL = {
     "analyze": ["some/run"],
@@ -15,6 +18,13 @@ POSITIONAL = {
     "figures": ["some/run"],
     "zoom": ["some/run"],
     "report": ["some/run"],
+    "ingest": ["some/lake", "some/runs"],
+    "query": ["some/lake", "/runs"],
+    "serve": ["some/lake"],
+    "faults": ["imageprocessing"],
+    "metrics": ["imageprocessing"],
+    "trace": ["imageprocessing"],
+    "sanitize": ["imageprocessing"],
 }
 
 
@@ -48,3 +58,30 @@ class TestSharedAnalysisFlags:
         args = build_parser().parse_args(
             ["run", "imageprocessing", "--workers", "2"])
         assert args.workers == 2
+
+
+class TestSharedOutputFlags:
+    """faults/metrics/trace/sanitize share --out/--format (no --workers)."""
+
+    @pytest.mark.parametrize("command", OUTPUT_COMMANDS)
+    def test_accepts_output_flags(self, command):
+        args = build_parser().parse_args(
+            [command, *POSITIONAL[command],
+             "--out", "dest", "--format", "json"])
+        assert args.out == "dest"
+        assert args.format == "json"
+
+    @pytest.mark.parametrize("command", OUTPUT_COMMANDS)
+    def test_defaults(self, command):
+        args = build_parser().parse_args([command, *POSITIONAL[command]])
+        assert args.out is None
+        # trace's product is the Chrome trace document itself.
+        expected = "json" if command == "trace" else "text"
+        assert args.format == expected
+
+    @pytest.mark.parametrize("command", OUTPUT_COMMANDS)
+    def test_rejects_unknown_format(self, command, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [command, *POSITIONAL[command], "--format", "xml"])
+        assert "invalid choice" in capsys.readouterr().err

@@ -6,13 +6,10 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    comm_view,
+    AnalysisSession,
     detect_phases,
-    io_view,
     longest_categories,
     oversized_tasks,
-    task_view,
-    warning_view,
 )
 from repro.workflows import (
     ImageProcessingWorkflow,
@@ -52,12 +49,12 @@ def xgboost_run():
 
 class TestImageProcessing:
     def test_three_task_graphs(self, imageproc_run):
-        tasks = task_view(imageproc_run.data)
+        tasks = AnalysisSession.of(imageproc_run.data).task_view()
         assert set(tasks.unique("graph_index")) == {0, 1, 2}
 
     def test_read_write_phase_structure(self, imageproc_run):
         """Fig. 4: read bursts followed by write bursts."""
-        phases = detect_phases(io_view(imageproc_run.data), gap=30.0,
+        phases = detect_phases(AnalysisSession.of(imageproc_run.data).io_view(), gap=30.0,
                                min_ops=3)
         ops = [p.op for p in phases]
         assert "read" in ops and "write" in ops
@@ -69,14 +66,14 @@ class TestImageProcessing:
         assert alternations >= 2
 
     def test_reads_are_4mb_capped(self, imageproc_run):
-        io = io_view(imageproc_run.data)
+        io = AnalysisSession.of(imageproc_run.data).io_view()
         reads = io.filter(np.array([o == "read" for o in io["op"]]))
         assert int(np.max(reads["length"])) <= 4 * 2**20
 
     def test_later_writes_smaller_than_first(self, imageproc_run):
         """Phase 2/3 written images are KB-scale vs the MB-scale
         normalized images of phase 1 (the Fig.-4 opacity contrast)."""
-        io = io_view(imageproc_run.data)
+        io = AnalysisSession.of(imageproc_run.data).io_view()
         writes = io.filter(np.array([o == "write" for o in io["op"]]))
         phase1 = writes.filter(np.array(
             ["normalized.zarr" in f for f in writes["file"]]))
@@ -99,13 +96,13 @@ class TestImageProcessing:
 
 class TestResNet152:
     def test_single_task_graph(self, resnet_run):
-        tasks = task_view(resnet_run.data)
+        tasks = AnalysisSession.of(resnet_run.data).task_view()
         assert set(tasks.unique("graph_index")) == {0}
 
     def test_task_count_shape(self, resnet_run):
         """load + transform per file, predict per batch, one model task."""
         wf = ResNet152Workflow(scale=0.04)
-        tasks = task_view(resnet_run.data)
+        tasks = AnalysisSession.of(resnet_run.data).task_view()
         n = wf.n_files
         batches = -(-n // wf.BATCH_SIZE)
         assert len(tasks) == 2 * n + batches + 1
@@ -124,7 +121,7 @@ class TestResNet152:
         assert report.dropped_segments > 0
 
     def test_model_broadcast_generates_comms(self, resnet_run):
-        comms = comm_view(resnet_run.data)
+        comms = AnalysisSession.of(resnet_run.data).comm_view()
         model_moves = comms.filter(
             np.array(["load_model" in k for k in comms["key"]]))
         assert len(model_moves) >= 1
@@ -135,12 +132,12 @@ class TestResNet152:
 class TestXGBoost:
     def test_graph_count(self, xgboost_run):
         wf = XGBoostWorkflow(scale=0.08)
-        tasks = task_view(xgboost_run.data)
+        tasks = AnalysisSession.of(xgboost_run.data).task_view()
         n_graphs = len(set(tasks.unique("graph_index")))
         assert n_graphs == 3 + wf.rounds + 1
 
     def test_fused_read_category_present(self, xgboost_run):
-        tasks = task_view(xgboost_run.data)
+        tasks = AnalysisSession.of(xgboost_run.data).task_view()
         prefixes = set(tasks.unique("prefix"))
         assert "read_parquet-fused-assign" in prefixes
         assert "getitem" in prefixes
@@ -149,13 +146,13 @@ class TestXGBoost:
 
     def test_fused_reads_are_longest_category(self, xgboost_run):
         """Fig. 6: the red lines are read_parquet-fused-assign."""
-        top = longest_categories(task_view(xgboost_run.data), top=1)
+        top = longest_categories(AnalysisSession.of(xgboost_run.data).task_view(), top=1)
         assert top["category"][0] == "read_parquet-fused-assign"
 
     def test_oversized_outputs(self, xgboost_run):
         """Fig. 6: fused-read outputs exceed the recommended 128 MB and
         are the largest outputs in the workflow."""
-        big = oversized_tasks(task_view(xgboost_run.data))
+        big = oversized_tasks(AnalysisSession.of(xgboost_run.data).task_view())
         assert len(big) > 0
         categories = set(big["category"])
         assert "read_parquet-fused-assign" in categories
@@ -163,7 +160,7 @@ class TestXGBoost:
 
     def test_warnings_skew_early(self, xgboost_run):
         """Fig. 7: warnings concentrate while the big frames are live."""
-        warnings = warning_view(xgboost_run.data)
+        warnings = AnalysisSession.of(xgboost_run.data).warning_view()
         assert len(warnings) > 0
         wall = xgboost_run.wall_time
         times = warnings["time"].astype(float)
@@ -172,7 +169,7 @@ class TestXGBoost:
         assert early > late
 
     def test_checkpoint_and_prediction_writes(self, xgboost_run):
-        io = io_view(xgboost_run.data)
+        io = AnalysisSession.of(xgboost_run.data).io_view()
         files = set(io.unique("file"))
         assert "/lus/xgboost/model-checkpoints.ubj" in files
         assert "/lus/xgboost/predictions.parquet" in files
