@@ -48,6 +48,7 @@ UNBOUNDED_COLLECTIONS = frozenset({
     "data",             # worker: one entry per resident result
     "spilled",          # worker: one entry per evicted result
     "members",          # ssg: one entry per group member
+    "_unfinished",      # scheduler: one entry per unsettled task
 })
 
 #: Per-event-reachable functions whose scans amortize: they run once
@@ -60,6 +61,8 @@ AMORTIZED_FUNCTIONS = frozenset({
     "update_graph",            # once per graph submission
     "fuse_linear_chains",      # once per graph submission (optimizer)
     "_liveness_loop",          # interval-paced (also a loop driver)
+    "add_worker",              # once per registration; exact occupancy
+    "remove_worker",           # resync point for the incremental total
 })
 
 _AGGREGATORS = frozenset({"sum", "min", "max", "any", "all"})

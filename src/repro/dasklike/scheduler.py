@@ -29,7 +29,15 @@ from ..platform import Node
 from ..sim import Environment, RandomStreams
 from .config import DaskConfig
 from .records import LogEntry, StealEvent
-from .states import TransitionRecord, key_str, validate_transition
+from .scheduler_state import OccupancyIndex
+from .states import (
+    ACTIVE_SCHEDULER_STATES,
+    SCHEDULER_TRANSITIONS,
+    TransitionRecord,
+    key_str,
+    make_transition_record,
+    validate_transition,
+)
 from .taskgraph import TaskGraph, TaskSpec
 from .worker import DataLostError, Worker
 
@@ -46,6 +54,11 @@ class SchedulerTaskState:
     spec: TaskSpec
     state: str = "released"
     graph_index: int = 0
+    #: Creation order across all graphs.  Failure recovery collects
+    #: affected tasks from per-worker reverse indexes and re-sorts by
+    #: this, reproducing the submission-order iteration the old
+    #: all-tasks scan provided for free.
+    seq: int = 0
     processing_on: Optional[Worker] = None
     #: Workers holding (a replica of) this task's output, keyed by
     #: address.  A dict, not a set: iteration order must be insertion
@@ -92,8 +105,26 @@ class Scheduler:
         self.occupancy: dict[str, float] = {}
         #: Running sum of ``occupancy`` values, maintained incrementally
         #: so decide_worker's mean-occupancy check is O(1) per
-        #: transition instead of an O(workers) scan.
+        #: transition instead of an O(workers) scan.  Resynced exactly
+        #: against the per-worker values on every membership change,
+        #: bounding float drift over millions of incremental updates.
         self._occupancy_total = 0.0
+        #: Occupancy-ordered worker index (shares the ``occupancy``
+        #: mapping): least-occupied placement candidates and busiest
+        #: stealing victims in O(log workers) per query instead of the
+        #: per-transition pool sweep / sort.
+        self.occupancy_index = OccupancyIndex(self.occupancy)
+        #: Reverse indexes per worker address, so failure recovery is
+        #: O(tasks touching the dead worker) rather than O(every task
+        #: ever submitted): output keys the worker holds a replica of,
+        #: and keys currently processing on it.  Inner dicts are
+        #: ordered sets (values unused).
+        self._has_what: dict[str, dict[str, None]] = {}
+        self._worker_processing: dict[str, dict[str, None]] = {}
+        #: Tasks not yet settled (state in ACTIVE_SCHEDULER_STATES),
+        #: maintained by ``_transition``; the all-workers-lost
+        #: degradation sweep iterates this instead of ``tasks``.
+        self._unfinished: dict[str, SchedulerTaskState] = {}
         self._duration_ema: dict[str, float] = {}
         self._n_graphs = 0
 
@@ -115,17 +146,28 @@ class Scheduler:
     def add_worker(self, worker: Worker) -> None:
         self.workers[worker.address] = worker
         self.occupancy[worker.address] = 0.0
+        # Membership changes are the designated resync points for the
+        # incremental total: recompute it exactly so per-update float
+        # error can never accumulate across membership epochs.
+        self._occupancy_total = sum(self.occupancy.values())
         # Registration counts as the first liveness signal, so a worker
         # that dies before ever heartbeating is still detected.
         self._last_heartbeat[worker.address] = self.env.now
+        self._has_what[worker.address] = {}
+        self._worker_processing[worker.address] = {}
+        self.occupancy_index.add(worker.address, worker)
         worker.scheduler = self
         self.log("INFO", f"Register worker <WorkerState '{worker.address}', "
                          f"name: {worker.name}, status: running>")
 
     def remove_worker(self, worker: Worker) -> None:
         self.workers.pop(worker.address, None)
-        self._occupancy_total -= self.occupancy.pop(worker.address, 0.0)
+        self.occupancy.pop(worker.address, None)
+        self._occupancy_total = sum(self.occupancy.values())
         self._last_heartbeat.pop(worker.address, None)
+        self._has_what.pop(worker.address, None)
+        self._worker_processing.pop(worker.address, None)
+        self.occupancy_index.remove(worker.address)
         self.log("INFO", f"Remove worker {worker.address}")
 
     def _adjust_occupancy(self, address: str, delta: float) -> None:
@@ -135,6 +177,12 @@ class Scheduler:
         new = max(0.0, old + delta)
         self.occupancy[address] = new
         self._occupancy_total += new - old
+        self.occupancy_index.update(address, new)
+
+    def worker_ready_changed(self, worker: Worker, has_ready: bool) -> None:
+        """A worker's stealable queue flipped empty <-> non-empty; keep
+        the occupancy index's victim-candidate set in step."""
+        self.occupancy_index.set_stealable(worker.address, has_ready)
 
     # ------------------------------------------------------------------
     # liveness and failure recovery
@@ -188,17 +236,25 @@ class Scheduler:
         if worker.address not in self.workers:
             return
         worker.fail()
+        # Snapshot the reverse indexes before remove_worker drops them.
+        held = self._has_what.get(worker.address, {})
+        processing = self._worker_processing.get(worker.address, {})
         self.remove_worker(worker)
 
-        # Drop the dead worker's replicas everywhere.
+        # Drop the dead worker's replicas everywhere it held one, and
+        # collect its in-flight tasks — O(affected tasks) via the
+        # reverse indexes, in submission order like the old full scan.
         lost: list[SchedulerTaskState] = []
-        inflight: list[SchedulerTaskState] = []
-        for ts in self.tasks.values():
+        for name in held:
+            ts = self.tasks[name]
             had = ts.who_has.pop(worker.address, None)
             if had is not None and ts.state == "memory" and not ts.who_has:
                 lost.append(ts)
-            if ts.state == "processing" and ts.processing_on is worker:
-                inflight.append(ts)
+        lost.sort(key=lambda t: t.seq)
+        inflight = [self.tasks[name] for name in processing
+                    if self.tasks[name].state == "processing"
+                    and self.tasks[name].processing_on is worker]
+        inflight.sort(key=lambda t: t.seq)
 
         # One deduplication set per recovery pass: with diamond
         # dependencies the recursive _resubmit walk can reach the same
@@ -222,8 +278,8 @@ class Scheduler:
             self._transition(ts, "released", "worker-failed")
             self._transition(ts, "waiting", "worker-failed")
             ts.waiting_on = set()
-            for dep in ts.spec.deps:
-                dep_ts = self.tasks[key_str(dep)]
+            for dep_name in ts.spec.dep_names:
+                dep_ts = self.tasks[dep_name]
                 if dep_ts.state == "memory" and any(
                         not w.failed for w in dep_ts.who_has.values()):
                     continue
@@ -266,10 +322,10 @@ class Scheduler:
             return
         self._transition(ts, "waiting", "recompute")
         ts.nbytes = 0
-        ts.who_has.clear()
+        self._forget_replicas(ts)
         ts.waiting_on = set()
-        for dep in ts.spec.deps:
-            dep_ts = self.tasks[key_str(dep)]
+        for dep_name in ts.spec.dep_names:
+            dep_ts = self.tasks[dep_name]
             # This task will consume its inputs once more.
             dep_ts.remaining_dependents += 1
             if dep_ts.state == "memory" and any(
@@ -300,9 +356,12 @@ class Scheduler:
         exc = RuntimeError(
             "all workers are gone; pending keys cannot be recovered")
         self.log("ERROR", "All workers lost; failing pending wanted keys")
-        for ts in self.tasks.values():
-            if ts.state in ("waiting", "released", "no-worker",
-                            "processing"):
+        # The unfinished index holds exactly the tasks in an active
+        # state; snapshot it (the transitions below drain it) and keep
+        # the old full-scan's submission-order iteration via seq.
+        pending = sorted(self._unfinished.values(), key=lambda t: t.seq)
+        for ts in pending:
+            if ts.state in ACTIVE_SCHEDULER_STATES:
                 if ts.state == "released":
                     self._transition(ts, "waiting", "no-workers")
                 if ts.state in ("waiting", "no-worker"):
@@ -335,18 +394,26 @@ class Scheduler:
     def _transition(self, ts: SchedulerTaskState, finish: str,
                     stimulus: str) -> None:
         start = ts.state
-        validate_transition(start, finish)
+        if (start, finish) not in SCHEDULER_TRANSITIONS:
+            validate_transition(start, finish)  # raises with detail
         ts.state = finish
-        record = TransitionRecord(
-            key=ts.name, group=ts.spec.group, prefix=ts.spec.prefix,
-            start_state=start, finish_state=finish,
-            timestamp=self.env.now, stimulus=stimulus,
-            worker=ts.processing_on.address if ts.processing_on else None,
-            source="scheduler",
+        spec = ts.spec
+        name = spec.name
+        if finish in ACTIVE_SCHEDULER_STATES:
+            self._unfinished[name] = ts
+        else:
+            self._unfinished.pop(name, None)
+        processing_on = ts.processing_on
+        record = make_transition_record(
+            name, spec.group, spec.prefix, start, finish,
+            self.env.now, stimulus,
+            processing_on.address if processing_on is not None else None,
+            "scheduler",
         )
         self.transitions.append(record)
-        for plugin in self.plugins:
-            plugin.transition(record)
+        if self.plugins:
+            for plugin in self.plugins:
+                plugin.transition(record)
 
     # ------------------------------------------------------------------
     # graph intake
@@ -368,20 +435,22 @@ class Scheduler:
         wanted_set = set(wanted)
 
         order = graph.toposort()
+        specs = graph.tasks
+        tasks = self.tasks
         new_states: list[SchedulerTaskState] = []
         for name in order:
-            spec = graph[name]
-            if name in self.tasks:
+            if name in tasks:
                 raise RuntimeError(f"key {name} already known to scheduler")
-            ts = SchedulerTaskState(spec=spec, graph_index=graph_index)
+            ts = SchedulerTaskState(spec=specs[name],
+                                    graph_index=graph_index,
+                                    seq=len(tasks))
             ts.wanted = name in wanted_set
-            self.tasks[name] = ts
+            tasks[name] = ts
             new_states.append(ts)
 
         # Wire dependencies (allowing references to older graphs' keys).
         for ts in new_states:
-            for dep in ts.spec.deps:
-                dep_name = key_str(dep)
+            for dep_name in ts.spec.dep_names:
                 dep_ts = self.tasks.get(dep_name)
                 if dep_ts is None:
                     raise RuntimeError(
@@ -392,13 +461,16 @@ class Scheduler:
                 if dep_ts.state != "memory":
                     ts.waiting_on.add(dep_name)
 
+        plugins = self.plugins
         for ts in new_states:
-            for plugin in self.plugins:
-                plugin.task_added(
-                    key=ts.name, group=ts.spec.group, prefix=ts.spec.prefix,
-                    deps=[key_str(d) for d in ts.spec.deps],
-                    graph_index=graph_index, timestamp=self.env.now,
-                )
+            if plugins:
+                for plugin in plugins:
+                    plugin.task_added(
+                        key=ts.name, group=ts.spec.group,
+                        prefix=ts.spec.prefix,
+                        deps=list(ts.spec.dep_names),
+                        graph_index=graph_index, timestamp=self.env.now,
+                    )
             self._transition(ts, "waiting", "update-graph")
             if ts.wanted:
                 self._wanted_events[ts.name] = self.env.event()
@@ -409,14 +481,19 @@ class Scheduler:
             # Root-task co-assignment (as in modern Dask): slice the
             # batch of simultaneously ready roots into contiguous slabs,
             # one per worker, so sibling chunks start out co-located and
-            # their downstream consumers rarely need transfers.
-            workers = list(self.workers.values())
+            # their downstream consumers rarely need transfers.  Only
+            # live workers get slabs: a silently-failed worker (dead,
+            # unnoticed until its heartbeat deadline) would swallow a
+            # whole slab and force a recovery round.  Each slab is
+            # dispatched as one batched control-plane message — one
+            # engine event per worker, not one per root task.
+            workers = [w for w in self.workers.values() if not w.failed] \
+                or list(self.workers.values())
             slab = -(-len(roots) // len(workers))
             for w_index, start in enumerate(range(0, len(roots), slab)):
                 worker = workers[w_index % len(workers)]
-                for ts in roots[start:start + slab]:
-                    self._assign(ts, stimulus="ready-on-submit",
-                                 worker=worker)
+                self._assign_slab(roots[start:start + slab], worker,
+                                  stimulus="ready-on-submit")
             root_names = {ts.name for ts in roots}
             ready = [ts for ts in ready if ts.name not in root_names]
         for ts in ready:
@@ -444,75 +521,192 @@ class Scheduler:
         moves the task, paying the data-movement price the paper's
         lessons-learned section describes.
         """
-        candidates: dict[str, Worker] = {}
-        if ts.spec.deps:
-            for dep in ts.spec.deps:
-                for address, holder in self.tasks[key_str(dep)].who_has.items():
-                    if address in self.workers:
-                        candidates[address] = holder
-            if candidates:
-                # Incremental total keeps the mean O(1); the old
-                # sum(self.occupancy.values()) was an O(workers) scan
-                # on every task transition.
+        dep_names = ts.spec.dep_names
+        holders: dict[str, Worker] = {}
+        if dep_names:
+            tasks = self.tasks
+            registered = self.workers
+            for dep_name in dep_names:
+                for address, holder in tasks[dep_name].who_has.items():
+                    # A holder must be registered *and alive*: inside
+                    # the heartbeat window a silently-failed worker is
+                    # still registered, and placing onto it strands the
+                    # task until the next recovery pass.
+                    if address in registered and not holder.failed:
+                        holders[address] = holder
+        if holders:
+            # Score the holders: occupancy plus the transfer cost of
+            # whatever dependencies each one is missing.  First-seen
+            # wins ties, like the old candidate-dict iteration.
+            best: Optional[Worker] = None
+            best_score = float("inf")
+            weight = self.config.locality_weight
+            bandwidth = self.config.bandwidth_estimate
+            occupancy = self.occupancy
+            for address, worker in holders.items():
+                transfer_bytes = 0
+                for dep_name in dep_names:
+                    dep_ts = tasks[dep_name]
+                    if address not in dep_ts.who_has:
+                        transfer_bytes += dep_ts.nbytes
+                score = (occupancy[address]
+                         + weight * transfer_bytes / bandwidth)
+                if score < best_score:
+                    best_score = score
+                    best = worker
+            # The idle escape hatch the old pool sweep implemented:
+            # among non-holders every candidate pays the full transfer
+            # cost, so only the least-occupied one (earliest registered
+            # on ties — the sweep's iteration order) can beat a holder,
+            # and only when it clears the idleness threshold.
+            idle = self.occupancy_index.least_occupied(exclude=holders)
+            if idle is not None:
+                idle_occ = occupancy[idle.address]
                 mean_occ = (self._occupancy_total
-                            / max(1, len(self.occupancy)))
-                threshold = self.config.idle_fraction * mean_occ
-                # Idle-worker sweep: O(workers) per transition, kept
-                # until the scale-out PR introduces an idle set keyed
-                # by occupancy band (hotpath work-list item).
-                for address, worker in self.workers.items():  # repro: allow[hot-linear-scan]
-                    if self.occupancy[address] < threshold \
-                            or self.occupancy[address] == 0.0:
-                        candidates[address] = worker
-        if not candidates:
-            # Dependency-less tasks consider every worker; the copy is
-            # O(workers) per transition and goes away with the same
-            # idle-set index (hotpath work-list item).
-            candidates = dict(self.workers)  # repro: allow[hot-collection-copy]
-
-        best: Optional[Worker] = None
-        best_score = float("inf")
-        for address, worker in candidates.items():
-            transfer_bytes = 0
-            for dep in ts.spec.deps:
-                dep_ts = self.tasks[key_str(dep)]
-                if address not in dep_ts.who_has:
-                    transfer_bytes += dep_ts.nbytes
-            comm_cost = (
-                self.config.locality_weight
-                * transfer_bytes / self.config.bandwidth_estimate
-            )
-            score = self.occupancy[address] + comm_cost
-            if score < best_score:
-                best_score = score
-                best = worker
+                            / max(1, len(occupancy)))
+                if (idle_occ < self.config.idle_fraction * mean_occ
+                        or idle_occ == 0.0):
+                    full_bytes = sum(tasks[dep_name].nbytes
+                                     for dep_name in dep_names)
+                    score = (idle_occ
+                             + weight * full_bytes / bandwidth)
+                    if score < best_score:
+                        best = idle
+            assert best is not None
+            return best
+        # No dependencies (or no live registered holder): the transfer
+        # term is identical for every worker, so the whole-pool argmin
+        # of the old code reduces to the least-occupied live worker.
+        best = self.occupancy_index.least_occupied()
+        if best is None:
+            # Every registered worker is silently failed.  Keep the old
+            # semantics: dispatch anyway (the attempt returns False and
+            # the cascading-failure path recovers) rather than deadlock.
+            best = self.occupancy_index.least_occupied(allow_failed=True)
         assert best is not None
         return best
+
+    def gather_sources(self, ts: SchedulerTaskState) -> tuple[dict, dict]:
+        """``who_has``/``sizes`` maps shipped with a dispatch message.
+
+        Only live holders are listed: a failed-but-registered worker
+        (dead inside its heartbeat window) would otherwise be offered
+        as a fetch source and the assignee would try to gather from a
+        corpse.  The worker-side gather re-checks liveness at fetch
+        time; this filter keeps the dispatch snapshot honest too.
+        """
+        who_has = {}
+        sizes = {}
+        tasks = self.tasks
+        for dep_name in ts.spec.dep_names:
+            dep_ts = tasks[dep_name]
+            who_has[dep_name] = [w for w in dep_ts.who_has.values()
+                                 if not w.failed]
+            sizes[dep_name] = dep_ts.nbytes
+        return who_has, sizes
+
+    def _start_processing(self, ts: SchedulerTaskState, worker: Worker,
+                          stimulus: str) -> None:
+        """Shared bookkeeping for putting a task into ``processing``."""
+        ts.processing_on = worker
+        ts.occupancy_contrib = self.estimate_duration(ts.spec)
+        self._adjust_occupancy(worker.address, ts.occupancy_contrib)
+        table = self._worker_processing.get(worker.address)
+        if table is not None:
+            table[ts.name] = None
+        self._transition(ts, "processing", stimulus)
+
+    def _stop_processing(self, ts: SchedulerTaskState) -> None:
+        """Drop the task from its worker's processing reverse index."""
+        if ts.processing_on is None:
+            return
+        table = self._worker_processing.get(ts.processing_on.address)
+        if table is not None:
+            table.pop(ts.name, None)
 
     def _assign(self, ts: SchedulerTaskState, stimulus: str,
                 worker: Optional[Worker] = None) -> None:
         worker = worker or self.decide_worker(ts)
-        ts.processing_on = worker
-        ts.occupancy_contrib = self.estimate_duration(ts.spec)
-        self._adjust_occupancy(worker.address, ts.occupancy_contrib)
-        self._transition(ts, "processing", stimulus)
-        who_has = {
-            key_str(dep): list(self.tasks[key_str(dep)].who_has.values())
-            for dep in ts.spec.deps
-        }
-        sizes = {
-            key_str(dep): self.tasks[key_str(dep)].nbytes
-            for dep in ts.spec.deps
-        }
-        ts.worker_process = self.env.process(
-            self._dispatch(ts, worker, who_has, sizes),
-            name=f"dispatch-{ts.name}",
+        self._start_processing(ts, worker, stimulus)
+        who_has, sizes = self.gather_sources(ts)
+        # One control-plane hop, then supervise the attempt.  A raw
+        # timeout callback replaces a dedicated dispatch process: the
+        # hop needs no generator of its own, and nothing ever waits on
+        # or interrupts the in-flight message (steals and failure
+        # recovery act on ``compute_process``, which exists only after
+        # the hop lands).
+        hop = self.env.timeout(self.config.control_latency)
+        hop.callbacks.append(
+            lambda _event: self._launch(ts, worker, who_has, sizes))
+        ts.worker_process = hop
+
+    def _launch(self, ts: SchedulerTaskState, worker: Worker,
+                who_has: dict, sizes: dict) -> None:
+        """The control-plane hop landed: start the attempt on its
+        worker.  Without a timeout to race there is nothing for a
+        supervising process to wait on — a completion callback on the
+        compute process replicates ``_supervise``'s settle logic at two
+        engine events per task fewer."""
+        if self.task_timeout(ts.spec) > 0:
+            self.env.process(
+                self._supervise(ts, worker, who_has, sizes),
+                name=f"dispatch-{ts.name}",
+            )
+            return
+        proc = self.env.process(
+            worker.compute_task(ts.spec, who_has, sizes, ts.graph_index),
+            name=f"compute-{ts.name}",
         )
+        ts.compute_process = proc
+        proc.callbacks.append(
+            lambda _event: self._attempt_settled(ts, worker, proc))
+
+    def _attempt_settled(self, ts: SchedulerTaskState, worker: Worker,
+                         proc) -> None:
+        """Completion callback mirroring ``_supervise``'s tail."""
+        if proc._ok is False:
+            return  # unhandled failure: the engine raises after callbacks
+        completed = proc.value
+        if ts.compute_process is proc:
+            ts.compute_process = None
+        if (completed is False and worker.failed
+                and worker.address in self.workers
+                and not self._monitoring):
+            self.handle_worker_failure(worker)
+
+    def _assign_slab(self, slab: list[SchedulerTaskState], worker: Worker,
+                     stimulus: str) -> None:
+        """Place a slab of co-assigned root tasks on one worker with a
+        single batched control-plane message (one engine event per
+        worker per graph, instead of one per task)."""
+        for ts in slab:
+            self._start_processing(ts, worker, stimulus)
+        self.env.process(
+            self._dispatch_slab(list(slab), worker),
+            name=f"dispatch-slab-{worker.address}",
+        )
+
+    def _dispatch_slab(self, slab: list[SchedulerTaskState],
+                       worker: Worker):
+        """Process: one control-plane hop carrying a whole root slab."""
+        yield self.env.timeout(self.config.control_latency)
+        for ts in slab:
+            # A recovery pass may have reassigned a slab member while
+            # the message was in flight; the launch still happens (the
+            # attempt returns False on the dead worker), matching the
+            # per-task dispatch semantics.
+            self._launch(ts, worker, {}, {})
 
     def _dispatch(self, ts: SchedulerTaskState, worker: Worker,
                   who_has: dict, sizes: dict):
         """Process: control-plane hop, then run the task on the worker."""
         yield self.env.timeout(self.config.control_latency)
+        completed = yield from self._supervise(ts, worker, who_has, sizes)
+        return completed
+
+    def _supervise(self, ts: SchedulerTaskState, worker: Worker,
+                   who_has: dict, sizes: dict):
+        """Run one task attempt on its worker and watch its timeout."""
         proc = self.env.process(
             worker.compute_task(ts.spec, who_has, sizes, ts.graph_index),
             name=f"compute-{ts.name}",
@@ -570,8 +764,9 @@ class Scheduler:
         self._adjust_occupancy(worker.address, -ts.occupancy_contrib)
         ts.occupancy_contrib = 0.0
         ts.nbytes = nbytes
-        ts.who_has[worker.address] = worker
+        self._remember_replica(ts, worker)
         ts.worker_process = None
+        self._stop_processing(ts)
         self._transition(ts, "memory", "task-finished")
 
         if ts.wanted:
@@ -579,16 +774,21 @@ class Scheduler:
             if event is not None and not event.triggered:
                 event.succeed(nbytes)
 
-        # Promote dependents whose last dependency just landed.
-        for dep_name in sorted(ts.dependents):
-            dep_ts = self.tasks[dep_name]
+        tasks = self.tasks
+        # Promote dependents whose last dependency just landed (in
+        # deterministic key order; the common single-dependent case
+        # skips the sort).
+        dependents = ts.dependents
+        for dep_name in (sorted(dependents) if len(dependents) > 1
+                         else dependents):
+            dep_ts = tasks[dep_name]
             dep_ts.waiting_on.discard(name)
             if dep_ts.state == "waiting" and not dep_ts.waiting_on:
                 self._assign(dep_ts, stimulus="dep-ready")
 
         # Release upstream keys this completion may have unpinned.
-        for dep in ts.spec.deps:
-            dep_ts = self.tasks[key_str(dep)]
+        for dep_name in ts.spec.dep_names:
+            dep_ts = tasks[dep_name]
             dep_ts.remaining_dependents -= 1
             self._maybe_release(dep_ts)
         # A result nothing depends on and no client holds is garbage
@@ -615,6 +815,7 @@ class Scheduler:
         self._adjust_occupancy(worker.address, -ts.occupancy_contrib)
         ts.occupancy_contrib = 0.0
         ts.worker_process = None
+        self._stop_processing(ts)
         if isinstance(exception, DataLostError):
             # Not the task's fault: a dependency replica vanished under
             # it (its holder crashed after assignment).  Reschedule with
@@ -651,6 +852,7 @@ class Scheduler:
                 # short-circuit stimulus records why.
                 self._transition(dep_ts, "processing", "upstream-erred")
             if dep_ts.state == "processing":
+                self._stop_processing(dep_ts)
                 self._transition(dep_ts, "erred", "upstream-erred")
             self._fail_wanted(dep_ts, exception)
             stack.extend(sorted(dep_ts.dependents))
@@ -706,6 +908,7 @@ class Scheduler:
         """Put a ``processing``/``released`` task back on the runnable
         path, re-resolving dependencies that were lost meanwhile."""
         if ts.state == "processing":
+            self._stop_processing(ts)
             self._transition(ts, "released", stimulus)
             ts.processing_on = None
             ts.compute_process = None
@@ -713,8 +916,8 @@ class Scheduler:
             return
         self._transition(ts, "waiting", stimulus)
         ts.waiting_on = set()
-        for dep in ts.spec.deps:
-            dep_ts = self.tasks[key_str(dep)]
+        for dep_name in ts.spec.dep_names:
+            dep_ts = self.tasks[dep_name]
             # A replica on a silently crashed worker (not yet noticed by
             # the liveness monitor) does not count: treating it as live
             # would re-dispatch into the same DataLostError forever.
@@ -742,6 +945,7 @@ class Scheduler:
         self._adjust_occupancy(worker.address, -ts.occupancy_contrib)
         ts.occupancy_contrib = 0.0
         ts.worker_process = None
+        self._stop_processing(ts)
         exception = TimeoutError(
             f"task {ts.name} exceeded its {limit:g}s timeout on "
             f"{worker.address}")
@@ -772,7 +976,7 @@ class Scheduler:
             return
         for worker in ts.who_has.values():
             worker.free_keys([ts.name])
-        ts.who_has.clear()
+        self._forget_replicas(ts)
         self._transition(ts, "released", "no-dependents")
         self._transition(ts, "forgotten", "gc")
 
@@ -783,7 +987,21 @@ class Scheduler:
         """A worker fetched a copy of ``name``; track it for release."""
         ts = self.tasks.get(name)
         if ts is not None and ts.state == "memory":
-            ts.who_has[worker.address] = worker
+            self._remember_replica(ts, worker)
+
+    def _remember_replica(self, ts: SchedulerTaskState,
+                          worker: Worker) -> None:
+        ts.who_has[worker.address] = worker
+        held = self._has_what.get(worker.address)
+        if held is not None:
+            held[ts.name] = None
+
+    def _forget_replicas(self, ts: SchedulerTaskState) -> None:
+        for address in ts.who_has:
+            held = self._has_what.get(address)
+            if held is not None:
+                held.pop(ts.name, None)
+        ts.who_has.clear()
 
     def wanted_event(self, name: str):
         return self._wanted_events[name]

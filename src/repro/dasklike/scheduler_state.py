@@ -1,0 +1,248 @@
+"""Occupancy-ordered worker index for O(1)-amortized placement.
+
+Before this module existed, every placement decision swept
+``Scheduler.workers`` (the ``decide_worker`` idle sweep and whole-pool
+copy) and every stealing round sorted the full worker list.  Those are
+O(workers) *per task transition* — invisible at the paper's 8-worker
+scale, fatal at the ROADMAP's 10k-worker / 1M-task north star (the
+scheduler-overhead knee of Böhm & Beránek, arXiv 2010.11105).
+
+:class:`OccupancyIndex` replaces both sweeps with two lazily-maintained
+heaps over ``(occupancy, registration-seq)`` keys:
+
+* a min-heap answering *least occupied live worker* (placement's idle
+  candidate and stealing's thief) — the "idle set keyed by occupancy
+  band" the hotpath lint work-list called for, collapsed to its limit
+  of one band per distinct occupancy value;
+* a max-heap over the *ready set* (workers with queued, stealable
+  tasks) answering *busiest victim candidate* for
+  :meth:`WorkStealing.balance`.
+
+Heap entries are immutable snapshots; occupancy updates push new
+entries instead of editing old ones, and queries pop entries that no
+longer match the live ``occupancy`` mapping (the scheduler's, shared by
+reference, so external writes — tests poke it directly — merely stale
+the heap instead of desyncing it).  A query that drains the heap
+rebuilds it from the source of truth; a heap that grows past a small
+multiple of the entry count is compacted.  Both make every operation
+O(log workers) amortized.
+
+Tie-breaking is load-bearing: the pre-index scheduler broke occupancy
+ties by dict iteration order (first/last registered wins, depending on
+the query).  The per-registration ``seq`` reproduces that order
+exactly, which is what keeps the refactored scheduler's event streams
+byte-identical to the originals (pinned by the parity suite).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Optional
+
+__all__ = ["OccupancyIndex"]
+
+#: Compaction threshold: rebuild a heap once it carries more than this
+#: many entries beyond ``slack_factor`` per live member.  Rebuilds are
+#: O(members) and happen at most once per ~7·members pushes, so pushes
+#: stay O(log members) amortized.
+_COMPACT_SLACK = 64
+_COMPACT_FACTOR = 8
+
+
+class OccupancyIndex:
+    """Occupancy-ordered index over registered workers.
+
+    Parameters
+    ----------
+    occupancy:
+        The scheduler's live ``address -> occupancy`` mapping, shared
+        by reference.  It stays the single source of truth; the index
+        only caches orderings over it.
+    """
+
+    def __init__(self, occupancy: dict):
+        self._current = occupancy
+        #: address -> (worker, registration seq).  Insertion order
+        #: mirrors ``Scheduler.workers``.
+        self._members: dict[str, tuple] = {}
+        self._seq = 0
+        #: (occupancy, seq, address) — least occupied first.
+        self._idle_heap: list = []
+        #: (-occupancy, -seq, address) — busiest first, restricted to
+        #: addresses in ``_stealable``.
+        self._busy_heap: list = []
+        #: Addresses with a non-empty worker ``ready`` queue, maintained
+        #: by :meth:`Scheduler.worker_ready_changed` notifications.
+        self._stealable: set = set()
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._members
+
+    # ------------------------------------------------------------------
+    # membership and updates
+    # ------------------------------------------------------------------
+    def add(self, address: str, worker) -> None:
+        """Register a worker; its seq reproduces dict insertion order."""
+        self._seq += 1
+        self._members[address] = (worker, self._seq)
+        heapq.heappush(
+            self._idle_heap,
+            (self._current.get(address, 0.0), self._seq, address))
+
+    def remove(self, address: str) -> None:
+        self._members.pop(address, None)
+        self._stealable.discard(address)
+
+    def update(self, address: str, occupancy_value: float) -> None:
+        """The worker's occupancy changed: push fresh heap snapshots."""
+        member = self._members.get(address)
+        if member is None:
+            return
+        seq = member[1]
+        idle_heap = self._idle_heap
+        heapq.heappush(idle_heap, (occupancy_value, seq, address))
+        if self._stealable and address in self._stealable:
+            heapq.heappush(self._busy_heap,
+                           (-occupancy_value, -seq, address))
+            self._maybe_compact()
+        elif len(idle_heap) > (_COMPACT_SLACK
+                               + _COMPACT_FACTOR * len(self._members)):
+            self._rebuild_idle()
+
+    def set_stealable(self, address: str, has_ready: bool) -> None:
+        """A worker's ready queue flipped empty <-> non-empty."""
+        if not has_ready:
+            self._stealable.discard(address)
+            return
+        member = self._members.get(address)
+        if member is None or address in self._stealable:
+            return
+        self._stealable.add(address)
+        seq = member[1]
+        heapq.heappush(self._busy_heap,
+                       (-self._current.get(address, 0.0), -seq, address))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def least_occupied(self, exclude: Iterable[str] = (),
+                       allow_failed: bool = False) -> Optional[object]:
+        """Worker minimising ``(occupancy, registration order)``.
+
+        Skips failed workers unless ``allow_failed`` (the no-live-
+        workers fallback keeps pre-index placement semantics: during a
+        total outage tasks are still dispatched somewhere, and the
+        recovery path picks them back up).  ``exclude`` is a container
+        of addresses — ``decide_worker`` passes its holder set so the
+        idle candidate is always a non-holder.
+        """
+        heap = self._idle_heap
+        # Fast path: the top snapshot is usually live and eligible —
+        # return it without touching the set-aside machinery.
+        if heap:
+            occ, seq, address = heap[0]
+            member = self._members.get(address)
+            if (member is not None and member[1] == seq
+                    and self._current.get(address) == occ):
+                worker = member[0]
+                if ((allow_failed or not worker.failed)
+                        and address not in exclude):
+                    return worker
+        set_aside: list = []
+        best = None
+        rebuilt = False
+        while True:
+            while heap:
+                occ, seq, address = heap[0]
+                worker = self._live_entry(occ, seq, address)
+                if worker is None:
+                    heapq.heappop(heap)
+                    continue
+                if (worker.failed and not allow_failed) \
+                        or address in exclude:
+                    # Valid but ineligible for *this* query: park it so
+                    # later queries (different exclusions) still see it.
+                    set_aside.append(heapq.heappop(heap))
+                    continue
+                best = worker
+                break
+            if best is not None or rebuilt:
+                break
+            # Every snapshot was stale (external occupancy writes can
+            # do that): rebuild once from the source of truth.
+            self._rebuild_idle()
+            rebuilt = True
+        for item in set_aside:
+            heapq.heappush(heap, item)
+        return best
+
+    def busiest_stealable(self, exclude: Iterable[str] = ()
+                          ) -> Optional[object]:
+        """Live worker with queued tasks maximising ``(occupancy,
+        registration order)`` — the stealing victim candidate."""
+        heap = self._busy_heap
+        set_aside: list = []
+        best = None
+        while heap:
+            neg_occ, neg_seq, address = heap[0]
+            worker = self._live_entry(-neg_occ, -neg_seq, address)
+            if worker is None or worker.failed \
+                    or address not in self._stealable:
+                heapq.heappop(heap)
+                continue
+            if not worker.ready:
+                # Safety net against a missed empty-notification: fix
+                # the flag so the next queued task re-announces it.
+                self._stealable.discard(address)
+                heapq.heappop(heap)
+                continue
+            if address in exclude:
+                set_aside.append(heapq.heappop(heap))
+                continue
+            best = worker
+            break
+        for item in set_aside:
+            heapq.heappush(heap, item)
+        return best
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _live_entry(self, occ: float, seq: int, address: str):
+        """The worker a snapshot refers to, or None when stale."""
+        member = self._members.get(address)
+        if member is None or member[1] != seq:
+            return None
+        if self._current.get(address) != occ:
+            return None
+        return member[0]
+
+    def _maybe_compact(self) -> None:
+        if len(self._idle_heap) > (_COMPACT_SLACK
+                                   + _COMPACT_FACTOR * len(self._members)):
+            self._rebuild_idle()
+        if len(self._busy_heap) > (_COMPACT_SLACK
+                                   + _COMPACT_FACTOR * len(self._stealable)):
+            self._rebuild_busy()
+
+    def _rebuild_idle(self) -> None:
+        # In place: queries hold a reference to the list while popping.
+        heap = self._idle_heap
+        heap[:] = [
+            (self._current.get(address, 0.0), seq, address)
+            for address, (_worker, seq) in self._members.items()
+        ]
+        heapq.heapify(heap)
+
+    def _rebuild_busy(self) -> None:
+        heap = self._busy_heap
+        heap[:] = [
+            (-self._current.get(address, 0.0), -member[1], address)
+            for address, member in (
+                (a, self._members.get(a)) for a in sorted(self._stealable))
+            if member is not None
+        ]
+        heapq.heapify(heap)

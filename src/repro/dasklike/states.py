@@ -27,9 +27,12 @@ from typing import Optional
 
 __all__ = [
     "SCHEDULER_STATES",
+    "ACTIVE_SCHEDULER_STATES",
+    "TERMINAL_SCHEDULER_STATES",
     "WORKER_STATES",
     "SCHEDULER_TRANSITIONS",
     "TransitionRecord",
+    "make_transition_record",
     "validate_transition",
     "key_split",
     "key_group",
@@ -40,6 +43,22 @@ SCHEDULER_STATES = (
     "released", "waiting", "no-worker", "processing", "memory", "erred",
     "forgotten",
 )
+
+#: States in which a task has neither produced a result nor settled
+#: into an error: the population failure handling may still have to
+#: act on.  The scheduler keeps an ``_unfinished`` index over exactly
+#: these states so the all-workers-lost degradation path is O(pending
+#: tasks), not O(every task ever submitted).
+ACTIVE_SCHEDULER_STATES = frozenset({
+    "released", "waiting", "no-worker", "processing",
+})
+
+#: Settled states: the task produced a result, failed for good, or was
+#: garbage-collected.  (``memory`` can still transition onward, but
+#: never needs failure-time intervention — replica loss re-enters it
+#: through an explicit resubmit.)
+TERMINAL_SCHEDULER_STATES = frozenset(
+    SCHEDULER_STATES) - ACTIVE_SCHEDULER_STATES
 
 WORKER_STATES = (
     "waiting", "fetch", "flight", "ready", "executing", "memory",
@@ -84,6 +103,30 @@ class TransitionRecord:
     worker: Optional[str] = None
     #: Which machine recorded it: "scheduler" or the worker address.
     source: str = "scheduler"
+
+
+def make_transition_record(key, group, prefix, start_state, finish_state,
+                           timestamp, stimulus, worker,
+                           source) -> TransitionRecord:
+    """Hot-path :class:`TransitionRecord` constructor.
+
+    A frozen dataclass pays one ``object.__setattr__`` per field in
+    ``__init__``; at millions of transitions that is the single largest
+    record-keeping cost.  Filling ``__dict__`` directly builds an
+    identical instance (same fields, equality, ``asdict`` form) at a
+    fraction of the cost — ``tests/dasklike/test_scheduler_units.py``
+    pins the equivalence.
+    """
+    record = object.__new__(TransitionRecord)
+    # Replacing ``__dict__`` wholesale must bypass the frozen
+    # ``__setattr__`` (which intercepts every attribute, dunders too).
+    object.__setattr__(record, "__dict__", {
+        "key": key, "group": group, "prefix": prefix,
+        "start_state": start_state, "finish_state": finish_state,
+        "timestamp": timestamp, "stimulus": stimulus,
+        "worker": worker, "source": source,
+    })
+    return record
 
 
 # -- key naming conventions (mirrors dask.core / distributed) -------------

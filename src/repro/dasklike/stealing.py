@@ -56,33 +56,36 @@ class WorkStealing:
 
     # ------------------------------------------------------------------
     def balance(self) -> int:
-        """One balancing round; returns the number of tasks moved."""
+        """One balancing round; returns the number of tasks moved.
+
+        Candidate selection runs off the scheduler's occupancy index —
+        two heap queries — instead of sorting every worker each
+        interval.  A worker can be dead (``failed``) yet still
+        registered (a silent crash is only noticed at the next
+        heartbeat deadline); the index skips corpses on both sides, so
+        we never steal onto one, nor from a victim whose compute
+        processes handle_worker_failure already tore down.
+        """
         sched = self.scheduler
-        # A worker can be dead (``failed``) yet still registered: a
-        # silent crash is only noticed at the next heartbeat deadline.
-        # Inside that window its occupancy reads 0.0, which would make
-        # it the preferred thief — stealing work *onto* a corpse — or a
-        # victim whose compute processes handle_worker_failure already
-        # tore down.  Balance only among live workers.
-        workers = [w for w in sched.workers.values() if not w.failed]
-        if len(workers) < 2:
+        index = sched.occupancy_index
+        thief = index.least_occupied()
+        if thief is None:
             return 0
-        by_occ = sorted(workers, key=lambda w: sched.occupancy[w.address])
-        thief = by_occ[0]
-        moved = 0
-        for victim in reversed(by_occ[1:]):
-            if not victim.ready:
-                continue
-            victim_occ = sched.occupancy[victim.address]
-            thief_occ = sched.occupancy[thief.address]
-            if victim_occ <= sched.config.steal_ratio * max(thief_occ, 0.05):
-                break
-            # Steal the most recently queued task (deepest in the queue).
-            name = next(reversed(victim.ready))
-            if self._steal(name, victim, thief):
-                moved += 1
-            break  # one move per round, like a gentle balancer
-        return moved
+        # Busiest live worker with a non-empty stealable queue; the
+        # thief itself is never a victim.
+        victim = index.busiest_stealable(exclude=(thief.address,))
+        if victim is None:
+            return 0
+        victim_occ = sched.occupancy[victim.address]
+        thief_occ = sched.occupancy[thief.address]
+        if victim_occ <= sched.config.steal_ratio * max(thief_occ, 0.05):
+            return 0
+        # Steal the most recently queued task (deepest in the queue);
+        # one move per round, like a gentle balancer.
+        name = next(reversed(victim.ready))
+        if self._steal(name, victim, thief):
+            return 1
+        return 0
 
     def _steal(self, name: str, victim, thief) -> bool:
         sched = self.scheduler
@@ -119,17 +122,15 @@ class WorkStealing:
         sched.log("INFO", f"Moving {name} from {victim.address} "
                           f"to {thief.address}")
 
+        sched._stop_processing(ts)
         ts.processing_on = thief
+        table = sched._worker_processing.get(thief.address)
+        if table is not None:
+            table[ts.name] = None
         # All deps are in memory at steal time (the task was ready).
-        from .states import key_str
-        who_has = {
-            key_str(dep): list(sched.tasks[key_str(dep)].who_has.values())
-            for dep in ts.spec.deps
-        }
-        sizes = {
-            key_str(dep): sched.tasks[key_str(dep)].nbytes
-            for dep in ts.spec.deps
-        }
+        # gather_sources drops holders that failed since the original
+        # dispatch, so the thief never fetches from a corpse.
+        who_has, sizes = sched.gather_sources(ts)
         ts.worker_process = self.env.process(
             sched._dispatch(ts, thief, who_has, sizes),
             name=f"steal-dispatch-{name}",

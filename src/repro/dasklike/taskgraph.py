@@ -18,6 +18,7 @@ node of the task graph to enhance data locality" (§IV-D3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Iterable, Optional
 
 from .states import key_group, key_split, key_str
@@ -78,17 +79,26 @@ class TaskSpec:
     #: :attr:`DaskConfig.task_timeout`, 0 disables enforcement.
     timeout: Optional[float] = None
 
-    @property
+    # Cached: the canonical renderings are pure functions of the frozen
+    # ``key``, and the scheduler reads them on every transition — at
+    # 1M-task scale recomputing the string forms dominated the
+    # scheduler's own per-transition cost.
+    @cached_property
     def name(self) -> str:
         return key_str(self.key)
 
-    @property
+    @cached_property
     def group(self) -> str:
         return key_group(self.key)
 
-    @property
+    @cached_property
     def prefix(self) -> str:
         return key_split(self.key)
+
+    @cached_property
+    def dep_names(self) -> tuple:
+        """Canonical string forms of ``deps``, in the same order."""
+        return tuple(key_str(dep) for dep in self.deps)
 
     def with_key(self, key) -> "TaskSpec":
         return replace(self, key=key)
@@ -101,6 +111,8 @@ class TaskGraph:
         self.name = name
         self._tasks: dict[str, TaskSpec] = {}
         self._toposort_cache: Optional[list[str]] = None
+        self._dependents_cache: Optional[dict[str, set[str]]] = None
+        self._validated_external = False
         for task in tasks:
             self.add(task)
 
@@ -108,8 +120,14 @@ class TaskGraph:
         name = task.name
         if name in self._tasks:
             raise GraphError(f"duplicate task key {name}")
+        # Warm the remaining key renderings while the graph is being
+        # built (client-side), so the scheduler's transition path never
+        # pays a first-access ``cached_property`` miss.
+        task.dep_names, task.group, task.prefix  # noqa: B018
         self._tasks[name] = task
         self._toposort_cache = None
+        self._dependents_cache = None
+        self._validated_external = False
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -128,13 +146,20 @@ class TaskGraph:
         return list(self._tasks)
 
     def dependents(self) -> dict[str, set[str]]:
-        """Reverse adjacency: key → set of keys depending on it."""
+        """Reverse adjacency: key → set of keys depending on it.
+
+        Memoized (invalidated by :meth:`add`); treat the result as
+        read-only — it is shared between :meth:`toposort`,
+        :meth:`leaves` and graph intake.
+        """
+        if self._dependents_cache is not None:
+            return self._dependents_cache
         out: dict[str, set[str]] = {name: set() for name in self._tasks}
         for name, task in self._tasks.items():
-            for dep in task.deps:
-                dep_name = key_str(dep)
+            for dep_name in task.dep_names:
                 if dep_name in out:
                     out[dep_name].add(name)
+        self._dependents_cache = out
         return out
 
     def validate(self, allow_external: bool = False) -> None:
@@ -144,16 +169,23 @@ class TaskGraph:
         graph are permitted — they reference results of previously
         submitted graphs held in distributed memory (the multi-graph
         submission pattern of the XGBoost workflow).
+
+        Memoized per strictness: a graph the client already validated
+        (optimization passes validate, and so does graph intake) is not
+        re-walked on submission.  :meth:`add` invalidates.
         """
+        if allow_external and self._validated_external:
+            return
         if not allow_external:
             for name, task in self._tasks.items():
-                for dep in task.deps:
-                    if key_str(dep) not in self._tasks:
+                for dep_name in task.dep_names:
+                    if dep_name not in self._tasks:
                         raise GraphError(
                             f"task {name} depends on missing key "
-                            f"{key_str(dep)}"
+                            f"{dep_name}"
                         )
         self.toposort()
+        self._validated_external = True
 
     def toposort(self) -> list[str]:
         """Kahn's algorithm; raises :class:`GraphError` on cycles.
@@ -169,7 +201,8 @@ class TaskGraph:
         dependents = self.dependents()
         for name, task in self._tasks.items():
             indegree[name] = sum(
-                1 for dep in task.deps if key_str(dep) in self._tasks
+                1 for dep_name in task.dep_names
+                if dep_name in self._tasks
             )
         ready = [name for name, deg in indegree.items() if deg == 0]
         order: list[str] = []
@@ -189,7 +222,7 @@ class TaskGraph:
         """Tasks with no in-graph dependencies."""
         return [
             name for name, task in self._tasks.items()
-            if not any(key_str(d) in self._tasks for d in task.deps)
+            if not any(d in self._tasks for d in task.dep_names)
         ]
 
     def leaves(self) -> list[str]:

@@ -317,11 +317,8 @@ class Worker:
 
     def _gather(self, spec: TaskSpec, who_has: dict, sizes: dict):
         """Process: ensure every dependency of ``spec`` is local."""
-        from .states import key_str
-
         waits = []
-        for dep in spec.deps:
-            dep_name = key_str(dep)
+        for dep_name in spec.dep_names:
             if dep_name in self.data:
                 continue
             if dep_name in self.spilled:
@@ -374,6 +371,21 @@ class Worker:
     # ------------------------------------------------------------------
     # task execution
     # ------------------------------------------------------------------
+    def _queue_ready(self, name: str, get_event) -> None:
+        """Add a task to the stealable queue, announcing empty -> non-
+        empty flips so the scheduler's occupancy index tracks which
+        workers are steal candidates without sweeping the pool."""
+        was_empty = not self.ready
+        self.ready[name] = get_event
+        if was_empty and self.scheduler is not None:
+            self.scheduler.worker_ready_changed(self, True)
+
+    def _unqueue_ready(self, name: str) -> None:
+        if self.ready.pop(name, None) is None:
+            return
+        if not self.ready and self.scheduler is not None:
+            self.scheduler.worker_ready_changed(self, False)
+
     def compute_task(self, spec: TaskSpec, who_has: dict, sizes: dict,
                      graph_index: int):
         """Process: the full worker-side life of one task.
@@ -419,12 +431,12 @@ class Worker:
 
         # Queue for an executor thread; the balancer may steal us here.
         get_event = self.threads.get()
-        self.ready[spec.name] = get_event
+        self._queue_ready(spec.name, get_event)
         try:
             thread_id = yield get_event
         except Interrupt as exc:
             # Stolen or timed out: withdraw our claim on the thread pool.
-            self.ready.pop(spec.name, None)
+            self._unqueue_ready(spec.name)
             if get_event.triggered:
                 self.threads.put(get_event.value)
             else:
@@ -432,7 +444,7 @@ class Worker:
             self._transition(spec, "ready", "released",
                              str(exc.cause or "steal"))
             return False
-        self.ready.pop(spec.name, None)
+        self._unqueue_ready(spec.name)
 
         self.executing.add(spec.name)
         self._transition(spec, "ready", "executing", "thread-granted")

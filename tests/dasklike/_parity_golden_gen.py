@@ -1,0 +1,70 @@
+"""One-shot generator for the scale-out parity goldens.
+
+Run from the repo root BEFORE and AFTER the scheduler data-structure
+refactor::
+
+    PYTHONPATH=src python tests/dasklike/_parity_golden_gen.py
+
+Prints the sha256 of every stable artifact the parity suite pins.  The
+hashes captured at the pre-refactor revision are inlined in
+``test_scheduler_scale_parity.py``; the refactor must reproduce them
+byte for byte.
+"""
+
+import hashlib
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                       .parents[2] / "src"))
+
+from repro.workflows import (  # noqa: E402
+    ImageProcessingWorkflow,
+    ResNet152Workflow,
+    XGBoostWorkflow,
+    run_workflow,
+)
+
+WORKFLOWS = {
+    "image_processing": lambda: ImageProcessingWorkflow(scale=0.05),
+    "resnet152": lambda: ResNet152Workflow(scale=0.03),
+    "xgboost_trip": lambda: XGBoostWorkflow(scale=0.05),
+}
+SEED = 11
+
+
+def transition_digest(result) -> str:
+    """Order-independent digest of the full transition content.
+
+    The *interleaving* of the merged stream depends on
+    ``PYTHONHASHSEED`` (Mofka partitioning), a pre-existing property;
+    the transition *set* — keys, states, stimuli, workers, and full-
+    precision timestamps — is what placement behaviour determines, so
+    that is what the parity suite pins.
+    """
+    rows = sorted(
+        json.dumps(e, sort_keys=True)
+        for e in result.data.events_of_type("transition")
+    )
+    return hashlib.sha256("\n".join(rows).encode()).hexdigest()
+
+
+def main() -> None:
+    goldens = {}
+    for name, factory in WORKFLOWS.items():
+        with tempfile.TemporaryDirectory() as tmp:
+            result = run_workflow(factory(), seed=SEED, persist_dir=tmp)
+            run_dir = next(pathlib.Path(tmp).glob("*/run0000"))
+            logs = (run_dir / "logs.jsonl").read_bytes()
+            goldens[name] = {
+                "logs_sha256": hashlib.sha256(logs).hexdigest(),
+                "transitions_sha256": transition_digest(result),
+                "n_log_lines": logs.count(b"\n"),
+            }
+    print(json.dumps(goldens, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,175 @@
+"""Unit tests for the occupancy-ordered worker index.
+
+The index answers the two placement queries (`least_occupied`,
+`busiest_stealable`) from lazy heaps; these tests pin its maintenance
+behaviour under occupancy updates, worker failure/removal, steal-driven
+adjustments, and external writes to the shared occupancy mapping.
+"""
+
+from repro.dasklike.scheduler_state import OccupancyIndex
+
+
+class StubWorker:
+    def __init__(self, address):
+        self.address = address
+        self.failed = False
+        self.ready = {}
+
+    def __repr__(self):
+        return f"<StubWorker {self.address}>"
+
+
+def make_index(n=4):
+    occupancy = {}
+    index = OccupancyIndex(occupancy)
+    workers = []
+    for i in range(n):
+        worker = StubWorker(f"10.0.0.{i}:4000")
+        occupancy[worker.address] = 0.0
+        index.add(worker.address, worker)
+        workers.append(worker)
+    return occupancy, index, workers
+
+
+class TestLeastOccupied:
+    def test_ties_break_by_registration_order(self):
+        occupancy, index, workers = make_index()
+        assert index.least_occupied() is workers[0]
+
+    def test_tracks_occupancy_updates(self):
+        occupancy, index, workers = make_index()
+        for worker in workers:
+            occupancy[worker.address] = 5.0
+            index.update(worker.address, 5.0)
+        occupancy[workers[2].address] = 0.5
+        index.update(workers[2].address, 0.5)
+        assert index.least_occupied() is workers[2]
+        # Raising it again moves the answer back to the first-registered.
+        occupancy[workers[2].address] = 9.0
+        index.update(workers[2].address, 9.0)
+        assert index.least_occupied() is workers[0]
+
+    def test_exclude_holders(self):
+        occupancy, index, workers = make_index()
+        excluded = {workers[0].address, workers[1].address}
+        assert index.least_occupied(exclude=excluded) is workers[2]
+        # The excluded entries survive for later unrestricted queries.
+        assert index.least_occupied() is workers[0]
+
+    def test_skips_failed_unless_allowed(self):
+        occupancy, index, workers = make_index(n=2)
+        workers[0].failed = True
+        assert index.least_occupied() is workers[1]
+        workers[1].failed = True
+        assert index.least_occupied() is None
+        assert index.least_occupied(allow_failed=True) is workers[0]
+
+    def test_removed_worker_never_returned(self):
+        occupancy, index, workers = make_index(n=2)
+        occupancy.pop(workers[0].address)
+        index.remove(workers[0].address)
+        assert index.least_occupied() is workers[1]
+        assert len(index) == 1
+        assert workers[0].address not in index
+
+    def test_reregistration_moves_to_back_of_tie_order(self):
+        occupancy, index, workers = make_index(n=3)
+        occupancy.pop(workers[0].address)
+        index.remove(workers[0].address)
+        occupancy[workers[0].address] = 0.0
+        index.add(workers[0].address, workers[0])
+        # All at 0.0: the re-added worker now loses the tie.
+        assert index.least_occupied() is workers[1]
+
+    def test_external_occupancy_writes_only_stale_the_heap(self):
+        # Tests (and recovery paths) poke scheduler.occupancy directly;
+        # the index must recover by rebuilding from the shared mapping.
+        occupancy, index, workers = make_index()
+        for worker in workers:
+            occupancy[worker.address] = 5.0  # no index.update() calls
+        occupancy[workers[3].address] = 0.25
+        assert index.least_occupied() is workers[3]
+
+
+class TestBusiestStealable:
+    def test_requires_ready_flag_and_queue(self):
+        occupancy, index, workers = make_index()
+        assert index.busiest_stealable() is None
+        workers[1].ready["t1"] = object()
+        index.set_stealable(workers[1].address, True)
+        assert index.busiest_stealable() is workers[1]
+
+    def test_orders_by_occupancy_then_late_registration(self):
+        occupancy, index, workers = make_index()
+        for worker in workers:
+            worker.ready["t"] = object()
+            index.set_stealable(worker.address, True)
+        for worker, occ in zip(workers, (1.0, 3.0, 3.0, 2.0)):
+            occupancy[worker.address] = occ
+            index.update(worker.address, occ)
+        # Equal occupancies: the later-registered worker wins (matches
+        # the old sort-then-reverse victim scan).
+        assert index.busiest_stealable() is workers[2]
+        assert index.busiest_stealable(
+            exclude=(workers[2].address,)) is workers[1]
+
+    def test_steal_adjustments_reorder_candidates(self):
+        occupancy, index, workers = make_index(n=2)
+        for worker, occ in zip(workers, (4.0, 1.0)):
+            worker.ready["t"] = object()
+            index.set_stealable(worker.address, True)
+            occupancy[worker.address] = occ
+            index.update(worker.address, occ)
+        assert index.busiest_stealable() is workers[0]
+        # A steal moves estimate from victim to thief.
+        for worker, occ in zip(workers, (1.5, 3.5)):
+            occupancy[worker.address] = occ
+            index.update(worker.address, occ)
+        assert index.busiest_stealable() is workers[1]
+
+    def test_emptied_queue_drops_candidate(self):
+        occupancy, index, workers = make_index(n=2)
+        workers[0].ready["t"] = object()
+        index.set_stealable(workers[0].address, True)
+        index.set_stealable(workers[0].address, False)
+        assert index.busiest_stealable() is None
+
+    def test_failed_worker_never_a_victim(self):
+        occupancy, index, workers = make_index(n=2)
+        for worker in workers:
+            worker.ready["t"] = object()
+            index.set_stealable(worker.address, True)
+        workers[0].failed = True
+        occupancy[workers[0].address] = 99.0
+        index.update(workers[0].address, 99.0)
+        assert index.busiest_stealable() is workers[1]
+
+    def test_desynced_ready_flag_self_heals(self):
+        occupancy, index, workers = make_index(n=1)
+        workers[0].ready["t"] = object()
+        index.set_stealable(workers[0].address, True)
+        workers[0].ready.clear()  # mutation without a notification
+        assert index.busiest_stealable() is None
+        # The stale flag was dropped: re-announcing works again.
+        workers[0].ready["t2"] = object()
+        index.set_stealable(workers[0].address, True)
+        assert index.busiest_stealable() is workers[0]
+
+
+class TestCompaction:
+    def test_heaps_stay_bounded_under_churn(self):
+        occupancy, index, workers = make_index(n=8)
+        for worker in workers:
+            worker.ready["t"] = object()
+            index.set_stealable(worker.address, True)
+        for round_index in range(2000):
+            worker = workers[round_index % len(workers)]
+            occ = float(round_index % 17)
+            occupancy[worker.address] = occ
+            index.update(worker.address, occ)
+        assert len(index._idle_heap) <= 64 + 8 * len(index) + 1
+        assert len(index._busy_heap) <= 64 + 8 * len(workers) + 1
+        # And the answers are still exact.
+        best = index.least_occupied()
+        lowest = min(occupancy.values())
+        assert occupancy[best.address] == lowest

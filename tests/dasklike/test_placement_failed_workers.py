@@ -1,0 +1,173 @@
+"""Regression tests: placement must never target a silently-failed worker.
+
+A worker can be dead (``failed``) yet still registered for a whole
+heartbeat window.  ``WorkStealing.balance`` always guarded against
+that; placement did not:
+
+* ``decide_worker`` filtered ``who_has`` holders only by registration,
+  so a dependent task could be placed straight onto a corpse;
+* the root co-assignment path took ``list(self.workers.values())``
+  unfiltered, handing a whole slab of roots to a dead worker;
+* the ``who_has``/``sizes`` maps shipped by ``_assign`` and
+  ``WorkStealing._steal`` listed replicas held by failed-but-registered
+  workers, offering a corpse as a fetch source.
+
+Each test here failed before the corresponding guard was added.
+"""
+
+from repro.dasklike import DaskConfig, TaskGraph, TaskSpec
+from repro.dasklike.scheduler import SchedulerTaskState
+from repro.dasklike.stealing import WorkStealing
+
+from tests.helpers import make_wms
+
+
+def make_sched(**config_kwargs):
+    config = DaskConfig(work_stealing=False, gc_base_rate=0.0,
+                        gc_pressure_rate=0.0, **config_kwargs)
+    env, cluster, dask, client, job = make_wms(config=config)
+    return env, dask, client
+
+
+class TestDecideWorkerLiveness:
+    def test_dependent_avoids_silently_failed_holder(self):
+        env, dask, client = make_sched()
+        sched = dask.scheduler
+        seed = TaskGraph([TaskSpec(key="seed-11aa22bb", compute_time=0.01,
+                                   output_nbytes=64 * 2**20)])
+        # Submitted directly (no client): the leaf is ``wanted``, so the
+        # replica stays pinned in memory after it completes.
+        sched.update_graph(seed)
+        env.run(until=env.timeout(5.0))
+        seed_ts = sched.tasks["seed-11aa22bb"]
+        assert seed_ts.state == "memory"
+        holder = next(iter(seed_ts.who_has.values()))
+
+        holder.fail()  # silent: stays registered until the next deadline
+        assert holder.address in sched.workers
+
+        # The huge dependency makes the holder the runaway favourite of
+        # the locality term; liveness must veto it anyway.
+        dep = TaskGraph([TaskSpec(key="child-33cc44dd",
+                                  deps=("seed-11aa22bb",))])
+        sched.update_graph(dep)
+        placed_on = sched.tasks["child-33cc44dd"].processing_on
+        assert placed_on is not holder
+        assert not placed_on.failed
+
+    def test_rootless_task_avoids_silently_failed_tie_winner(self):
+        env, dask, client = make_sched()
+        sched = dask.scheduler
+        # All occupancies are 0.0: the old whole-pool argmin would pick
+        # the first-registered worker.  Kill exactly that one, silently.
+        first = next(iter(sched.workers.values()))
+        first.fail()
+        sched.update_graph(TaskGraph([TaskSpec(key="root-55ee66ff")]))
+        placed_on = sched.tasks["root-55ee66ff"].processing_on
+        assert placed_on is not first
+        assert not placed_on.failed
+
+    def test_root_slab_skips_silently_failed_worker(self):
+        env, dask, client = make_sched()
+        sched = dask.scheduler
+        dead = list(sched.workers.values())[1]
+        dead.fail()
+        assert dead.address in sched.workers
+        n = 8 * len(sched.workers)
+        graph = TaskGraph([
+            TaskSpec(key=("root-77aa88bb", i)) for i in range(n)
+        ])
+        sched.update_graph(graph)
+        targets = {ts.processing_on for ts in sched.tasks.values()}
+        assert dead not in targets
+        # Live workers still share the slab load.
+        assert len(targets) == len(sched.workers) - 1
+
+
+class TestGatherSourcesLiveness:
+    def test_dispatch_maps_exclude_failed_holders(self):
+        env, dask, client = make_sched()
+        sched = dask.scheduler
+        live, dead = list(sched.workers.values())[:2]
+        dep_spec = TaskSpec(key="input-99cc00dd", output_nbytes=1024)
+        dep_ts = SchedulerTaskState(spec=dep_spec, state="memory",
+                                    nbytes=1024)
+        dep_ts.who_has = {dead.address: dead, live.address: live}
+        sched.tasks[dep_ts.name] = dep_ts
+        dead.fail()
+
+        child = SchedulerTaskState(
+            spec=TaskSpec(key="child-aa11bb22", deps=("input-99cc00dd",)))
+        who_has, sizes = sched.gather_sources(child)
+        assert who_has["input-99cc00dd"] == [live]
+        assert sizes["input-99cc00dd"] == 1024
+
+    def test_mid_window_steal_never_offers_a_corpse_source(self):
+        """A steal inside the heartbeat window re-snapshots ``who_has``;
+        replicas on failed-but-registered workers must be dropped from
+        the maps handed to the thief."""
+        config = DaskConfig(work_stealing=False, gc_base_rate=0.0,
+                            gc_pressure_rate=0.0)
+        env, cluster, dask, client, job = make_wms(
+            config=config, worker_nodes=2, workers_per_node=2, threads=1)
+        sched = dask.scheduler
+        balancer = WorkStealing(sched)
+        seed_key = "seed-bb33cc44"
+        graph = TaskGraph(
+            [TaskSpec(key=seed_key, compute_time=0.01,
+                      output_nbytes=1024)] +
+            [TaskSpec(key=("slow-bb33cc44", i), deps=(seed_key,),
+                      compute_time=1.0, output_nbytes=8)
+             for i in range(16)]
+        )
+        done = []
+
+        def driver():
+            yield env.process(client.connect())
+            result = yield env.process(
+                client.compute(graph, optimize=False))
+            done.append(result)
+
+        proc = env.process(driver())
+        # Step until the seed replica spread and queues built up.
+        seed_ts = None
+        while env.now < 5.0:
+            env.run(until=env.timeout(0.01))
+            seed_ts = sched.tasks.get(seed_key)
+            if (seed_ts is not None and len(seed_ts.who_has) >= 2
+                    and any(w.ready for w in dask.workers)):
+                break
+        assert seed_ts is not None and len(seed_ts.who_has) >= 2
+
+        dead = next(iter(seed_ts.who_has.values()))
+        dead.fail()  # silent
+        assert dead.address in sched.workers
+
+        victim = next(w for w in dask.workers
+                      if w.ready and w is not dead)
+        thief = next(w for w in dask.workers
+                     if w is not victim and w is not dead)
+
+        captured = {}
+        original_dispatch = sched._dispatch
+
+        def capturing_dispatch(ts, worker, who_has, sizes):
+            captured["who_has"] = who_has
+            return original_dispatch(ts, worker, who_has, sizes)
+
+        sched._dispatch = capturing_dispatch
+        try:
+            name = next(reversed(victim.ready))
+            assert balancer._steal(name, victim, thief) is True
+        finally:
+            sched._dispatch = original_dispatch
+
+        sources = captured["who_has"][seed_key]
+        assert sources, "the steal must still ship a live source"
+        assert all(not w.failed for w in sources)
+        assert dead.address not in {w.address for w in sources}
+
+        # The workload still converges once recovery notices the crash.
+        sched.handle_worker_failure(dead)
+        env.run(until=proc)
+        assert done

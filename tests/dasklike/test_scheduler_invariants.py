@@ -108,3 +108,35 @@ def test_stealing_never_changes_results(graph, stealing):
     memory = [t for t in dask.scheduler.transitions
               if t.finish_state == "memory"]
     assert len(memory) == len(graph)
+
+
+def test_occupancy_total_tracks_increments_and_resyncs_exactly():
+    """The incremental ``_occupancy_total`` must stay within float
+    tolerance of the recomputed sum under randomized adjustments, and
+    snap back to *exact* equality at every membership resync point
+    (worker add/remove), so rounding drift can never accumulate across
+    the life of a long-running scheduler."""
+    env, cluster, dask, client, job = make_wms(
+        config=DaskConfig(work_stealing=False,
+                          gc_base_rate=0.0, gc_pressure_rate=0.0))
+    sched = dask.scheduler
+    rng = np.random.RandomState(42)
+    addresses = list(sched.workers)
+    for _ in range(5000):
+        address = addresses[rng.randint(len(addresses))]
+        delta = float(rng.uniform(-0.5, 2.0))
+        # Occupancy is a non-negative estimate; mirror real adjustments.
+        delta = max(delta, -sched.occupancy[address])
+        sched._adjust_occupancy(address, delta)
+        assert sched._occupancy_total == pytest.approx(
+            sum(sched.occupancy.values()), abs=1e-6)
+
+    # Membership changes recompute the total from scratch: exact.
+    victim = next(iter(sched.workers.values()))
+    sched.remove_worker(victim)
+    assert sched._occupancy_total == sum(sched.occupancy.values())
+    sched.add_worker(victim)
+    assert sched._occupancy_total == sum(sched.occupancy.values())
+    # And the index agrees on who is least loaded after the churn.
+    best = sched.occupancy_index.least_occupied()
+    assert sched.occupancy[best.address] == min(sched.occupancy.values())

@@ -1,0 +1,92 @@
+"""Event-stream parity pins for the scheduler scale-out refactor.
+
+The O(1)-per-transition data structures (``scheduler_state.OccupancyIndex``,
+the ``_has_what``/``_worker_processing`` reverse indexes, batched slab
+dispatch) must not change a single scheduling decision at the paper's
+8-worker scale.  These tests pin the exact artifacts of the three paper
+workflows against sha256 digests captured at the pre-refactor revision
+(commit 729b9a3, via ``tests/dasklike/_parity_golden_gen.py``):
+
+* ``logs.jsonl`` — byte-for-byte: every scheduler/worker log line, in
+  persisted order, with full-precision timestamps;
+* the transition stream — full content (key, states, stimulus, worker,
+  full-precision timestamp) as an order-independent digest, because the
+  *interleaving* of the merged stream depends on ``PYTHONHASHSEED``
+  (Mofka partitioning), a pre-existing property unrelated to placement.
+
+Any placement drift — a different tie-break, a worker picked in a
+different order, one extra or missing transition — shifts downstream
+timestamps and changes both digests.  If one of these fails after an
+intentional semantic change, regenerate with the golden generator and
+say so loudly in the commit message.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.workflows import (
+    ImageProcessingWorkflow,
+    ResNet152Workflow,
+    XGBoostWorkflow,
+    run_workflow,
+)
+
+SEED = 11
+
+#: Captured at the pre-refactor revision; the refactor reproduces them.
+GOLDENS = {
+    "image_processing": {
+        "logs_sha256": ("4217da4c5045bb0dfbafca7d737c5759"
+                        "1330448b2adc654af26cfccc867ca707"),
+        "transitions_sha256": ("bcc0ecc585e3288715b896b4c57c0fe3"
+                               "ae80180253fc9a28d2912b8eede86532"),
+        "n_log_lines": 29,
+    },
+    "resnet152": {
+        "logs_sha256": ("2508e78e81dd2b37fb90b2965d6beb7e"
+                        "37e9c8423d511026a9ab915b33e7a813"),
+        "transitions_sha256": ("323da0c9ba6e7f86f323298f21c6f182"
+                               "438a8e0fd5e0858bec99eb352115c8df"),
+        "n_log_lines": 23,
+    },
+    "xgboost_trip": {
+        "logs_sha256": ("96ad6426375ea92eac91783344bdf617"
+                        "1e3bf42ab3b917dfe1752cfa91d082cf"),
+        "transitions_sha256": ("8528d0abada0f8b2d89507df6815748a"
+                               "a831ed9cbfe272b7b8c66804d5b97451"),
+        "n_log_lines": 1301,
+    },
+}
+
+FACTORIES = {
+    "image_processing": lambda: ImageProcessingWorkflow(scale=0.05),
+    "resnet152": lambda: ResNet152Workflow(scale=0.03),
+    "xgboost_trip": lambda: XGBoostWorkflow(scale=0.05),
+}
+
+
+def transition_digest(result) -> str:
+    rows = sorted(
+        json.dumps(e, sort_keys=True)
+        for e in result.data.events_of_type("transition")
+    )
+    return hashlib.sha256("\n".join(rows).encode()).hexdigest()
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_event_streams_byte_identical(name, tmp_path):
+    result = run_workflow(FACTORIES[name](), seed=SEED,
+                          persist_dir=str(tmp_path))
+    run_dir = next(pathlib.Path(tmp_path).glob("*/run0000"))
+    logs = (run_dir / "logs.jsonl").read_bytes()
+    golden = GOLDENS[name]
+    assert logs.count(b"\n") == golden["n_log_lines"]
+    assert hashlib.sha256(logs).hexdigest() == golden["logs_sha256"], (
+        f"{name}: logs.jsonl drifted from the pre-refactor stream — a "
+        "scheduling decision changed")
+    assert transition_digest(result) == golden["transitions_sha256"], (
+        f"{name}: the transition set (content incl. full-precision "
+        "timestamps) drifted from the pre-refactor stream")

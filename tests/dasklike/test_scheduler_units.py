@@ -145,3 +145,33 @@ class TestOccupancyAccounting:
         ts = sched.tasks["solo-2b2b2b2b"]
         assert ts.occupancy_contrib == 0.5
         assert sched.occupancy[ts.processing_on.address] == 0.5
+
+
+class TestTransitionRecordFastPath:
+    """``make_transition_record`` must be indistinguishable from the
+    dataclass constructor — the hot path builds records by filling
+    ``__dict__`` directly."""
+
+    def test_fast_constructor_equivalent(self):
+        from dataclasses import asdict
+
+        from repro.dasklike.states import (
+            TransitionRecord,
+            make_transition_record,
+        )
+
+        slow = TransitionRecord(
+            key="('x', 3)", group="x", prefix="x",
+            start_state="waiting", finish_state="processing",
+            timestamp=1.25, stimulus="dep-ready",
+            worker="w-0-0", source="scheduler",
+        )
+        fast = make_transition_record(
+            "('x', 3)", "x", "x", "waiting", "processing",
+            1.25, "dep-ready", "w-0-0", "scheduler",
+        )
+        assert fast == slow
+        assert asdict(fast) == asdict(slow)
+        assert isinstance(fast, TransitionRecord)
+        with pytest.raises(Exception):
+            fast.key = "mutated"  # still frozen

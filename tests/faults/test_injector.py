@@ -132,10 +132,35 @@ class TestResilienceViewIntegration:
         report = session.resilience_report()
         assert report["n_faults"] == 1
         (recovery,) = report["recovery"]
-        assert recovery["detected_after"] is not None
-        assert recovery["detected_after"] >= 0.0
         (correlation,) = report["fault_warnings"]
         assert correlation["n_warnings"] >= 1
+
+    def test_detection_latency_when_recovery_required(self):
+        """A crash the scheduler *must* notice yields detection latency.
+
+        The default ``crashed`` fixture kills an idle worker while
+        stealing is on, so placement routes around the corpse and the
+        run converges with no recovery transitions at all (that is the
+        failure-window placement fix working).  To exercise the
+        detection metrics, crash the worker mid-task with stealing off:
+        heartbeat liveness checking is then the only rescue path, so
+        recovery transitions — and the latencies derived from them —
+        exist by construction.
+        """
+        from repro.dasklike import DaskConfig
+
+        result = run_workflow(
+            ImageProcessingWorkflow(scale=SCALE), seed=5,
+            config=DaskConfig(heartbeat_interval=0.1,
+                              work_stealing=False),
+            faults=FaultSchedule([FaultSpec("worker_crash", 1.2)]))
+        session = AnalysisSession.of(result.data)
+        report = session.resilience_report()
+        (recovery,) = report["recovery"]
+        assert recovery["detected_after"] is not None
+        assert recovery["detected_after"] >= 0.0
+        assert recovery["recovered_after"] is not None
+        assert recovery["recovered_after"] >= recovery["detected_after"]
 
     def test_healthy_run_reports_nothing(self, healthy):
         session = AnalysisSession.of(healthy.data)

@@ -1,0 +1,38 @@
+"""The scheduler scale benchmark's smoke mode runs green and under budget.
+
+``bench_scheduler_scale.py --smoke`` drives a small workers x tasks
+cell through the O(1)-per-transition scheduler plus a reduced
+legacy-algorithm comparison (both variants must drive their cells to
+completion).  Running it here keeps the scale-out benchmark — the
+artifact that pins the 10k-worker / 1M-task knee methodology and the
+>=10x legacy gate — from rotting.
+"""
+
+import importlib.util
+import pathlib
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parents[1]
+              / "benchmarks" / "bench_scheduler_scale.py")
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location(
+        "bench_scheduler_scale_smoke", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_scheduler_scale_bench_smoke(capsys):
+    module = _load()
+    assert module.main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "scheduler scale benchmark (smoke)" in out
+    assert "within budget" in out
+
+
+def test_scheduler_scale_bench_budget_enforced(capsys):
+    # An absurd budget must actually fail: the guard is not decorative.
+    module = _load()
+    assert module.main(["--smoke", "--budget", "0.000001"]) == 1
+    assert "over the" in capsys.readouterr().err
