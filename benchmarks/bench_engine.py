@@ -3,24 +3,34 @@
 
 Two tiers, mirroring how the engine is actually exercised:
 
-* **micro** — synthetic event storms hammering the kernel's two hot
-  paths in isolation:
+* **micro** — synthetic event storms hammering the kernel's hot paths,
+  each cell measured on **both** timed-lane implementations: the timer
+  wheel (default) and the pure binary heap (``wheel_width=0``), so the
+  wheel-vs-heap ablation is a first-class column:
 
   - ``timeout_ring``: many processes sleeping on positive-delay
-    timeouts (binary-heap traffic);
+    timeouts spread over distinct deadlines (generic timed traffic);
+  - ``clustered_herd``: the wheel's acceptance cell — a large herd
+    beating on one shared period, so timestamps cluster into few
+    quanta (the timeout/heartbeat shape real schedulers generate);
   - ``zero_delay``: producer/consumer pairs over a :class:`Store`
     whose puts/gets succeed immediately (the zero-delay fast lane:
-    ``succeed()``/``Initialize`` traffic that never needs the heap);
-  - ``mixed``: a 50/50 interleaving of both, closest to what a real
-    workflow run generates.
+    ``succeed()``/``Initialize`` traffic that never touches the
+    timed lane);
+  - ``mixed``: a 50/50 interleaving of timeouts and immediate events,
+    closest to what a real workflow run generates.
 
-  Throughput is reported as *scheduled events per second* (the
-  engine's ``_seq`` counter over wall time).
+  Throughput is *scheduled events per second* (the engine's ``_seq``
+  counter over wall time), max over interleaved repetitions (wheel and
+  heap alternate inside each repetition so CPU-frequency drift hits
+  both equally), with the garbage collector paused in the timed
+  region.
 
-* **run_many** — end-to-end repetition fan-out across the three paper
-  workflows, serial vs. thread pool vs. process pool, asserting the
-  event streams stay identical per ``run_index`` regardless of the
-  executor (the determinism contract parallelism must not break).
+* **run_many** — end-to-end repetition fan-out across the paper
+  workflows: serial vs. thread vs. process executors (asserting
+  byte-identical event streams per ``run_index``), plus a process-pool
+  speedup curve over worker counts.  ``meta.cpus`` records the cores
+  actually available — process-pool speedup is bounded by it.
 
 Run::
 
@@ -44,18 +54,25 @@ sys.path.insert(
                     os.pardir, "src"))
 
 from repro.sim import Environment, Store  # noqa: E402
+from repro.sim.engine import Timeout  # noqa: E402
 
 OUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                         "out", "engine.txt")
+
+#: Wall-time budget for ``--smoke`` (seconds): every micro cell —
+#: including both sides of the wheel-vs-heap ablation — plus the tiny
+#: run_many pass must finish inside it, or the run exits 1.
+SMOKE_BUDGET_SECONDS = 90.0
 
 
 # ---------------------------------------------------------------------------
 # micro workloads
 # ---------------------------------------------------------------------------
 
-def _timeout_ring(n_procs: int, n_steps: int) -> Environment:
-    """Heap-dominated storm: every event is a positive-delay timeout."""
-    env = Environment()
+def _timeout_ring(n_procs: int, n_steps: int,
+                  wheel_width=None) -> Environment:
+    """Timed storm over distinct deadlines (one period per process)."""
+    env = _env(wheel_width)
 
     def sleeper(delay):
         for _ in range(n_steps):
@@ -65,9 +82,33 @@ def _timeout_ring(n_procs: int, n_steps: int) -> Environment:
         env.process(sleeper(0.5 + 0.01 * i))
     return env
 
-def _zero_delay(n_pairs: int, n_items: int) -> Environment:
+
+def _clustered_herd(n_procs: int, n_steps: int,
+                    wheel_width=None) -> Environment:
+    """The wheel's home turf: a herd beating on one shared period.
+
+    Every wake-up schedules the next beat at ``now + 0.25``, so all
+    pending deadlines cluster into a handful of wheel quanta — the
+    timeout-ring/heartbeat shape that makes a binary heap pay its
+    O(log n) on every one of ``n_procs`` sift-downs.  Timeouts are
+    constructed directly (not via ``env.timeout``) exactly as the
+    engine-internal hot paths do.
+    """
+    env = _env(wheel_width)
+
+    def beater():
+        for _ in range(n_steps):
+            yield Timeout(env, 0.25)
+
+    for _ in range(n_procs):
+        env.process(beater())
+    return env
+
+
+def _zero_delay(n_pairs: int, n_items: int,
+                wheel_width=None) -> Environment:
     """Fast-lane storm: immediate Store put/get succeed() traffic."""
-    env = Environment()
+    env = _env(wheel_width)
 
     def producer(store):
         for i in range(n_items):
@@ -83,9 +124,10 @@ def _zero_delay(n_pairs: int, n_items: int) -> Environment:
         env.process(consumer(store))
     return env
 
-def _mixed(n_procs: int, n_steps: int) -> Environment:
+
+def _mixed(n_procs: int, n_steps: int, wheel_width=None) -> Environment:
     """Alternating timeout / immediate-event traffic."""
-    env = Environment()
+    env = _env(wheel_width)
 
     def worker(delay):
         for i in range(n_steps):
@@ -99,31 +141,65 @@ def _mixed(n_procs: int, n_steps: int) -> Environment:
     return env
 
 
+def _env(wheel_width):
+    return Environment() if wheel_width is None \
+        else Environment(wheel_width=wheel_width)
+
+
+#: name -> (builder, (n_procs, n_steps) sizer).  ``clustered_herd``
+#: uses a wide/shallow shape (many processes, few beats each) because
+#: the wheel's win scales with how many deadlines share a quantum.
 MICRO_WORKLOADS = {
-    "timeout_ring": _timeout_ring,
-    "zero_delay": _zero_delay,
-    "mixed": _mixed,
+    "timeout_ring": (_timeout_ring, lambda scale: (50, scale)),
+    "clustered_herd": (_clustered_herd,
+                       lambda scale: (25 * scale, 8)),
+    "zero_delay": (_zero_delay, lambda scale: (50, scale)),
+    "mixed": (_mixed, lambda scale: (50, scale)),
 }
 
 
+def _timed_run(env: Environment) -> float:
+    """Drain ``env`` with the collector paused; return elapsed seconds."""
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        env.run()
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
 def run_micro(repeats: int, scale: int) -> dict:
-    """Best-of-``repeats`` throughput for each micro workload."""
+    """Wheel-vs-heap matrix: max-of-``repeats`` events/s per cell.
+
+    Repetitions interleave the two kernel variants so slow container
+    drift (shared-CPU noise is ±10-20% here) degrades both columns of
+    a cell equally instead of biasing the ratio.
+    """
     results: dict[str, dict] = {}
-    for name, build in MICRO_WORKLOADS.items():
-        best = float("inf")
-        events = 0
-        for _ in range(repeats):
-            env = build(50, scale)
-            gc.collect()
-            start = time.perf_counter()
-            env.run()
-            elapsed = time.perf_counter() - start
-            events = env._seq
-            best = min(best, elapsed)
+    for name, (build, sizer) in MICRO_WORKLOADS.items():
+        n_procs, n_steps = sizer(scale)
+        best = {"wheel": 0.0, "heap": 0.0}
+        events = {"wheel": 0, "heap": 0}
+        pair = (("wheel", None), ("heap", 0))
+        for rep in range(repeats):
+            # Alternate which variant goes first so burst-scheduled
+            # (cgroup-throttled) CPU time can't systematically favour
+            # one side of the ablation.
+            for variant, width in (pair if rep % 2 == 0
+                                   else tuple(reversed(pair))):
+                env = build(n_procs, n_steps, wheel_width=width)
+                elapsed = _timed_run(env)
+                events[variant] = env._seq
+                best[variant] = max(best[variant], env._seq / elapsed)
+        assert events["wheel"] == events["heap"], \
+            f"{name}: wheel and heap processed different event counts"
         results[name] = {
-            "events": events,
-            "seconds": round(best, 4),
-            "events_per_s": round(events / best),
+            "events": events["wheel"],
+            "wheel_events_per_s": round(best["wheel"]),
+            "heap_events_per_s": round(best["heap"]),
+            "wheel_vs_heap": round(best["wheel"] / best["heap"], 2),
         }
     return results
 
@@ -133,7 +209,8 @@ def run_micro(repeats: int, scale: int) -> dict:
 # ---------------------------------------------------------------------------
 
 def run_scaling(scale: float, n_runs: int, workers: int,
-                workflows: list[str]) -> dict:
+                workflows: list[str],
+                worker_curve: list[int] | None = None) -> dict:
     from functools import partial
 
     from repro.workflows import (
@@ -165,7 +242,7 @@ def run_scaling(scale: float, n_runs: int, workers: int,
                 == streams["process"]):
             raise AssertionError(
                 f"{name}: event streams differ across executors")
-        results[name] = {
+        row = {
             "n_runs": n_runs,
             "workers": workers,
             "serial_s": round(timings["serial"], 3),
@@ -176,6 +253,21 @@ def run_scaling(scale: float, n_runs: int, workers: int,
             "speedup_process": round(
                 timings["serial"] / timings["process"], 2),
         }
+        if worker_curve:
+            curve = []
+            for n_workers in worker_curve:
+                gc.collect()
+                start = time.perf_counter()
+                run_many(factory, n_runs=n_runs, seed=1,
+                         workers=n_workers, executor="process")
+                process_s = time.perf_counter() - start
+                curve.append({
+                    "workers": n_workers,
+                    "process_s": round(process_s, 3),
+                    "speedup": round(timings["serial"] / process_s, 2),
+                })
+            row["worker_curve"] = curve
+        results[name] = row
     return results
 
 
@@ -186,12 +278,16 @@ def run_scaling(scale: float, n_runs: int, workers: int,
 def render(document: dict) -> str:
     lines = [f"engine benchmark (python {document['meta']['python']}, "
              f"{document['meta']['cpus']} cpu(s))"]
-    lines.append("\nmicro (events/second, best of "
-                 f"{document['meta']['repeats']}):")
+    lines.append("\nmicro (events/second, max of "
+                 f"{document['meta']['repeats']} interleaved reps, "
+                 "gc off):")
+    lines.append(f"  {'workload':<16} {'events':>9}  {'wheel ev/s':>12}  "
+                 f"{'heap ev/s':>12}  {'wheel/heap':>10}")
     for name, row in document["micro"].items():
-        lines.append(f"  {name:<14} {row['events']:>9} events  "
-                     f"{row['seconds']:>8.4f} s  "
-                     f"{row['events_per_s']:>10,} ev/s")
+        lines.append(f"  {name:<16} {row['events']:>9}  "
+                     f"{row['wheel_events_per_s']:>12,}  "
+                     f"{row['heap_events_per_s']:>12,}  "
+                     f"{row['wheel_vs_heap']:>9.2f}x")
     for name, row in document.get("run_many", {}).items():
         lines.append(
             f"\nrun_many {name}: n_runs={row['n_runs']} "
@@ -202,13 +298,18 @@ def render(document: dict) -> str:
             f"  process {row['process_s']:>7.3f} s "
             f"({row['speedup_process']:.2f}x)\n"
             f"  event streams identical across executors: yes")
+        for point in row.get("worker_curve", []):
+            lines.append(f"  process workers={point['workers']}: "
+                         f"{point['process_s']:.3f} s "
+                         f"({point['speedup']:.2f}x)")
     return "\n".join(lines)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--repeats", type=int, default=3,
-                        help="timed passes per micro workload (default 3)")
+    parser.add_argument("--repeats", type=int, default=9,
+                        help="interleaved passes per micro cell "
+                             "(default 9)")
     parser.add_argument("--micro-scale", type=int, default=2000,
                         help="steps per process in micro workloads")
     parser.add_argument("--scale", type=float, default=0.05,
@@ -217,6 +318,10 @@ def main(argv=None) -> int:
                         help="repetitions in the run_many tier (default 8)")
     parser.add_argument("--workers", type=int, default=4,
                         help="pool width in the run_many tier (default 4)")
+    parser.add_argument("--worker-curve", default="1,2,4",
+                        help="comma-separated process-pool widths for "
+                             "the speedup curve (default 1,2,4; '' to "
+                             "skip)")
     parser.add_argument("--workflows", default="ImageProcessing",
                         help="comma-separated subset of "
                              "ImageProcessing,ResNet152,XGBOOST "
@@ -224,14 +329,16 @@ def main(argv=None) -> int:
     parser.add_argument("--micro-only", action="store_true",
                         help="skip the end-to-end run_many tier")
     parser.add_argument("--smoke", action="store_true",
-                        help="tiny sizes for CI: correctness + plumbing, "
-                             "no artifact write")
+                        help="tiny sizes for CI under a wall-time "
+                             "budget: correctness + plumbing, no "
+                             "artifact write")
     parser.add_argument("--json", default=None,
                         help="also write the result document to this path")
     args = parser.parse_args(argv)
 
+    smoke_start = time.perf_counter()
     repeats = 1 if args.smoke else args.repeats
-    micro_scale = 200 if args.smoke else args.micro_scale
+    micro_scale = 20 if args.smoke else args.micro_scale
 
     document = {
         "meta": {
@@ -248,12 +355,35 @@ def main(argv=None) -> int:
         n_runs = 2 if args.smoke else args.runs
         workers = 2 if args.smoke else args.workers
         scale = min(args.scale, 0.03) if args.smoke else args.scale
-        document["run_many"] = run_scaling(scale, n_runs, workers, names)
+        curve = [] if args.smoke else [
+            int(w) for w in args.worker_curve.split(",") if w.strip()]
+        document["run_many"] = run_scaling(scale, n_runs, workers, names,
+                                           worker_curve=curve)
 
     text = render(document)
     print(text)
 
-    if not args.smoke:
+    if args.smoke:
+        # Budget guard: every micro cell must have produced both sides
+        # of the wheel-vs-heap ablation, and the whole pass must land
+        # inside the wall-time budget — a silent 10x kernel regression
+        # busts the budget instead of shipping unnoticed.
+        elapsed = time.perf_counter() - smoke_start
+        for name, row in document["micro"].items():
+            if row["wheel_events_per_s"] <= 0 \
+                    or row["heap_events_per_s"] <= 0:
+                print(f"smoke FAILED: {name} ablation cell incomplete",
+                      file=sys.stderr)
+                return 1
+        if elapsed > SMOKE_BUDGET_SECONDS:
+            print(f"smoke pass took {elapsed:.1f} s, over the "
+                  f"{SMOKE_BUDGET_SECONDS:.1f} s budget",
+                  file=sys.stderr)
+            return 1
+        print(f"smoke OK: {elapsed:.1f} s, within budget "
+              f"({SMOKE_BUDGET_SECONDS:.0f} s), wheel-vs-heap ablation "
+              f"covered for {len(document['micro'])} cells")
+    else:
         os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
         with open(OUT_PATH, "a", encoding="utf-8") as fh:
             fh.write(text + "\n\n")

@@ -688,14 +688,42 @@ class Scheduler:
 
     def _dispatch_slab(self, slab: list[SchedulerTaskState],
                        worker: Worker):
-        """Process: one control-plane hop carrying a whole root slab."""
+        """Process: one control-plane hop carrying a whole root slab.
+
+        Tasks without a timeout budget are launched through
+        :meth:`Worker.compute_batch`, so a maximal run of consecutive
+        no-timeout slab members costs one dispatch event instead of one
+        spawned process per task.  A member with a timeout flushes the
+        pending run (keeping launch order intact) and gets its own
+        supervising process, exactly as :meth:`_launch` would do.
+        """
         yield self.env.timeout(self.config.control_latency)
+        batch: list[SchedulerTaskState] = []
         for ts in slab:
             # A recovery pass may have reassigned a slab member while
             # the message was in flight; the launch still happens (the
             # attempt returns False on the dead worker), matching the
             # per-task dispatch semantics.
-            self._launch(ts, worker, {}, {})
+            if self.task_timeout(ts.spec) > 0:
+                self._flush_compute_batch(batch, worker)
+                self._launch(ts, worker, {}, {})
+            else:
+                batch.append(ts)
+        self._flush_compute_batch(batch, worker)
+
+    def _flush_compute_batch(self, batch: list[SchedulerTaskState],
+                             worker: Worker) -> None:
+        """Launch the pending no-timeout slab run as one worker batch."""
+        if not batch:
+            return
+        procs = worker.compute_batch(
+            (ts.spec, {}, {}, ts.graph_index) for ts in batch)
+        for ts, proc in zip(batch, procs):
+            ts.compute_process = proc
+            proc.callbacks.append(
+                lambda _event, ts=ts, proc=proc:
+                    self._attempt_settled(ts, worker, proc))
+        batch.clear()
 
     def _dispatch(self, ts: SchedulerTaskState, worker: Worker,
                   who_has: dict, sizes: dict):

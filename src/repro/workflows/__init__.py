@@ -12,7 +12,7 @@ from .base import Workflow, scaled
 from .datasets import bcss_images, imagewang_files, nyc_taxi_parquet
 from .image_processing import ImageProcessingWorkflow
 from .resnet152 import ResNet152Workflow
-from .runner import RunResult, run_many, run_workflow
+from .runner import RunResult, run_many, run_many_iter, run_workflow
 from .xgboost_trip import XGBoostWorkflow
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "imagewang_files",
     "nyc_taxi_parquet",
     "run_many",
+    "run_many_iter",
     "run_workflow",
     "scaled",
 ]

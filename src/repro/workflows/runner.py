@@ -30,7 +30,8 @@ from ..platform import Cluster, ClusterSpec
 from ..sim import Environment, RandomStreams
 from .base import Workflow
 
-__all__ = ["run_workflow", "run_many", "RunResult", "EXECUTORS"]
+__all__ = ["run_workflow", "run_many", "run_many_iter",
+           "RunResult", "EXECUTORS"]
 
 #: Valid ``run_many(executor=)`` values.
 EXECUTORS = ("serial", "thread", "process", "auto")
@@ -132,15 +133,29 @@ def run_workflow(workflow: Workflow, seed: int = 0, run_index: int = 0,
                      fault_records=injector.records if injector else [])
 
 
-def _run_repetition_chunk(payload: bytes) -> list[RunResult]:
-    """Worker-process entry: execute one chunk of run indices.
+#: Per-pool-worker state: ``(factory, seed, kwargs)`` unpacked once by
+#: :func:`_pool_init`.  Module-global so chunk tasks ship only their run
+#: indices — the factory and kwargs cross the process boundary once per
+#: pool worker (in the initializer), not once per chunk.
+_POOL_STATE: Optional[tuple] = None
 
-    Takes the pickled ``(factory, indices, seed, kwargs)`` tuple rather
-    than the objects themselves so a pickling problem surfaces in the
-    parent (where it can fall back to threads) instead of as an opaque
-    pool crash.
+
+def _pool_init(payload: bytes) -> None:
+    """Pool-worker initializer: unpack the shared run configuration.
+
+    Takes the pickled ``(factory, seed, kwargs)`` tuple rather than the
+    objects themselves so a pickling problem surfaces in the parent
+    (where it can fall back to threads) instead of as an opaque pool
+    crash.
     """
-    workflow_factory, indices, seed, kwargs = pickle.loads(payload)
+    global _POOL_STATE
+    _POOL_STATE = pickle.loads(payload)
+
+
+def _run_index_chunk(indices: list[int]) -> list[RunResult]:
+    """Worker-process entry: execute one chunk of run indices against
+    the pool-wide :data:`_POOL_STATE` configuration."""
+    workflow_factory, seed, kwargs = _POOL_STATE
     return [
         run_workflow(workflow_factory(), seed=seed, run_index=run_index,
                      **kwargs)
@@ -159,6 +174,21 @@ def _chunk_indices(n_runs: int, workers: int) -> list[range]:
         chunks.append(range(start, start + size))
         start += size
     return chunks
+
+
+def _adaptive_chunk_count(n_runs: int, workers: int) -> int:
+    """How many chunks to cut ``n_runs`` repetitions into.
+
+    One chunk per worker minimizes dispatch overhead but strands the
+    pool behind its slowest chunk (repetition wall time varies run to
+    run — that variability is the paper's subject).  With enough runs
+    per worker, oversubscribe ~4 chunks per worker so the pool can
+    rebalance; with few runs, fall back to one chunk per repetition so
+    every core gets work immediately.
+    """
+    if n_runs <= workers * 4:
+        return min(n_runs, workers * 4)
+    return workers * 4
 
 
 def _process_pool_viable(workflow_factory, kwargs: dict) -> Optional[str]:
@@ -198,10 +228,13 @@ def run_many(workflow_factory, n_runs: int, seed: int = 0,
 
     ``executor`` selects the backend:
 
-    * ``"process"`` — a ``ProcessPoolExecutor`` (fork context) with one
-      chunk of contiguous run indices per worker.  The only backend
-      that buys wall-time speedup on multi-core machines: repetitions
-      are pure-Python, so threads serialize on the GIL.
+    * ``"process"`` — a ``ProcessPoolExecutor`` (fork context).  The
+      factory/seed/kwargs ship once per pool worker via the pool
+      initializer; chunks of contiguous run indices (adaptively sized,
+      see :func:`_adaptive_chunk_count`) then carry only their
+      indices.  The only backend that buys wall-time speedup on
+      multi-core machines: repetitions are pure-Python, so threads
+      serialize on the GIL.
     * ``"thread"`` — a ``ThreadPoolExecutor``.  Overlaps repetitions
       but does **not** reduce wall time for this CPU-bound workload;
       useful mainly when callers block on other I/O.
@@ -214,6 +247,26 @@ def run_many(workflow_factory, n_runs: int, seed: int = 0,
     to threads (and ultimately to serial) with a ``RuntimeWarning``
     rather than failing — see :func:`_process_pool_viable`.
     """
+    results = list(run_many_iter(workflow_factory, n_runs, seed=seed,
+                                 workers=workers, executor=executor,
+                                 _warn_stacklevel=3, **kwargs))
+    results.sort(key=lambda result: result.run_index)
+    return results
+
+
+def run_many_iter(workflow_factory, n_runs: int, seed: int = 0,
+                  workers: Optional[int] = None, executor: str = "auto",
+                  _warn_stacklevel: int = 2, **kwargs):
+    """Streaming :func:`run_many`: yield results as they complete.
+
+    Chunks of repetitions stream back incrementally — the first results
+    arrive while the slowest chunk is still running, so consumers can
+    aggregate, persist, or abort early instead of blocking on the whole
+    batch.  Yield order is completion order (contiguous within a
+    chunk); :func:`run_many` sorts by ``run_index`` for callers that
+    want the batch semantics.  Executor selection, fallback, and
+    per-repetition results are identical to :func:`run_many`.
+    """
     if executor not in EXECUTORS:
         raise ValueError(
             f"executor must be one of {EXECUTORS}, got {executor!r}")
@@ -225,29 +278,41 @@ def run_many(workflow_factory, n_runs: int, seed: int = 0,
 
     if executor == "serial" or workers is None or workers <= 1 \
             or n_runs <= 1:
-        return [one_repetition(run_index) for run_index in range(n_runs)]
+        for run_index in range(n_runs):
+            yield one_repetition(run_index)
+        return
 
     if executor in ("process", "auto"):
         blocker = _process_pool_viable(workflow_factory, kwargs)
         if blocker is None:
             import multiprocessing
-            from concurrent.futures import ProcessPoolExecutor
-            chunks = _chunk_indices(n_runs, workers)
-            payloads = [
-                pickle.dumps((workflow_factory, list(chunk), seed, kwargs))
-                for chunk in chunks
-            ]
+            from concurrent.futures import ProcessPoolExecutor, \
+                as_completed
+            chunks = _chunk_indices(
+                n_runs, _adaptive_chunk_count(n_runs, workers))
+            # Factory/seed/kwargs ship once per pool worker via the
+            # initializer; each chunk task carries only its indices.
+            payload = pickle.dumps((workflow_factory, seed, kwargs))
             with ProcessPoolExecutor(
-                    max_workers=len(chunks),
+                    max_workers=min(workers, len(chunks)),
                     mp_context=multiprocessing.get_context("fork"),
+                    initializer=_pool_init,
+                    initargs=(payload,),
             ) as pool:
-                per_chunk = list(pool.map(_run_repetition_chunk, payloads))
-            return [result for chunk in per_chunk for result in chunk]
+                futures = [pool.submit(_run_index_chunk, list(chunk))
+                           for chunk in chunks]
+                for future in as_completed(futures):
+                    yield from future.result()
+            return
         if executor == "process":
             warnings.warn(
                 f"run_many: process executor unavailable ({blocker}); "
-                f"falling back to threads", RuntimeWarning, stacklevel=2)
+                f"falling back to threads", RuntimeWarning,
+                stacklevel=_warn_stacklevel)
 
-    from concurrent.futures import ThreadPoolExecutor
+    from concurrent.futures import ThreadPoolExecutor, as_completed
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(one_repetition, range(n_runs)))
+        futures = [pool.submit(one_repetition, run_index)
+                   for run_index in range(n_runs)]
+        for future in as_completed(futures):
+            yield future.result()

@@ -1,0 +1,130 @@
+"""Batched process start: one ``Initialize`` event per batch.
+
+``Environment.process_batch`` spawns N processes off a *single*
+``(now, -1, seq)`` queue entry — the first process's ``Initialize``
+carries the whole batch's resume callbacks.  The contract these tests
+pin: the processes behave exactly as N consecutive per-process
+``Initialize`` events would (start order, values, interleavings), only
+the event count changes.
+"""
+
+import heapq
+
+import pytest
+
+from repro.sim import Environment
+
+
+class CountingMonitor:
+    def __init__(self):
+        self.scheduled = []
+        self.stepped = []
+        self._heap = []
+
+    def attach(self, env):
+        env.add_monitor(self)
+        return self
+
+    def on_schedule(self, event, when, priority, seq, now):
+        self.scheduled.append((when, priority, seq))
+        heapq.heappush(self._heap, (when, priority, seq))
+
+    def on_step(self, event, when, priority, seq):
+        self.stepped.append((when, priority, seq))
+        assert (when, priority, seq) == heapq.heappop(self._heap)
+
+    def before_callback(self, event, callback):
+        pass
+
+
+def _worker(env, tag, delay, trace):
+    trace.append((tag, "start", env.now))
+    yield env.timeout(delay)
+    trace.append((tag, "done", env.now))
+
+
+def test_batch_starts_in_iteration_order():
+    env = Environment()
+    trace = []
+    procs = env.process_batch(
+        _worker(env, i, 0.25, trace) for i in range(5))
+    assert len(procs) == 5
+    env.run()
+    starts = [tag for tag, phase, _ in trace if phase == "start"]
+    assert starts == [0, 1, 2, 3, 4]
+
+
+def test_batch_trace_matches_individual_processes():
+    batch_trace = []
+    env = Environment()
+    env.process_batch(
+        _worker(env, i, 0.25 * (1 + i % 3), batch_trace) for i in range(6))
+    env.run()
+
+    solo_trace = []
+    env2 = Environment()
+    for i in range(6):
+        env2.process(_worker(env2, i, 0.25 * (1 + i % 3), solo_trace))
+    env2.run()
+
+    assert batch_trace == solo_trace
+
+
+def test_batch_schedules_one_initialize_event():
+    env = Environment()
+    monitor = CountingMonitor().attach(env)
+    env.process_batch(
+        _worker(env, i, 0.25, []) for i in range(8))
+    initializes = [s for s in monitor.scheduled if s[1] == -1]
+    assert len(initializes) == 1
+
+    env2 = Environment()
+    monitor2 = CountingMonitor().attach(env2)
+    for i in range(8):
+        env2.process(_worker(env2, i, 0.25, []))
+    assert len([s for s in monitor2.scheduled if s[1] == -1]) == 8
+
+    # Both drain in exact heap order (CountingMonitor asserts per step).
+    env.run()
+    env2.run()
+    # Same payload events; the batch saves exactly 7 queue entries.
+    assert len(monitor2.stepped) - len(monitor.stepped) == 7
+
+
+def test_batch_accepts_named_pairs():
+    env = Environment()
+    procs = env.process_batch(
+        ((_worker(env, i, 0.25, []), f"proc-{i}") for i in range(3)),
+        name="fallback")
+    assert [p.name for p in procs] == ["proc-0", "proc-1", "proc-2"]
+    single = env.process_batch([_worker(env, 9, 0.25, [])], name="solo")
+    assert single[0].name == "solo"
+    env.run()
+
+
+def test_empty_batch_is_a_no_op():
+    env = Environment()
+    assert env.process_batch(iter(())) == []
+    assert not env.has_events
+    env.run()
+
+
+def test_batch_results_and_interleaving_with_other_traffic():
+    env = Environment()
+    trace = []
+
+    def outer():
+        yield env.timeout(0.1)
+        trace.append(("outer", env.now))
+
+    env.process(outer())
+    procs = env.process_batch(
+        _worker(env, f"b{i}", delay, trace)
+        for i, delay in enumerate((0.0625, 0.1875, 0.3125)))
+    env.run()
+    assert trace == [
+        ("b0", "start", 0.0), ("b1", "start", 0.0), ("b2", "start", 0.0),
+        ("b0", "done", 0.0625), ("outer", 0.1),
+        ("b1", "done", 0.1875), ("b2", "done", 0.3125),
+    ]
+    assert all(p.processed for p in procs)

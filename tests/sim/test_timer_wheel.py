@@ -1,0 +1,280 @@
+"""Differential fuzzing of the timer-wheel event queue.
+
+The engine's timed lane is a calendar-queue/timer-wheel hybrid (dict
+buckets over quantised timestamps + an overflow heap for the sparse
+tail) whose one job is to reproduce *exactly* the ``(time, priority,
+seq)`` total order a single binary heap would.  These tests pin that
+equivalence two independent ways:
+
+1. A shadow-heap oracle monitor: every schedule pushes onto a plain
+   ``heapq``; every step must pop exactly the shadow heap's minimum.
+   The first divergent event fails with both orderings in hand.
+2. Heap-mode differential replay: the same randomized workload runs on
+   a default (wheel) environment and a ``wheel_width=0`` (pure-heap)
+   environment, and the full step traces must match byte for byte.
+
+The fuzzed distributions are the adversarial ones for a calendar
+queue: all-identical timestamps (single mega-bucket), exponential
+tails (sparse buckets + overflow horizon), bucket-boundary values
+(quantisation edges), and mixed traffic that interleaves the
+negative-priority ``Initialize`` fast lane, zero-delay events, and
+far-future overflow entries.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.engine import WHEEL_WIDTH, _WHEEL_HORIZON
+
+N_PROCS = 8
+N_STEPS = 12
+SEEDS = (11, 23, 47)
+
+
+class OrderOracle:
+    """Shadow-heap monitor: asserts heap order at every single step."""
+
+    def __init__(self):
+        self._heap = []
+        self.stepped = []
+
+    def attach(self, env):
+        env.add_monitor(self)
+        return self
+
+    def on_schedule(self, event, when, priority, seq, now):
+        heapq.heappush(self._heap, (when, priority, seq))
+
+    def on_step(self, event, when, priority, seq):
+        self.stepped.append((when, priority, seq))
+        expected = heapq.heappop(self._heap)
+        assert (when, priority, seq) == expected, (
+            f"timer wheel diverged from heap order: stepped "
+            f"{(when, priority, seq)}, heap says {expected}")
+
+    def before_callback(self, event, callback):
+        pass
+
+
+def _draw(rng, dist):
+    """One scripted action for a fuzz process: a delay or a tag."""
+    if dist == "identical":
+        return 0.25
+    if dist == "clustered":
+        return rng.choice((0.125, 0.25, 0.25, 0.25, 0.375))
+    if dist == "exponential":
+        delay = rng.expovariate(1.0)
+        return delay * 1000.0 if rng.random() < 0.1 else delay
+    if dist == "boundary":
+        # Land exactly on bucket edges and a hair to either side; the
+        # quantisation must never reorder equal-or-adjacent deadlines.
+        edge = rng.randrange(1, 64) * WHEEL_WIDTH
+        return edge + rng.choice((0.0, 0.0, 1e-12, -1e-12))
+    if dist == "mixed":
+        roll = rng.random()
+        if roll < 0.15:
+            return "succeed"          # zero-delay fast lane
+        if roll < 0.25:
+            return "spawn"            # Initialize lane (priority -1)
+        if roll < 0.30:
+            return "peek"             # may park the wheel cursor early
+        if roll < 0.35:
+            return _WHEEL_HORIZON * 16.0   # overflow lane
+        if roll < 0.45:
+            return 0.0                # zero-delay Timeout
+        return rng.choice((0.25, rng.expovariate(2.0)))
+    raise AssertionError(dist)
+
+
+DISTRIBUTIONS = ("identical", "clustered", "exponential", "boundary",
+                 "mixed")
+
+
+def _make_script(seed, dist):
+    rng = random.Random(seed * 1_000_003 + DISTRIBUTIONS.index(dist))
+    return [[_draw(rng, dist) for _ in range(N_STEPS)]
+            for _ in range(N_PROCS)]
+
+
+def _replay(script, wheel_width=None, oracle=True):
+    """Run one scripted workload; return (trace, step order)."""
+    env = Environment() if wheel_width is None \
+        else Environment(wheel_width=wheel_width)
+    monitor = OrderOracle().attach(env) if oracle else None
+    trace = []
+
+    def proc(name, actions):
+        for action in actions:
+            if action == "succeed":
+                done = env.event()
+                done.succeed()
+                yield done
+            elif action == "spawn":
+                env.process(child(name))
+                yield env.timeout(0)
+            elif action == "peek":
+                env.peek()
+                yield env.timeout(0.25)
+            else:
+                yield env.timeout(action)
+            trace.append((name, env.now))
+
+    def child(parent):
+        yield env.timeout(0.25)
+        trace.append((parent, "child", env.now))
+
+    for i, actions in enumerate(script):
+        env.process(proc(i, actions))
+    env.run()
+    steps = monitor.stepped if monitor is not None else None
+    return trace, steps
+
+
+@pytest.mark.parametrize("dist", ["identical", "clustered", "exponential",
+                                  "boundary", "mixed"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_wheel_matches_shadow_heap(dist, seed):
+    script = _make_script(seed, dist)
+    trace, steps = _replay(script)    # OrderOracle asserts per step
+    assert steps, "no events processed"
+    times = [when for when, _, _ in steps]
+    assert times == sorted(times)
+
+
+@pytest.mark.parametrize("dist", ["identical", "clustered", "exponential",
+                                  "boundary", "mixed"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_wheel_and_pure_heap_produce_identical_traces(dist, seed):
+    script = _make_script(seed, dist)
+    wheel_trace, wheel_steps = _replay(script)
+    heap_trace, heap_steps = _replay(script, wheel_width=0)
+    assert wheel_trace == heap_trace
+    assert wheel_steps == heap_steps
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_inline_loop_matches_monitored_loop(seed):
+    # The unmonitored run() takes the inlined drain loop; a monitor
+    # forces the step loop.  Same script, same trace.
+    script = _make_script(seed, "mixed")
+    inline_trace, _ = _replay(script, oracle=False)
+    monitored_trace, _ = _replay(script)
+    assert inline_trace == monitored_trace
+
+
+def test_peek_parks_cursor_then_earlier_schedule_reconciles():
+    # peek() may activate a future bucket (parking the drain cursor on
+    # it) without advancing the clock; a later schedule that lands in
+    # an *earlier* bucket must re-park the cursor eagerly, not fire
+    # behind the parked bucket.
+    env = Environment()
+    order = []
+
+    def late():
+        yield env.timeout(1.0)
+        order.append(("late", env.now))
+
+    def early():
+        yield env.timeout(0.3)
+        order.append(("early", env.now))
+
+    env.process(late())
+    assert env.peek() == 0.0          # Initialize event
+    env.step()                        # start late(); timeout(1.0) pending
+    assert env.peek() == 1.0          # parks the cursor on bucket(1.0)
+    env.process(early())              # Initialize + bucket(0.3) < bucket(1.0)
+    env.run()
+    assert order == [("early", 0.3), ("late", 1.0)]
+
+
+def test_same_bucket_insert_while_cursor_live():
+    # A schedule landing in the cursor's own quantum must slot into the
+    # live bucket in (when, priority, seq) position, not at the end.
+    env = Environment()
+    order = []
+    quantum = WHEEL_WIDTH
+
+    def proc(tag, delay):
+        yield env.timeout(delay)
+        order.append((tag, env.now))
+
+    env.process(proc("a", quantum * 0.9))
+    assert env.peek() == 0.0
+    env.step()                        # Initialize for a
+    env.peek()                        # activates a's bucket (quantum 0)
+    env.process(proc("b", quantum * 0.5))
+    env.run()
+    assert order == [("b", quantum * 0.5), ("a", quantum * 0.9)]
+
+
+def test_exotic_priorities_route_through_overflow_in_order():
+    env = Environment()
+    fired = []
+
+    def note(tag):
+        def callback(_event):
+            fired.append((tag, env.now))
+        return callback
+
+    for tag, delay, priority in [("p2", 0.25, 2), ("p1", 0.25, 1),
+                                 ("p0", 0.25, 0), ("pn", 0.25, -5),
+                                 ("far", 0.75, 3)]:
+        event = env.event()
+        event.callbacks.append(note(tag))
+        env._schedule(event, delay=delay, priority=priority)
+    env.run()
+    assert fired == [("pn", 0.25), ("p0", 0.25), ("p1", 0.25),
+                     ("p2", 0.25), ("far", 0.75)]
+
+
+def test_negative_clock_uses_overflow_lane():
+    env = Environment(initial_time=-3.0)
+    order = []
+
+    def proc(tag, delay):
+        yield env.timeout(delay)
+        order.append((tag, env.now))
+
+    env.process(proc("still-negative", 1.0))
+    env.process(proc("crosses-zero", 4.0))
+    env.run()
+    assert order == [("still-negative", -2.0), ("crosses-zero", 1.0)]
+    assert env.now == 1.0
+
+
+def test_horizon_tail_goes_to_overflow_and_merges():
+    env = Environment()
+    order = []
+
+    def proc(tag, delay):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc("near", 0.5))
+    env.process(proc("far", _WHEEL_HORIZON * 2))
+    env.process(proc("near2", 0.75))
+    env.run()
+    assert order == ["near", "near2", "far"]
+
+
+def test_wheel_disabled_environment_still_exact():
+    env = Environment(wheel_width=0)
+    oracle = OrderOracle().attach(env)
+
+    def proc(delay):
+        for _ in range(4):
+            yield env.timeout(delay)
+
+    for i in range(4):
+        env.process(proc(0.25 + 0.125 * i))
+    env.run()
+    # 4 Initialize + 16 timeouts + 4 process-completion events
+    assert len(oracle.stepped) == 24
+
+
+def test_negative_wheel_width_rejected():
+    with pytest.raises(ValueError, match="negative wheel_width"):
+        Environment(wheel_width=-1.0)

@@ -1,10 +1,12 @@
 """The engine benchmark's smoke mode runs green.
 
-``bench_engine.py --smoke`` exercises both tiers on tiny sizes: the
-micro event storms (heap, zero-delay fast lane, mixed) and a small
-``run_many`` scaling pass that asserts serial/thread/process executors
-produce identical event streams.  Running it here keeps the benchmark —
-and the cross-executor parity assertion inside it — from rotting.
+``bench_engine.py --smoke`` exercises both tiers on tiny sizes under a
+wall-time budget: the micro event storms (timed lanes, zero-delay fast
+lane, mixed) with both sides of the wheel-vs-heap ablation per cell,
+and a small ``run_many`` scaling pass that asserts serial/thread/
+process executors produce identical event streams.  Running it here
+keeps the benchmark — the ablation matrix, the budget guard, and the
+cross-executor parity assertion inside it — from rotting.
 """
 
 import importlib.util
@@ -23,6 +25,10 @@ def test_engine_bench_smoke(capsys):
     out = capsys.readouterr().out
     assert "engine benchmark" in out
     assert "timeout_ring" in out
+    assert "clustered_herd" in out
     assert "zero_delay" in out
     assert "mixed" in out
+    assert "wheel/heap" in out        # ablation column present
     assert "event streams identical across executors: yes" in out
+    assert "smoke OK" in out          # budget guard engaged and passed
+    assert "ablation covered" in out

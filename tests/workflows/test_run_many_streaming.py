@@ -1,0 +1,113 @@
+"""Streaming semantics of :func:`run_many_iter`.
+
+``run_many`` waits for the whole batch; ``run_many_iter`` must hand
+results back incrementally — the first repetitions arrive while later
+(or slower) ones are still running.  These tests pin that contract
+without relying on wall-clock timing: the serial test counts factory
+calls at first-yield, and the thread test gates a later repetition on
+an explicit event that is only set *after* the first result arrives.
+"""
+
+import functools
+import threading
+
+import pytest
+
+from repro.workflows import ImageProcessingWorkflow, run_many, run_many_iter
+from repro.workflows.runner import _adaptive_chunk_count
+
+SCALE = 0.03
+
+
+class _CountingFactory:
+    """Factory that records how many workflows it has built."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        return ImageProcessingWorkflow(scale=SCALE)
+
+
+def test_serial_iter_is_lazy():
+    factory = _CountingFactory()
+    gen = run_many_iter(factory, n_runs=3, seed=7, executor="serial")
+    assert factory.calls == 0  # nothing ran at generator creation
+    first = next(gen)
+    assert first.run_index == 0
+    assert factory.calls == 1  # runs 1 and 2 have not started yet
+    rest = list(gen)
+    assert [r.run_index for r in rest] == [1, 2]
+    assert factory.calls == 3
+
+
+def test_thread_iter_streams_before_slowest_completes():
+    # Whichever repetition's factory runs first blocks on a gate we
+    # only open after the *other* repetition's result has been
+    # yielded.  If run_many_iter buffered until the pool drained,
+    # next() would deadlock — the threading.Timer releases the gate
+    # after 30s so a regression fails the assert instead of hanging.
+    gate = threading.Event()
+    safety = threading.Timer(30.0, gate.set)
+    safety.start()
+    calls = []
+    lock = threading.Lock()
+
+    def gated_factory():
+        with lock:
+            calls.append(None)
+            should_block = len(calls) == 1
+        if should_block:
+            gate.wait()
+        return ImageProcessingWorkflow(scale=SCALE)
+
+    try:
+        gen = run_many_iter(gated_factory, n_runs=2, seed=7,
+                            workers=2, executor="thread")
+        first = next(gen)
+        streamed_early = not gate.is_set()
+        gate.set()
+        rest = list(gen)
+    finally:
+        safety.cancel()
+        gate.set()
+
+    assert streamed_early, "first result only arrived after the gate " \
+        "timed out — run_many_iter is not streaming"
+    assert {r.run_index for r in [first, *rest]} == {0, 1}
+
+
+def test_iter_matches_run_many_results():
+    factory = functools.partial(ImageProcessingWorkflow, scale=SCALE)
+    batch = run_many(factory, n_runs=3, seed=7, executor="serial")
+    streamed = sorted(
+        run_many_iter(factory, n_runs=3, seed=7, workers=2,
+                      executor="process"),
+        key=lambda r: r.run_index)
+    assert [r.run_index for r in streamed] == [0, 1, 2]
+    for a, b in zip(batch, streamed):
+        assert a.data.events == b.data.events
+        assert a.data.logs == b.data.logs
+
+
+def test_unknown_executor_rejected_at_first_next():
+    gen = run_many_iter(lambda: None, n_runs=1, executor="mpi")
+    with pytest.raises(ValueError, match="executor must be one of"):
+        next(gen)
+
+
+def test_adaptive_chunk_count_bounds():
+    # Few runs: one chunk per repetition (capped by the oversubscribe
+    # ceiling) so every core starts immediately.
+    assert _adaptive_chunk_count(1, 4) == 1
+    assert _adaptive_chunk_count(3, 4) == 3
+    assert _adaptive_chunk_count(16, 4) == 16
+    # Many runs: ~4 chunks per worker for pool rebalancing.
+    assert _adaptive_chunk_count(1000, 4) == 16
+    assert _adaptive_chunk_count(50, 2) == 8
+    # Never more chunks than runs.
+    for n_runs in (1, 2, 5, 9, 64):
+        for workers in (1, 2, 4, 8):
+            assert _adaptive_chunk_count(n_runs, workers) <= n_runs or \
+                _adaptive_chunk_count(n_runs, workers) <= workers * 4
