@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""End-to-end benchmark for the pass-by-reference data plane.
+
+Workload: ResNet152 batch inference — one 230 MB model checkpoint
+broadcast to every predict task — executed from one seed with the data
+plane off (classic peer fetches) and then on, once per backend
+(``local`` / ``pfs`` / ``mofka``).
+
+Two platforms frame the result:
+
+* **commodity** (10 GbE, NFS-class shared FS, 16 worker nodes): the
+  broadcast is transfer-bound, so the backend choice decides the
+  makespan.  The Mofka blob channel sidesteps the owner-NIC
+  serialization and wins end to end; NFS staging loses to its own
+  slow OSTs — an honest negative result the paper's characterization
+  methodology is supposed to surface.
+* **polaris** (Slingshot-class NIC): transfers are nearly free, so
+  proxying is expected to be ~neutral.  This is the control that keeps
+  the headline from overclaiming.
+
+Before any timing is reported the benchmark asserts the zero-footprint
+contract: with ``proxy_enabled=False`` the recorded event stream is
+*identical* to a run that never heard of the data plane.
+
+Results land in ``BENCH_proxystore.json`` (simulated makespans,
+speedups, and the per-backend saved-transfer-time attribution from
+``data_plane_report``).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_proxystore.py
+    PYTHONPATH=src python benchmarks/bench_proxystore.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    os.pardir, "src"))
+
+from repro.core import AnalysisSession  # noqa: E402
+from repro.dasklike import DaskConfig  # noqa: E402
+from repro.jobs import JobSpec  # noqa: E402
+from repro.platform import COMMODITY_CLUSTER, POLARIS_LIKE  # noqa: E402
+from repro.workflows import ResNet152Workflow, run_workflow  # noqa: E402
+
+BACKENDS = ("local", "pfs", "mofka")
+
+JSON_PATH = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 os.pardir, "BENCH_proxystore.json"))
+
+#: name -> (cluster spec, job layout).
+PLATFORMS = {
+    "commodity": (COMMODITY_CLUSTER,
+                  JobSpec(worker_nodes=16, workers_per_node=2,
+                          threads_per_worker=4)),
+    "polaris": (POLARIS_LIKE,
+                JobSpec(worker_nodes=4, workers_per_node=4,
+                        threads_per_worker=8)),
+}
+
+
+def _run(scale, seed, cluster_spec, job_spec, config=None):
+    return run_workflow(ResNet152Workflow(scale=scale), seed=seed,
+                        cluster_spec=cluster_spec, job_spec=job_spec,
+                        config=config)
+
+
+def check_parity(scale: float, seed: int, cluster_spec, job_spec,
+                 baseline) -> None:
+    """proxy_enabled=False must be byte-identical to no-data-plane."""
+    disabled = _run(scale, seed, cluster_spec, job_spec,
+                    config=DaskConfig(proxy_enabled=False))
+    if disabled.data.events != baseline.data.events:
+        raise AssertionError(
+            "disabled data plane perturbed the run: event streams differ")
+
+
+def bench_platform(name: str, scale: float, seed: int) -> dict:
+    cluster_spec, job_spec = PLATFORMS[name]
+    baseline = _run(scale, seed, cluster_spec, job_spec)
+    check_parity(scale, seed, cluster_spec, job_spec, baseline)
+
+    cell = {
+        "cluster": cluster_spec.name,
+        "job": {"worker_nodes": job_spec.worker_nodes,
+                "workers_per_node": job_spec.workers_per_node,
+                "threads_per_worker": job_spec.threads_per_worker},
+        "baseline_makespan_s": round(baseline.data.wall_time, 4),
+        "parity_with_proxy_disabled": True,
+        "backends": {},
+    }
+    for backend in BACKENDS:
+        result = _run(scale, seed, cluster_spec, job_spec,
+                      config=DaskConfig(proxy_enabled=True,
+                                        proxy_backend=backend))
+        report = AnalysisSession.of(result.data).data_plane_report()
+        makespan = result.data.wall_time
+        mine = report["by_backend"][backend]
+        cell["backends"][backend] = {
+            "makespan_s": round(makespan, 4),
+            "speedup": round(baseline.data.wall_time / makespan, 3),
+            "n_puts": mine["n_puts"],
+            "n_resolves": mine["n_resolves"],
+            "gb_resolved": round(mine["bytes_resolved"] / 2**30, 3),
+            "resolve_s": round(mine["resolve_s"], 4),
+            "baseline_estimate_s": round(mine["baseline_s"], 4),
+            "saved_transfer_s": round(mine["saved_s"], 4),
+        }
+    return cell
+
+
+def format_text(document: dict) -> str:
+    lines = [f"proxystore data plane @ ResNet152 "
+             f"scale={document['meta']['scale']} "
+             f"seed={document['meta']['seed']}"]
+    for platform, cell in document["platforms"].items():
+        lines.append(f"  {platform} ({cell['cluster']}, "
+                     f"{cell['job']['worker_nodes']}x"
+                     f"{cell['job']['workers_per_node']} workers): "
+                     f"baseline {cell['baseline_makespan_s']:.3f} s "
+                     "(identical with proxying disabled)")
+        for backend, row in cell["backends"].items():
+            lines.append(
+                f"    {backend:<6} makespan {row['makespan_s']:.3f} s  "
+                f"speedup {row['speedup']:.2f}x  "
+                f"resolved {row['gb_resolved']:.2f} GB in "
+                f"{row['resolve_s']:.3f} s  "
+                f"saved {row['saved_transfer_s']:.1f} s vs estimate")
+    best = max(
+        (row["speedup"]
+         for cell in document["platforms"].values()
+         for row in cell["backends"].values()))
+    lines.append(f"  best end-to-end speedup: {best:.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="workflow scale factor (default 0.15)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--platforms", nargs="*",
+                        choices=sorted(PLATFORMS), default=None,
+                        help="platforms to run (default: all)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny scale for CI: commodity platform "
+                             "only, parity check, no artifact write")
+    parser.add_argument("--json", default=JSON_PATH,
+                        help="result document path "
+                             "(default BENCH_proxystore.json)")
+    args = parser.parse_args(argv)
+
+    scale = min(args.scale, 0.02) if args.smoke else args.scale
+    platforms = (["commodity"] if args.smoke
+                 else (args.platforms or sorted(PLATFORMS)))
+
+    document = {
+        "meta": {
+            "workflow": "resnet152",
+            "model_bytes": ResNet152Workflow.MODEL_BYTES,
+            "scale": scale,
+            "seed": args.seed,
+            "backends": list(BACKENDS),
+            "makespans": "simulated seconds (end-to-end workflow time)",
+        },
+        "platforms": {name: bench_platform(name, scale, args.seed)
+                      for name in platforms},
+    }
+
+    print(format_text(document))
+
+    if not args.smoke:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        print(f"(written to {args.json})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,9 @@ EVENT_REQUIREMENTS: dict[str, set[str]] = {
     "task_added": {"key", "timestamp"},
     "dxt_segment": {"hostname", "thread", "timestamp"},
     "fault": {"worker", "hostname", "timestamp"},
+    "proxy_put": {"key", "worker", "hostname", "timestamp"},
+    "proxy_resolve": {"key", "worker", "hostname", "timestamp"},
+    "proxy_evict": {"key", "worker", "hostname", "timestamp"},
 }
 
 _record_fields_cache: Optional[dict[str, frozenset[str]]] = None

@@ -579,10 +579,46 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dataplane(args: argparse.Namespace) -> int:
+    """Per-backend proxy traffic and saved-transfer-time attribution."""
+    session = _session_of_dir(args)
+    report = session.data_plane_report()
+    if not report["enabled"]:
+        text = ("no proxy events in this run "
+                "(data plane disabled or nothing crossed the threshold)")
+        return _deliver(args, text, {"run_dir": args.run_dir, **report})
+
+    def _row(name: str, bucket: dict) -> dict:
+        return {
+            "backend": name,
+            "puts": bucket["n_puts"],
+            "resolves": bucket["n_resolves"],
+            "failed": bucket["n_failed_resolves"],
+            "evicts": bucket["n_evictions"],
+            "GB_resolved": round(bucket["bytes_resolved"] / 1e9, 3),
+            "resolve_s": round(bucket["resolve_s"], 3),
+            "baseline_s": round(bucket["baseline_s"], 3),
+            "saved_s": round(bucket["saved_s"], 3),
+        }
+
+    rows = [_row(name, bucket)
+            for name, bucket in sorted(report["by_backend"].items())]
+    rows.append(_row("total", report))
+    text = format_records(
+        rows, title="Data plane: proxy traffic vs. scheduler-path "
+                    "estimate")
+    if args.keys:
+        view = session.data_plane_view()
+        text += "\n\n" + format_records(
+            view.to_records()[:args.keys],
+            title=f"First {args.keys} proxy events")
+    return _deliver(args, text, {"run_dir": args.run_dir, **report})
+
+
 #: Subcommands sharing the full analysis option set (``--out`` /
 #: ``--format`` / ``--workers``), asserted consistent by the CLI tests.
 ANALYSIS_COMMANDS = ("analyze", "compare", "figures", "zoom", "report",
-                     "ingest", "query", "serve")
+                     "ingest", "query", "serve", "dataplane")
 
 #: Subcommands sharing the output pair (``--out`` / ``--format``) but
 #: not ``--workers`` — single-run drivers with nothing to fan out.
@@ -688,6 +724,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="single-file HTML report for a run")
     p_rep.add_argument("run_dir")
     p_rep.set_defaults(func=cmd_report)
+
+    p_dp = sub.add_parser(
+        "dataplane", parents=[common],
+        help="proxy (pass-by-reference) traffic report for a run")
+    p_dp.add_argument("run_dir")
+    p_dp.add_argument("--keys", type=int, default=0,
+                      help="also list the first N proxy events")
+    p_dp.set_defaults(func=cmd_dataplane)
 
     p_lint = sub.add_parser(
         "lint",

@@ -35,6 +35,7 @@ from .categories import (
 from .commstats import comm_scatter, comm_summary, slow_small_messages
 from .correlate import fuse_io_with_tasks, per_task_io, unattributed_io
 from .critical_path import CriticalHop, critical_path, critical_path_summary
+from .data_plane import data_plane_report, data_plane_view
 from .fair import (
     IDENTIFIER_REGISTRY,
     check_interoperability,
@@ -138,6 +139,8 @@ __all__ = [
     "comm_summary",
     "compare_runs",
     "correlate_warnings_with_tasks",
+    "data_plane_report",
+    "data_plane_view",
     "detect_phases",
     "format_bar",
     "format_records",

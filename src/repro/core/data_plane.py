@@ -1,0 +1,134 @@
+"""Data-plane analysis: where large payloads actually travelled.
+
+The :mod:`repro.proxystore` layer records every pass-by-reference
+operation as a first-class provenance event — ``proxy_put`` (output
+staged into a backend), ``proxy_resolve`` (a consumer materialised the
+blob, with the measured duration and the transfer time the scheduler's
+flat bandwidth estimate would have budgeted), ``proxy_evict`` (blob
+released).  Because they carry the same §III-E3 identifiers (key,
+worker, hostname, timestamp) as every other event, they join against
+task runs and transitions like any other source:
+
+* :func:`data_plane_view` — the proxy events as one uniform
+  :class:`~repro.core.table.Table`, time-ordered;
+* :func:`data_plane_report` — per-backend traffic accounting: puts,
+  resolves, fallbacks, and the transfer time saved versus the
+  scheduler-path estimate (the before/after attribution the ProxyStore
+  integration exists to measure).
+
+Both are session-aware: pass an :class:`AnalysisSession` (or anything
+``AnalysisSession.of`` accepts) and results are memoized per run.
+"""
+
+from __future__ import annotations
+
+from .table import Table
+
+__all__ = ["PROXY_EVENT_TYPES", "data_plane_view", "data_plane_report"]
+
+#: The event types the data plane emits (mirror of
+#: :data:`repro.proxystore.PROXY_EVENT_TYPES`, repeated here so the
+#: analysis layer does not import the runtime package).
+PROXY_EVENT_TYPES = ("proxy_put", "proxy_resolve", "proxy_evict")
+
+_VIEW_COLUMNS = ("type", "key", "backend", "worker", "hostname",
+                 "timestamp", "nbytes", "duration", "baseline_s",
+                 "retries", "status", "fingerprint")
+
+
+def _session(source):
+    from .session import AnalysisSession
+    return AnalysisSession.of(source)
+
+
+def data_plane_view(source) -> Table:
+    """One row per proxy_put/proxy_resolve/proxy_evict, time-ordered.
+
+    Columns: type, key, backend, worker, hostname, timestamp, nbytes,
+    duration, baseline_s (resolve rows only — the scheduler-path
+    estimate ``nbytes / bandwidth_estimate``), retries, status,
+    fingerprint.  Empty (with stable columns) for a run that executed
+    without the data plane.
+    """
+    session = _session(source)
+    return session.cached("data_plane_view", lambda: _build_view(session))
+
+
+def _build_view(session) -> Table:
+    events: list[dict] = []
+    for event_type in PROXY_EVENT_TYPES:
+        events.extend(session.run.events_of_type(event_type))
+    if not events:
+        return Table({name: [] for name in _VIEW_COLUMNS})
+    events.sort(key=lambda e: (e.get("timestamp", 0.0), e.get("key", "")))
+    return Table.from_records(events, columns=_VIEW_COLUMNS)
+
+
+def data_plane_report(source) -> dict:
+    """Per-backend traffic accounting for one run.
+
+    Keys:
+
+    ``enabled``
+        Whether any proxy events exist at all.
+    ``n_puts`` / ``n_resolves`` / ``n_evictions`` / ``n_failed_resolves``
+        Operation counts across all backends.
+    ``bytes_put`` / ``bytes_resolved``
+        Payload volume through the data plane.
+    ``resolve_s`` / ``baseline_s`` / ``saved_s``
+        Measured resolve time, the scheduler-path estimate for the
+        same bytes, and their difference — the transfer time the
+        data plane saved (negative when a backend is slower than the
+        scheduler's optimistic budget).
+    ``by_backend``
+        The same accounting split per backend name — the
+        per-backend attribution the acceptance criteria ask for.
+    """
+    session = _session(source)
+    return session.cached("data_plane_report",
+                          lambda: _build_report(session))
+
+
+def _new_bucket() -> dict:
+    return {
+        "n_puts": 0, "n_resolves": 0, "n_evictions": 0,
+        "n_failed_resolves": 0, "total_retries": 0,
+        "bytes_put": 0, "bytes_resolved": 0,
+        "put_s": 0.0, "resolve_s": 0.0, "baseline_s": 0.0,
+        "saved_s": 0.0,
+    }
+
+
+def data_plane_rows(view: Table) -> list[dict]:
+    return view.to_records() if len(view) else []
+
+
+def _build_report(session) -> dict:
+    rows = data_plane_rows(data_plane_view(session))
+    total = _new_bucket()
+    by_backend: dict[str, dict] = {}
+    for row in rows:
+        backend = row.get("backend") or "?"
+        bucket = by_backend.get(backend)
+        if bucket is None:
+            bucket = by_backend[backend] = _new_bucket()
+        kind = row["type"]
+        for target in (bucket, total):
+            if kind == "proxy_put":
+                target["n_puts"] += 1
+                target["bytes_put"] += int(row["nbytes"] or 0)
+                target["put_s"] += float(row["duration"] or 0.0)
+            elif kind == "proxy_resolve":
+                target["total_retries"] += int(row["retries"] or 0)
+                if row.get("status") == "ok":
+                    target["n_resolves"] += 1
+                    target["bytes_resolved"] += int(row["nbytes"] or 0)
+                    target["resolve_s"] += float(row["duration"] or 0.0)
+                    target["baseline_s"] += float(row["baseline_s"] or 0.0)
+                else:
+                    target["n_failed_resolves"] += 1
+            elif kind == "proxy_evict":
+                target["n_evictions"] += 1
+    for bucket in [total, *by_backend.values()]:
+        bucket["saved_s"] = bucket["baseline_s"] - bucket["resolve_s"]
+    return {"enabled": bool(rows), **total, "by_backend": by_backend}

@@ -152,6 +152,22 @@ class AnalysisSession:
         from .resilience import resilience_report
         return resilience_report(self)
 
+    def data_plane_view(self) -> Table:
+        """Proxy put/resolve/evict rows (key/backend/worker/...).
+
+        Empty when the run executed without the pass-by-reference data
+        plane (:mod:`repro.proxystore`).  Like :meth:`resilience_view`,
+        not one of the nine canonical views — the data plane is
+        optional — but cached identically.
+        """
+        from .data_plane import data_plane_view
+        return data_plane_view(self)
+
+    def data_plane_report(self) -> dict:
+        """Cached per-backend traffic/saved-time accounting."""
+        from .data_plane import data_plane_report
+        return data_plane_report(self)
+
     def all_views(self, workers: Optional[int] = None) -> dict[str, Table]:
         """All nine views as ``{name: Table}`` (optionally prefetched
         by a thread pool — useful right after loading a large run)."""

@@ -88,6 +88,26 @@ class DaskConfig:
     #: Overridden per task by :attr:`TaskSpec.timeout`.
     task_timeout: float = 0.0
 
+    # -- data plane (ProxyStore-style pass-by-reference) ----------------------
+    #: Enable the :mod:`repro.proxystore` data plane: large task outputs
+    #: are staged into a shared backend and consumers resolve lightweight
+    #: proxies instead of fetching peer-to-peer.  Off by default — the
+    #: classic scheduler transfer model stays byte-identical.
+    proxy_enabled: bool = False
+    #: Outputs of at least this many bytes are proxied (Pauloski et
+    #: al.'s size-threshold policy; small results stay inline).
+    proxy_threshold: int = 1 * 2**20
+    #: Backend kind: ``local`` (owner memory, peer NIC hop on resolve),
+    #: ``pfs`` (shared-filesystem staging, striped OST reads), or
+    #: ``mofka`` (blob channel over Mofka partitions).
+    proxy_backend: str = "pfs"
+    #: Resolve retries against a transiently unavailable backend before
+    #: falling back to the peer-fetch path.
+    proxy_max_retries: int = 3
+    #: Base backoff between resolve retries, seconds (linear: attempt
+    #: *n* waits ``n * backoff``).
+    proxy_retry_backoff: float = 0.05
+
     # -- communication --------------------------------------------------------
     #: Fixed control-plane message latency (scheduler <-> worker RPC).
     control_latency: float = 1.0e-3
@@ -123,4 +143,9 @@ class DaskConfig:
             "distributed.scheduler.retry-backoff-factor":
                 self.retry_backoff_factor,
             "distributed.scheduler.task-timeout": self.task_timeout,
+            "proxystore.enabled": self.proxy_enabled,
+            "proxystore.threshold": self.proxy_threshold,
+            "proxystore.backend": self.proxy_backend,
+            "proxystore.max-retries": self.proxy_max_retries,
+            "proxystore.retry-backoff": self.proxy_retry_backoff,
         }

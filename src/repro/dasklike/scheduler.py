@@ -127,6 +127,10 @@ class Scheduler:
         self._unfinished: dict[str, SchedulerTaskState] = {}
         self._duration_ema: dict[str, float] = {}
         self._n_graphs = 0
+        #: Pass-by-reference data plane (see :mod:`repro.proxystore`);
+        #: ``None`` keeps placement and release on the classic
+        #: scheduler transfer model.
+        self.proxy_store = None
 
         self.transitions: list[TransitionRecord] = []
         self.logs: list[LogEntry] = []
@@ -248,7 +252,12 @@ class Scheduler:
         for name in held:
             ts = self.tasks[name]
             had = ts.who_has.pop(worker.address, None)
-            if had is not None and ts.state == "memory" and not ts.who_has:
+            if (had is not None and ts.state == "memory"
+                    and not ts.who_has
+                    and not self._blob_available(name)):
+                # No live replica — but a key proxied on a durable
+                # backend (PFS/Mofka) is *not* lost: consumers resolve
+                # it from the data plane, so no recompute is needed.
                 lost.append(ts)
         lost.sort(key=lambda t: t.seq)
         inflight = [self.tasks[name] for name in processing
@@ -280,8 +289,7 @@ class Scheduler:
             ts.waiting_on = set()
             for dep_name in ts.spec.dep_names:
                 dep_ts = self.tasks[dep_name]
-                if dep_ts.state == "memory" and any(
-                        not w.failed for w in dep_ts.who_has.values()):
+                if self._dep_available(dep_ts):
                     continue
                 ts.waiting_on.add(dep_ts.name)
                 if dep_ts.state in ("memory", "released", "forgotten"):
@@ -294,6 +302,24 @@ class Scheduler:
 
         if not self.workers:
             self._degrade_no_workers()
+
+    def _blob_available(self, name: str) -> bool:
+        """True when ``name`` survives on a durable data-plane backend."""
+        store = self.proxy_store
+        return store is not None and store.durable(name)
+
+    def _dep_available(self, dep_ts: SchedulerTaskState) -> bool:
+        """A dependency counts as available when its bytes are actually
+        reachable: a replica on a live worker, or a blob on a durable
+        data-plane backend.  A replica on a silently crashed worker
+        (not yet noticed by the liveness monitor) does not count —
+        treating it as live would re-dispatch into the same
+        DataLostError forever."""
+        if dep_ts.state != "memory":
+            return False
+        if any(not w.failed for w in dep_ts.who_has.values()):
+            return True
+        return self._blob_available(dep_ts.name)
 
     def _resubmit(self, ts: SchedulerTaskState,
                   seen: Optional[set] = None) -> None:
@@ -328,8 +354,7 @@ class Scheduler:
             dep_ts = self.tasks[dep_name]
             # This task will consume its inputs once more.
             dep_ts.remaining_dependents += 1
-            if dep_ts.state == "memory" and any(
-                    not w.failed for w in dep_ts.who_has.values()):
+            if self._dep_available(dep_ts):
                 continue
             ts.waiting_on.add(dep_ts.name)
             if dep_ts.state in ("memory", "released", "forgotten"):
@@ -523,10 +548,17 @@ class Scheduler:
         """
         dep_names = ts.spec.dep_names
         holders: dict[str, Worker] = {}
+        store = self.proxy_store
         if dep_names:
             tasks = self.tasks
             registered = self.workers
             for dep_name in dep_names:
+                if store is not None and store.has(dep_name):
+                    # Pass-by-reference input: every worker resolves it
+                    # from the shared data plane at the same cost, so
+                    # holding a replica confers no locality advantage —
+                    # the placement decoupling ProxyStore exists for.
+                    continue
                 for address, holder in tasks[dep_name].who_has.items():
                     # A holder must be registered *and alive*: inside
                     # the heartbeat window a silently-failed worker is
@@ -546,6 +578,8 @@ class Scheduler:
             for address, worker in holders.items():
                 transfer_bytes = 0
                 for dep_name in dep_names:
+                    if store is not None and store.has(dep_name):
+                        continue
                     dep_ts = tasks[dep_name]
                     if address not in dep_ts.who_has:
                         transfer_bytes += dep_ts.nbytes
@@ -566,8 +600,9 @@ class Scheduler:
                             / max(1, len(occupancy)))
                 if (idle_occ < self.config.idle_fraction * mean_occ
                         or idle_occ == 0.0):
-                    full_bytes = sum(tasks[dep_name].nbytes
-                                     for dep_name in dep_names)
+                    full_bytes = sum(
+                        tasks[dep_name].nbytes for dep_name in dep_names
+                        if store is None or not store.has(dep_name))
                     score = (idle_occ
                              + weight * full_bytes / bandwidth)
                     if score < best_score:
@@ -946,11 +981,7 @@ class Scheduler:
         ts.waiting_on = set()
         for dep_name in ts.spec.dep_names:
             dep_ts = self.tasks[dep_name]
-            # A replica on a silently crashed worker (not yet noticed by
-            # the liveness monitor) does not count: treating it as live
-            # would re-dispatch into the same DataLostError forever.
-            if dep_ts.state == "memory" and any(
-                    not w.failed for w in dep_ts.who_has.values()):
+            if self._dep_available(dep_ts):
                 continue
             ts.waiting_on.add(dep_ts.name)
             if dep_ts.state in ("memory", "released", "forgotten"):
@@ -1005,6 +1036,10 @@ class Scheduler:
         for worker in ts.who_has.values():
             worker.free_keys([ts.name])
         self._forget_replicas(ts)
+        if self.proxy_store is not None:
+            # Nobody will resolve this key again: drop its blob (and
+            # emit the proxy_evict closing the put/resolve lineage).
+            self.proxy_store.evict(ts.name)
         self._transition(ts, "released", "no-dependents")
         self._transition(ts, "forgotten", "gc")
 
@@ -1019,7 +1054,10 @@ class Scheduler:
 
     def _remember_replica(self, ts: SchedulerTaskState,
                           worker: Worker) -> None:
-        ts.who_has[worker.address] = worker
+        # Reached from the fetch retry loop after a yield; add_replica
+        # already revalidates (``ts.state == "memory"``) before calling
+        # in, so a key released meanwhile never lands here.
+        ts.who_has[worker.address] = worker  # repro: allow[conc-cross-context-mutation]
         held = self._has_what.get(worker.address)
         if held is not None:
             held[ts.name] = None

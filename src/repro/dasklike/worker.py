@@ -119,6 +119,9 @@ class Worker:
         self.plugins: list = []
 
         self.scheduler = None  # attached by the scheduler
+        #: Pass-by-reference data plane (see :mod:`repro.proxystore`);
+        #: ``None`` keeps every byte on the classic peer-fetch path.
+        self.proxy_store = None
         self._gc_until = 0.0
         self._inflight_fetch: dict[str, object] = {}
         self._started = False
@@ -283,37 +286,72 @@ class Worker:
     # dependency gathering
     # ------------------------------------------------------------------
     def _fetch_one(self, dep: str, sources: list, nbytes: int):
-        """Process: pull one remote key from a peer worker."""
-        local = [w for w in sources if w.node.name == self.node.name]
-        if local:
-            src = local[0]
-        else:
-            src = self.streams.choice(f"fetch.{self.address}", sources)
-        start = self.env.now
-        yield self.env.process(
-            self.network.transfer(src.node, self.node, nbytes)
-        )
-        record = CommRecord(
-            key=dep,
-            src_worker=src.address, dst_worker=self.address,
-            src_host=src.node.name, dst_host=self.node.name,
-            nbytes=nbytes, start=start, stop=self.env.now,
-            same_node=src.node.name == self.node.name,
-            same_switch=src.node.switch == self.node.switch,
-        )
-        if self.failed:
-            # The process died while this transfer was in flight: the
-            # bytes evaporate with it.
-            return
-        self.comms.append(record)
-        for plugin in self.plugins:
-            plugin.communication(record)
-        self.data[dep] = nbytes
-        self.managed_bytes += nbytes
-        # The scheduler tracks replicas so it can free every copy later.
-        if self.scheduler is not None:
-            self.scheduler.add_replica(self, dep)
-        self.maybe_spill()
+        """Process: pull one remote key from a peer worker.
+
+        Never fails as a process — a fetch whose initiating task was
+        released mid-gather may have no waiter left, and an unhandled
+        process failure would crash the engine (and a *joined* waiter
+        would see a phantom dependency-lost error for data that another
+        attempt still delivers).  Instead it returns True when the key
+        landed and False when it could not (every holder dead, or this
+        worker died mid-transfer); callers detect the miss from
+        ``self.data`` after their waits and raise their own
+        :class:`DataLostError`.
+        """
+        candidates = list(sources)
+        while True:
+            live = [w for w in candidates if not w.failed]
+            if not live and self.scheduler is not None:
+                # The dispatch-time snapshot went stale while we were
+                # transferring; consult the scheduler's *current*
+                # replica map before giving up.
+                dep_ts = self.scheduler.tasks.get(dep)
+                if dep_ts is not None:
+                    live = [w for w in dep_ts.who_has.values()
+                            if not w.failed]
+            if not live:
+                return False
+            local = [w for w in live if w.node.name == self.node.name]
+            if local:
+                src = local[0]
+            else:
+                src = self.streams.choice(f"fetch.{self.address}", live)
+            start = self.env.now
+            yield self.env.process(
+                self.network.transfer(src.node, self.node, nbytes)
+            )
+            if self.failed:
+                # The process died while this transfer was in flight:
+                # the bytes evaporate with it — no record, no replica,
+                # no ``managed_bytes`` (a dead worker's accounting was
+                # zeroed by :meth:`fail` and must stay zero).
+                return False
+            if src.failed:
+                # The *source* died mid-transfer: the stream was cut
+                # and whatever arrived is garbage.  Drop the attempt —
+                # no comm record, no accounting — and retry against the
+                # remaining holders.
+                candidates = [w for w in live if w is not src]
+                continue
+            record = CommRecord(
+                key=dep,
+                src_worker=src.address, dst_worker=self.address,
+                src_host=src.node.name, dst_host=self.node.name,
+                nbytes=nbytes, start=start, stop=self.env.now,
+                same_node=src.node.name == self.node.name,
+                same_switch=src.node.switch == self.node.switch,
+            )
+            self.comms.append(record)
+            for plugin in self.plugins:
+                plugin.communication(record)
+            self.data[dep] = nbytes
+            self.managed_bytes += nbytes
+            # The scheduler tracks replicas so it can free every copy
+            # later.
+            if self.scheduler is not None:
+                self.scheduler.add_replica(self, dep)
+            self.maybe_spill()
+            return True
 
     def _gather(self, spec: TaskSpec, who_has: dict, sizes: dict):
         """Process: ensure every dependency of ``spec`` is local."""
@@ -336,26 +374,38 @@ class Worker:
                 continue
             inflight = self._inflight_fetch.get(dep_name)
             if inflight is None:
-                # The who_has snapshot was taken at dispatch time; any
-                # of its holders may have died since.  Filter corpses,
-                # then fall back to the scheduler's *current* replica
-                # map (another copy may exist) before giving up.
-                sources = [w for w in who_has.get(dep_name, ())
-                           if not w.failed]
-                if not sources and self.scheduler is not None:
-                    dep_ts = self.scheduler.tasks.get(dep_name)
-                    if dep_ts is not None:
-                        sources = [w for w in dep_ts.who_has.values()
-                                   if not w.failed]
-                if not sources:
-                    raise DataLostError(
-                        f"{self.address}: no live source for dependency "
-                        f"{dep_name}"
+                if (self.proxy_store is not None
+                        and self.proxy_store.has(dep_name)):
+                    # Pass-by-reference input: resolve it through the
+                    # data plane instead of the peer-fetch path.
+                    inflight = self.env.process(
+                        self._resolve_proxy(dep_name,
+                                            sizes.get(dep_name, 0)),
+                        name=f"resolve-{dep_name}",
                     )
-                inflight = self.env.process(
-                    self._fetch_one(dep_name, sources, sizes[dep_name]),
-                    name=f"fetch-{dep_name}",
-                )
+                else:
+                    # The who_has snapshot was taken at dispatch time;
+                    # any of its holders may have died since.  Filter
+                    # corpses, then fall back to the scheduler's
+                    # *current* replica map (another copy may exist)
+                    # before giving up.
+                    sources = [w for w in who_has.get(dep_name, ())
+                               if not w.failed]
+                    if not sources and self.scheduler is not None:
+                        dep_ts = self.scheduler.tasks.get(dep_name)
+                        if dep_ts is not None:
+                            sources = [w for w in dep_ts.who_has.values()
+                                       if not w.failed]
+                    if not sources:
+                        raise DataLostError(
+                            f"{self.address}: no live source for "
+                            f"dependency {dep_name}"
+                        )
+                    inflight = self.env.process(
+                        self._fetch_one(dep_name, sources,
+                                        sizes[dep_name]),
+                        name=f"fetch-{dep_name}",
+                    )
                 self._inflight_fetch[dep_name] = inflight
 
                 def _cleanup(event, dep_name=dep_name):
@@ -365,8 +415,57 @@ class Worker:
             waits.append(inflight)
         if waits:
             yield self.env.all_of(waits)
+            if self.failed:
+                return
+            # Fetch processes never fail (see :meth:`_fetch_one`); a
+            # dependency they could not deliver is simply absent.  Each
+            # waiter decides for itself, so a task released mid-gather
+            # never poisons the others and a lost input surfaces as the
+            # reschedulable data-lost signal.
+            missing = [dep for dep in spec.dep_names
+                       if dep not in self.data
+                       and dep not in self.spilled]
+            if missing:
+                raise DataLostError(
+                    f"{self.address}: dependencies lost in flight: "
+                    f"{', '.join(sorted(missing))}"
+                )
         else:
             yield self.env.timeout(0.0)
+
+    def _resolve_proxy(self, dep: str, nbytes: int):
+        """Process: materialise one proxied dependency via the store.
+
+        Follows the same never-fail contract as :meth:`_fetch_one`: on
+        an unresolvable blob it falls back to the classic peer-fetch
+        path, and when that is empty too it returns False for the
+        gather post-check to turn into :class:`DataLostError`.
+        """
+        from ..proxystore import ProxyResolveError
+        store = self.proxy_store
+        try:
+            got = yield from store.resolve(dep, self)
+        except ProxyResolveError:
+            # The backend lost the blob (or its owner died): fall back
+            # to whichever live peers still hold a replica.
+            sources = []
+            if self.scheduler is not None:
+                dep_ts = self.scheduler.tasks.get(dep)
+                if dep_ts is not None:
+                    sources = [w for w in dep_ts.who_has.values()
+                               if not w.failed]
+            if not sources:
+                return False
+            return (yield from self._fetch_one(dep, sources, nbytes))
+        if self.failed:
+            # Died while resolving: the bytes evaporate unaccounted.
+            return False
+        self.data[dep] = got
+        self.managed_bytes += got
+        if self.scheduler is not None:
+            self.scheduler.add_replica(self, dep)
+        self.maybe_spill()
+        return True
 
     # ------------------------------------------------------------------
     # task execution
@@ -515,7 +614,11 @@ class Worker:
             # returns the thread; the scheduler errs/retries the task.
             interrupted = str(exc.cause or "timeout")
         finally:
-            if not materialised:
+            if not materialised and not self.failed:
+                # Roll back the result reservation — unless the worker
+                # died meanwhile: :meth:`fail` already zeroed the
+                # accounting, and subtracting again would leak a
+                # negative balance into the corpse.
                 self.managed_bytes -= spec.output_nbytes
             self.executing.discard(spec.name)
             self.threads.put(thread_id)
@@ -558,6 +661,16 @@ class Worker:
         self.task_runs.append(run)
         for plugin in self.plugins:
             plugin.task_finished(run)
+
+        if (self.proxy_store is not None
+                and self.proxy_store.should_proxy(spec.output_nbytes)):
+            # Stage the output into the data plane before announcing
+            # completion, so every consumer the scheduler dispatches
+            # next sees the proxy instead of a peer-transfer cost.
+            yield from self.proxy_store.put(
+                spec.name, spec.output_nbytes, self)
+            if self.failed:
+                return False
 
         # Report back to the scheduler after a control-plane hop.  A
         # timeout interrupt racing this hop loses: the work is done and
@@ -629,6 +742,10 @@ class Worker:
             yield self.env.timeout(0.0)
             return
         yield self.env.timeout(nbytes / self.config.spill_bandwidth)
+        if self.failed:
+            # Crashed during the scratch read: registering the bytes
+            # now would resurrect data (and accounting) on a corpse.
+            return
         self.data[key] = nbytes
         self.managed_bytes += nbytes
         self._record_spill(key, nbytes, "unspill")

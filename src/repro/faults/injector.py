@@ -179,8 +179,14 @@ class FaultInjector:
         index = self._pick_index(fault_id, fault, n)
         if index is None:
             return None, None, None
-        service.partition_outage(
-            PROVENANCE_TOPIC, index, self.env.now + fault.duration)
+        until = self.env.now + fault.duration
+        service.partition_outage(PROVENANCE_TOPIC, index, until)
+        # The proxystore blob channel rides the same service: black out
+        # the matching blob partition too, so a data plane on the
+        # ``mofka`` backend feels the outage (no-op when proxying is
+        # off — outages are keyed per (topic, partition)).
+        from ..proxystore import MOFKA_BLOB_TOPIC
+        service.partition_outage(MOFKA_BLOB_TOPIC, index, until)
         return f"{PROVENANCE_TOPIC}/{index}", None, None
 
     # ------------------------------------------------------------------

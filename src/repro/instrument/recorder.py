@@ -151,6 +151,35 @@ class InstrumentedRun:
             plugin.attach(worker)
             self.worker_plugins.append(plugin)
 
+        # Pass-by-reference data plane (opt-in via DaskConfig): the
+        # store shares the provenance topic through its own producer,
+        # so proxy_put/resolve/evict events land in the same stream the
+        # analysis views join on.  Disabled, nothing is constructed and
+        # the event stream stays byte-identical.
+        self.proxy_store = None
+        if config is not None and config.proxy_enabled:
+            from ..proxystore import Store, make_backend
+            proxy_producer = Producer(
+                env, self.mofka, PROVENANCE_TOPIC,
+                batch_size=producer_batch_size, linger=producer_linger,
+                name="producer-proxystore",
+            )
+            self.producers.append(proxy_producer)
+            backend = make_backend(
+                config.proxy_backend, env=env,
+                network=cluster.network, pfs=cluster.pfs,
+                mofka=self.mofka,
+            )
+            self.proxy_store = Store(
+                env, backend,
+                threshold=config.proxy_threshold,
+                producer=proxy_producer,
+                baseline_bandwidth=config.bandwidth_estimate,
+                max_retries=config.proxy_max_retries,
+                retry_backoff=config.proxy_retry_backoff,
+            )
+            self.proxy_store.attach(self.dask)
+
         if telemetry is not None:
             telemetry.instrument_run(self)
 

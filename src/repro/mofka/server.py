@@ -60,6 +60,15 @@ class MofkaService:
         return max((self._outages.get((topic_name, p), 0.0)
                     for p in partitions), default=0.0)
 
+    def outage_until(self, topic_name: str, partition: int) -> float:
+        """Heal time of one partition (0.0 when healthy).
+
+        Public so side channels accounted against a virtual topic (the
+        proxystore blob channel) can honour the same outage schedule as
+        real RPC traffic.
+        """
+        return self._outages.get((topic_name, partition), 0.0)
+
     # -- admin -------------------------------------------------------------
     def create_topic(self, name: str, n_partitions: int = 4) -> Topic:
         if name in self.topics:

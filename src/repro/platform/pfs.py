@@ -166,6 +166,10 @@ class ParallelFileSystem:
     def exists(self, path: str) -> bool:
         return path in self._files
 
+    def unlink(self, path: str) -> None:
+        """Remove a file from the namespace (idempotent, instantaneous)."""
+        self._files.pop(path, None)
+
     def files(self) -> list[FileMeta]:
         return list(self._files.values())
 

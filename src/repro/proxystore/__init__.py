@@ -1,0 +1,40 @@
+"""ProxyStore-style pass-by-reference data plane (per Pauloski et al.).
+
+Large task outputs are staged once into a shared backend and replaced
+by lightweight :class:`Proxy` handles; consumers resolve them lazily,
+charging the backend's simulated resource (peer NIC hop, striped OST
+reads, or a Mofka partition channel) instead of the scheduler's
+worker-to-worker transfer model — and, just as importantly, the
+scheduler stops seeing the payload, so placement no longer clusters
+onto replica holders.  Every put/resolve/evict is a first-class
+provenance event; see :mod:`repro.core.data_plane` for the analysis
+side and ``docs/data_plane.md`` for the full design.
+"""
+
+from .backends import (
+    BackendUnavailable,
+    LocalMemoryBackend,
+    MOFKA_BLOB_TOPIC,
+    MofkaBlobBackend,
+    PFSStagingBackend,
+    make_backend,
+)
+from .proxy import Proxy, factory_fingerprint
+from .store import ProxyResolveError, Store
+
+#: The provenance event types this layer emits.
+PROXY_EVENT_TYPES = ("proxy_put", "proxy_resolve", "proxy_evict")
+
+__all__ = [
+    "BackendUnavailable",
+    "LocalMemoryBackend",
+    "MOFKA_BLOB_TOPIC",
+    "MofkaBlobBackend",
+    "PFSStagingBackend",
+    "PROXY_EVENT_TYPES",
+    "Proxy",
+    "ProxyResolveError",
+    "Store",
+    "factory_fingerprint",
+    "make_backend",
+]

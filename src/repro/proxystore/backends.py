@@ -1,0 +1,197 @@
+"""Pluggable simulated backends for the pass-by-reference data plane.
+
+Each backend answers two questions in simulated time: what does it cost
+to *stage* a blob at put time, and what does it cost for a consumer to
+*resolve* it later?  The three backends mirror the connector families
+of Pauloski et al.:
+
+``local``
+    Worker-local memory.  Staging is free (the bytes already live in
+    the owner's heap); resolution is one peer NIC hop charged through
+    the shared :class:`~repro.platform.network.Network` model.  Not
+    durable — the blob dies with its owner.
+``pfs``
+    Shared parallel-filesystem staging.  Put writes the blob once,
+    striped across OSTs (:meth:`PFS.create_file` + a striped write);
+    resolve is a striped read, so many consumers fan out over OST
+    service slots instead of serialising on the owner's NIC.  Durable
+    across worker crashes.
+``mofka``
+    A Mofka-backed blob channel: blobs ride a dedicated virtual topic
+    (:data:`MOFKA_BLOB_TOPIC`, kept out of the provenance event
+    stream), paying the service's RPC latency + ingest bandwidth per
+    put/resolve and stalling while the blob's partition is blacked out
+    by a ``mofka_partition_outage`` fault.  Durable.
+
+All cost-charging methods are generators driven inside worker
+processes (``yield from``); availability failures raise
+:class:`BackendUnavailable`, which the Store's retry/fallback loop
+turns into either a successful late resolve or a peer-fetch fallback.
+"""
+
+from __future__ import annotations
+
+from ..mofka.topic import hash_string
+
+__all__ = [
+    "BackendUnavailable",
+    "LocalMemoryBackend",
+    "MOFKA_BLOB_TOPIC",
+    "MofkaBlobBackend",
+    "PFSStagingBackend",
+    "make_backend",
+]
+
+#: The virtual topic name blob traffic is accounted against.  Shares
+#: the outage namespace with real topics so ``mofka_partition_outage``
+#: faults black out blob partitions too — but no events are ever
+#: appended to it, so run loaders and provenance views never see it.
+MOFKA_BLOB_TOPIC = "proxystore-blobs"
+
+
+class BackendUnavailable(RuntimeError):
+    """The backend cannot serve this blob right now (or ever again)."""
+
+
+class LocalMemoryBackend:
+    """Owner-resident blobs resolved over one peer network hop."""
+
+    name = "local"
+    #: Dies with the owning worker.
+    durable = False
+
+    def __init__(self, network):
+        self.network = network
+        self._owners: dict[str, object] = {}
+
+    def put(self, key: str, nbytes: int, worker):
+        self._owners[key] = worker
+        return
+        yield  # pragma: no cover - generator marker, body is free
+
+    def fetch(self, proxy, worker):
+        owner = self._owners.get(proxy.key)
+        if owner is None or owner.failed:
+            raise BackendUnavailable(
+                f"owner of {proxy.key!r} is gone")
+        if owner is worker:
+            return
+        yield from self.network.transfer(
+            owner.node, worker.node, proxy.nbytes)
+        if owner.failed:
+            # The owner died while the bytes were in flight: what
+            # arrived is garbage, exactly like a peer-fetch mid-transfer
+            # crash.
+            raise BackendUnavailable(
+                f"owner of {proxy.key!r} died mid-resolve")
+
+    def evict(self, proxy) -> None:
+        self._owners.pop(proxy.key, None)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "durable": self.durable,
+                "blobs": len(self._owners)}
+
+
+class PFSStagingBackend:
+    """Blobs staged once to the shared PFS, resolved by striped reads."""
+
+    name = "pfs"
+    #: Survives worker crashes — the bytes live on the OSTs.
+    durable = True
+
+    #: Staging namespace on the simulated filesystem.
+    STAGE_DIR = "/lus/proxystore"
+
+    def __init__(self, pfs, stripe_count: int = 8):
+        self.pfs = pfs
+        self.stripe_count = stripe_count
+
+    def _path(self, key: str) -> str:
+        return f"{self.STAGE_DIR}/{key}.blob"
+
+    def put(self, key: str, nbytes: int, worker):
+        path = self._path(key)
+        self.pfs.create_file(path, nbytes, stripe_count=self.stripe_count)
+        yield from self.pfs.io(path, "write", 0, nbytes)
+
+    def fetch(self, proxy, worker):
+        path = self._path(proxy.key)
+        if not self.pfs.exists(path):
+            raise BackendUnavailable(f"no staged blob for {proxy.key!r}")
+        yield from self.pfs.io(path, "read", 0, proxy.nbytes)
+
+    def evict(self, proxy) -> None:
+        self.pfs.unlink(self._path(proxy.key))
+
+    def describe(self) -> dict:
+        return {"name": self.name, "durable": self.durable,
+                "stage_dir": self.STAGE_DIR,
+                "stripe_count": self.stripe_count}
+
+
+class MofkaBlobBackend:
+    """Blobs pushed through a dedicated Mofka partition channel."""
+
+    name = "mofka"
+    #: Survives worker crashes — the bytes live with the service.
+    durable = True
+
+    def __init__(self, env, service, n_partitions: int = 4):
+        self.env = env
+        self.service = service
+        self.n_partitions = n_partitions
+        self._partitions: dict[str, int] = {}
+
+    def _partition_for(self, key: str) -> int:
+        partition = self._partitions.get(key)
+        if partition is None:
+            partition = hash_string(key) % self.n_partitions
+            self._partitions[key] = partition
+        return partition
+
+    def _charge(self, key: str, nbytes: int):
+        """One blob RPC: wait out any partition blackout, then pay the
+        service's latency + ingest-bandwidth cost."""
+        partition = self._partition_for(key)
+        heal = self.service.outage_until(MOFKA_BLOB_TOPIC, partition)
+        if heal > self.env.now:
+            yield self.env.timeout(heal - self.env.now)
+        yield self.env.timeout(
+            self.service.RPC_LATENCY
+            + nbytes / self.service.INGEST_BANDWIDTH)
+
+    def put(self, key: str, nbytes: int, worker):
+        yield from self._charge(key, nbytes)
+
+    def fetch(self, proxy, worker):
+        if proxy.key not in self._partitions:
+            raise BackendUnavailable(f"no blob for {proxy.key!r}")
+        yield from self._charge(proxy.key, proxy.nbytes)
+
+    def evict(self, proxy) -> None:
+        self._partitions.pop(proxy.key, None)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "durable": self.durable,
+                "topic": MOFKA_BLOB_TOPIC,
+                "n_partitions": self.n_partitions}
+
+
+def make_backend(kind: str, *, env=None, network=None, pfs=None,
+                 mofka=None, **kwargs):
+    """Build the named backend from whichever resources it needs."""
+    if kind == "local":
+        if network is None:
+            raise ValueError("local backend needs the cluster network")
+        return LocalMemoryBackend(network)
+    if kind == "pfs":
+        if pfs is None:
+            raise ValueError("pfs backend needs the shared filesystem")
+        return PFSStagingBackend(pfs, **kwargs)
+    if kind == "mofka":
+        if env is None or mofka is None:
+            raise ValueError("mofka backend needs env and the service")
+        return MofkaBlobBackend(env, mofka, **kwargs)
+    raise ValueError(
+        f"unknown proxy backend {kind!r}; choose local|pfs|mofka")

@@ -1,0 +1,54 @@
+"""The pass-by-reference handle tasks receive instead of inline bytes.
+
+Following Pauloski et al. (*Accelerating Python Applications with Dask
+and ProxyStore*, PAPERS.md), a :class:`Proxy` is a lightweight,
+picklable stand-in for a large task output: it names the key, records
+how many bytes the real object occupies, which backend holds them, and
+a *factory fingerprint* — a stable hash of the (key, nbytes, backend)
+triple that identifies the resolve factory, so provenance events for
+the same blob join across put/resolve/evict and across reruns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Proxy", "factory_fingerprint"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def factory_fingerprint(key: str, nbytes: int, backend: str) -> str:
+    """Stable 64-bit FNV-1a fingerprint of a proxy's resolve factory.
+
+    Deterministic across processes and runs (no ``hash()``
+    randomisation), so the same logical blob always carries the same
+    fingerprint in the event stream.
+    """
+    digest = _FNV_OFFSET
+    for byte in f"{backend}:{key}:{nbytes}".encode():
+        digest ^= byte
+        digest = (digest * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return f"{digest:016x}"
+
+
+@dataclass(frozen=True)
+class Proxy:
+    """Immutable reference to ``nbytes`` of task output held off-path.
+
+    Workers holding a ``Proxy`` pay nothing until they ``resolve()`` it
+    through the :class:`~repro.proxystore.Store`, at which point the
+    owning backend charges the correct simulated resource (peer NIC
+    hop, striped OST reads, or a Mofka partition ingest/fetch).
+    """
+
+    key: str
+    nbytes: int
+    backend: str
+    fingerprint: str
+
+    @classmethod
+    def create(cls, key: str, nbytes: int, backend: str) -> "Proxy":
+        return cls(key=key, nbytes=nbytes, backend=backend,
+                   fingerprint=factory_fingerprint(key, nbytes, backend))

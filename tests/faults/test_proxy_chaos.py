@@ -1,0 +1,120 @@
+"""Chaos cells for the data plane: proxy resolution under fire.
+
+Extends the chaos matrix with the two fault kinds that hit the
+pass-by-reference path directly:
+
+* ``network_partition`` against the ``local`` backend — resolves are
+  peer NIC transfers, so they stall through the partition window;
+* ``mofka_partition_outage`` against the ``mofka`` backend — the blob
+  channel shares the outage namespace with real topics, so resolves
+  addressed to a blacked-out partition wait for the heal (the
+  client-side retry a real deployment would run).
+
+The acceptance bar per cell matches the main matrix: the run converges
+with the same keys in memory as the healthy proxied run, the fault and
+the proxy traffic are both first-class in provenance, and the event
+stream is deterministic.
+"""
+
+import pytest
+
+from repro.core import AnalysisSession
+from repro.dasklike import DaskConfig
+from repro.faults import FaultSchedule, FaultSpec
+from repro.proxystore import PROXY_EVENT_TYPES
+from repro.workflows import ResNet152Workflow, run_workflow
+
+SEED = 11
+
+#: fault kind -> (backend it stresses, fire time, duration).
+CELLS = {
+    "network_partition": ("local", 0.7, 3.0),
+    "mofka_partition_outage": ("mofka", 0.7, 3.0),
+}
+
+
+def proxied_config(backend):
+    return DaskConfig(proxy_enabled=True, proxy_backend=backend)
+
+
+def memory_keys(data):
+    tv = AnalysisSession.of(data).transition_view()
+    return {k for k, f in zip(tv["key"], tv["finish_state"])
+            if f == "memory"}
+
+
+@pytest.fixture(scope="module")
+def healthy_proxied_keys():
+    return {
+        backend: memory_keys(run_workflow(
+            ResNet152Workflow(scale=0.03), seed=SEED,
+            config=proxied_config(backend)).data)
+        for backend, _, _ in CELLS.values()
+    }
+
+
+@pytest.mark.parametrize("kind", sorted(CELLS))
+def test_proxy_chaos_cell(kind, healthy_proxied_keys):
+    backend, fault_time, duration = CELLS[kind]
+    schedule = FaultSchedule([FaultSpec(kind, fault_time,
+                                        duration=duration)])
+    result = run_workflow(ResNet152Workflow(scale=0.03), seed=SEED,
+                          config=proxied_config(backend), faults=schedule)
+
+    # The fault fired and is first-class in the provenance stream.
+    (event,) = result.data.events_of_type("fault")
+    assert event["kind"] == kind
+
+    # The data plane kept working: puts and resolves happened, every
+    # one carries the paper's identifiers, and none was lost.
+    session = AnalysisSession.of(result.data)
+    view = session.data_plane_view()
+    assert len(view) > 0
+    types = set(view["type"])
+    assert "proxy_put" in types and "proxy_resolve" in types
+    for proxy_type in PROXY_EVENT_TYPES:
+        for proxy_event in result.data.events_of_type(proxy_type):
+            for field in ("key", "worker", "hostname", "timestamp"):
+                assert field in proxy_event
+    resolves = [e for e in result.data.events_of_type("proxy_resolve")]
+    assert resolves and all(e["status"] == "ok" for e in resolves)
+    assert all(e["backend"] == backend for e in resolves)
+
+    # Convergence with correct results, same keys as the healthy
+    # proxied run.
+    assert memory_keys(result.data) == healthy_proxied_keys[backend]
+
+    # Deterministic: an identical second run yields an identical
+    # event stream.
+    again = run_workflow(ResNet152Workflow(scale=0.03), seed=SEED,
+                         config=proxied_config(backend), faults=schedule)
+    assert again.data.events == result.data.events
+
+
+def test_worker_crash_with_durable_backend_skips_recompute():
+    """A proxied (PFS-staged) model survives the crash of the worker
+    that produced it: consumers resolve the staged blob instead of
+    forcing a recompute of the producer."""
+    schedule = FaultSchedule([FaultSpec("worker_crash", 0.7)])
+    result = run_workflow(ResNet152Workflow(scale=0.03), seed=SEED,
+                          config=proxied_config("pfs"), faults=schedule)
+    session = AnalysisSession.of(result.data)
+    report = session.data_plane_report()
+    assert report["enabled"]
+    assert report["n_failed_resolves"] == 0
+    healthy = memory_keys(run_workflow(
+        ResNet152Workflow(scale=0.03), seed=SEED,
+        config=proxied_config("pfs")).data)
+    assert memory_keys(result.data) == healthy
+
+
+def test_disabled_data_plane_emits_nothing():
+    """With proxying off (the default), the stream carries no proxy
+    events and the analysis layer reports the plane as absent — the
+    zero-footprint half of the golden-parity guarantee."""
+    result = run_workflow(ResNet152Workflow(scale=0.03), seed=SEED)
+    for proxy_type in PROXY_EVENT_TYPES:
+        assert list(result.data.events_of_type(proxy_type)) == []
+    session = AnalysisSession.of(result.data)
+    assert len(session.data_plane_view()) == 0
+    assert session.data_plane_report()["enabled"] is False

@@ -1,0 +1,305 @@
+"""Unit tests for the pass-by-reference data plane.
+
+Covers the Store front door (threshold policy, put/resolve/evict,
+provenance events, retry/fallback on transient unavailability) and all
+three simulated backends — worker-local memory, shared-PFS staging, and
+the Mofka-backed blob channel — against a real simulated cluster.
+"""
+
+import pytest
+
+from repro.mofka import MofkaService
+from repro.proxystore import (
+    MOFKA_BLOB_TOPIC,
+    BackendUnavailable,
+    LocalMemoryBackend,
+    MofkaBlobBackend,
+    PFSStagingBackend,
+    Proxy,
+    ProxyResolveError,
+    Store,
+    factory_fingerprint,
+    make_backend,
+)
+
+from tests.helpers import make_wms
+
+MB = 2**20
+
+
+def make_plane(backend_kind="local", *, threshold=MB, max_retries=3,
+               retry_backoff=0.05, **backend_kwargs):
+    """(env, dask, store, mofka) over a small real cluster."""
+    env, cluster, dask, client, job = make_wms()
+    mofka = MofkaService(env)
+    backend = make_backend(backend_kind, env=env, network=cluster.network,
+                           pfs=cluster.pfs, mofka=mofka, **backend_kwargs)
+    store = Store(env, backend, threshold=threshold,
+                  max_retries=max_retries, retry_backoff=retry_backoff)
+    return env, dask, store, mofka
+
+
+def drive(env, gen):
+    """Run one store generator to completion; returns (value, error)."""
+    box = {}
+
+    def runner():
+        try:
+            box["value"] = yield from gen
+        except (ProxyResolveError, BackendUnavailable) as exc:
+            box["error"] = exc
+
+    env.run(until=env.process(runner()))
+    return box.get("value"), box.get("error")
+
+
+def remote_pair(dask):
+    """Two live workers on different nodes."""
+    first = dask.workers[0]
+    other = next(w for w in dask.workers
+                 if w.node.name != first.node.name)
+    return first, other
+
+
+class TestProxyHandle:
+    def test_fingerprint_is_deterministic(self):
+        assert (factory_fingerprint("k1", 10, "pfs")
+                == factory_fingerprint("k1", 10, "pfs"))
+        p1 = Proxy.create("k1", 10, "pfs")
+        p2 = Proxy.create("k1", 10, "pfs")
+        assert p1.fingerprint == p2.fingerprint
+
+    def test_fingerprint_separates_key_size_backend(self):
+        base = factory_fingerprint("k1", 10, "pfs")
+        assert factory_fingerprint("k2", 10, "pfs") != base
+        assert factory_fingerprint("k1", 11, "pfs") != base
+        assert factory_fingerprint("k1", 10, "mofka") != base
+
+
+class TestThresholdPolicy:
+    def test_threshold_is_inclusive(self):
+        env, dask, store, _ = make_plane(threshold=4 * MB)
+        assert store.should_proxy(4 * MB)
+        assert store.should_proxy(5 * MB)
+        assert not store.should_proxy(4 * MB - 1)
+        assert not store.should_proxy(0)
+
+    def test_attach_points_scheduler_and_workers_at_store(self):
+        env, dask, store, _ = make_plane()
+        assert dask.scheduler.proxy_store is None
+        store.attach(dask)
+        assert dask.scheduler.proxy_store is store
+        assert all(w.proxy_store is store for w in dask.workers)
+
+
+class TestLocalBackend:
+    def test_put_then_resolve_charges_one_network_hop(self):
+        env, dask, store, _ = make_plane("local")
+        owner, consumer = remote_pair(dask)
+        drive(env, store.put("blob-a", 64 * MB, owner))
+        assert store.has("blob-a")
+        assert not store.durable("blob-a")
+
+        t0 = env.now
+        got, err = drive(env, store.resolve("blob-a", consumer))
+        assert err is None and got == 64 * MB
+        assert env.now > t0  # a real transfer took simulated time
+
+    def test_resolve_on_owner_is_free(self):
+        env, dask, store, _ = make_plane("local")
+        owner, _ = remote_pair(dask)
+        drive(env, store.put("blob-b", 8 * MB, owner))
+        t0 = env.now
+        got, err = drive(env, store.resolve("blob-b", owner))
+        assert err is None and got == 8 * MB
+        assert env.now == t0
+
+    def test_dead_owner_exhausts_retries_then_raises(self):
+        env, dask, store, _ = make_plane("local", max_retries=2,
+                                         retry_backoff=0.01)
+        owner, consumer = remote_pair(dask)
+        drive(env, store.put("blob-c", 8 * MB, owner))
+        owner.fail()
+        got, err = drive(env, store.resolve("blob-c", consumer))
+        assert isinstance(err, ProxyResolveError)
+        assert store.n_failed_resolves == 1
+        lost = [e for e in store.events if e["type"] == "proxy_resolve"]
+        assert lost[-1]["status"] == "lost"
+        assert lost[-1]["retries"] == 2
+
+
+class TestPFSBackend:
+    def test_put_stages_a_striped_file(self):
+        env, dask, store, _ = make_plane("pfs")
+        owner, consumer = remote_pair(dask)
+        drive(env, store.put("blob-d", 32 * MB, owner))
+        backend = store.backend
+        assert backend.pfs.exists(backend._path("blob-d"))
+        assert store.durable("blob-d")  # survives the owner's crash
+        owner.fail()
+        got, err = drive(env, store.resolve("blob-d", consumer))
+        assert err is None and got == 32 * MB
+
+    def test_evict_unlinks_and_is_idempotent(self):
+        env, dask, store, _ = make_plane("pfs")
+        owner, _ = remote_pair(dask)
+        drive(env, store.put("blob-e", MB, owner))
+        store.evict("blob-e")
+        assert not store.has("blob-e")
+        assert not store.backend.pfs.exists(store.backend._path("blob-e"))
+        store.evict("blob-e")  # second call is a no-op
+        assert store.n_evictions == 1
+
+
+class TestMofkaBackend:
+    def test_put_and_resolve_pay_rpc_plus_ingest(self):
+        env, dask, store, mofka = make_plane("mofka")
+        owner, consumer = remote_pair(dask)
+        nbytes = 50 * MB
+        t0 = env.now
+        drive(env, store.put("blob-f", nbytes, owner))
+        expected = mofka.RPC_LATENCY + nbytes / mofka.INGEST_BANDWIDTH
+        assert env.now - t0 == pytest.approx(expected)
+        t1 = env.now
+        got, err = drive(env, store.resolve("blob-f", consumer))
+        assert err is None and got == nbytes
+        assert env.now - t1 == pytest.approx(expected)
+
+    def test_resolve_stalls_through_partition_outage(self):
+        env, dask, store, mofka = make_plane("mofka")
+        owner, consumer = remote_pair(dask)
+        drive(env, store.put("blob-g", MB, owner))
+        partition = store.backend._partition_for("blob-g")
+        heal = env.now + 2.0
+        mofka.partition_outage(MOFKA_BLOB_TOPIC, partition, heal)
+        got, err = drive(env, store.resolve("blob-g", consumer))
+        assert err is None and got == MB
+        assert env.now >= heal  # waited out the blackout, then resolved
+        event = [e for e in store.events
+                 if e["type"] == "proxy_resolve"][-1]
+        assert event["status"] == "ok"
+
+    def test_blob_topic_never_reaches_the_event_stream(self):
+        env, dask, store, mofka = make_plane("mofka")
+        owner, _ = remote_pair(dask)
+        drive(env, store.put("blob-h", MB, owner))
+        assert MOFKA_BLOB_TOPIC not in mofka.topics
+
+
+class TestProvenanceEvents:
+    def test_events_carry_paper_identifiers(self):
+        env, dask, store, _ = make_plane("local")
+        owner, consumer = remote_pair(dask)
+        drive(env, store.put("blob-i", 16 * MB, owner))
+        drive(env, store.resolve("blob-i", consumer))
+        store.evict("blob-i")
+        types = [e["type"] for e in store.events]
+        assert types == ["proxy_put", "proxy_resolve", "proxy_evict"]
+        for event in store.events:
+            for field in ("key", "worker", "hostname", "timestamp"):
+                assert field in event, (event["type"], field)
+        put, resolve, evict = store.events
+        assert put["worker"] == owner.address
+        assert put["hostname"] == owner.node.name
+        assert resolve["worker"] == consumer.address
+        fingerprint = factory_fingerprint("blob-i", 16 * MB, "local")
+        assert {e["fingerprint"] for e in store.events} == {fingerprint}
+
+    def test_resolve_records_baseline_saving(self):
+        env, dask, store, _ = make_plane("pfs")
+        owner, consumer = remote_pair(dask)
+        drive(env, store.put("blob-j", 64 * MB, owner))
+        drive(env, store.resolve("blob-j", consumer))
+        event = [e for e in store.events
+                 if e["type"] == "proxy_resolve"][-1]
+        assert event["baseline_s"] == pytest.approx(
+            64 * MB / store.baseline_bandwidth)
+        # The PFS striped read beats the scheduler's flat estimate.
+        assert event["duration"] < event["baseline_s"]
+
+    def test_counters_track_traffic(self):
+        env, dask, store, _ = make_plane("local")
+        owner, consumer = remote_pair(dask)
+        drive(env, store.put("blob-k", 2 * MB, owner))
+        drive(env, store.resolve("blob-k", consumer))
+        store.evict("blob-k")
+        description = store.describe()
+        assert description["n_puts"] == 1
+        assert description["n_resolves"] == 1
+        assert description["n_evictions"] == 1
+        assert description["bytes_put"] == 2 * MB
+        assert description["bytes_resolved"] == 2 * MB
+        assert description["backend"]["name"] == "local"
+
+
+class TestFailureWindows:
+    def test_put_from_dying_worker_never_registers(self):
+        """A blob half-staged by a crashing owner must not advertise."""
+        env, dask, store, _ = make_plane("pfs")
+        owner, _ = remote_pair(dask)
+
+        def stage():
+            yield from store.put("blob-l", 128 * MB, owner)
+
+        proc = env.process(stage())
+        env.run(until=env.timeout(1e-4))  # mid-staging
+        owner.fail()
+        env.run(until=proc)
+        assert not store.has("blob-l")
+        assert store.n_puts == 0
+        assert store.events == []
+
+    def test_unknown_key_raises_immediately(self):
+        env, dask, store, _ = make_plane("local")
+        _, consumer = remote_pair(dask)
+        got, err = drive(env, store.resolve("never-put", consumer))
+        assert isinstance(err, ProxyResolveError)
+
+    def test_transient_unavailability_retries_then_succeeds(self):
+        """The first fetch attempts fail; the retry loop recovers and
+        the resolve event records how many tries it took."""
+        env, dask, store, _ = make_plane("local", max_retries=3,
+                                         retry_backoff=0.01)
+        owner, consumer = remote_pair(dask)
+        drive(env, store.put("blob-m", MB, owner))
+
+        flaky = {"left": 2}
+        original = store.backend.fetch
+
+        def flaky_fetch(proxy, worker):
+            if flaky["left"] > 0:
+                flaky["left"] -= 1
+                raise BackendUnavailable("transient blip")
+            return original(proxy, worker)
+
+        store.backend.fetch = flaky_fetch
+        got, err = drive(env, store.resolve("blob-m", consumer))
+        assert err is None and got == MB
+        event = [e for e in store.events
+                 if e["type"] == "proxy_resolve"][-1]
+        assert event["status"] == "ok"
+        assert event["retries"] == 2
+
+
+class TestBackendFactory:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown proxy backend"):
+            make_backend("s3")
+
+    def test_each_kind_needs_its_resource(self):
+        with pytest.raises(ValueError):
+            make_backend("local")
+        with pytest.raises(ValueError):
+            make_backend("pfs")
+        with pytest.raises(ValueError):
+            make_backend("mofka")
+
+    def test_builds_each_backend(self):
+        env, cluster, dask, client, job = make_wms()
+        mofka = MofkaService(env)
+        assert isinstance(make_backend("local", network=cluster.network),
+                          LocalMemoryBackend)
+        assert isinstance(make_backend("pfs", pfs=cluster.pfs),
+                          PFSStagingBackend)
+        assert isinstance(make_backend("mofka", env=env, mofka=mofka),
+                          MofkaBlobBackend)

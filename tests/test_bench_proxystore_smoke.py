@@ -1,0 +1,27 @@
+"""The data-plane benchmark's smoke mode runs green.
+
+``bench_proxystore.py --smoke`` re-checks the zero-footprint contract
+(identical event streams with ``proxy_enabled=False``) and exercises
+put/resolve through all three backends on a tiny transfer-bound
+ResNet152 run, so running it here keeps the benchmark from rotting
+alongside the proxystore subsystem.
+"""
+
+import importlib.util
+import pathlib
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parents[1]
+              / "benchmarks" / "bench_proxystore.py")
+
+
+def test_proxystore_bench_smoke(capsys):
+    spec = importlib.util.spec_from_file_location(
+        "bench_proxystore_smoke", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.main(["--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "identical with proxying disabled" in out
+    for backend in ("local", "pfs", "mofka"):
+        assert backend in out
+    assert "best end-to-end speedup:" in out

@@ -21,6 +21,7 @@ POSITIONAL = {
     "ingest": ["some/lake", "some/runs"],
     "query": ["some/lake", "/runs"],
     "serve": ["some/lake"],
+    "dataplane": ["some/run"],
     "faults": ["imageprocessing"],
     "metrics": ["imageprocessing"],
     "trace": ["imageprocessing"],

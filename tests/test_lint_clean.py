@@ -33,7 +33,8 @@ class TestTreeIsClean:
         # The package keeps growing; the gate must not silently narrow.
         for expected in ("sim", "dasklike", "mofka", "darshan",
                          "workflows", "instrument", "telemetry",
-                         "faults", "analysis", "core", "lake"):
+                         "faults", "analysis", "core", "lake",
+                         "proxystore"):
             assert expected in subdirs
         paths = [os.path.join(PACKAGE_DIR, sub) for sub in subdirs]
         assert main(["lint", *paths]) == 0
@@ -76,6 +77,18 @@ class TestPlantedViolationsStillDetected:
         assert main(["lint", planted]) == 1
         out = capsys.readouterr().out
         assert "prov-missing-identifier" in out
+
+    def test_planted_bare_proxy_event_fails(self, tmp_path, capsys):
+        """The data-plane event types are in the schema registry: a
+        proxy emission missing the paper identifiers must trip the
+        gate exactly like a task_run one."""
+        planted = self._plant(tmp_path, """
+            def emit(producer, env):
+                producer.push({"type": "proxy_resolve", "key": "k1",
+                               "timestamp": env.now})
+        """)
+        assert main(["lint", planted]) == 1
+        assert "prov-missing-identifier" in capsys.readouterr().out
 
     def test_planted_stale_loop_guard_fails(self, tmp_path, capsys):
         planted = self._plant(tmp_path, """
